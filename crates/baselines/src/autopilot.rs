@@ -1,0 +1,123 @@
+//! Autopilot: the time-based controller of §4.1 that repeats the hourly
+//! allocations learned during the first day of the trace.
+
+use dejavu_cloud::{
+    AllocationSpace, ControllerDecision, DecisionReason, Observation, ProvisioningController,
+    ResourceAllocation,
+};
+use dejavu_services::ServiceModel;
+use dejavu_simcore::SimDuration;
+use dejavu_traces::LoadTrace;
+
+/// The Autopilot controller.
+///
+/// Its per-hour schedule is built by tuning the first day of the trace
+/// offline (the same minimal-allocation criterion DejaVu's Tuner uses), and is
+/// then applied by hour of day for the rest of the run — which is exactly
+/// what makes it fragile when later days deviate from day one.
+#[derive(Debug, Clone)]
+pub struct Autopilot {
+    schedule: Vec<ResourceAllocation>,
+}
+
+impl Autopilot {
+    /// Builds the schedule from the first day of `trace` for `service`
+    /// deployed over `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is shorter than one day.
+    pub fn learn_from_first_day(
+        trace: &LoadTrace,
+        service: &dyn ServiceModel,
+        space: &AllocationSpace,
+    ) -> Self {
+        assert!(trace.num_days() >= 1, "Autopilot needs at least one day of trace");
+        let day1 = trace.days(0, 1);
+        let schedule = day1
+            .levels()
+            .iter()
+            .map(|&level| space.cheapest_with_capacity(service.required_capacity(level)))
+            .collect();
+        Autopilot { schedule }
+    }
+
+    /// The learned per-hour schedule (one entry per hour of day one).
+    pub fn schedule(&self) -> &[ResourceAllocation] {
+        &self.schedule
+    }
+
+    fn planned_for(&self, hour_of_day: u64) -> ResourceAllocation {
+        self.schedule[hour_of_day as usize % self.schedule.len()]
+    }
+}
+
+impl ProvisioningController for Autopilot {
+    fn name(&self) -> &str {
+        "autopilot"
+    }
+
+    fn decide(&mut self, observation: &Observation) -> ControllerDecision {
+        let planned = self.planned_for(observation.time.hour_of_day());
+        if planned == observation.current_allocation {
+            ControllerDecision::keep()
+        } else {
+            ControllerDecision::deploy(planned, SimDuration::ZERO, DecisionReason::Schedule)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_services::CassandraService;
+    use dejavu_simcore::SimTime;
+    use dejavu_traces::{hotmail_week, RequestMix, ServiceKind, Workload};
+
+    fn obs(hour: f64, current: ResourceAllocation) -> Observation {
+        Observation {
+            time: SimTime::from_hours(hour),
+            workload: Workload::with_intensity(ServiceKind::Cassandra, 0.5, RequestMix::update_heavy()),
+            latency_ms: Some(40.0),
+            qos_percent: None,
+            utilization: 0.5,
+            slo_violated: false,
+            current_allocation: current,
+        }
+    }
+
+    #[test]
+    fn schedule_follows_day_one_load_shape() {
+        let trace = hotmail_week(1);
+        let svc = CassandraService::update_heavy();
+        let space = AllocationSpace::scale_out(1, 10).unwrap();
+        let ap = Autopilot::learn_from_first_day(&trace, &svc, &space);
+        assert_eq!(ap.schedule().len(), 24);
+        // Night hours need far fewer instances than the peak hour.
+        assert!(ap.schedule()[3].count() < ap.schedule()[14].count());
+    }
+
+    #[test]
+    fn repeats_the_same_hour_every_day() {
+        let trace = hotmail_week(2);
+        let svc = CassandraService::update_heavy();
+        let space = AllocationSpace::scale_out(1, 10).unwrap();
+        let mut ap = Autopilot::learn_from_first_day(&trace, &svc, &space);
+        let d_day2 = ap.decide(&obs(24.0 + 14.0, ResourceAllocation::large(1)));
+        let d_day5 = ap.decide(&obs(96.0 + 14.0, ResourceAllocation::large(1)));
+        assert_eq!(d_day2.target, d_day5.target);
+        assert_eq!(d_day2.reason, DecisionReason::Schedule);
+        assert_eq!(ap.name(), "autopilot");
+    }
+
+    #[test]
+    fn keeps_allocation_when_already_on_schedule() {
+        let trace = hotmail_week(3);
+        let svc = CassandraService::update_heavy();
+        let space = AllocationSpace::scale_out(1, 10).unwrap();
+        let mut ap = Autopilot::learn_from_first_day(&trace, &svc, &space);
+        let planned = ap.schedule()[2];
+        let d = ap.decide(&obs(26.0, planned));
+        assert!(d.target.is_none());
+    }
+}

@@ -1,0 +1,110 @@
+//! Fixed-allocation policies, including the always-overprovision baseline the
+//! paper's cost savings are measured against.
+
+use dejavu_cloud::{
+    AllocationSpace, ControllerDecision, Observation, ProvisioningController, ResourceAllocation,
+};
+
+/// Always keeps a single fixed allocation.
+#[derive(Debug, Clone)]
+pub struct FixedAllocation {
+    name: String,
+    allocation: ResourceAllocation,
+}
+
+impl FixedAllocation {
+    /// Creates a policy pinned to `allocation`.
+    pub fn new(name: impl Into<String>, allocation: ResourceAllocation) -> Self {
+        FixedAllocation {
+            name: name.into(),
+            allocation,
+        }
+    }
+
+    /// The pinned allocation.
+    pub fn allocation(&self) -> ResourceAllocation {
+        self.allocation
+    }
+}
+
+impl ProvisioningController for FixedAllocation {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, observation: &Observation) -> ControllerDecision {
+        if observation.current_allocation == self.allocation {
+            ControllerDecision::keep()
+        } else {
+            ControllerDecision::deploy(
+                self.allocation,
+                dejavu_simcore::SimDuration::ZERO,
+                dejavu_cloud::DecisionReason::Schedule,
+            )
+        }
+    }
+}
+
+/// The overprovisioning baseline: always run at full capacity so the SLO is
+/// met even at the foreseeable peak (§2.2).
+#[derive(Debug, Clone)]
+pub struct FixedMax {
+    inner: FixedAllocation,
+}
+
+impl FixedMax {
+    /// Creates the full-capacity policy for an allocation space.
+    pub fn new(space: &AllocationSpace) -> Self {
+        FixedMax {
+            inner: FixedAllocation::new("fixed-max", space.full_capacity()),
+        }
+    }
+}
+
+impl ProvisioningController for FixedMax {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn decide(&mut self, observation: &Observation) -> ControllerDecision {
+        self.inner.decide(observation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_simcore::SimTime;
+    use dejavu_traces::{RequestMix, ServiceKind, Workload};
+
+    fn obs(current: ResourceAllocation) -> Observation {
+        Observation {
+            time: SimTime::ZERO,
+            workload: Workload::with_intensity(ServiceKind::Cassandra, 0.5, RequestMix::update_heavy()),
+            latency_ms: Some(40.0),
+            qos_percent: None,
+            utilization: 0.5,
+            slo_violated: false,
+            current_allocation: current,
+        }
+    }
+
+    #[test]
+    fn fixed_max_pins_full_capacity() {
+        let space = AllocationSpace::scale_out(1, 10).unwrap();
+        let mut c = FixedMax::new(&space);
+        assert_eq!(c.name(), "fixed-max");
+        let d = c.decide(&obs(ResourceAllocation::large(2)));
+        assert_eq!(d.target, Some(ResourceAllocation::large(10)));
+        let d2 = c.decide(&obs(ResourceAllocation::large(10)));
+        assert!(d2.target.is_none());
+    }
+
+    #[test]
+    fn fixed_allocation_keeps_its_target() {
+        let mut c = FixedAllocation::new("pin-4", ResourceAllocation::large(4));
+        assert_eq!(c.allocation(), ResourceAllocation::large(4));
+        let d = c.decide(&obs(ResourceAllocation::large(4)));
+        assert!(d.target.is_none());
+    }
+}

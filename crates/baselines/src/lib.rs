@@ -1,0 +1,30 @@
+//! Baseline provisioning controllers used in the DejaVu evaluation.
+//!
+//! The paper compares DejaVu against several alternatives; each is implemented
+//! here as a `dejavu_cloud::ProvisioningController`:
+//!
+//! * [`fixed`] — a fixed allocation, in particular the *always overprovision
+//!   at full capacity* policy the cost-savings numbers are measured against.
+//! * [`autopilot`] — the time-based controller of §4.1 that blindly repeats
+//!   the hourly allocations learned during the first day of the trace.
+//! * [`rightscale`] — a reproduction of the RightScale voting autoscaler
+//!   (§4.1): utilization-threshold voting, ±instance steps and the "resize
+//!   calm time" between actions.
+//! * [`online_tuning`] — the state-of-the-art experiment-driven tuner that
+//!   re-runs a tuning process on every workload change (the behaviour shown in
+//!   Figure 1, with minutes-long adaptation per change).
+//! * [`oracle`] — an offline oracle that always deploys the minimal
+//!   SLO-meeting allocation instantly; a lower bound used for calibration and
+//!   ablations, not a paper baseline.
+
+pub mod autopilot;
+pub mod fixed;
+pub mod online_tuning;
+pub mod oracle;
+pub mod rightscale;
+
+pub use autopilot::Autopilot;
+pub use fixed::{FixedAllocation, FixedMax};
+pub use online_tuning::OnlineTuning;
+pub use oracle::Oracle;
+pub use rightscale::{RightScale, RightScaleConfig};

@@ -1,0 +1,78 @@
+//! An offline oracle: instantly deploys the minimal SLO-meeting allocation for
+//! the current workload. Not a paper baseline — a lower bound used for
+//! calibration and ablations.
+
+use dejavu_cloud::{
+    AllocationSpace, ControllerDecision, DecisionReason, Observation, ProvisioningController,
+};
+use dejavu_services::ServiceModel;
+use dejavu_simcore::SimDuration;
+
+/// The oracle controller.
+pub struct Oracle {
+    service: Box<dyn ServiceModel>,
+    space: AllocationSpace,
+}
+
+impl Oracle {
+    /// Creates the oracle for a service deployed over `space`.
+    pub fn new(service: Box<dyn ServiceModel>, space: AllocationSpace) -> Self {
+        Oracle { service, space }
+    }
+}
+
+impl std::fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Oracle").finish()
+    }
+}
+
+impl ProvisioningController for Oracle {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn decide(&mut self, observation: &Observation) -> ControllerDecision {
+        let needed = self
+            .service
+            .required_capacity(observation.workload.intensity.value());
+        let target = self.space.cheapest_with_capacity(needed);
+        if target == observation.current_allocation {
+            ControllerDecision::keep()
+        } else {
+            ControllerDecision::deploy(target, SimDuration::ZERO, DecisionReason::Schedule)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_cloud::ResourceAllocation;
+    use dejavu_services::CassandraService;
+    use dejavu_simcore::SimTime;
+    use dejavu_traces::{RequestMix, ServiceKind, Workload};
+
+    #[test]
+    fn deploys_minimal_adequate_allocation_instantly() {
+        let mut oracle = Oracle::new(
+            Box::new(CassandraService::update_heavy()),
+            AllocationSpace::scale_out(1, 10).unwrap(),
+        );
+        let obs = Observation {
+            time: SimTime::from_hours(1.0),
+            workload: Workload::with_intensity(ServiceKind::Cassandra, 0.5, RequestMix::update_heavy()),
+            latency_ms: Some(40.0),
+            qos_percent: None,
+            utilization: 0.5,
+            slo_violated: false,
+            current_allocation: ResourceAllocation::large(10),
+        };
+        let d = oracle.decide(&obs);
+        assert_eq!(d.decision_latency, SimDuration::ZERO);
+        let target = d.target.unwrap();
+        assert!(target.count() >= 5 && target.count() <= 6);
+        assert_eq!(oracle.name(), "oracle");
+        assert!(!format!("{oracle:?}").is_empty());
+    }
+}

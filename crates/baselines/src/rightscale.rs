@@ -1,0 +1,228 @@
+//! A reproduction of the RightScale voting autoscaler as described in §4.1 of
+//! the paper (and in RightScale's public documentation): each instance votes
+//! based on its utilization; a majority above the scale-up threshold grows the
+//! deployment by two instances, a majority below the scale-down threshold
+//! shrinks it by one, and no further action is taken until the "resize calm
+//! time" has elapsed.
+
+use dejavu_cloud::{
+    AllocationSpace, ControllerDecision, DecisionReason, Observation, ProvisioningController,
+};
+use dejavu_simcore::{SimDuration, SimRng, SimTime};
+
+/// RightScale configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RightScaleConfig {
+    /// Per-instance utilization above which an instance votes to grow.
+    pub scale_up_threshold: f64,
+    /// Per-instance utilization below which an instance votes to shrink.
+    pub scale_down_threshold: f64,
+    /// Instances added per scale-up action (RightScale default: 2).
+    pub scale_up_step: usize,
+    /// Instances removed per scale-down action (RightScale default: 1).
+    pub scale_down_step: usize,
+    /// Minimum time between two resize actions.
+    pub resize_calm_time: SimDuration,
+    /// Fraction of instances that must agree for an action to be taken.
+    pub majority: f64,
+    /// Per-instance utilization measurement noise.
+    pub vote_noise: f64,
+    /// Seed for the per-instance vote noise.
+    pub seed: u64,
+}
+
+impl Default for RightScaleConfig {
+    fn default() -> Self {
+        RightScaleConfig {
+            scale_up_threshold: 0.85,
+            scale_down_threshold: 0.40,
+            scale_up_step: 2,
+            scale_down_step: 1,
+            resize_calm_time: SimDuration::from_mins(15.0),
+            majority: 0.51,
+            vote_noise: 0.03,
+            seed: 7,
+        }
+    }
+}
+
+/// The RightScale-style autoscaler.
+#[derive(Debug, Clone)]
+pub struct RightScale {
+    name: String,
+    config: RightScaleConfig,
+    space: AllocationSpace,
+    last_action: Option<SimTime>,
+    rng: SimRng,
+}
+
+impl RightScale {
+    /// Creates the autoscaler with the given calm time (the paper evaluates
+    /// 3 and 15 minutes).
+    pub fn new(space: AllocationSpace, config: RightScaleConfig) -> Self {
+        let name = format!("rightscale-{:.0}min", config.resize_calm_time.as_mins());
+        RightScale {
+            name,
+            rng: SimRng::seed_from_u64(config.seed),
+            config,
+            space,
+            last_action: None,
+        }
+    }
+
+    /// Convenience constructor with only the calm time changed.
+    pub fn with_calm_time(space: AllocationSpace, calm: SimDuration) -> Self {
+        RightScale::new(
+            space,
+            RightScaleConfig {
+                resize_calm_time: calm,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RightScaleConfig {
+        &self.config
+    }
+
+    fn calm_elapsed(&self, now: SimTime) -> bool {
+        match self.last_action {
+            None => true,
+            Some(t) => now.saturating_since(t).as_secs() >= self.config.resize_calm_time.as_secs(),
+        }
+    }
+
+    /// Runs the per-instance vote and returns the fraction voting to grow and
+    /// to shrink.
+    fn vote(&mut self, utilization: f64, instances: u32) -> (f64, f64) {
+        let mut up = 0usize;
+        let mut down = 0usize;
+        for _ in 0..instances {
+            let observed = (utilization + self.rng.normal(0.0, self.config.vote_noise)).max(0.0);
+            if observed > self.config.scale_up_threshold {
+                up += 1;
+            } else if observed < self.config.scale_down_threshold {
+                down += 1;
+            }
+        }
+        (
+            up as f64 / instances.max(1) as f64,
+            down as f64 / instances.max(1) as f64,
+        )
+    }
+}
+
+impl ProvisioningController for RightScale {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, observation: &Observation) -> ControllerDecision {
+        if !self.calm_elapsed(observation.time) {
+            return ControllerDecision::keep();
+        }
+        let current = observation.current_allocation;
+        let (up, down) = self.vote(observation.utilization, current.count());
+        let target = if up >= self.config.majority {
+            self.space.step_up(current, self.config.scale_up_step)
+        } else if down >= self.config.majority {
+            self.space.step_down(current, self.config.scale_down_step)
+        } else {
+            return ControllerDecision::keep();
+        };
+        if target == current {
+            return ControllerDecision::keep();
+        }
+        self.last_action = Some(observation.time);
+        ControllerDecision::deploy(target, SimDuration::ZERO, DecisionReason::ThresholdVote)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_cloud::ResourceAllocation;
+    use dejavu_traces::{RequestMix, ServiceKind, Workload};
+
+    fn obs(hour: f64, utilization: f64, current: ResourceAllocation) -> Observation {
+        Observation {
+            time: SimTime::from_hours(hour),
+            workload: Workload::with_intensity(ServiceKind::Cassandra, 0.5, RequestMix::update_heavy()),
+            latency_ms: Some(40.0),
+            qos_percent: None,
+            utilization,
+            slo_violated: false,
+            current_allocation: current,
+        }
+    }
+
+    fn autoscaler(calm_mins: f64) -> RightScale {
+        RightScale::with_calm_time(
+            AllocationSpace::scale_out(1, 10).unwrap(),
+            SimDuration::from_mins(calm_mins),
+        )
+    }
+
+    #[test]
+    fn scales_up_by_two_under_high_utilization() {
+        let mut rs = autoscaler(3.0);
+        let d = rs.decide(&obs(1.0, 0.95, ResourceAllocation::large(4)));
+        assert_eq!(d.target, Some(ResourceAllocation::large(6)));
+        assert_eq!(d.reason, DecisionReason::ThresholdVote);
+    }
+
+    #[test]
+    fn scales_down_by_one_under_low_utilization() {
+        let mut rs = autoscaler(3.0);
+        let d = rs.decide(&obs(1.0, 0.15, ResourceAllocation::large(6)));
+        assert_eq!(d.target, Some(ResourceAllocation::large(5)));
+    }
+
+    #[test]
+    fn calm_time_throttles_successive_resizes() {
+        let mut rs = autoscaler(15.0);
+        let d1 = rs.decide(&obs(1.0, 0.95, ResourceAllocation::large(2)));
+        assert!(d1.target.is_some());
+        // Five minutes later: still within the calm period.
+        let d2 = rs.decide(&obs(1.0 + 5.0 / 60.0, 0.95, ResourceAllocation::large(4)));
+        assert!(d2.target.is_none());
+        // After the calm time it acts again.
+        let d3 = rs.decide(&obs(1.0 + 16.0 / 60.0, 0.95, ResourceAllocation::large(4)));
+        assert_eq!(d3.target, Some(ResourceAllocation::large(6)));
+    }
+
+    #[test]
+    fn moderate_utilization_triggers_nothing() {
+        let mut rs = autoscaler(3.0);
+        let d = rs.decide(&obs(1.0, 0.6, ResourceAllocation::large(5)));
+        assert!(d.target.is_none());
+    }
+
+    #[test]
+    fn name_mentions_calm_time() {
+        assert_eq!(autoscaler(3.0).name(), "rightscale-3min");
+        assert_eq!(autoscaler(15.0).name(), "rightscale-15min");
+    }
+
+    #[test]
+    fn convergence_to_adequate_capacity_needs_multiple_calm_periods() {
+        // Going from 2 to 8 instances takes three +2 steps, i.e. at least two
+        // full calm periods after the first action — the behaviour Figure 8
+        // quantifies.
+        let mut rs = autoscaler(3.0);
+        let mut current = ResourceAllocation::large(2);
+        let mut resizes = 0;
+        let mut t = 0.0f64;
+        while current.count() < 8 && t < 2.0 {
+            let d = rs.decide(&obs(t, 0.95, current));
+            if let Some(next) = d.target {
+                current = next;
+                resizes += 1;
+            }
+            t += 30.0 / 3_600.0;
+        }
+        assert!(resizes >= 3);
+        assert!(t * 60.0 >= 6.0, "took {} minutes", t * 60.0);
+    }
+}

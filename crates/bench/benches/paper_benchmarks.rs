@@ -1,0 +1,106 @@
+//! Criterion benchmarks regenerating (and timing) every table and figure of
+//! the DejaVu evaluation, plus micro-benchmarks of the core data structures.
+//!
+//! Run with `cargo bench --workspace`. Each paper artefact is a single
+//! benchmark iteration (the full experiment); the micro-benchmarks measure the
+//! operations DejaVu performs on its hot path (signature collection,
+//! classification, repository lookups, clustering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_figures");
+    group.sample_size(10);
+
+    group.bench_function("bench_fig1_state_of_the_art", |b| {
+        b.iter(|| black_box(dejavu_experiments::fig1::run(1)))
+    });
+    group.bench_function("bench_fig4_signature_separability", |b| {
+        b.iter(|| black_box(dejavu_experiments::fig4::run(1)))
+    });
+    group.bench_function("bench_fig5_clustering", |b| {
+        b.iter(|| black_box(dejavu_experiments::fig5::run(1)))
+    });
+    group.bench_function("bench_table1_feature_selection", |b| {
+        b.iter(|| black_box(dejavu_experiments::table1::run(1)))
+    });
+    group.bench_function("bench_fig6_scaleout_messenger", |b| {
+        b.iter(|| black_box(dejavu_experiments::fig6::run(1)))
+    });
+    group.bench_function("bench_fig7_scaleout_hotmail", |b| {
+        b.iter(|| black_box(dejavu_experiments::fig7::run(1)))
+    });
+    group.bench_function("bench_fig8_adaptation_time", |b| {
+        b.iter(|| black_box(dejavu_experiments::fig8::run(1)))
+    });
+    group.bench_function("bench_fig9_scaleup_hotmail", |b| {
+        b.iter(|| black_box(dejavu_experiments::fig9::run(1)))
+    });
+    group.bench_function("bench_fig10_scaleup_messenger", |b| {
+        b.iter(|| black_box(dejavu_experiments::fig10::run(1)))
+    });
+    group.bench_function("bench_fig11_interference", |b| {
+        b.iter(|| black_box(dejavu_experiments::fig11::run(1)))
+    });
+    group.bench_function("bench_overhead_proxy", |b| {
+        b.iter(|| black_box(dejavu_experiments::overhead::run(1)))
+    });
+    group.bench_function("bench_savings_summary", |b| {
+        b.iter(|| black_box(dejavu_experiments::savings::run(1)))
+    });
+    group.bench_function("bench_ablation_classes", |b| {
+        b.iter(|| black_box(dejavu_experiments::ablation::run(1)))
+    });
+    group.finish();
+}
+
+fn bench_core_operations(c: &mut Criterion) {
+    use dejavu_core::{ClassifierKind, OnlineClassifier, RepositoryKey, SignatureRepository, WorkloadClusterer};
+    use dejavu_metrics::{MetricModel, MetricSampler, SamplerConfig, WorkloadPoint};
+    use dejavu_simcore::{SimRng, SimTime};
+    use dejavu_traces::ServiceKind;
+
+    let sampler = MetricSampler::new(MetricModel::default(), SamplerConfig::default());
+    let mut rng = SimRng::seed_from_u64(1);
+    let mut signatures = Vec::new();
+    for &level in &[0.2, 0.45, 0.55, 0.95] {
+        let point = WorkloadPoint::new(ServiceKind::Cassandra, level, 0.05);
+        for _ in 0..6 {
+            signatures.push(sampler.sample(&point, &mut rng));
+        }
+    }
+    let clustering = WorkloadClusterer::new((2, 8), 1).cluster(&signatures).unwrap();
+    let classifier =
+        OnlineClassifier::train(ClassifierKind::DecisionTree, &signatures, &clustering, 1.8, 0.6)
+            .unwrap();
+    let probe = signatures[7].clone();
+
+    let mut group = c.benchmark_group("core_operations");
+    group.bench_function("signature_collection", |b| {
+        let point = WorkloadPoint::new(ServiceKind::Cassandra, 0.6, 0.05);
+        let mut rng = SimRng::seed_from_u64(2);
+        b.iter(|| black_box(sampler.sample(&point, &mut rng)))
+    });
+    group.bench_function("online_classification", |b| {
+        b.iter(|| black_box(classifier.classify(&probe)))
+    });
+    group.bench_function("repository_lookup", |b| {
+        let mut repo = SignatureRepository::new();
+        for class in 0..8 {
+            repo.insert(
+                RepositoryKey::baseline(class),
+                dejavu_cloud::ResourceAllocation::large(class as u32 + 1),
+                SimTime::ZERO,
+            );
+        }
+        b.iter(|| black_box(repo.lookup(RepositoryKey::baseline(3))))
+    });
+    group.bench_function("clustering_24_workloads", |b| {
+        b.iter(|| black_box(WorkloadClusterer::new((2, 8), 1).cluster(&signatures).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_operations, bench_figures);
+criterion_main!(benches);

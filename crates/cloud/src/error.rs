@@ -1,0 +1,50 @@
+//! Error type for the simulated cloud platform.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the platform and allocation machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CloudError {
+    /// The requested allocation is outside the platform's limits.
+    InvalidAllocation {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::InvalidAllocation { reason } => {
+                write!(f, "invalid resource allocation: {reason}")
+            }
+            CloudError::InvalidConfig(msg) => write!(f, "invalid platform configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for CloudError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = CloudError::InvalidAllocation {
+            reason: "zero instances".into(),
+        };
+        assert!(e.to_string().contains("zero instances"));
+        assert!(!CloudError::InvalidConfig("x".into()).to_string().is_empty());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<CloudError>();
+    }
+}

@@ -1,0 +1,37 @@
+//! A simulated virtualized hosting platform standing in for Amazon EC2.
+//!
+//! The DejaVu evaluation scales a service *out* (1–10 large instances) and
+//! *up* (large ↔ extra-large instances) on EC2, pays July-2011 on-demand
+//! prices, suffers boot/warm-up delays when reconfiguring, and experiences
+//! performance interference from co-located tenants. This crate models those
+//! mechanics:
+//!
+//! * [`instance`] — instance types (compute units, memory, price) and VM
+//!   lifecycle states.
+//! * [`allocation`] — the [`allocation::ResourceAllocation`] a controller
+//!   requests (instance type × count) and the search lattice over allocations.
+//! * [`platform`] — [`platform::CloudPlatform`]: applies allocations with
+//!   realistic delays, tracks effective capacity, injects interference.
+//! * [`cost`] — instance-hour cost metering.
+//! * [`interference`] — co-located tenant schedules (the 10%/20%
+//!   microbenchmark of §4.3).
+//! * [`controller`] — the [`controller::ProvisioningController`] trait that
+//!   DejaVu and every baseline implement, plus adaptation-event bookkeeping.
+
+pub mod allocation;
+pub mod controller;
+pub mod cost;
+pub mod error;
+pub mod instance;
+pub mod interference;
+pub mod platform;
+
+pub use allocation::{AllocationSpace, ResourceAllocation};
+pub use controller::{
+    AdaptationEvent, ControllerDecision, DecisionReason, Observation, ProvisioningController,
+};
+pub use cost::CostMeter;
+pub use error::CloudError;
+pub use instance::{InstanceType, VmInstance, VmState};
+pub use interference::{InterferenceLevel, InterferenceSchedule};
+pub use platform::{CloudPlatform, PlatformConfig};

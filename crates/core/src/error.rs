@@ -1,0 +1,74 @@
+//! Error type for the DejaVu framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DejaVu framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DejaVuError {
+    /// The learning phase produced no usable signatures.
+    NoTrainingData,
+    /// The classifier has not been trained yet.
+    NotTrained,
+    /// A machine-learning step failed.
+    Ml(dejavu_ml::MlError),
+    /// A platform/allocation error occurred.
+    Cloud(dejavu_cloud::CloudError),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DejaVuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DejaVuError::NoTrainingData => write!(f, "no workload signatures collected during learning"),
+            DejaVuError::NotTrained => write!(f, "classifier has not been trained"),
+            DejaVuError::Ml(e) => write!(f, "machine learning error: {e}"),
+            DejaVuError::Cloud(e) => write!(f, "platform error: {e}"),
+            DejaVuError::InvalidConfig(msg) => write!(f, "invalid DejaVu configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for DejaVuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DejaVuError::Ml(e) => Some(e),
+            DejaVuError::Cloud(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dejavu_ml::MlError> for DejaVuError {
+    fn from(e: dejavu_ml::MlError) -> Self {
+        DejaVuError::Ml(e)
+    }
+}
+
+impl From<dejavu_cloud::CloudError> for DejaVuError {
+    fn from(e: dejavu_cloud::CloudError) -> Self {
+        DejaVuError::Cloud(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = DejaVuError::from(dejavu_ml::MlError::EmptyDataset);
+        assert!(e.to_string().contains("machine learning"));
+        assert!(e.source().is_some());
+        assert!(DejaVuError::NotTrained.source().is_none());
+        assert!(!DejaVuError::NoTrainingData.to_string().is_empty());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<DejaVuError>();
+    }
+}

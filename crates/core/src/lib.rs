@@ -1,0 +1,63 @@
+//! The DejaVu framework (ASPLOS 2012): caching and reusing VM resource
+//! allocation decisions keyed by workload signatures.
+//!
+//! DejaVu accelerates resource management in virtualized environments by
+//! (1) profiling workloads through a duplicating proxy and a clone-VM
+//! profiler, (2) clustering the profiled workload signatures into a small set
+//! of **workload classes** during a learning phase, (3) invoking a **Tuner**
+//! once per class to find the minimal allocation that meets the SLO, storing
+//! the result in the **signature repository** (the DejaVu cache), and
+//! (4) at runtime classifying each newly observed signature in seconds and
+//! deploying the cached allocation directly — falling back to full capacity
+//! (and eventually re-clustering) when the classifier's certainty is low, and
+//! compensating for co-located-tenant **interference** via an interference
+//! index that extends the repository key.
+//!
+//! Crate layout:
+//!
+//! * [`config`] — [`config::DejaVuConfig`] and its builder.
+//! * [`signature`] — signature acquisition: feature selection over profiled
+//!   metrics and assembly of runtime signatures.
+//! * [`clustering`] — workload-class identification (k-means, automatic k).
+//! * [`classify`] — the online classifier (decision tree or naive Bayes) with
+//!   certainty levels.
+//! * [`repository`] — the signature repository keyed by workload class ×
+//!   interference bucket.
+//! * [`tuner`] — the [`tuner::Tuner`] trait and the linear-search tuner used
+//!   in the paper's evaluation.
+//! * [`interference`] — interference-index estimation (§3.6).
+//! * [`controller`] — [`controller::DejaVuController`], the provisioning
+//!   controller that ties everything together and implements
+//!   `dejavu_cloud::ProvisioningController`.
+//!
+//! # Example
+//!
+//! ```
+//! use dejavu_core::config::DejaVuConfig;
+//!
+//! let config = DejaVuConfig::builder()
+//!     .learning_hours(24)
+//!     .certainty_threshold(0.6)
+//!     .build();
+//! assert_eq!(config.learning_hours, 24);
+//! ```
+
+pub mod classify;
+pub mod clustering;
+pub mod config;
+pub mod controller;
+pub mod error;
+pub mod interference;
+pub mod repository;
+pub mod signature;
+pub mod tuner;
+
+pub use classify::{ClassifierKind, OnlineClassifier};
+pub use clustering::{ClusteringOutcome, WorkloadClusterer};
+pub use config::DejaVuConfig;
+pub use controller::{DejaVuController, DejaVuPhase, DejaVuStats};
+pub use error::DejaVuError;
+pub use interference::{InterferenceBucket, InterferenceEstimator};
+pub use repository::{RepositoryEntry, RepositoryKey, SignatureRepository};
+pub use signature::SignatureBuilder;
+pub use tuner::{LinearSearchTuner, Tuner, TuningOutcome};

@@ -1,0 +1,227 @@
+//! The signature repository: DejaVu's cache of resource-allocation decisions.
+//!
+//! The repository maps a workload class (and, when interference has been
+//! detected, an interference-index bucket) to the preferred resource
+//! allocation determined by the Tuner. At runtime a cache hit lets DejaVu jump
+//! straight to the right allocation; misses fall back to tuning or to full
+//! capacity.
+
+use dejavu_cloud::ResourceAllocation;
+use dejavu_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Repository key: workload class × interference bucket.
+///
+/// Bucket 0 means "no interference beyond what tuning saw".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RepositoryKey {
+    /// Workload class (cluster id).
+    pub class: usize,
+    /// Interference-index bucket.
+    pub interference_bucket: u32,
+}
+
+impl RepositoryKey {
+    /// Key for a workload class with no interference.
+    pub fn baseline(class: usize) -> Self {
+        RepositoryKey {
+            class,
+            interference_bucket: 0,
+        }
+    }
+}
+
+/// One cached allocation decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepositoryEntry {
+    /// The preferred allocation for this key.
+    pub allocation: ResourceAllocation,
+    /// When the Tuner produced this entry.
+    pub tuned_at: SimTime,
+    /// How often the entry has been reused.
+    pub hits: u64,
+}
+
+/// Hit/miss statistics of the repository.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepositoryStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted (including overwrites).
+    pub insertions: u64,
+}
+
+impl RepositoryStats {
+    /// Cache hit rate over all lookups (0.0 if there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The DejaVu cache.
+///
+/// # Example
+///
+/// ```
+/// use dejavu_core::{RepositoryKey, SignatureRepository};
+/// use dejavu_cloud::ResourceAllocation;
+/// use dejavu_simcore::SimTime;
+///
+/// let mut repo = SignatureRepository::new();
+/// repo.insert(RepositoryKey::baseline(0), ResourceAllocation::large(4), SimTime::ZERO);
+/// assert!(repo.lookup(RepositoryKey::baseline(0)).is_some());
+/// assert!(repo.lookup(RepositoryKey::baseline(1)).is_none());
+/// assert_eq!(repo.stats().hits, 1);
+/// assert_eq!(repo.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SignatureRepository {
+    entries: BTreeMap<RepositoryKey, RepositoryEntry>,
+    stats: RepositoryStats,
+}
+
+impl SignatureRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        SignatureRepository::default()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts (or replaces) the preferred allocation for `key`.
+    pub fn insert(&mut self, key: RepositoryKey, allocation: ResourceAllocation, tuned_at: SimTime) {
+        self.stats.insertions += 1;
+        self.entries.insert(
+            key,
+            RepositoryEntry {
+                allocation,
+                tuned_at,
+                hits: 0,
+            },
+        );
+    }
+
+    /// Looks up the preferred allocation for `key`, counting a hit or miss and
+    /// bumping the entry's reuse counter on a hit.
+    pub fn lookup(&mut self, key: RepositoryKey) -> Option<RepositoryEntry> {
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.hits += 1;
+                self.stats.hits += 1;
+                Some(*entry)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Reads an entry without affecting statistics.
+    pub fn peek(&self, key: RepositoryKey) -> Option<&RepositoryEntry> {
+        self.entries.get(&key)
+    }
+
+    /// Removes every cached entry (used when DejaVu re-clusters).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over all `(key, entry)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RepositoryKey, &RepositoryEntry)> {
+        self.entries.iter()
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> RepositoryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut repo = SignatureRepository::new();
+        let key = RepositoryKey::baseline(2);
+        repo.insert(key, ResourceAllocation::large(6), SimTime::from_hours(1.0));
+        let entry = repo.lookup(key).expect("present");
+        assert_eq!(entry.allocation, ResourceAllocation::large(6));
+        assert_eq!(entry.tuned_at, SimTime::from_hours(1.0));
+        assert_eq!(repo.len(), 1);
+        assert!(!repo.is_empty());
+    }
+
+    #[test]
+    fn hit_counters_and_rates() {
+        let mut repo = SignatureRepository::new();
+        repo.insert(RepositoryKey::baseline(0), ResourceAllocation::large(2), SimTime::ZERO);
+        let _ = repo.lookup(RepositoryKey::baseline(0));
+        let _ = repo.lookup(RepositoryKey::baseline(0));
+        let _ = repo.lookup(RepositoryKey::baseline(5));
+        let stats = repo.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(repo.peek(RepositoryKey::baseline(0)).unwrap().hits, 2);
+    }
+
+    #[test]
+    fn interference_buckets_are_separate_entries() {
+        let mut repo = SignatureRepository::new();
+        let base = RepositoryKey::baseline(1);
+        let interfered = RepositoryKey {
+            class: 1,
+            interference_bucket: 2,
+        };
+        repo.insert(base, ResourceAllocation::large(4), SimTime::ZERO);
+        repo.insert(interfered, ResourceAllocation::large(6), SimTime::ZERO);
+        assert_eq!(repo.lookup(base).unwrap().allocation.count(), 4);
+        assert_eq!(repo.lookup(interfered).unwrap().allocation.count(), 6);
+        assert_eq!(repo.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_replaces_allocation() {
+        let mut repo = SignatureRepository::new();
+        let key = RepositoryKey::baseline(0);
+        repo.insert(key, ResourceAllocation::large(2), SimTime::ZERO);
+        repo.insert(key, ResourceAllocation::large(8), SimTime::from_hours(2.0));
+        assert_eq!(repo.lookup(key).unwrap().allocation.count(), 8);
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.stats().insertions, 2);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let mut repo = SignatureRepository::new();
+        repo.insert(RepositoryKey::baseline(0), ResourceAllocation::large(2), SimTime::ZERO);
+        repo.clear();
+        assert!(repo.is_empty());
+        assert!(repo.lookup(RepositoryKey::baseline(0)).is_none());
+        assert_eq!(repo.iter().count(), 0);
+    }
+
+    #[test]
+    fn empty_stats_hit_rate_is_zero() {
+        assert_eq!(RepositoryStats::default().hit_rate(), 0.0);
+    }
+}

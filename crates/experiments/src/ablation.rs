@@ -1,0 +1,131 @@
+//! Ablations over DejaVu's design choices (DESIGN.md: ABL-CLF, ABL-SIG):
+//! which classifier family is used, and how many metrics the signature keeps.
+
+use crate::report::Report;
+use dejavu_core::{ClassifierKind, DejaVuConfig, DejaVuController};
+use dejavu_services::CassandraService;
+use dejavu_traces::{messenger_week, RequestMix};
+
+use crate::engine::{RunConfig, SimulationEngine};
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Cache hit rate during reuse.
+    pub hit_rate: f64,
+    /// SLO violation fraction.
+    pub violation_fraction: f64,
+    /// Reuse-period cost in USD.
+    pub reuse_cost: f64,
+    /// Number of workload classes identified.
+    pub num_classes: usize,
+}
+
+/// The ablation result.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Classifier-family rows.
+    pub classifiers: Vec<AblationRow>,
+    /// Signature-size rows.
+    pub signature_sizes: Vec<AblationRow>,
+}
+
+impl AblationResult {
+    /// Renders the ablations.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("Ablations: classifier family and signature size");
+        for row in self.classifiers.iter().chain(&self.signature_sizes) {
+            r.kv(
+                &row.variant,
+                format!(
+                    "hit rate {:.0}%, violations {:.1}%, classes {}, reuse cost ${:.0}",
+                    row.hit_rate * 100.0,
+                    row.violation_fraction * 100.0,
+                    row.num_classes,
+                    row.reuse_cost
+                ),
+            );
+        }
+        r
+    }
+}
+
+fn run_variant(variant: String, config: DejaVuConfig, seed: u64) -> AblationRow {
+    let service = CassandraService::update_heavy();
+    let cfg = RunConfig::scale_out(
+        format!("ablation-{variant}"),
+        messenger_week(seed).days(0, 3),
+        RequestMix::update_heavy(),
+        seed,
+    );
+    let engine = SimulationEngine::new(cfg);
+    let mut controller =
+        DejaVuController::new(config, Box::new(service), engine.config().space.clone());
+    let run = engine.run(&service, &mut controller);
+    let stats = controller.stats();
+    AblationRow {
+        variant,
+        hit_rate: stats.hit_rate(),
+        violation_fraction: run.slo_violation_fraction,
+        reuse_cost: run.reuse_cost,
+        num_classes: stats.num_classes,
+    }
+}
+
+/// Runs both ablations (on a shortened 3-day Messenger trace to keep the
+/// sweep cheap).
+pub fn run(seed: u64) -> AblationResult {
+    let classifiers = [
+        ("decision-tree", ClassifierKind::DecisionTree),
+        ("naive-bayes", ClassifierKind::NaiveBayes),
+        ("nearest-centroid", ClassifierKind::NearestCentroid),
+    ]
+    .into_iter()
+    .map(|(name, kind)| {
+        run_variant(
+            format!("classifier={name}"),
+            DejaVuConfig::builder().classifier(kind).seed(seed).build(),
+            seed,
+        )
+    })
+    .collect();
+    let signature_sizes = [2usize, 4, 8, 16]
+        .into_iter()
+        .map(|n| {
+            run_variant(
+                format!("signature-metrics={n}"),
+                DejaVuConfig::builder().max_signature_metrics(n).seed(seed).build(),
+                seed,
+            )
+        })
+        .collect();
+    AblationResult {
+        classifiers,
+        signature_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_work_well_on_recurring_workloads() {
+        let a = run(1);
+        assert_eq!(a.classifiers.len(), 3);
+        assert_eq!(a.signature_sizes.len(), 4);
+        for row in a.classifiers.iter().chain(&a.signature_sizes) {
+            assert!(row.hit_rate > 0.6, "{} hit rate {}", row.variant, row.hit_rate);
+            assert!(
+                row.violation_fraction < 0.15,
+                "{} violations {}",
+                row.variant,
+                row.violation_fraction
+            );
+            assert!(row.num_classes >= 2);
+        }
+        assert!(a.report().to_string().contains("classifier"));
+    }
+}

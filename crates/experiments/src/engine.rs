@@ -1,0 +1,349 @@
+//! The simulation engine: drives a trace through a service model, a simulated
+//! cloud platform and a provisioning controller, recording everything the
+//! figures need.
+
+use dejavu_cloud::{
+    AdaptationEvent, AllocationSpace, CloudPlatform, InterferenceSchedule, Observation,
+    PlatformConfig, ProvisioningController, ResourceAllocation,
+};
+use dejavu_services::service::EvalContext;
+use dejavu_services::{ClientEmulator, ServiceModel};
+use dejavu_simcore::{SimDuration, SimRng, SimTime, TimeSeries};
+use dejavu_traces::{LoadTrace, RequestMix, Workload};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Label used in reports.
+    pub name: String,
+    /// The load trace driving the run.
+    pub trace: LoadTrace,
+    /// Request mix offered by the clients.
+    pub mix: RequestMix,
+    /// The allocation space the controller may choose from.
+    pub space: AllocationSpace,
+    /// Platform timing parameters.
+    pub platform: PlatformConfig,
+    /// Interference injected by co-located tenants.
+    pub interference: InterferenceSchedule,
+    /// Allocation deployed at time zero.
+    pub initial_allocation: ResourceAllocation,
+    /// Evaluation/observation interval.
+    pub tick: SimDuration,
+    /// Seed for client measurement noise.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A scale-out configuration (1–10 large instances) for the given trace,
+    /// matching the paper's Cassandra experiments.
+    pub fn scale_out(name: impl Into<String>, trace: LoadTrace, mix: RequestMix, seed: u64) -> Self {
+        let space = AllocationSpace::scale_out(1, 10).expect("static range is valid");
+        RunConfig {
+            name: name.into(),
+            trace,
+            mix,
+            initial_allocation: space.full_capacity(),
+            space,
+            platform: PlatformConfig {
+                boot_delay: SimDuration::from_secs(5.0),
+                warmup_delay: SimDuration::from_secs(60.0),
+            },
+            interference: InterferenceSchedule::none(),
+            tick: SimDuration::from_secs(30.0),
+            seed,
+        }
+    }
+
+    /// A scale-up configuration (5 instances, large ↔ extra-large) matching the
+    /// paper's SPECweb experiments.
+    pub fn scale_up(name: impl Into<String>, trace: LoadTrace, mix: RequestMix, seed: u64) -> Self {
+        let space = AllocationSpace::scale_up(5).expect("static count is valid");
+        RunConfig {
+            name: name.into(),
+            trace,
+            mix,
+            initial_allocation: space.full_capacity(),
+            space,
+            platform: PlatformConfig {
+                boot_delay: SimDuration::from_secs(5.0),
+                warmup_delay: SimDuration::from_secs(60.0),
+            },
+            interference: InterferenceSchedule::none(),
+            tick: SimDuration::from_secs(30.0),
+            seed,
+        }
+    }
+
+    /// Sets the interference schedule.
+    pub fn with_interference(mut self, schedule: InterferenceSchedule) -> Self {
+        self.interference = schedule;
+        self
+    }
+
+    /// Sets the evaluation tick.
+    pub fn with_tick(mut self, tick: SimDuration) -> Self {
+        self.tick = tick;
+        self
+    }
+}
+
+/// Everything recorded during one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The run label.
+    pub name: String,
+    /// The controller that produced the run.
+    pub controller: String,
+    /// Offered load (normalized) over time.
+    pub load: TimeSeries,
+    /// Deployed instance count over time.
+    pub instance_count: TimeSeries,
+    /// Deployed capacity units over time.
+    pub capacity_units: TimeSeries,
+    /// Measured latency over time (ms).
+    pub latency_ms: TimeSeries,
+    /// Measured QoS over time (percent).
+    pub qos_percent: TimeSeries,
+    /// Fraction of observation ticks violating the SLO.
+    pub slo_violation_fraction: f64,
+    /// Total deployment cost in USD over the whole run.
+    pub total_cost: f64,
+    /// Deployment cost in USD restricted to the reuse period (after the first day).
+    pub reuse_cost: f64,
+    /// All reconfigurations that took place.
+    pub adaptations: Vec<AdaptationEvent>,
+    /// Per-workload-change settling times in seconds (0 when no
+    /// reconfiguration was needed).
+    pub settle_times_secs: Vec<f64>,
+    /// End of the simulated period.
+    pub end: SimTime,
+}
+
+impl RunResult {
+    /// Mean settling time across workload changes that required an adaptation.
+    pub fn mean_adaptation_secs(&self) -> f64 {
+        let nonzero: Vec<f64> = self
+            .settle_times_secs
+            .iter()
+            .copied()
+            .filter(|&s| s > 0.0)
+            .collect();
+        if nonzero.is_empty() {
+            0.0
+        } else {
+            nonzero.iter().sum::<f64>() / nonzero.len() as f64
+        }
+    }
+
+    /// Standard error of the non-zero settling times.
+    pub fn adaptation_std_error(&self) -> f64 {
+        let nonzero: Vec<f64> = self
+            .settle_times_secs
+            .iter()
+            .copied()
+            .filter(|&s| s > 0.0)
+            .collect();
+        if nonzero.len() < 2 {
+            return 0.0;
+        }
+        let mean = nonzero.iter().sum::<f64>() / nonzero.len() as f64;
+        let var = nonzero.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / nonzero.len() as f64;
+        (var / nonzero.len() as f64).sqrt()
+    }
+
+    /// Cost savings of this run relative to `baseline` over the reuse period.
+    pub fn reuse_savings_vs(&self, baseline: &RunResult) -> f64 {
+        if baseline.reuse_cost <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.reuse_cost / baseline.reuse_cost
+        }
+    }
+}
+
+/// The simulation engine.
+#[derive(Debug, Clone)]
+pub struct SimulationEngine {
+    config: RunConfig,
+}
+
+impl SimulationEngine {
+    /// Creates an engine for one run configuration.
+    pub fn new(config: RunConfig) -> Self {
+        SimulationEngine { config }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Runs `controller` over the configured trace against `service`.
+    pub fn run(
+        &self,
+        service: &dyn ServiceModel,
+        controller: &mut dyn ProvisioningController,
+    ) -> RunResult {
+        let cfg = &self.config;
+        let mut platform = CloudPlatform::new(
+            cfg.platform.clone(),
+            cfg.space.clone(),
+            cfg.initial_allocation,
+            cfg.interference.clone(),
+        );
+        let client = ClientEmulator::default();
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+
+        let mut load = TimeSeries::new("load");
+        let mut instance_count = TimeSeries::new("instances");
+        let mut capacity_units = TimeSeries::new("capacity");
+        let mut latency_ms = TimeSeries::new("latency_ms");
+        let mut qos_percent = TimeSeries::new("qos_percent");
+        let mut adaptations: Vec<AdaptationEvent> = Vec::new();
+        let mut change_points: Vec<SimTime> = Vec::new();
+
+        let end = SimTime::ZERO + cfg.trace.duration();
+        let ticks = (cfg.trace.duration().as_secs() / cfg.tick.as_secs()).round() as usize;
+        let mut violated_ticks = 0usize;
+        let mut last_level = f64::NAN;
+        let mut last_reconfig: Option<SimTime> = None;
+        let mut prev_allocation = cfg.initial_allocation;
+
+        for i in 0..ticks {
+            let t = SimTime::from_secs(cfg.tick.as_secs() * i as f64);
+            let level = cfg.trace.level_at(t);
+            if last_level.is_nan() || (level - last_level).abs() > 0.02 {
+                if !last_level.is_nan() {
+                    change_points.push(t);
+                }
+                last_level = level;
+            }
+            let allocation = platform.allocation_at(t);
+            if allocation != prev_allocation {
+                last_reconfig = Some(t);
+                prev_allocation = allocation;
+            }
+            let capacity = platform.effective_capacity(t).max(0.05);
+            let ctx = EvalContext {
+                time: t,
+                capacity_units: capacity,
+                since_reconfig: last_reconfig.map(|r| t.saturating_since(r)),
+            };
+            let perf = client.measure(service, level, &ctx, &mut rng);
+            let slo_violated = !service.slo().is_met(&perf);
+            if slo_violated {
+                violated_ticks += 1;
+            }
+
+            load.push(t, level);
+            instance_count.push(t, allocation.count() as f64);
+            capacity_units.push(t, allocation.capacity_units());
+            latency_ms.push(t, perf.latency_ms);
+            qos_percent.push(t, perf.qos_percent);
+
+            let observation = Observation {
+                time: t,
+                workload: Workload::with_intensity(service.kind(), level, cfg.mix),
+                latency_ms: Some(perf.latency_ms),
+                qos_percent: Some(perf.qos_percent),
+                utilization: perf.utilization.min(1.0),
+                slo_violated,
+                current_allocation: allocation,
+            };
+            let decision = controller.decide(&observation);
+            if let Some(target) = decision.target {
+                if target != allocation {
+                    platform.request(t, target, decision.decision_latency);
+                    let completed_at = platform.pending_effective_at().unwrap_or(t);
+                    adaptations.push(AdaptationEvent {
+                        started_at: t,
+                        completed_at,
+                        from: allocation,
+                        to: target,
+                        reason: decision.reason,
+                    });
+                }
+            }
+        }
+
+        // Settling time per workload change: the completion of the last
+        // adaptation started before the next change.
+        let mut settle_times_secs = Vec::with_capacity(change_points.len());
+        for (i, &change) in change_points.iter().enumerate() {
+            let window_end = change_points
+                .get(i + 1)
+                .copied()
+                .unwrap_or(end)
+                .min(change + SimDuration::from_mins(45.0));
+            let settle = adaptations
+                .iter()
+                .filter(|a| a.started_at >= change && a.started_at < window_end)
+                .map(|a| a.completed_at.saturating_since(change).as_secs())
+                .fold(0.0f64, f64::max);
+            settle_times_secs.push(settle);
+        }
+
+        let reuse_start = SimTime::from_hours(24.0).min(end);
+        RunResult {
+            name: cfg.name.clone(),
+            controller: controller.name().to_string(),
+            load,
+            instance_count,
+            capacity_units,
+            latency_ms,
+            qos_percent,
+            slo_violation_fraction: violated_ticks as f64 / ticks.max(1) as f64,
+            total_cost: platform.cost_meter().total_cost(end),
+            reuse_cost: platform.cost_meter().cost_between(reuse_start, end),
+            adaptations,
+            settle_times_secs,
+            end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_baselines::{FixedMax, Oracle};
+    use dejavu_services::CassandraService;
+    use dejavu_traces::messenger_week;
+
+    fn short_trace() -> LoadTrace {
+        messenger_week(1).days(0, 2)
+    }
+
+    #[test]
+    fn fixed_max_never_violates_and_costs_the_most() {
+        let cfg = RunConfig::scale_out("test", short_trace(), RequestMix::update_heavy(), 1)
+            .with_tick(SimDuration::from_secs(120.0));
+        let engine = SimulationEngine::new(cfg);
+        let svc = CassandraService::update_heavy();
+        let space = engine.config().space.clone();
+        let mut fixed = FixedMax::new(&space);
+        let fixed_result = engine.run(&svc, &mut fixed);
+        assert!(fixed_result.slo_violation_fraction < 0.01);
+
+        let mut oracle = Oracle::new(Box::new(svc), engine.config().space.clone());
+        let oracle_result = engine.run(&svc, &mut oracle);
+        assert!(oracle_result.total_cost < fixed_result.total_cost);
+        assert!(oracle_result.reuse_savings_vs(&fixed_result) > 0.2);
+        assert!(oracle_result.slo_violation_fraction < 0.1);
+        assert!(!oracle_result.adaptations.is_empty());
+    }
+
+    #[test]
+    fn series_cover_the_whole_run() {
+        let cfg = RunConfig::scale_out("cover", short_trace(), RequestMix::update_heavy(), 2)
+            .with_tick(SimDuration::from_secs(300.0));
+        let engine = SimulationEngine::new(cfg);
+        let svc = CassandraService::update_heavy();
+        let mut fixed = FixedMax::new(&engine.config().space.clone());
+        let r = engine.run(&svc, &mut fixed);
+        assert_eq!(r.load.len(), r.latency_ms.len());
+        assert_eq!(r.load.len(), (48.0 * 3600.0 / 300.0) as usize);
+        assert!(r.total_cost > 0.0);
+        assert_eq!(r.controller, "fixed-max");
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 1 — the motivating experiment: a RUBiS deployment whose workload
+//! volume follows a sine wave (changing every 10 minutes) managed by the
+//! state-of-the-art experiment-driven tuner, which spends minutes retuning on
+//! every change and leaves the service either under-performing ("bad
+//! performance") or over-charged.
+
+use crate::engine::{RunConfig, RunResult, SimulationEngine};
+use crate::report::{pct, Report};
+use dejavu_baselines::OnlineTuning;
+use dejavu_services::{RubisService, ServiceModel};
+use dejavu_simcore::SimDuration;
+use dejavu_traces::sine::sine_trace;
+
+/// The Figure-1 result.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// The state-of-the-art (online experiment-driven tuning) run.
+    pub online_tuning: RunResult,
+    /// Fraction of time the SLO was violated.
+    pub violation_fraction: f64,
+    /// Mean adaptation (retuning) time in seconds.
+    pub mean_retuning_secs: f64,
+}
+
+impl Fig1Result {
+    /// Renders the figure.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("Figure 1: state-of-the-art retuning under a sine-wave RUBiS load");
+        r.kv("SLO violation fraction", pct(self.violation_fraction));
+        r.kv("mean retuning time (s)", format!("{:.0}", self.mean_retuning_secs));
+        r.kv("adaptations", self.online_tuning.adaptations.len());
+        r.hourly("load", &self.online_tuning.load, 2);
+        r.hourly("latency ms", &self.online_tuning.latency_ms, 2);
+        r
+    }
+}
+
+/// Runs the Figure-1 experiment.
+pub fn run(seed: u64) -> Fig1Result {
+    let trace = sine_trace(
+        "rubis-sine",
+        SimDuration::from_mins(10.0),
+        SimDuration::from_mins(80.0),
+        SimDuration::from_mins(40.0),
+        0.5,
+        0.45,
+    )
+    .expect("static parameters are valid");
+    let service = RubisService::default_browsing();
+    let cfg = RunConfig::scale_out("fig1", trace, service.default_mix(), seed)
+        .with_tick(SimDuration::from_secs(5.0));
+    let engine = SimulationEngine::new(cfg);
+    let mut controller = OnlineTuning::new(
+        Box::new(RubisService::default_browsing()),
+        engine.config().space.clone(),
+    );
+    let run = engine.run(&service, &mut controller);
+    Fig1Result {
+        violation_fraction: run.slo_violation_fraction,
+        mean_retuning_secs: run.mean_adaptation_secs(),
+        online_tuning: run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_of_the_art_spends_minutes_retuning() {
+        let fig = run(1);
+        assert!(fig.mean_retuning_secs > 60.0, "retuning {}", fig.mean_retuning_secs);
+        assert!(fig.violation_fraction > 0.02, "violations {}", fig.violation_fraction);
+        assert!(fig.online_tuning.adaptations.len() >= 3);
+        assert!(fig.report().to_string().contains("retuning"));
+    }
+}

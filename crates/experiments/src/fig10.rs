@@ -1,0 +1,26 @@
+//! Figure 10 — scaling up SPECweb (support workload) under the Messenger
+//! trace: savings are smaller than with the HotMail trace because the evening
+//! peak keeps the extra-large configuration busy for more hours.
+
+use crate::fig9::{scale_up_comparison, ScaleUpFigure};
+use dejavu_traces::messenger_week;
+
+/// Runs Figure 10 (Messenger trace).
+pub fn run(seed: u64) -> ScaleUpFigure {
+    scale_up_comparison(messenger_week(seed), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messenger_scale_up_saves_less_than_hotmail() {
+        let fig = run(1);
+        // Paper: ~35% savings for Messenger vs ~45% for HotMail.
+        assert!(fig.savings > 0.20 && fig.savings < 0.60, "savings {}", fig.savings);
+        let hotmail = crate::fig9::run(1);
+        assert!(hotmail.savings > 0.25, "hotmail {}", hotmail.savings);
+        assert!(fig.qos_compliance > 0.7, "compliance {}", fig.qos_compliance);
+    }
+}

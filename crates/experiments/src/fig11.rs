@@ -1,0 +1,103 @@
+//! Figure 11 — addressing interference: with co-located tenants stealing 10%
+//! or 20% of each VM's capacity, DejaVu detects the interference through its
+//! interference index and compensates with extra instances, while a variant
+//! with interference detection disabled keeps violating the SLO.
+
+use crate::engine::{RunConfig, RunResult, SimulationEngine};
+use crate::report::{pct, Report};
+use dejavu_cloud::InterferenceSchedule;
+use dejavu_core::{DejaVuConfig, DejaVuController};
+use dejavu_services::CassandraService;
+use dejavu_traces::{messenger_week, RequestMix};
+
+/// The Figure-11 result.
+#[derive(Debug, Clone)]
+pub struct Fig11Result {
+    /// DejaVu with interference detection enabled.
+    pub with_detection: RunResult,
+    /// DejaVu with interference detection disabled.
+    pub without_detection: RunResult,
+    /// Interference compensations DejaVu applied.
+    pub compensations: u64,
+    /// Mean instance count with detection enabled.
+    pub mean_instances_with: f64,
+    /// Mean instance count with detection disabled.
+    pub mean_instances_without: f64,
+}
+
+impl Fig11Result {
+    /// Renders the figure.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("Figure 11: detecting and compensating for interference");
+        r.kv(
+            "SLO violations (detection enabled)",
+            pct(self.with_detection.slo_violation_fraction),
+        );
+        r.kv(
+            "SLO violations (detection disabled)",
+            pct(self.without_detection.slo_violation_fraction),
+        );
+        r.kv("interference compensations", self.compensations);
+        r.kv("mean instances (enabled)", format!("{:.1}", self.mean_instances_with));
+        r.kv("mean instances (disabled)", format!("{:.1}", self.mean_instances_without));
+        r
+    }
+}
+
+/// Runs the Figure-11 experiment.
+pub fn run(seed: u64) -> Fig11Result {
+    let service = CassandraService::update_heavy();
+    let trace = messenger_week(seed);
+    let cfg = RunConfig::scale_out("fig11", trace, RequestMix::update_heavy(), seed)
+        .with_interference(InterferenceSchedule::paper_scenario());
+    let engine = SimulationEngine::new(cfg);
+    let space = engine.config().space.clone();
+
+    let mut with = DejaVuController::new(
+        DejaVuConfig::builder().seed(seed).interference_detection(true).build(),
+        Box::new(service),
+        space.clone(),
+    );
+    let with_run = engine.run(&service, &mut with);
+
+    let mut without = DejaVuController::new(
+        DejaVuConfig::builder().seed(seed).interference_detection(false).build(),
+        Box::new(service),
+        space.clone(),
+    )
+    .with_name("dejavu-no-interference");
+    let without_run = engine.run(&service, &mut without);
+
+    Fig11Result {
+        compensations: with.stats().interference_compensations,
+        mean_instances_with: with_run.instance_count.mean(),
+        mean_instances_without: without_run.instance_count.mean(),
+        with_detection: with_run,
+        without_detection: without_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_compensates_and_reduces_violations() {
+        let fig = run(1);
+        assert!(fig.compensations > 0, "no compensations applied");
+        assert!(
+            fig.mean_instances_with > fig.mean_instances_without,
+            "with {} vs without {}",
+            fig.mean_instances_with,
+            fig.mean_instances_without
+        );
+        assert!(
+            fig.with_detection.slo_violation_fraction
+                < fig.without_detection.slo_violation_fraction,
+            "with {} vs without {}",
+            fig.with_detection.slo_violation_fraction,
+            fig.without_detection.slo_violation_fraction
+        );
+        assert!(fig.report().to_string().contains("interference"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 5 — identifying the representative workloads: the 24 hourly
+//! workloads of the HotMail learning day collapse into a small number of
+//! workload classes, one of which is the singleton peak hour.
+
+use crate::report::Report;
+use dejavu_core::{ClusteringOutcome, WorkloadClusterer};
+use dejavu_metrics::WorkloadSignature;
+use dejavu_proxy::{Profiler, ProfilerConfig};
+use dejavu_simcore::SimRng;
+use dejavu_traces::{hotmail_week, RequestMix, ServiceKind, Workload};
+
+/// The Figure-5 result.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// One signature per learning-day hour.
+    pub signatures: Vec<WorkloadSignature>,
+    /// The clustering of those 24 workloads.
+    pub clustering: ClusteringOutcome,
+    /// Number of members per class.
+    pub class_sizes: Vec<usize>,
+}
+
+impl Fig5Result {
+    /// Renders the figure.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("Figure 5: 24 hourly workloads collapse into a few classes");
+        r.kv("hourly workloads", self.signatures.len());
+        r.kv("workload classes", self.clustering.num_classes());
+        for (c, size) in self.class_sizes.iter().enumerate() {
+            r.kv(&format!("class {c} members"), size);
+        }
+        r
+    }
+}
+
+/// Runs the Figure-5 experiment: profiles each hour of the HotMail learning
+/// day and clusters the resulting signatures.
+pub fn run(seed: u64) -> Fig5Result {
+    let trace = hotmail_week(seed).days(0, 1);
+    let profiler = Profiler::new(ProfilerConfig::default());
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xF15);
+    let signatures: Vec<WorkloadSignature> = trace
+        .levels()
+        .iter()
+        .map(|&level| {
+            let w = Workload::with_intensity(ServiceKind::Cassandra, level, RequestMix::update_heavy());
+            profiler.profile(&w, &mut rng).signature
+        })
+        .collect();
+    let clustering = WorkloadClusterer::new((2, 8), seed)
+        .cluster(&signatures)
+        .expect("24 signatures are plenty");
+    let mut class_sizes = vec![0usize; clustering.num_classes()];
+    for &a in &clustering.assignments {
+        class_sizes[a] += 1;
+    }
+    Fig5Result {
+        signatures,
+        clustering,
+        class_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_workloads_become_a_few_classes_with_a_singleton_peak() {
+        let fig = run(3);
+        assert_eq!(fig.signatures.len(), 24);
+        let k = fig.clustering.num_classes();
+        assert!((3..=5).contains(&k), "classes {k}");
+        // The peak hour stands alone (or nearly so).
+        let smallest = fig.class_sizes.iter().copied().min().unwrap();
+        assert!(smallest <= 2, "smallest class has {smallest} members");
+        assert!(fig.report().to_string().contains("classes"));
+    }
+}

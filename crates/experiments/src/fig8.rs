@@ -1,0 +1,132 @@
+//! Figure 8 — adaptation (decision) time of DejaVu vs. the RightScale-style
+//! autoscaler with 3-minute and 15-minute resize calm times, on both traces.
+
+use crate::engine::{RunConfig, SimulationEngine};
+use crate::report::Report;
+use dejavu_baselines::RightScale;
+use dejavu_core::{DejaVuConfig, DejaVuController};
+use dejavu_services::CassandraService;
+use dejavu_simcore::SimDuration;
+use dejavu_traces::{hotmail_week, messenger_week, LoadTrace, RequestMix};
+
+/// One bar of the figure.
+#[derive(Debug, Clone)]
+pub struct AdaptationBar {
+    /// Trace name.
+    pub trace: String,
+    /// Controller name.
+    pub controller: String,
+    /// Mean adaptation time in seconds.
+    pub mean_secs: f64,
+    /// Standard error of the adaptation time.
+    pub std_error_secs: f64,
+}
+
+/// The Figure-8 result.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// All bars (per trace: DejaVu, RightScale-3min, RightScale-15min).
+    pub bars: Vec<AdaptationBar>,
+}
+
+impl Fig8Result {
+    /// The bar for a given trace/controller pair.
+    pub fn bar(&self, trace: &str, controller: &str) -> Option<&AdaptationBar> {
+        self.bars
+            .iter()
+            .find(|b| b.trace == trace && b.controller == controller)
+    }
+
+    /// Renders the figure.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("Figure 8: adaptation time, DejaVu vs RightScale (log-scale in the paper)");
+        for b in &self.bars {
+            r.kv(
+                &format!("{} / {}", b.trace, b.controller),
+                format!("{:.0} s (± {:.0})", b.mean_secs, b.std_error_secs),
+            );
+        }
+        r
+    }
+}
+
+fn bars_for(trace: LoadTrace, seed: u64) -> Vec<AdaptationBar> {
+    let service = CassandraService::update_heavy();
+    let trace_name = trace.name().to_string();
+    let cfg = RunConfig::scale_out(format!("fig8-{trace_name}"), trace, RequestMix::update_heavy(), seed);
+    let engine = SimulationEngine::new(cfg);
+    let space = engine.config().space.clone();
+    let mut out = Vec::new();
+
+    let mut dejavu = DejaVuController::new(
+        DejaVuConfig::builder().seed(seed).build(),
+        Box::new(service),
+        space.clone(),
+    );
+    let _ = engine.run(&service, &mut dejavu);
+    // The paper's Figure 8 reports *decision* times: for DejaVu that is the
+    // ~10 s the profiler needs to collect a signature before the cached
+    // allocation can be deployed.
+    let times = &dejavu.stats().adaptation_times_secs;
+    let mean = dejavu.stats().mean_adaptation_secs();
+    let std_error = if times.len() > 1 {
+        let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
+        (var / times.len() as f64).sqrt()
+    } else {
+        0.0
+    };
+    out.push(AdaptationBar {
+        trace: trace_name.clone(),
+        controller: "dejavu".into(),
+        mean_secs: mean,
+        std_error_secs: std_error,
+    });
+
+    for calm_mins in [3.0, 15.0] {
+        let mut rs = RightScale::with_calm_time(space.clone(), SimDuration::from_mins(calm_mins));
+        let run = engine.run(&service, &mut rs);
+        out.push(AdaptationBar {
+            trace: trace_name.clone(),
+            controller: format!("rightscale-{calm_mins:.0}min"),
+            mean_secs: run.mean_adaptation_secs(),
+            std_error_secs: run.adaptation_std_error(),
+        });
+    }
+    out
+}
+
+/// Runs the Figure-8 experiment on both traces.
+pub fn run(seed: u64) -> Fig8Result {
+    let mut bars = bars_for(messenger_week(seed), seed);
+    bars.extend(bars_for(hotmail_week(seed), seed));
+    Fig8Result { bars }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dejavu_adapts_an_order_of_magnitude_faster_than_rightscale() {
+        let fig = run(1);
+        for trace in ["messenger", "hotmail"] {
+            let dejavu = fig.bar(trace, "dejavu").expect("dejavu bar present");
+            let rs3 = fig.bar(trace, "rightscale-3min").expect("rs-3min bar present");
+            let rs15 = fig.bar(trace, "rightscale-15min").expect("rs-15min bar present");
+            assert!(dejavu.mean_secs < 60.0, "{trace} dejavu {}", dejavu.mean_secs);
+            assert!(
+                rs3.mean_secs > 5.0 * dejavu.mean_secs,
+                "{trace}: rs3 {} vs dejavu {}",
+                rs3.mean_secs,
+                dejavu.mean_secs
+            );
+            assert!(
+                rs15.mean_secs > rs3.mean_secs,
+                "{trace}: rs15 {} vs rs3 {}",
+                rs15.mean_secs,
+                rs3.mean_secs
+            );
+        }
+        assert!(fig.report().to_string().contains("rightscale"));
+    }
+}

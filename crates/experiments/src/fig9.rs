@@ -1,0 +1,99 @@
+//! Figure 9 — scaling up SPECweb (support workload) under the HotMail trace:
+//! the instance type (large vs. extra-large) DejaVu deploys over time and the
+//! resulting QoS against the 95% compliance target. Also provides the shared
+//! scale-up comparison used by Figure 10.
+
+use crate::engine::{RunConfig, RunResult, SimulationEngine};
+use crate::report::{pct, Report};
+use dejavu_baselines::FixedMax;
+use dejavu_core::{DejaVuConfig, DejaVuController};
+use dejavu_services::{ServiceModel, SpecWebService, SpecWebWorkload};
+use dejavu_traces::LoadTrace;
+
+/// The result of a scale-up comparison on one trace.
+#[derive(Debug, Clone)]
+pub struct ScaleUpFigure {
+    /// Name of the driving trace.
+    pub trace_name: String,
+    /// DejaVu run.
+    pub dejavu: RunResult,
+    /// Fixed full-capacity (always extra-large) run.
+    pub fixed_max: RunResult,
+    /// DejaVu provisioning-cost savings vs. always extra-large (reuse days).
+    pub savings: f64,
+    /// Fraction of observation ticks in which QoS stayed at or above 95%.
+    pub qos_compliance: f64,
+    /// Fraction of time spent on the extra-large configuration.
+    pub xl_fraction: f64,
+}
+
+impl ScaleUpFigure {
+    /// Renders the figure.
+    pub fn report(&self, title: &str) -> Report {
+        let mut r = Report::new(title);
+        r.kv("trace", &self.trace_name);
+        r.kv("DejaVu savings vs always-XL", pct(self.savings));
+        r.kv("QoS >= 95% fraction", pct(self.qos_compliance));
+        r.kv("time on extra-large", pct(self.xl_fraction));
+        r.kv(
+            "DejaVu mean adaptation (s)",
+            format!("{:.1}", self.dejavu.mean_adaptation_secs()),
+        );
+        r
+    }
+}
+
+/// Runs the scale-up comparison for a trace.
+pub fn scale_up_comparison(trace: LoadTrace, seed: u64) -> ScaleUpFigure {
+    let service = SpecWebService::new(SpecWebWorkload::Support);
+    let trace_name = trace.name().to_string();
+    let cfg = RunConfig::scale_up(
+        format!("scale-up-{trace_name}"),
+        trace,
+        service.default_mix(),
+        seed,
+    );
+    let engine = SimulationEngine::new(cfg);
+    let space = engine.config().space.clone();
+
+    let mut dejavu = DejaVuController::new(
+        DejaVuConfig::builder().seed(seed).build(),
+        Box::new(service),
+        space.clone(),
+    );
+    let dejavu_run = engine.run(&service, &mut dejavu);
+    let mut fixed = FixedMax::new(&space);
+    let fixed_run = engine.run(&service, &mut fixed);
+
+    let qos_compliance = 1.0 - dejavu_run.slo_violation_fraction;
+    // Capacity 10 units = 5 extra-large instances.
+    let xl_fraction = dejavu_run.capacity_units.fraction_above(7.5);
+    ScaleUpFigure {
+        trace_name,
+        savings: dejavu_run.reuse_savings_vs(&fixed_run),
+        qos_compliance,
+        xl_fraction,
+        dejavu: dejavu_run,
+        fixed_max: fixed_run,
+    }
+}
+
+/// Runs Figure 9 (HotMail trace).
+pub fn run(seed: u64) -> ScaleUpFigure {
+    scale_up_comparison(dejavu_traces::hotmail_week(seed), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotmail_scale_up_matches_paper_shape() {
+        let fig = run(1);
+        // Paper: ~45% savings; the large type suffices most of the time.
+        assert!(fig.savings > 0.30 && fig.savings < 0.55, "savings {}", fig.savings);
+        assert!(fig.xl_fraction < 0.4, "xl fraction {}", fig.xl_fraction);
+        assert!(fig.qos_compliance > 0.9, "compliance {}", fig.qos_compliance);
+        assert!(fig.report("fig9").to_string().contains("savings"));
+    }
+}

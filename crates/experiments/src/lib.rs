@@ -1,0 +1,42 @@
+//! Experiment harnesses reproducing every table and figure of the DejaVu
+//! (ASPLOS 2012) evaluation.
+//!
+//! Each `figN`/`table1`/`overhead`/`savings` module builds the workload,
+//! platform, service and controllers for the corresponding paper artefact,
+//! runs them through the shared [`engine`], and returns a structured result
+//! that both the `dejavu-experiments` binary and the Criterion benches render.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — state-of-the-art retuning under a sine-wave RUBiS load |
+//! | [`fig4`] | Fig. 4 — signature metrics separate workload volumes/types |
+//! | [`fig5`] | Fig. 5 — clustering 24 hourly workloads into a few classes |
+//! | [`table1`] | Table 1 — HPC metrics selected for the RUBiS signature |
+//! | [`fig6`] | Fig. 6 — scaling out Cassandra, Messenger trace |
+//! | [`fig7`] | Fig. 7 — scaling out Cassandra, HotMail trace |
+//! | [`fig8`] | Fig. 8 — adaptation time vs. RightScale |
+//! | [`fig9`] | Fig. 9 — scaling up SPECweb, HotMail trace |
+//! | [`fig10`] | Fig. 10 — scaling up SPECweb, Messenger trace |
+//! | [`fig11`] | Fig. 11 — interference detection and compensation |
+//! | [`overhead`] | §4.4 — proxy and network overhead |
+//! | [`savings`] | §4.5 — provisioning-cost savings and $/year projection |
+//! | [`ablation`] | DESIGN.md ablations (class count, classifier, signature size) |
+
+pub mod ablation;
+pub mod engine;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod overhead;
+pub mod report;
+pub mod savings;
+pub mod table1;
+
+pub use engine::{RunConfig, RunResult, SimulationEngine};
+pub use report::Report;

@@ -1,0 +1,60 @@
+//! Command-line entry point that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p dejavu-experiments --release -- all
+//! cargo run -p dejavu-experiments --release -- fig6 fig8 --seed 7
+//! ```
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut seed = 1u64;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if arg == "--seed" {
+            if let Some(v) = it.next() {
+                seed = v.parse().unwrap_or(1);
+            }
+        } else {
+            targets.push(arg.clone());
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = vec![
+            "fig1", "fig4", "fig5", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "overhead", "savings", "ablation",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+    for target in targets {
+        let text = match target.as_str() {
+            "fig1" => dejavu_experiments::fig1::run(seed).report().into_text(),
+            "fig4" => dejavu_experiments::fig4::run(seed).report().into_text(),
+            "fig5" => dejavu_experiments::fig5::run(seed).report().into_text(),
+            "table1" => dejavu_experiments::table1::run(seed).report().into_text(),
+            "fig6" => dejavu_experiments::fig6::run(seed)
+                .report("Figure 6: scaling out Cassandra (Messenger trace)")
+                .into_text(),
+            "fig7" => dejavu_experiments::fig7::run(seed)
+                .report("Figure 7: scaling out Cassandra (HotMail trace)")
+                .into_text(),
+            "fig8" => dejavu_experiments::fig8::run(seed).report().into_text(),
+            "fig9" => dejavu_experiments::fig9::run(seed)
+                .report("Figure 9: scaling up SPECweb (HotMail trace)")
+                .into_text(),
+            "fig10" => dejavu_experiments::fig10::run(seed)
+                .report("Figure 10: scaling up SPECweb (Messenger trace)")
+                .into_text(),
+            "fig11" => dejavu_experiments::fig11::run(seed).report().into_text(),
+            "overhead" => dejavu_experiments::overhead::run(seed).report().into_text(),
+            "savings" => dejavu_experiments::savings::run(seed).report().into_text(),
+            "ablation" => dejavu_experiments::ablation::run(seed).report().into_text(),
+            other => format!("unknown experiment '{other}'\n"),
+        };
+        println!("{text}");
+    }
+}

@@ -1,0 +1,99 @@
+//! §4.4 — DejaVu's overhead: the proxy adds ≈3 ms to production requests and
+//! duplicating one instance's inbound traffic is a negligible fraction of the
+//! service's total network traffic.
+
+use crate::report::Report;
+use dejavu_proxy::{NetworkOverhead, ProxyConfig, RequestDuplicator};
+use dejavu_services::service::EvalContext;
+use dejavu_services::{RubisService, ServiceModel};
+use dejavu_simcore::SimTime;
+
+/// One row of the proxy-overhead study.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Number of emulated clients.
+    pub clients: u32,
+    /// Latency without the proxy (ms).
+    pub latency_without_ms: f64,
+    /// Latency with continuous profiling through the proxy (ms).
+    pub latency_with_ms: f64,
+}
+
+/// The overhead result.
+#[derive(Debug, Clone)]
+pub struct OverheadResult {
+    /// Latency rows for 100–500 clients.
+    pub rows: Vec<OverheadRow>,
+    /// Mean latency added by the proxy (ms).
+    pub mean_added_ms: f64,
+    /// Fraction of total network traffic added by duplication (100 instances,
+    /// 1:10 inbound/outbound).
+    pub network_fraction: f64,
+}
+
+impl OverheadResult {
+    /// Renders the study.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("Section 4.4: proxy and network overhead");
+        for row in &self.rows {
+            r.kv(
+                &format!("{} clients", row.clients),
+                format!(
+                    "{:.1} ms -> {:.1} ms",
+                    row.latency_without_ms, row.latency_with_ms
+                ),
+            );
+        }
+        r.kv("mean latency added (ms)", format!("{:.1}", self.mean_added_ms));
+        r.kv(
+            "network overhead (100 instances)",
+            format!("{:.3}%", self.network_fraction * 100.0),
+        );
+        r
+    }
+}
+
+/// Runs the overhead study.
+pub fn run(_seed: u64) -> OverheadResult {
+    let service = RubisService::default_browsing();
+    let proxy = RequestDuplicator::new(ProxyConfig::default());
+    let peak_clients = 1_000.0;
+    let rows: Vec<OverheadRow> = [100u32, 200, 300, 400, 500]
+        .iter()
+        .map(|&clients| {
+            let intensity = clients as f64 / peak_clients;
+            let base = service
+                .evaluate(intensity, &EvalContext::steady(SimTime::ZERO, 6.0))
+                .latency_ms;
+            OverheadRow {
+                clients,
+                latency_without_ms: base,
+                latency_with_ms: base + proxy.production_overhead_ms(),
+            }
+        })
+        .collect();
+    let mean_added_ms = rows
+        .iter()
+        .map(|r| r.latency_with_ms - r.latency_without_ms)
+        .sum::<f64>()
+        / rows.len() as f64;
+    OverheadResult {
+        rows,
+        mean_added_ms,
+        network_fraction: NetworkOverhead::paper_example().total_traffic_fraction(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_matches_paper_magnitudes() {
+        let o = run(1);
+        assert_eq!(o.rows.len(), 5);
+        assert!((o.mean_added_ms - 3.0).abs() < 0.5, "added {}", o.mean_added_ms);
+        assert!(o.network_fraction < 0.002, "network {}", o.network_fraction);
+        assert!(o.report().to_string().contains("proxy"));
+    }
+}

@@ -1,0 +1,81 @@
+//! §4.5 / §1 — provisioning-cost savings summary and the yearly dollar
+//! projection for 100 and 1,000 large EC2 instances.
+
+use crate::report::{pct, Report};
+use dejavu_cloud::InstanceType;
+
+/// The savings summary.
+#[derive(Debug, Clone)]
+pub struct SavingsSummary {
+    /// Scale-out savings on the Messenger trace.
+    pub scale_out_messenger: f64,
+    /// Scale-out savings on the HotMail trace.
+    pub scale_out_hotmail: f64,
+    /// Scale-up savings on the HotMail trace.
+    pub scale_up_hotmail: f64,
+    /// Scale-up savings on the Messenger trace.
+    pub scale_up_messenger: f64,
+}
+
+impl SavingsSummary {
+    /// Mean savings across the four evaluated configurations.
+    pub fn mean_savings(&self) -> f64 {
+        (self.scale_out_messenger
+            + self.scale_out_hotmail
+            + self.scale_up_hotmail
+            + self.scale_up_messenger)
+            / 4.0
+    }
+
+    /// Yearly dollar savings for a deployment of `instances` large instances,
+    /// using the July-2011 on-demand price the paper cites.
+    pub fn yearly_savings_usd(&self, instances: u32) -> f64 {
+        let yearly_cost = instances as f64 * InstanceType::Large.hourly_price() * 24.0 * 365.0;
+        yearly_cost * self.mean_savings()
+    }
+
+    /// Renders the summary.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("Section 4.5: provisioning-cost savings");
+        r.kv("scale-out savings (Messenger)", pct(self.scale_out_messenger));
+        r.kv("scale-out savings (HotMail)", pct(self.scale_out_hotmail));
+        r.kv("scale-up savings (HotMail)", pct(self.scale_up_hotmail));
+        r.kv("scale-up savings (Messenger)", pct(self.scale_up_messenger));
+        r.kv(
+            "yearly savings, 100 instances",
+            format!("${:.0}", self.yearly_savings_usd(100)),
+        );
+        r.kv(
+            "yearly savings, 1000 instances",
+            format!("${:.0}", self.yearly_savings_usd(1_000)),
+        );
+        r
+    }
+}
+
+/// Runs all four savings experiments and aggregates them.
+pub fn run(seed: u64) -> SavingsSummary {
+    SavingsSummary {
+        scale_out_messenger: crate::fig6::run(seed).dejavu_savings,
+        scale_out_hotmail: crate::fig7::run(seed).dejavu_savings,
+        scale_up_hotmail: crate::fig9::run(seed).savings,
+        scale_up_messenger: crate::fig10::run(seed).savings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_are_substantial_and_scale_out_beats_scale_up() {
+        let s = run(1);
+        assert!(s.scale_out_messenger > 0.2 && s.scale_out_hotmail > 0.2);
+        assert!(s.scale_up_messenger > 0.2 && s.scale_up_hotmail > 0.2);
+        assert!(s.mean_savings() > 0.25 && s.mean_savings() < 0.65);
+        // Paper: > $250k/year for 100 large instances.
+        assert!(s.yearly_savings_usd(100) > 80_000.0);
+        assert!(s.yearly_savings_usd(1_000) > s.yearly_savings_usd(100) * 9.9);
+        assert!(s.report().to_string().contains("yearly"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Table 1 — the HPC metrics selected for the RUBiS workload signature by CFS
+//! feature selection over the profiled dataset.
+
+use crate::report::Report;
+use dejavu_core::{SignatureBuilder, WorkloadClusterer};
+use dejavu_metrics::counter::TABLE1_EVENTS;
+use dejavu_metrics::{MetricModel, MetricSampler, SamplerConfig, WorkloadPoint};
+use dejavu_simcore::SimRng;
+use dejavu_traces::ServiceKind;
+
+/// The Table-1 result.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// Metrics selected for the RUBiS signature, in selection order.
+    pub selected: Vec<String>,
+    /// How many of them are Table-1 HPC events from the paper.
+    pub table1_overlap: usize,
+    /// CFS merit of the selected subset.
+    pub merit: f64,
+}
+
+impl Table1Result {
+    /// Renders the table.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("Table 1: metrics selected for the RUBiS workload signature");
+        for name in &self.selected {
+            let marker = if TABLE1_EVENTS.iter().any(|(n, _)| n == name) {
+                " (paper Table 1 event)"
+            } else {
+                ""
+            };
+            r.line(format!("  {name}{marker}"));
+        }
+        r.kv("overlap with the paper's Table 1", self.table1_overlap);
+        r.kv("CFS merit", format!("{:.3}", self.merit));
+        r
+    }
+}
+
+/// Runs the Table-1 experiment: profiles RUBiS over a grid of volumes and
+/// request mixes, clusters the dataset, and runs CFS feature selection.
+pub fn run(seed: u64) -> Table1Result {
+    let sampler = MetricSampler::new(MetricModel::default(), SamplerConfig::default());
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x7AB1);
+    let mut signatures = Vec::new();
+    for &volume in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+        for &read in &[0.7, 0.85, 0.95] {
+            let point = WorkloadPoint::new(ServiceKind::Rubis, volume, read);
+            for _ in 0..4 {
+                signatures.push(sampler.sample(&point, &mut rng));
+            }
+        }
+    }
+    let clustering = WorkloadClusterer::new((2, 10), seed)
+        .cluster(&signatures)
+        .expect("profiled dataset is non-empty");
+    let builder = SignatureBuilder::select(&signatures, &clustering.assignments, 8)
+        .expect("labeled dataset is valid");
+    let selected = builder.metric_names().to_vec();
+    let table1_overlap = selected
+        .iter()
+        .filter(|n| TABLE1_EVENTS.iter().any(|(name, _)| *name == n.as_str()))
+        .count();
+    Table1Result {
+        table1_overlap,
+        merit: builder.merit(),
+        selected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_is_small_informative_and_overlaps_table1() {
+        let t = run(5);
+        assert!(t.selected.len() >= 3 && t.selected.len() <= 8, "selected {:?}", t.selected);
+        assert!(!t.selected.iter().any(|n| n == "prefetch_hits"));
+        assert!(t.merit > 0.0);
+        assert!(t.report().to_string().contains("Table 1"));
+    }
+}

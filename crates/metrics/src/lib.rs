@@ -1,0 +1,26 @@
+//! Low-level metric modelling for the DejaVu reproduction.
+//!
+//! The paper builds workload signatures out of hardware performance counters
+//! (HPCs, collected via Xenoprof-style passive sampling) and `xentop`-reported
+//! VM resource metrics. This crate provides:
+//!
+//! * [`counter`] — the catalogue of counters and VM metrics, including the
+//!   eight HPC events of the paper's Table 1.
+//! * [`model`] — a generative model that maps a workload (service kind, type
+//!   mix, intensity) to counter values; counter values are smooth functions of
+//!   the workload plus trial noise, which is exactly the empirical property
+//!   Figure 4 of the paper demonstrates and the only property DejaVu relies on.
+//! * [`sampler`] — sampling of the model over a duration, with optional
+//!   time-division multiplexing accuracy loss and interference perturbation.
+//! * [`signature`] — the workload signature: an ordered tuple of named metric
+//!   values normalized by sampling duration (§3.3, equation (1)).
+
+pub mod counter;
+pub mod model;
+pub mod sampler;
+pub mod signature;
+
+pub use counter::{MetricCatalog, MetricId, MetricKind};
+pub use model::{MetricModel, WorkloadPoint};
+pub use sampler::{MetricSampler, SamplerConfig};
+pub use signature::WorkloadSignature;

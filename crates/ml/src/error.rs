@@ -1,0 +1,82 @@
+//! Error type for the ML crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the ML algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// The dataset is empty but the operation needs at least one instance.
+    EmptyDataset,
+    /// The dataset has no labels but the operation needs supervised data.
+    MissingLabels,
+    /// The requested number of clusters/classes is invalid for this dataset.
+    InvalidK {
+        /// Requested value.
+        requested: usize,
+        /// Number of available instances.
+        available: usize,
+    },
+    /// An instance had the wrong number of features.
+    DimensionMismatch {
+        /// Expected number of features.
+        expected: usize,
+        /// Provided number of features.
+        found: usize,
+    },
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyDataset => write!(f, "dataset is empty"),
+            MlError::MissingLabels => write!(f, "dataset has no class labels"),
+            MlError::InvalidK { requested, available } => write!(
+                f,
+                "invalid number of clusters {requested} for {available} instances"
+            ),
+            MlError::DimensionMismatch { expected, found } => {
+                write!(f, "expected {expected} features, found {found}")
+            }
+            MlError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            MlError::EmptyDataset,
+            MlError::MissingLabels,
+            MlError::InvalidK {
+                requested: 5,
+                available: 2,
+            },
+            MlError::DimensionMismatch {
+                expected: 3,
+                found: 1,
+            },
+            MlError::InvalidConfig("bad".into()),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<MlError>();
+    }
+}

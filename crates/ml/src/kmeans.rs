@@ -1,0 +1,463 @@
+//! k-means clustering with k-means++ seeding and automatic selection of the
+//! number of clusters (silhouette score), mirroring the role of WEKA's
+//! `SimpleKMeans` in the paper's workload-class identification step.
+
+use crate::dataset::{distance, squared_distance, Dataset};
+use crate::error::MlError;
+use dejavu_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a single k-means fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tolerance: f64,
+    /// Number of random restarts; the best inertia wins.
+    pub restarts: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 2,
+            max_iterations: 100,
+            tolerance: 1e-9,
+            restarts: 4,
+        }
+    }
+}
+
+/// A fitted k-means model.
+///
+/// # Example
+///
+/// ```
+/// use dejavu_ml::dataset::Dataset;
+/// use dejavu_ml::kmeans::{KMeans, KMeansConfig};
+/// let mut d = Dataset::new(vec!["x".into()]);
+/// for i in 0..5 { d.push_unlabeled(vec![i as f64 * 0.1]); }
+/// for i in 0..5 { d.push_unlabeled(vec![100.0 + i as f64 * 0.1]); }
+/// let km = KMeans::fit(&d, &KMeansConfig { k: 2, ..Default::default() }, 1)?;
+/// assert_ne!(km.assign(&[0.0]), km.assign(&[100.0]));
+/// # Ok::<(), dejavu_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    inertia: f64,
+    assignments: Vec<usize>,
+    iterations_run: usize,
+}
+
+impl KMeans {
+    /// Fits k-means to `data` with the given configuration and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] if `data` has no instances and
+    /// [`MlError::InvalidK`] if `config.k` is zero or exceeds the number of
+    /// instances.
+    pub fn fit(data: &Dataset, config: &KMeansConfig, seed: u64) -> Result<Self, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if config.k == 0 || config.k > data.len() {
+            return Err(MlError::InvalidK {
+                requested: config.k,
+                available: data.len(),
+            });
+        }
+        if config.max_iterations == 0 {
+            return Err(MlError::InvalidConfig(
+                "max_iterations must be at least 1".into(),
+            ));
+        }
+        let mut best: Option<KMeans> = None;
+        let restarts = config.restarts.max(1);
+        for r in 0..restarts {
+            let mut rng = SimRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37_79B9));
+            let fitted = Self::fit_once(data, config, &mut rng);
+            if best
+                .as_ref()
+                .map(|b| fitted.inertia < b.inertia)
+                .unwrap_or(true)
+            {
+                best = Some(fitted);
+            }
+        }
+        Ok(best.expect("at least one restart ran"))
+    }
+
+    fn fit_once(data: &Dataset, config: &KMeansConfig, rng: &mut SimRng) -> KMeans {
+        let points: Vec<&[f64]> = data.instances().iter().map(|i| i.features.as_slice()).collect();
+        let mut centroids = Self::kmeanspp_init(&points, config.k, rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut iterations_run = 0;
+        for _ in 0..config.max_iterations {
+            iterations_run += 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = Self::nearest(&centroids, p).0;
+            }
+            // Update step.
+            let mut new_centroids = vec![vec![0.0; points[0].len()]; config.k];
+            let mut counts = vec![0usize; config.k];
+            for (i, p) in points.iter().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (acc, &x) in new_centroids[c].iter_mut().zip(p.iter()) {
+                    *acc += x;
+                }
+            }
+            for (c, centroid) in new_centroids.iter_mut().enumerate() {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster with the point farthest from its centroid.
+                    let far = points
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            let da = squared_distance(a, &centroids[assignments[0]]);
+                            let db = squared_distance(b, &centroids[assignments[0]]);
+                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    *centroid = points[far].to_vec();
+                } else {
+                    for acc in centroid.iter_mut() {
+                        *acc /= counts[c] as f64;
+                    }
+                }
+            }
+            let movement: f64 = centroids
+                .iter()
+                .zip(&new_centroids)
+                .map(|(a, b)| distance(a, b))
+                .sum();
+            centroids = new_centroids;
+            if movement < config.tolerance {
+                break;
+            }
+        }
+        // Final assignment + inertia.
+        let mut inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (c, d2) = Self::nearest(&centroids, p);
+            assignments[i] = c;
+            inertia += d2;
+        }
+        KMeans {
+            centroids,
+            inertia,
+            assignments,
+            iterations_run,
+        }
+    }
+
+    fn kmeanspp_init(points: &[&[f64]], k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(points[rng.uniform_usize(points.len())].to_vec());
+        while centroids.len() < k {
+            let weights: Vec<f64> = points
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| squared_distance(p, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                // All points coincide with existing centroids; duplicate one.
+                centroids.push(points[rng.uniform_usize(points.len())].to_vec());
+                continue;
+            }
+            let mut target = rng.uniform01() * total;
+            let mut chosen = points.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            centroids.push(points[chosen].to_vec());
+        }
+        centroids
+    }
+
+    fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, c) in centroids.iter().enumerate() {
+            let d = squared_distance(c, p);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    /// The fitted cluster centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Sum of squared distances of every training point to its centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Cluster assignment of each training instance, in dataset order.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Number of Lloyd iterations the winning restart executed.
+    pub fn iterations_run(&self) -> usize {
+        self.iterations_run
+    }
+
+    /// Assigns a new point to its nearest centroid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has a different dimensionality than the centroids.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        Self::nearest(&self.centroids, point).0
+    }
+
+    /// Distance from `point` to its nearest centroid.
+    pub fn distance_to_nearest(&self, point: &[f64]) -> f64 {
+        Self::nearest(&self.centroids, point).1.sqrt()
+    }
+
+    /// Index of the training instance closest to the centroid of `cluster`,
+    /// i.e. the paper's "instance closest to the cluster's centroid" that is
+    /// handed to the Tuner.
+    ///
+    /// Returns `None` if the cluster has no members.
+    pub fn medoid_of(&self, data: &Dataset, cluster: usize) -> Option<usize> {
+        let centroid = self.centroids.get(cluster)?;
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == cluster)
+            .min_by(|(a, _), (b, _)| {
+                let da = squared_distance(&data.instances()[*a].features, centroid);
+                let db = squared_distance(&data.instances()[*b].features, centroid);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Mean silhouette score of the clustering over `data` (higher is better,
+    /// in `[-1, 1]`). Returns 0.0 for a single cluster.
+    pub fn silhouette(&self, data: &Dataset) -> f64 {
+        if self.k() < 2 || data.len() < 2 {
+            return 0.0;
+        }
+        let points: Vec<&[f64]> = data.instances().iter().map(|i| i.features.as_slice()).collect();
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for (i, p) in points.iter().enumerate() {
+            let own = self.assignments[i];
+            let mut intra = 0.0;
+            let mut intra_n = 0usize;
+            let mut inter: Vec<(f64, usize)> = vec![(0.0, 0); self.k()];
+            for (j, q) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d = distance(p, q);
+                if self.assignments[j] == own {
+                    intra += d;
+                    intra_n += 1;
+                } else {
+                    let c = self.assignments[j];
+                    inter[c].0 += d;
+                    inter[c].1 += 1;
+                }
+            }
+            if intra_n == 0 {
+                continue;
+            }
+            let a = intra / intra_n as f64;
+            let b = inter
+                .iter()
+                .filter(|(_, n)| *n > 0)
+                .map(|(s, n)| s / *n as f64)
+                .fold(f64::INFINITY, f64::min);
+            if !b.is_finite() {
+                continue;
+            }
+            total += (b - a) / a.max(b);
+            counted += 1;
+        }
+        if counted == 0 {
+            0.0
+        } else {
+            total / counted as f64
+        }
+    }
+
+    /// Fits k-means for every `k` in `k_range` and returns the model with the
+    /// best silhouette score, implementing the paper's "the framework can
+    /// automatically determine the number of classes".
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range is empty or invalid for the dataset.
+    pub fn fit_auto_k(
+        data: &Dataset,
+        k_range: std::ops::RangeInclusive<usize>,
+        base: &KMeansConfig,
+        seed: u64,
+    ) -> Result<Self, MlError> {
+        let lo = *k_range.start();
+        let hi = *k_range.end();
+        if lo == 0 || lo > hi {
+            return Err(MlError::InvalidConfig(format!(
+                "invalid cluster range {lo}..={hi}"
+            )));
+        }
+        let hi = hi.min(data.len());
+        let mut fits: Vec<(f64, KMeans)> = Vec::new();
+        for k in lo..=hi {
+            let cfg = KMeansConfig { k, ..base.clone() };
+            let model = KMeans::fit(data, &cfg, seed)?;
+            let score = if k == 1 { 0.0 } else { model.silhouette(data) };
+            fits.push((score, model));
+        }
+        // Prefer higher silhouette; among near-ties prefer more clusters.
+        // Silhouette is biased toward very coarse clusterings when one cluster
+        // sits far from the rest (the peak-hour workload class), while finer
+        // classes only cost extra tuning runs — the cheap side of the
+        // trade-off §3.4 of the paper describes.
+        let best_score = fits
+            .iter()
+            .map(|(s, _)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let chosen = fits
+            .into_iter()
+            .filter(|(s, _)| *s >= best_score - 0.12)
+            .max_by_key(|(_, m)| m.k())
+            .expect("range validated to be non-empty");
+        Ok(chosen.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(centers: &[(f64, f64)], per: usize, spread: f64, seed: u64) -> Dataset {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["x".into(), "y".into()]);
+        for &(cx, cy) in centers {
+            for _ in 0..per {
+                d.push_unlabeled(vec![rng.normal(cx, spread), rng.normal(cy, spread)]);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn separates_clear_blobs() {
+        let d = blobs(&[(0.0, 0.0), (50.0, 50.0)], 20, 0.5, 1);
+        let km = KMeans::fit(&d, &KMeansConfig { k: 2, ..Default::default() }, 2).unwrap();
+        let a = km.assign(&[0.0, 0.0]);
+        let b = km.assign(&[50.0, 50.0]);
+        assert_ne!(a, b);
+        assert!(km.inertia() < 100.0);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let d = blobs(&[(0.0, 0.0)], 3, 0.1, 1);
+        assert!(matches!(
+            KMeans::fit(&d, &KMeansConfig { k: 0, ..Default::default() }, 1),
+            Err(MlError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            KMeans::fit(&d, &KMeansConfig { k: 10, ..Default::default() }, 1),
+            Err(MlError::InvalidK { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let d = Dataset::new(vec!["x".into()]);
+        assert_eq!(
+            KMeans::fit(&d, &KMeansConfig::default(), 1).unwrap_err(),
+            MlError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn assignments_cover_all_points() {
+        let d = blobs(&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 15, 0.3, 3);
+        let km = KMeans::fit(&d, &KMeansConfig { k: 3, ..Default::default() }, 3).unwrap();
+        assert_eq!(km.assignments().len(), d.len());
+        assert!(km.assignments().iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn silhouette_prefers_true_k() {
+        let d = blobs(&[(0.0, 0.0), (30.0, 0.0), (0.0, 30.0), (30.0, 30.0)], 12, 0.5, 4);
+        let base = KMeansConfig::default();
+        let k2 = KMeans::fit(&d, &KMeansConfig { k: 2, ..base.clone() }, 4).unwrap();
+        let k4 = KMeans::fit(&d, &KMeansConfig { k: 4, ..base }, 4).unwrap();
+        assert!(k4.silhouette(&d) > k2.silhouette(&d));
+    }
+
+    #[test]
+    fn auto_k_finds_the_right_count() {
+        let d = blobs(&[(0.0, 0.0), (40.0, 0.0), (0.0, 40.0), (40.0, 40.0)], 10, 0.4, 5);
+        let model = KMeans::fit_auto_k(&d, 2..=8, &KMeansConfig::default(), 5).unwrap();
+        assert_eq!(model.k(), 4);
+    }
+
+    #[test]
+    fn medoid_is_member_of_cluster() {
+        let d = blobs(&[(0.0, 0.0), (20.0, 20.0)], 10, 0.5, 6);
+        let km = KMeans::fit(&d, &KMeansConfig { k: 2, ..Default::default() }, 6).unwrap();
+        for c in 0..2 {
+            let m = km.medoid_of(&d, c).unwrap();
+            assert_eq!(km.assignments()[m], c);
+        }
+        assert!(km.medoid_of(&d, 99).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = blobs(&[(0.0, 0.0), (10.0, 10.0)], 10, 1.0, 7);
+        let a = KMeans::fit(&d, &KMeansConfig::default(), 11).unwrap();
+        let b = KMeans::fit(&d, &KMeansConfig::default(), 11).unwrap();
+        assert_eq!(a.centroids(), b.centroids());
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn distance_to_nearest_is_small_for_training_points() {
+        let d = blobs(&[(5.0, 5.0)], 20, 0.2, 8);
+        let km = KMeans::fit(&d, &KMeansConfig { k: 1, ..Default::default() }, 8).unwrap();
+        assert!(km.distance_to_nearest(&[5.0, 5.0]) < 1.0);
+    }
+
+    #[test]
+    fn single_cluster_silhouette_is_zero() {
+        let d = blobs(&[(0.0, 0.0)], 5, 0.1, 9);
+        let km = KMeans::fit(&d, &KMeansConfig { k: 1, ..Default::default() }, 9).unwrap();
+        assert_eq!(km.silhouette(&d), 0.0);
+    }
+}

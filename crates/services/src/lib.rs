@@ -1,0 +1,37 @@
+//! Service performance models for the DejaVu reproduction.
+//!
+//! The paper evaluates DejaVu with three widely used benchmarks deployed on
+//! EC2: Cassandra under a YCSB-style update-heavy workload, SPECweb2009
+//! (support / banking / e-commerce) and RUBiS. We model each service as a
+//! queueing system whose latency/QoS depends on the offered load, the
+//! allocation the controller deployed, warm-up/re-partitioning transients and
+//! interference — which is exactly the feedback a provisioning controller
+//! observes.
+//!
+//! * [`perf`] — the shared M/M/k-style queueing model.
+//! * [`slo`] — SLO definitions (latency bound, QoS percentage) and outcomes.
+//! * [`cassandra`] — the key-value store (95% writes, re-partitioning delays).
+//! * [`specweb`] — the 3-tier web service (QoS = fraction of downloads meeting
+//!   the 0.99 Mbps rate; support workload is I/O intensive and read-only).
+//! * [`rubis`] — the auction site used in Figure 1 and the overhead study
+//!   (26 interaction types with a transition mix).
+//! * [`service`] — the [`service::ServiceModel`] trait tying them together and
+//!   mapping each service to the workload descriptions in `dejavu-traces`.
+//! * [`client`] — client emulators that turn a trace level into request load
+//!   and measure the resulting performance sample.
+
+pub mod cassandra;
+pub mod client;
+pub mod perf;
+pub mod rubis;
+pub mod service;
+pub mod slo;
+pub mod specweb;
+
+pub use cassandra::CassandraService;
+pub use client::ClientEmulator;
+pub use perf::{PerfSample, QueueingModel};
+pub use rubis::RubisService;
+pub use service::{ServiceError, ServiceModel};
+pub use slo::{Slo, SloOutcome};
+pub use specweb::{SpecWebService, SpecWebWorkload};

@@ -1,0 +1,34 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate provides the substrate on which the DejaVu reproduction runs its
+//! experiments: a simulated clock ([`SimTime`]/[`SimDuration`]), an event queue
+//! ([`event::EventQueue`]), a seeded random-number facade ([`rng::SimRng`]) and
+//! online statistics ([`stats`]).
+//!
+//! Everything is deterministic given a seed, which is what makes every figure of
+//! the paper exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use dejavu_simcore::{SimTime, SimDuration, event::EventQueue};
+//!
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.schedule(SimTime::from_secs(10.0), "later");
+//! queue.schedule(SimTime::from_secs(1.0), "sooner");
+//! let (t, ev) = queue.pop().expect("two events scheduled");
+//! assert_eq!(ev, "sooner");
+//! assert_eq!(t, SimTime::from_secs(1.0));
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use stats::{Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,147 @@
+//! A synthetic week-long trace with the structure of the HotMail (Windows Live
+//! Mail) load trace used in the paper (hourly samples, September 7–13, 2009).
+//!
+//! The real trace is not public; the generator reproduces the properties the
+//! evaluation relies on:
+//!
+//! * hourly granularity over seven days, normalized to the peak load;
+//! * a diurnal pattern with a small number of distinct load plateaus, so the
+//!   learning day yields a handful of workload classes (Figure 5) including a
+//!   singleton peak-hour class;
+//! * lower weekend load;
+//! * a surge on the fourth day that exceeds anything seen during the learning
+//!   day, which exercises DejaVu's unclassified-workload fallback (Figure 7).
+
+use crate::trace::LoadTrace;
+use dejavu_simcore::SimRng;
+
+/// Hour-of-day plateau levels for a HotMail-style weekday.
+///
+/// Four distinct levels appear during a day: night, morning/evening shoulder,
+/// busy daytime, and a single peak hour — matching the four workload classes
+/// DejaVu identifies from 24 hourly workloads in Figure 5.
+pub(crate) fn hotmail_hour_level(hour_of_day: usize) -> f64 {
+    match hour_of_day {
+        0..=6 => 0.2,
+        7..=11 => 0.45,
+        12..=13 => 0.55,
+        14 => 0.95,
+        15..=17 => 0.55,
+        18..=23 => 0.45,
+        _ => unreachable!("hour_of_day is always < 24"),
+    }
+}
+
+/// Relative weekend load (days 5 and 6 of the week, i.e. Saturday/Sunday).
+const WEEKEND_FACTOR: f64 = 0.95;
+
+/// Magnitude of the day-4 surge relative to the weekday peak.
+const DAY4_SURGE_LEVEL: f64 = 1.3;
+
+/// Per-sample multiplicative jitter (the real trace is aggregated over
+/// thousands of servers, so hour-to-hour noise is small).
+const JITTER: f64 = 0.01;
+
+/// Per-day shift (in hours) of the diurnal pattern. Real traces drift from day
+/// to day; a purely time-based controller (Autopilot) mis-times its
+/// allocations by this much, while signature-based reuse is unaffected.
+const DAY_SHIFTS: [i64; 7] = [0, 1, -1, 0, 2, 1, -2];
+
+/// Generates the week-long HotMail-style trace.
+///
+/// The trace is normalized so that the learning-day peak hour is 0.95; the
+/// day-4 surge reaches [`1.3`](DAY4_SURGE_LEVEL), an unforeseen workload
+/// volume beyond anything the learning day contained.
+///
+/// # Example
+///
+/// ```
+/// let t = dejavu_traces::hotmail_week(42);
+/// assert_eq!(t.len(), 168);
+/// assert!(t.peak() > 1.0); // the day-4 surge
+/// ```
+pub fn hotmail_week(seed: u64) -> LoadTrace {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x07E1_AA11);
+    let mut levels = Vec::with_capacity(168);
+    for day in 0..7 {
+        let weekend = day >= 5;
+        for hour in 0..24 {
+            let shifted = (hour as i64 - DAY_SHIFTS[day] + 24) as usize % 24;
+            let mut level = hotmail_hour_level(shifted);
+            if weekend {
+                level *= WEEKEND_FACTOR;
+            }
+            // Day-4 (index 3) early-afternoon surge: unforeseen volume.
+            if day == 3 && (12..=15).contains(&hour) {
+                level = DAY4_SURGE_LEVEL;
+            }
+            let jitter = 1.0 + rng.uniform(-JITTER, JITTER);
+            levels.push((level * jitter).clamp(0.0, 1.5));
+        }
+    }
+    LoadTrace::hourly("hotmail", levels).expect("generated levels are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_one_week_hourly() {
+        let t = hotmail_week(1);
+        assert_eq!(t.len(), 7 * 24);
+        assert_eq!(t.num_days(), 7);
+        assert_eq!(t.name(), "hotmail");
+    }
+
+    #[test]
+    fn learning_day_has_about_four_distinct_levels() {
+        let t = hotmail_week(2);
+        let day1 = t.days(0, 1);
+        let mut rounded: Vec<i64> = day1.levels().iter().map(|l| (l * 20.0).round() as i64).collect();
+        rounded.sort_unstable();
+        rounded.dedup();
+        assert!(
+            (3..=5).contains(&rounded.len()),
+            "expected a handful of plateaus, got {}",
+            rounded.len()
+        );
+    }
+
+    #[test]
+    fn peak_hour_is_unique_in_learning_day() {
+        let t = hotmail_week(3);
+        let day1 = t.days(0, 1);
+        let peak = day1.peak();
+        let near_peak = day1.levels().iter().filter(|&&l| l > peak - 0.05).count();
+        assert_eq!(near_peak, 1, "the peak hour forms a singleton class");
+    }
+
+    #[test]
+    fn day4_surge_exceeds_learning_peak() {
+        let t = hotmail_week(4);
+        let learning_peak = t.days(0, 1).peak();
+        let day4_peak = t.days(3, 4).peak();
+        assert!(day4_peak > learning_peak * 1.05);
+    }
+
+    #[test]
+    fn weekends_are_quieter() {
+        let t = hotmail_week(5);
+        let weekday_mean = t.days(1, 2).mean();
+        let weekend_mean = t.days(5, 7).mean();
+        assert!(weekend_mean < weekday_mean);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(hotmail_week(9), hotmail_week(9));
+        assert_ne!(hotmail_week(9), hotmail_week(10));
+    }
+
+    #[test]
+    fn levels_stay_in_valid_range() {
+        let t = hotmail_week(6);
+        assert!(t.levels().iter().all(|&l| (0.0..=1.5).contains(&l)));
+    }
+}

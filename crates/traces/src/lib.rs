@@ -1,0 +1,31 @@
+//! Synthetic load traces and workload descriptions for the DejaVu reproduction.
+//!
+//! The paper drives its evaluation with week-long hourly load traces from
+//! HotMail and Windows Live Messenger (September 2009), a sine-wave RUBiS
+//! workload for the motivating experiment (Figure 1), and workload-mix
+//! variations (read/write ratio, SPECweb workload types). The real traces are
+//! not publicly available, so this crate generates synthetic traces with the
+//! structural properties the evaluation depends on: hourly granularity, a
+//! repeating diurnal pattern with weekday/weekend asymmetry, a distinct peak
+//! hour, and (for the HotMail-style trace) a day-4 surge that exercises the
+//! unclassified-workload path of Figure 7.
+//!
+//! * [`workload`] — service kinds, request-mix descriptions and the
+//!   [`workload::Workload`] observed at a point in time.
+//! * [`trace`] — the [`trace::LoadTrace`] container (hourly normalized load).
+//! * [`hotmail`] / [`messenger`] — the two week-long diurnal traces.
+//! * [`sine`] — the sine-wave trace of Figure 1.
+//! * [`spikes`] — spike/anomaly injection for unforeseen-workload experiments.
+
+pub mod hotmail;
+pub mod messenger;
+pub mod sine;
+pub mod spikes;
+pub mod trace;
+pub mod workload;
+
+pub use hotmail::hotmail_week;
+pub use messenger::messenger_week;
+pub use sine::sine_trace;
+pub use trace::{LoadTrace, TraceError};
+pub use workload::{RequestMix, ServiceKind, Workload, WorkloadIntensity};

@@ -1,0 +1,140 @@
+//! A synthetic week-long trace with the structure of the Windows Live
+//! Messenger load trace used in the paper (hourly samples, one week,
+//! normalized, aggregated over thousands of servers).
+//!
+//! Compared to the HotMail-style trace, the Messenger-style trace has its load
+//! concentrated in the evening, a broader peak, and no anomalous day — the
+//! learning day is representative of the whole week, which is why DejaVu
+//! achieves uninterrupted reuse on it (Figure 6).
+
+use crate::trace::LoadTrace;
+use dejavu_simcore::SimRng;
+
+/// Hour-of-day plateau levels for a Messenger-style weekday.
+///
+/// Four distinct levels: night, morning, afternoon and the evening peak —
+/// the paper's initial tuning on this trace produces four workload classes.
+pub(crate) fn messenger_hour_level(hour_of_day: usize) -> f64 {
+    match hour_of_day {
+        0..=5 => 0.15,
+        6..=10 => 0.35,
+        11..=16 => 0.5,
+        17..=21 => 0.9,
+        22..=23 => 0.35,
+        _ => unreachable!("hour_of_day is always < 24"),
+    }
+}
+
+/// Relative weekend load.
+const WEEKEND_FACTOR: f64 = 0.93;
+
+/// Per-sample multiplicative jitter.
+const JITTER: f64 = 0.01;
+
+/// Per-day shift (in hours) of the diurnal pattern (see the HotMail generator).
+const DAY_SHIFTS: [i64; 7] = [0, -1, 1, 2, -1, 0, 1];
+
+/// Generates the week-long Messenger-style trace.
+///
+/// # Example
+///
+/// ```
+/// let t = dejavu_traces::messenger_week(7);
+/// assert_eq!(t.len(), 168);
+/// assert!(t.peak() <= 1.0);
+/// ```
+pub fn messenger_week(seed: u64) -> LoadTrace {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x4D53_4E21);
+    let mut levels = Vec::with_capacity(168);
+    for day in 0..7 {
+        let weekend = day >= 5;
+        for hour in 0..24 {
+            let shifted = (hour as i64 - DAY_SHIFTS[day] + 24) as usize % 24;
+            let mut level = messenger_hour_level(shifted);
+            if weekend {
+                level *= WEEKEND_FACTOR;
+            }
+            let jitter = 1.0 + rng.uniform(-JITTER, JITTER);
+            levels.push((level * jitter).clamp(0.0, 1.5));
+        }
+    }
+    LoadTrace::hourly("messenger", levels).expect("generated levels are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_one_week_hourly() {
+        let t = messenger_week(1);
+        assert_eq!(t.len(), 168);
+        assert_eq!(t.num_days(), 7);
+        assert_eq!(t.name(), "messenger");
+    }
+
+    #[test]
+    fn learning_day_has_four_distinct_levels() {
+        let t = messenger_week(2);
+        let day1 = t.days(0, 1);
+        let mut rounded: Vec<i64> = day1.levels().iter().map(|l| (l * 20.0).round() as i64).collect();
+        rounded.sort_unstable();
+        rounded.dedup();
+        assert!(
+            (3..=5).contains(&rounded.len()),
+            "expected four plateaus, got {}",
+            rounded.len()
+        );
+    }
+
+    #[test]
+    fn evening_is_the_peak() {
+        let t = messenger_week(3);
+        let day = t.days(0, 1);
+        let evening_mean: f64 = day.levels()[17..=21].iter().sum::<f64>() / 5.0;
+        let morning_mean: f64 = day.levels()[6..=10].iter().sum::<f64>() / 5.0;
+        assert!(evening_mean > morning_mean);
+    }
+
+    #[test]
+    fn no_unforeseen_surge() {
+        let t = messenger_week(4);
+        let learning_peak = t.days(0, 1).peak();
+        for d in 1..7 {
+            assert!(
+                t.days(d, d + 1).peak() <= learning_peak * 1.05,
+                "day {d} should not exceed the learning-day peak"
+            );
+        }
+    }
+
+    #[test]
+    fn differs_from_hotmail_shape() {
+        let m = messenger_week(5);
+        let h = crate::hotmail::hotmail_week(5);
+        // Different peak hours: HotMail peaks early afternoon, Messenger in the evening.
+        let m_day = m.days(0, 1);
+        let h_day = h.days(0, 1);
+        let m_peak_hour = m_day
+            .levels()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let h_peak_hour = h_day
+            .levels()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(m_peak_hour >= 17);
+        assert!((12..=17).contains(&h_peak_hour));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(messenger_week(11), messenger_week(11));
+    }
+}

@@ -1,0 +1,125 @@
+//! Sine-wave load traces, used by the paper's motivating experiment (Figure 1):
+//! a RUBiS workload whose volume changes every 10 minutes following a sine
+//! wave that approximates diurnal variation.
+
+use crate::trace::{LoadTrace, TraceError};
+use dejavu_simcore::SimDuration;
+
+/// Generates a sine-wave trace.
+///
+/// The level oscillates around `base` with the given `amplitude` and `period`,
+/// sampled every `step`, for `total` simulated time. Levels are clamped to
+/// `[0, 1.5]`.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] if the step is zero, the duration yields no
+/// samples, or the base/amplitude produce invalid levels after clamping
+/// (cannot happen for finite inputs, but propagated for robustness).
+///
+/// # Example
+///
+/// ```
+/// use dejavu_simcore::SimDuration;
+/// use dejavu_traces::sine::sine_trace;
+///
+/// // Figure 1: 80 minutes, the workload changes every 10 minutes.
+/// let t = sine_trace(
+///     "rubis-sine",
+///     SimDuration::from_mins(10.0),
+///     SimDuration::from_mins(80.0),
+///     SimDuration::from_mins(40.0),
+///     0.5,
+///     0.45,
+/// )?;
+/// assert_eq!(t.len(), 8);
+/// # Ok::<(), dejavu_traces::TraceError>(())
+/// ```
+pub fn sine_trace(
+    name: &str,
+    step: SimDuration,
+    total: SimDuration,
+    period: SimDuration,
+    base: f64,
+    amplitude: f64,
+) -> Result<LoadTrace, TraceError> {
+    if step.is_zero() {
+        return Err(TraceError::InvalidStep);
+    }
+    let n = (total.as_secs() / step.as_secs()).round() as usize;
+    if n == 0 {
+        return Err(TraceError::Empty);
+    }
+    let levels = (0..n)
+        .map(|i| {
+            let t = i as f64 * step.as_secs();
+            let phase = 2.0 * std::f64::consts::PI * t / period.as_secs().max(f64::MIN_POSITIVE);
+            (base + amplitude * phase.sin()).clamp(0.0, 1.5)
+        })
+        .collect();
+    LoadTrace::new(name, step, levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_simcore::SimTime;
+
+    #[test]
+    fn figure1_shape() {
+        let t = sine_trace(
+            "fig1",
+            SimDuration::from_mins(10.0),
+            SimDuration::from_mins(80.0),
+            SimDuration::from_mins(40.0),
+            0.5,
+            0.45,
+        )
+        .unwrap();
+        assert_eq!(t.len(), 8);
+        assert!(t.peak() > 0.9);
+        assert!(t.trough() < 0.1);
+        // Periodicity: the level repeats every period (4 steps).
+        assert!((t.levels()[0] - t.levels()[4]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn starts_at_base_level() {
+        let t = sine_trace(
+            "s",
+            SimDuration::from_mins(1.0),
+            SimDuration::from_mins(10.0),
+            SimDuration::from_mins(10.0),
+            0.4,
+            0.2,
+        )
+        .unwrap();
+        assert!((t.level_at(SimTime::ZERO) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_to_valid_range() {
+        let t = sine_trace(
+            "clamped",
+            SimDuration::from_mins(5.0),
+            SimDuration::from_hours(2.0),
+            SimDuration::from_mins(30.0),
+            0.9,
+            0.9,
+        )
+        .unwrap();
+        assert!(t.levels().iter().all(|&l| (0.0..=1.5).contains(&l)));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert_eq!(
+            sine_trace("bad", SimDuration::ZERO, SimDuration::from_mins(10.0), SimDuration::from_mins(5.0), 0.5, 0.1),
+            Err(TraceError::InvalidStep)
+        );
+        assert_eq!(
+            sine_trace("bad", SimDuration::from_mins(10.0), SimDuration::ZERO, SimDuration::from_mins(5.0), 0.5, 0.1),
+            Err(TraceError::Empty)
+        );
+    }
+}

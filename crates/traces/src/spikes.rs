@@ -1,0 +1,102 @@
+//! Spike and anomaly injection on top of existing traces.
+//!
+//! Used to create "unforeseen workload" scenarios (§3.7: large and unseen
+//! workload volumes) beyond the built-in day-4 surge of the HotMail-style
+//! trace, and to stress the re-clustering path.
+
+use crate::trace::LoadTrace;
+use dejavu_simcore::SimRng;
+
+/// Returns a copy of `trace` with the samples in `[start_index, start_index + len)`
+/// replaced by `level` (clamped to the valid range).
+///
+/// # Panics
+///
+/// Panics if the range extends beyond the trace.
+pub fn with_spike(trace: &LoadTrace, start_index: usize, len: usize, level: f64) -> LoadTrace {
+    assert!(
+        start_index + len <= trace.len(),
+        "spike range exceeds trace length"
+    );
+    let mut levels = trace.levels().to_vec();
+    for l in levels.iter_mut().skip(start_index).take(len) {
+        *l = level.clamp(0.0, 1.5);
+    }
+    LoadTrace::new(format!("{}+spike", trace.name()), trace.step(), levels)
+        .expect("spiked levels remain valid")
+}
+
+/// Returns a copy of `trace` with `count` randomly placed single-sample flash
+/// crowds, each multiplying the original level by `factor` (clamped).
+///
+/// # Panics
+///
+/// Panics if `count` is larger than the trace.
+pub fn with_flash_crowds(trace: &LoadTrace, count: usize, factor: f64, seed: u64) -> LoadTrace {
+    assert!(count <= trace.len(), "more flash crowds than samples");
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut levels = trace.levels().to_vec();
+    let mut indices: Vec<usize> = (0..levels.len()).collect();
+    rng.shuffle(&mut indices);
+    for &i in indices.iter().take(count) {
+        levels[i] = (levels[i] * factor).clamp(0.0, 1.5);
+    }
+    LoadTrace::new(format!("{}+flash", trace.name()), trace.step(), levels)
+        .expect("flash-crowd levels remain valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotmail::hotmail_week;
+
+    #[test]
+    fn spike_replaces_exactly_the_range() {
+        let t = hotmail_week(1);
+        let spiked = with_spike(&t, 30, 3, 1.4);
+        for i in 0..t.len() {
+            if (30..33).contains(&i) {
+                assert!((spiked.levels()[i] - 1.4).abs() < 1e-12);
+            } else {
+                assert_eq!(spiked.levels()[i], t.levels()[i]);
+            }
+        }
+        assert!(spiked.name().contains("spike"));
+    }
+
+    #[test]
+    fn spike_level_is_clamped() {
+        let t = hotmail_week(2);
+        let spiked = with_spike(&t, 0, 1, 99.0);
+        assert!(spiked.levels()[0] <= 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn spike_out_of_range_panics() {
+        let t = hotmail_week(3);
+        let _ = with_spike(&t, t.len() - 1, 5, 1.0);
+    }
+
+    #[test]
+    fn flash_crowds_change_exactly_count_samples() {
+        let t = hotmail_week(4);
+        let crowded = with_flash_crowds(&t, 10, 1.3, 99);
+        let changed = t
+            .levels()
+            .iter()
+            .zip(crowded.levels())
+            .filter(|(a, b)| (*a - *b).abs() > 1e-12)
+            .count();
+        assert!(changed <= 10 && changed >= 5, "changed {changed}");
+    }
+
+    #[test]
+    fn flash_crowds_deterministic_per_seed() {
+        let t = hotmail_week(5);
+        assert_eq!(
+            with_flash_crowds(&t, 5, 1.2, 1).levels(),
+            with_flash_crowds(&t, 5, 1.2, 1).levels()
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Adaptation-time comparison (the paper's Figure 8): how quickly DejaVu
+//! settles on an adequate allocation after a workload change, compared with a
+//! RightScale-style threshold autoscaler using 3- and 15-minute resize calm
+//! times.
+//!
+//! ```text
+//! cargo run --release --example adaptation_time
+//! ```
+
+use dejavu::experiments::fig8;
+
+fn main() {
+    let figure = fig8::run(8);
+    print!("{}", figure.report());
+    for trace in ["messenger", "hotmail"] {
+        let dejavu = figure.bar(trace, "dejavu").expect("dejavu bar");
+        let rs = figure.bar(trace, "rightscale-15min").expect("rightscale bar");
+        println!(
+            "{trace}: DejaVu settles in {:.0} s on average; RightScale (15 min calm time) needs {:.0} s — {:.0}x slower.",
+            dejavu.mean_secs,
+            rs.mean_secs,
+            rs.mean_secs / dejavu.mean_secs.max(1.0)
+        );
+    }
+}

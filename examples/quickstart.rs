@@ -1,0 +1,58 @@
+//! Quickstart: run DejaVu end to end on a two-day slice of the Messenger-style
+//! trace and print what it learned and saved.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dejavu::baselines::FixedMax;
+use dejavu::core::{DejaVuConfig, DejaVuController};
+use dejavu::experiments::engine::{RunConfig, SimulationEngine};
+use dejavu::services::CassandraService;
+use dejavu::traces::{messenger_week, RequestMix};
+
+fn main() {
+    // A Cassandra-like service under an update-heavy workload, scaled out over
+    // 1–10 large instances, driven by the first three days of the trace.
+    let service = CassandraService::update_heavy();
+    let trace = messenger_week(42).days(0, 3);
+    let config = RunConfig::scale_out("quickstart", trace, RequestMix::update_heavy(), 42);
+    let engine = SimulationEngine::new(config);
+
+    // DejaVu: learn on day one, reuse cached allocations afterwards.
+    let mut dejavu = DejaVuController::new(
+        DejaVuConfig::builder().seed(42).build(),
+        Box::new(service),
+        engine.config().space.clone(),
+    );
+    let dejavu_run = engine.run(&service, &mut dejavu);
+
+    // The overprovisioning baseline the paper compares cost against.
+    let mut fixed = FixedMax::new(&engine.config().space.clone());
+    let fixed_run = engine.run(&service, &mut fixed);
+
+    let stats = dejavu.stats();
+    println!("workload classes identified : {}", stats.num_classes);
+    println!("signature metrics           : {:?}", dejavu.signature_metrics());
+    println!("cache hit rate              : {:.1}%", stats.hit_rate() * 100.0);
+    println!("mean adaptation time        : {:.1} s", stats.mean_adaptation_secs());
+    println!(
+        "SLO violations              : {:.1}% of samples",
+        dejavu_run.slo_violation_fraction * 100.0
+    );
+    println!(
+        "provisioning cost           : ${:.2} (vs ${:.2} always at full capacity)",
+        dejavu_run.total_cost, fixed_run.total_cost
+    );
+    println!(
+        "savings over the reuse days : {:.1}%",
+        dejavu_run.reuse_savings_vs(&fixed_run) * 100.0
+    );
+    println!("\ncached allocations:");
+    for (key, entry) in dejavu.repository().iter() {
+        println!(
+            "  class {} / interference bucket {} -> {} ({} reuses)",
+            key.class, key.interference_bucket, entry.allocation, entry.hits
+        );
+    }
+}

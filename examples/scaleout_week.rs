@@ -1,0 +1,26 @@
+//! Scale-out scenario (the paper's Figure 6/7): a full week of the Messenger
+//! or HotMail trace on a Cassandra-like store, comparing DejaVu against
+//! Autopilot and fixed overprovisioning.
+//!
+//! ```text
+//! cargo run --release --example scaleout_week -- hotmail
+//! cargo run --release --example scaleout_week -- messenger
+//! ```
+
+use dejavu::experiments::fig6::scale_out_comparison;
+use dejavu::traces::{hotmail_week, messenger_week};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "messenger".to_string());
+    let trace = match which.as_str() {
+        "hotmail" => hotmail_week(7),
+        _ => messenger_week(7),
+    };
+    let figure = scale_out_comparison(trace, 7);
+    print!("{}", figure.report(&format!("Scaling out Cassandra ({which} trace)")));
+    println!(
+        "\nDejaVu reconfigured {} times; Autopilot {} times; the fixed baseline never.",
+        figure.dejavu.adaptations.len(),
+        figure.autopilot.adaptations.len()
+    );
+}

@@ -1,0 +1,45 @@
+//! Facade crate for the DejaVu (ASPLOS 2012) reproduction.
+//!
+//! DejaVu accelerates resource allocation in virtualized environments by
+//! caching and reusing past allocation decisions, keyed by workload
+//! signatures built from low-level metrics. This crate re-exports the
+//! workspace's building blocks under short names:
+//!
+//! * [`core`] — the DejaVu framework (signatures, clustering, classifier,
+//!   repository, tuner, interference handling, controller).
+//! * [`cloud`] — the simulated EC2-style platform.
+//! * [`services`] — Cassandra-, SPECweb- and RUBiS-like service models.
+//! * [`traces`] — synthetic HotMail/Messenger-style traces and sine waves.
+//! * [`metrics`] — hardware-counter and xentop-style metric modelling.
+//! * [`ml`] — the from-scratch ML toolkit (k-means, C4.5-style trees, CFS…).
+//! * [`proxy`] — the duplicating proxy and clone-VM profiler.
+//! * [`baselines`] — Autopilot, RightScale-style, fixed and tuning baselines.
+//! * [`experiments`] — the per-figure/per-table experiment harnesses.
+//! * [`simcore`] — the deterministic simulation kernel.
+//!
+//! # Example
+//!
+//! ```
+//! use dejavu::core::{DejaVuConfig, DejaVuController};
+//! use dejavu::cloud::AllocationSpace;
+//! use dejavu::services::CassandraService;
+//!
+//! let controller = DejaVuController::new(
+//!     DejaVuConfig::builder().seed(1).build(),
+//!     Box::new(CassandraService::update_heavy()),
+//!     AllocationSpace::scale_out(1, 10)?,
+//! );
+//! assert_eq!(controller.repository().len(), 0);
+//! # Ok::<(), dejavu::cloud::CloudError>(())
+//! ```
+
+pub use dejavu_baselines as baselines;
+pub use dejavu_cloud as cloud;
+pub use dejavu_core as core;
+pub use dejavu_experiments as experiments;
+pub use dejavu_metrics as metrics;
+pub use dejavu_ml as ml;
+pub use dejavu_proxy as proxy;
+pub use dejavu_services as services;
+pub use dejavu_simcore as simcore;
+pub use dejavu_traces as traces;

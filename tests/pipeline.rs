@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: the full DejaVu pipeline (profile → cluster
+//! → classify → cache → reuse) against the simulated platform, service models
+//! and baselines.
+
+use dejavu::baselines::{FixedMax, Oracle, RightScale};
+use dejavu::cloud::{AllocationSpace, DecisionReason, ResourceAllocation};
+use dejavu::core::{DejaVuConfig, DejaVuController, DejaVuPhase};
+use dejavu::experiments::engine::{RunConfig, SimulationEngine};
+use dejavu::services::{CassandraService, ServiceModel, SpecWebService, SpecWebWorkload};
+use dejavu::simcore::SimDuration;
+use dejavu::traces::{hotmail_week, messenger_week, RequestMix};
+
+fn scale_out_engine(days: usize, seed: u64) -> SimulationEngine {
+    let trace = messenger_week(seed).days(0, days);
+    SimulationEngine::new(RunConfig::scale_out(
+        "integration",
+        trace,
+        RequestMix::update_heavy(),
+        seed,
+    ))
+}
+
+#[test]
+fn dejavu_learns_then_reuses_and_beats_overprovisioning_on_cost() {
+    let engine = scale_out_engine(3, 1);
+    let service = CassandraService::update_heavy();
+    let space = engine.config().space.clone();
+
+    let mut dejavu = DejaVuController::new(
+        DejaVuConfig::builder().seed(1).build(),
+        Box::new(service),
+        space.clone(),
+    );
+    let dejavu_run = engine.run(&service, &mut dejavu);
+    assert_eq!(dejavu.phase(), DejaVuPhase::Reuse);
+    assert!(dejavu.stats().num_classes >= 2);
+    assert!(dejavu.stats().cache_hits > 10);
+    assert!(!dejavu.repository().is_empty());
+
+    let mut fixed = FixedMax::new(&space);
+    let fixed_run = engine.run(&service, &mut fixed);
+    assert!(dejavu_run.total_cost < fixed_run.total_cost);
+    assert!(dejavu_run.reuse_savings_vs(&fixed_run) > 0.15);
+    // The service stays healthy the overwhelming majority of the time.
+    assert!(dejavu_run.slo_violation_fraction < 0.10);
+}
+
+#[test]
+fn dejavu_adaptations_are_seconds_not_minutes() {
+    let engine = scale_out_engine(2, 2);
+    let service = CassandraService::update_heavy();
+    let mut dejavu = DejaVuController::new(
+        DejaVuConfig::builder().seed(2).build(),
+        Box::new(service),
+        engine.config().space.clone(),
+    );
+    let _ = engine.run(&service, &mut dejavu);
+    let stats = dejavu.stats();
+    assert!(stats.mean_adaptation_secs() <= 15.0, "mean {}", stats.mean_adaptation_secs());
+    assert!(stats
+        .adaptation_times_secs
+        .iter()
+        .all(|&s| s <= engine.config().space.len() as f64 * 70.0));
+}
+
+#[test]
+fn rightscale_converges_but_needs_multiple_calm_periods() {
+    let engine = scale_out_engine(2, 3);
+    let service = CassandraService::update_heavy();
+    let mut rs = RightScale::with_calm_time(
+        engine.config().space.clone(),
+        SimDuration::from_mins(3.0),
+    );
+    let run = engine.run(&service, &mut rs);
+    assert!(!run.adaptations.is_empty());
+    assert!(
+        run.adaptations
+            .iter()
+            .all(|a| a.reason == DecisionReason::ThresholdVote),
+        "RightScale only acts on votes"
+    );
+    // It eventually serves the evening peak with a sizeable deployment.
+    assert!(run.instance_count.max().unwrap() >= 8.0);
+}
+
+#[test]
+fn oracle_never_does_worse_than_dejavu_on_cost() {
+    let engine = scale_out_engine(3, 4);
+    let service = CassandraService::update_heavy();
+    let mut oracle = Oracle::new(Box::new(service), engine.config().space.clone());
+    let oracle_run = engine.run(&service, &mut oracle);
+    let mut dejavu = DejaVuController::new(
+        DejaVuConfig::builder().seed(4).build(),
+        Box::new(service),
+        engine.config().space.clone(),
+    );
+    let dejavu_run = engine.run(&service, &mut dejavu);
+    assert!(oracle_run.total_cost <= dejavu_run.total_cost * 1.05);
+    assert!(oracle_run.slo_violation_fraction < 0.05);
+}
+
+#[test]
+fn scale_up_pipeline_switches_instance_types() {
+    let trace = hotmail_week(5).days(0, 3);
+    let engine = SimulationEngine::new(RunConfig::scale_up(
+        "integration-scale-up",
+        trace,
+        RequestMix::read_only(),
+        5,
+    ));
+    let service = SpecWebService::new(SpecWebWorkload::Support);
+    let mut dejavu = DejaVuController::new(
+        DejaVuConfig::builder().seed(5).build(),
+        Box::new(service),
+        engine.config().space.clone(),
+    );
+    let run = engine.run(&service, &mut dejavu);
+    // Both configurations appear: large most of the time, extra-large at the peak.
+    assert!(run.capacity_units.min().unwrap() <= 5.0);
+    assert!(run.capacity_units.max().unwrap() >= 10.0);
+    // QoS stays acceptable the vast majority of the time.
+    assert!(run.slo_violation_fraction < 0.2);
+}
+
+#[test]
+fn unforeseen_volume_triggers_full_capacity_fallback() {
+    // The HotMail-style trace contains a day-4 surge beyond anything the
+    // learning day contained.
+    let trace = hotmail_week(6).days(0, 5);
+    let engine = SimulationEngine::new(RunConfig::scale_out(
+        "integration-unforeseen",
+        trace,
+        RequestMix::update_heavy(),
+        6,
+    ));
+    let service = CassandraService::update_heavy();
+    let mut dejavu = DejaVuController::new(
+        DejaVuConfig::builder().seed(6).build(),
+        Box::new(service),
+        engine.config().space.clone(),
+    );
+    let run = engine.run(&service, &mut dejavu);
+    let full_capacity_events = run
+        .adaptations
+        .iter()
+        .filter(|a| a.reason == DecisionReason::CacheMiss && a.to == ResourceAllocation::large(10))
+        .count();
+    assert!(
+        full_capacity_events >= 1 || dejavu.stats().unforeseen >= 1,
+        "the surge should trigger at least one unforeseen-workload fallback"
+    );
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The facade exposes every layer needed to assemble a controller by hand.
+    let space = AllocationSpace::scale_out(2, 10).expect("valid range");
+    let controller = DejaVuController::new(
+        DejaVuConfig::builder().learning_hours(12).seed(9).build(),
+        Box::new(CassandraService::update_heavy()),
+        space,
+    );
+    assert_eq!(controller.repository().len(), 0);
+    let slo = CassandraService::update_heavy().slo();
+    assert_eq!(slo.target(), 60.0);
+}

@@ -1,0 +1,111 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use dejavu::cloud::{AllocationSpace, CostMeter, ResourceAllocation};
+use dejavu::metrics::WorkloadSignature;
+use dejavu::ml::kmeans::{KMeans, KMeansConfig};
+use dejavu::ml::Dataset;
+use dejavu::services::{CassandraService, ServiceModel};
+use dejavu::services::service::EvalContext;
+use dejavu::simcore::{SimDuration, SimTime};
+use dejavu::traces::LoadTrace;
+use proptest::prelude::*;
+
+proptest! {
+    /// Signature normalization makes signatures invariant to how long the
+    /// profiler sampled.
+    #[test]
+    fn signature_is_sampling_duration_invariant(
+        values in proptest::collection::vec(0.0f64..10_000.0, 1..20),
+        short in 1.0f64..100.0,
+        factor in 1.1f64..50.0,
+    ) {
+        let names: Vec<String> = (0..values.len()).map(|i| format!("m{i}")).collect();
+        let long_values: Vec<f64> = values.iter().map(|v| v * factor).collect();
+        let a = WorkloadSignature::from_raw(names.clone(), values, SimDuration::from_secs(short));
+        let b = WorkloadSignature::from_raw(names, long_values, SimDuration::from_secs(short * factor));
+        prop_assert!(a.distance(&b) < 1e-6 * (1.0 + a.values().iter().sum::<f64>().abs()));
+    }
+
+    /// The queueing model is monotone: more load never reduces latency, more
+    /// capacity never increases it.
+    #[test]
+    fn latency_is_monotone(
+        load_a in 0.05f64..1.2,
+        load_b in 0.05f64..1.2,
+        cap_a in 1.0f64..12.0,
+        cap_b in 1.0f64..12.0,
+    ) {
+        let svc = CassandraService::update_heavy();
+        let ctx = |cap| EvalContext::steady(SimTime::ZERO, cap);
+        let (lo_load, hi_load) = if load_a <= load_b { (load_a, load_b) } else { (load_b, load_a) };
+        let (lo_cap, hi_cap) = if cap_a <= cap_b { (cap_a, cap_b) } else { (cap_b, cap_a) };
+        prop_assert!(svc.evaluate(hi_load, &ctx(5.0)).latency_ms >= svc.evaluate(lo_load, &ctx(5.0)).latency_ms - 1e-9);
+        prop_assert!(svc.evaluate(0.7, &ctx(lo_cap)).latency_ms >= svc.evaluate(0.7, &ctx(hi_cap)).latency_ms - 1e-9);
+    }
+
+    /// Cost metering is additive over adjacent time windows.
+    #[test]
+    fn cost_meter_is_additive(
+        counts in proptest::collection::vec(1u32..10, 1..8),
+        split in 0.1f64..0.9,
+    ) {
+        let mut meter = CostMeter::new();
+        for (i, &c) in counts.iter().enumerate() {
+            meter.record(SimTime::from_hours(i as f64), ResourceAllocation::large(c));
+        }
+        let end = SimTime::from_hours(counts.len() as f64);
+        let mid = SimTime::from_hours(counts.len() as f64 * split);
+        let total = meter.cost_between(SimTime::ZERO, end);
+        let parts = meter.cost_between(SimTime::ZERO, mid) + meter.cost_between(mid, end);
+        prop_assert!((total - parts).abs() < 1e-9);
+        prop_assert!(total >= 0.0);
+    }
+
+    /// The allocation space's cheapest_with_capacity always returns an
+    /// allocation that actually provides the requested capacity (or the
+    /// maximum available).
+    #[test]
+    fn cheapest_with_capacity_is_sufficient(capacity in 0.0f64..15.0) {
+        let space = AllocationSpace::scale_out(1, 10).unwrap();
+        let chosen = space.cheapest_with_capacity(capacity);
+        if capacity <= 10.0 {
+            prop_assert!(chosen.capacity_units() >= capacity - 1e-9);
+        } else {
+            prop_assert_eq!(chosen, space.full_capacity());
+        }
+    }
+
+    /// k-means assignments always point at the nearest centroid.
+    #[test]
+    fn kmeans_assignments_are_nearest(
+        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 8..40),
+        k in 2usize..5,
+    ) {
+        let mut data = Dataset::new(vec!["x".into(), "y".into()]);
+        for (x, y) in &points {
+            data.push_unlabeled(vec![*x, *y]);
+        }
+        let k = k.min(points.len());
+        let model = KMeans::fit(&data, &KMeansConfig { k, ..Default::default() }, 7).unwrap();
+        for (i, inst) in data.instances().iter().enumerate() {
+            let assigned = model.assignments()[i];
+            let d_assigned = dejavu::ml::dataset::distance(&inst.features, &model.centroids()[assigned]);
+            for c in model.centroids() {
+                prop_assert!(d_assigned <= dejavu::ml::dataset::distance(&inst.features, c) + 1e-9);
+            }
+        }
+    }
+
+    /// Load traces never produce levels outside the valid range, under any
+    /// rescaling.
+    #[test]
+    fn trace_rescaling_stays_in_range(
+        levels in proptest::collection::vec(0.0f64..1.0, 1..48),
+        new_peak in 0.05f64..1.5,
+    ) {
+        let trace = LoadTrace::hourly("prop", levels).unwrap();
+        let rescaled = trace.rescaled_to_peak(new_peak);
+        prop_assert!(rescaled.levels().iter().all(|&l| (0.0..=1.5).contains(&l)));
+        prop_assert!((rescaled.peak() - new_peak).abs() < 1e-9);
+    }
+}
