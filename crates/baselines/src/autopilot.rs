@@ -32,7 +32,10 @@ impl Autopilot {
         service: &dyn ServiceModel,
         space: &AllocationSpace,
     ) -> Self {
-        assert!(trace.num_days() >= 1, "Autopilot needs at least one day of trace");
+        assert!(
+            trace.num_days() >= 1,
+            "Autopilot needs at least one day of trace"
+        );
         let day1 = trace.days(0, 1);
         let schedule = day1
             .levels()
@@ -77,7 +80,11 @@ mod tests {
     fn obs(hour: f64, current: ResourceAllocation) -> Observation {
         Observation {
             time: SimTime::from_hours(hour),
-            workload: Workload::with_intensity(ServiceKind::Cassandra, 0.5, RequestMix::update_heavy()),
+            workload: Workload::with_intensity(
+                ServiceKind::Cassandra,
+                0.5,
+                RequestMix::update_heavy(),
+            ),
             latency_ms: Some(40.0),
             qos_percent: None,
             utilization: 0.5,

@@ -80,7 +80,11 @@ mod tests {
     fn obs(current: ResourceAllocation) -> Observation {
         Observation {
             time: SimTime::ZERO,
-            workload: Workload::with_intensity(ServiceKind::Cassandra, 0.5, RequestMix::update_heavy()),
+            workload: Workload::with_intensity(
+                ServiceKind::Cassandra,
+                0.5,
+                RequestMix::update_heavy(),
+            ),
             latency_ms: Some(40.0),
             qos_percent: None,
             utilization: 0.5,

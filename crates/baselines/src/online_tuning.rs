@@ -108,7 +108,11 @@ mod tests {
     fn obs(intensity: f64) -> Observation {
         Observation {
             time: SimTime::from_hours(1.0),
-            workload: Workload::with_intensity(ServiceKind::Cassandra, intensity, RequestMix::update_heavy()),
+            workload: Workload::with_intensity(
+                ServiceKind::Cassandra,
+                intensity,
+                RequestMix::update_heavy(),
+            ),
             latency_ms: Some(40.0),
             qos_percent: None,
             utilization: 0.6,
@@ -122,7 +126,11 @@ mod tests {
         let mut c = controller();
         let d1 = c.decide(&obs(0.5));
         assert_eq!(d1.reason, DecisionReason::Tuned);
-        assert!(d1.decision_latency.as_mins() >= 2.0, "latency {}", d1.decision_latency);
+        assert!(
+            d1.decision_latency.as_mins() >= 2.0,
+            "latency {}",
+            d1.decision_latency
+        );
         let target = d1.target.unwrap();
         assert!(target.count() >= 5 && target.count() <= 6);
         // Same workload again: no retuning.

@@ -61,7 +61,11 @@ mod tests {
         );
         let obs = Observation {
             time: SimTime::from_hours(1.0),
-            workload: Workload::with_intensity(ServiceKind::Cassandra, 0.5, RequestMix::update_heavy()),
+            workload: Workload::with_intensity(
+                ServiceKind::Cassandra,
+                0.5,
+                RequestMix::update_heavy(),
+            ),
             latency_ms: Some(40.0),
             qos_percent: None,
             utilization: 0.5,

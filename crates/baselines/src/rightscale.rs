@@ -148,7 +148,11 @@ mod tests {
     fn obs(hour: f64, utilization: f64, current: ResourceAllocation) -> Observation {
         Observation {
             time: SimTime::from_hours(hour),
-            workload: Workload::with_intensity(ServiceKind::Cassandra, 0.5, RequestMix::update_heavy()),
+            workload: Workload::with_intensity(
+                ServiceKind::Cassandra,
+                0.5,
+                RequestMix::update_heavy(),
+            ),
             latency_ms: Some(40.0),
             qos_percent: None,
             utilization,

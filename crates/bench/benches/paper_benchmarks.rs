@@ -56,7 +56,9 @@ fn bench_figures(c: &mut Criterion) {
 }
 
 fn bench_core_operations(c: &mut Criterion) {
-    use dejavu_core::{ClassifierKind, OnlineClassifier, RepositoryKey, SignatureRepository, WorkloadClusterer};
+    use dejavu_core::{
+        ClassifierKind, OnlineClassifier, RepositoryKey, SignatureRepository, WorkloadClusterer,
+    };
     use dejavu_metrics::{MetricModel, MetricSampler, SamplerConfig, WorkloadPoint};
     use dejavu_simcore::{SimRng, SimTime};
     use dejavu_traces::ServiceKind;
@@ -70,10 +72,17 @@ fn bench_core_operations(c: &mut Criterion) {
             signatures.push(sampler.sample(&point, &mut rng));
         }
     }
-    let clustering = WorkloadClusterer::new((2, 8), 1).cluster(&signatures).unwrap();
-    let classifier =
-        OnlineClassifier::train(ClassifierKind::DecisionTree, &signatures, &clustering, 1.8, 0.6)
-            .unwrap();
+    let clustering = WorkloadClusterer::new((2, 8), 1)
+        .cluster(&signatures)
+        .unwrap();
+    let classifier = OnlineClassifier::train(
+        ClassifierKind::DecisionTree,
+        &signatures,
+        &clustering,
+        1.8,
+        0.6,
+    )
+    .unwrap();
     let probe = signatures[7].clone();
 
     let mut group = c.benchmark_group("core_operations");
@@ -97,7 +106,13 @@ fn bench_core_operations(c: &mut Criterion) {
         b.iter(|| black_box(repo.lookup(RepositoryKey::baseline(3))))
     });
     group.bench_function("clustering_24_workloads", |b| {
-        b.iter(|| black_box(WorkloadClusterer::new((2, 8), 1).cluster(&signatures).unwrap()))
+        b.iter(|| {
+            black_box(
+                WorkloadClusterer::new((2, 8), 1)
+                    .cluster(&signatures)
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

@@ -206,7 +206,10 @@ mod tests {
         assert_eq!(s.minimal(), ResourceAllocation::large(1));
         assert_eq!(s.full_capacity(), ResourceAllocation::large(10));
         assert_eq!(s.cheapest_with_capacity(6.5), ResourceAllocation::large(7));
-        assert_eq!(s.cheapest_with_capacity(99.0), ResourceAllocation::large(10));
+        assert_eq!(
+            s.cheapest_with_capacity(99.0),
+            ResourceAllocation::large(10)
+        );
         assert!(AllocationSpace::scale_out(0, 5).is_err());
         assert!(AllocationSpace::scale_out(5, 2).is_err());
     }
@@ -225,8 +228,14 @@ mod tests {
         let s = AllocationSpace::scale_out(1, 10).unwrap();
         let a = ResourceAllocation::large(9);
         assert_eq!(s.step_up(a, 2), ResourceAllocation::large(10));
-        assert_eq!(s.step_down(ResourceAllocation::large(2), 5), ResourceAllocation::large(1));
-        assert_eq!(s.step_up(ResourceAllocation::large(3), 2), ResourceAllocation::large(5));
+        assert_eq!(
+            s.step_down(ResourceAllocation::large(2), 5),
+            ResourceAllocation::large(1)
+        );
+        assert_eq!(
+            s.step_up(ResourceAllocation::large(3), 2),
+            ResourceAllocation::large(5)
+        );
         assert_eq!(s.index_of(ResourceAllocation::large(4)), Some(3));
         assert_eq!(s.index_of(ResourceAllocation::extra_large(4)), None);
     }

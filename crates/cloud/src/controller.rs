@@ -49,6 +49,9 @@ pub enum DecisionReason {
     },
     /// DejaVu could not classify the workload with enough certainty.
     CacheMiss,
+    /// A fleet-shared repository supplied an allocation another tenant tuned
+    /// for an equivalent workload, skipping this tenant's own tuning.
+    FleetReuse,
     /// The controller is in its learning phase.
     Learning,
     /// A tuning process produced a new allocation.
@@ -67,6 +70,7 @@ impl fmt::Display for DecisionReason {
             DecisionReason::NoChange => write!(f, "no change"),
             DecisionReason::CacheHit { class } => write!(f, "cache hit (class {class})"),
             DecisionReason::CacheMiss => write!(f, "cache miss"),
+            DecisionReason::FleetReuse => write!(f, "fleet reuse"),
             DecisionReason::Learning => write!(f, "learning"),
             DecisionReason::Tuned => write!(f, "tuned"),
             DecisionReason::ThresholdVote => write!(f, "threshold vote"),
@@ -156,7 +160,11 @@ mod tests {
     fn obs(alloc: ResourceAllocation) -> Observation {
         Observation {
             time: SimTime::from_hours(1.0),
-            workload: Workload::with_intensity(ServiceKind::Cassandra, 0.5, RequestMix::update_heavy()),
+            workload: Workload::with_intensity(
+                ServiceKind::Cassandra,
+                0.5,
+                RequestMix::update_heavy(),
+            ),
             latency_ms: Some(40.0),
             qos_percent: None,
             utilization: 0.6,
@@ -219,6 +227,7 @@ mod tests {
         for r in [
             DecisionReason::NoChange,
             DecisionReason::CacheMiss,
+            DecisionReason::FleetReuse,
             DecisionReason::Learning,
             DecisionReason::Tuned,
             DecisionReason::ThresholdVote,

@@ -149,7 +149,10 @@ mod tests {
         max.record(SimTime::ZERO, ResourceAllocation::large(10));
         let s = dejavu.savings_vs(&max, SimTime::ZERO, SimTime::from_hours(10.0));
         assert!((s - 0.6).abs() < 1e-9);
-        assert_eq!(max.savings_vs(&max, SimTime::ZERO, SimTime::from_hours(1.0)), 0.0);
+        assert_eq!(
+            max.savings_vs(&max, SimTime::ZERO, SimTime::from_hours(1.0)),
+            0.0
+        );
     }
 
     #[test]

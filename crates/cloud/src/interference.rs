@@ -147,7 +147,10 @@ mod tests {
     fn constant_and_none_schedules() {
         let none = InterferenceSchedule::none();
         assert!(none.is_none());
-        assert_eq!(none.level_at(SimTime::from_hours(5.0)), InterferenceLevel::NONE);
+        assert_eq!(
+            none.level_at(SimTime::from_hours(5.0)),
+            InterferenceLevel::NONE
+        );
         let c = InterferenceSchedule::constant(InterferenceLevel::new(0.1));
         assert_eq!(c.level_at(SimTime::from_days(3.0)).fraction(), 0.1);
         assert!(!c.is_none());
@@ -172,7 +175,7 @@ mod tests {
             .map(|h| s.level_at(SimTime::from_hours(h as f64 + 0.5)).fraction())
             .collect();
         assert!(levels.iter().all(|&l| l == 0.1 || l == 0.2));
-        assert!(levels.iter().any(|&l| l == 0.1));
-        assert!(levels.iter().any(|&l| l == 0.2));
+        assert!(levels.contains(&0.1));
+        assert!(levels.contains(&0.2));
     }
 }

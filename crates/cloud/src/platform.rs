@@ -218,7 +218,11 @@ mod tests {
     #[test]
     fn scale_out_takes_boot_delay() {
         let mut p = platform(2);
-        p.request(SimTime::ZERO, ResourceAllocation::large(6), SimDuration::from_secs(10.0));
+        p.request(
+            SimTime::ZERO,
+            ResourceAllocation::large(6),
+            SimDuration::from_secs(10.0),
+        );
         assert_eq!(p.allocation_at(SimTime::from_secs(20.0)).count(), 2);
         assert_eq!(p.allocation_at(SimTime::from_secs(41.0)).count(), 6);
         assert_eq!(p.reconfigurations(), 1);
@@ -227,14 +231,22 @@ mod tests {
     #[test]
     fn scale_down_skips_boot_delay() {
         let mut p = platform(8);
-        p.request(SimTime::ZERO, ResourceAllocation::large(4), SimDuration::from_secs(10.0));
+        p.request(
+            SimTime::ZERO,
+            ResourceAllocation::large(4),
+            SimDuration::from_secs(10.0),
+        );
         assert_eq!(p.allocation_at(SimTime::from_secs(11.0)).count(), 4);
     }
 
     #[test]
     fn requesting_current_allocation_is_a_noop() {
         let mut p = platform(5);
-        p.request(SimTime::ZERO, ResourceAllocation::large(5), SimDuration::from_secs(10.0));
+        p.request(
+            SimTime::ZERO,
+            ResourceAllocation::large(5),
+            SimDuration::from_secs(10.0),
+        );
         assert!(p.pending_effective_at().is_none());
         assert_eq!(p.reconfigurations(), 0);
         assert_eq!(p.cost_meter().num_changes(), 1);
@@ -244,7 +256,11 @@ mod tests {
     fn invalid_allocation_is_rejected() {
         let mut p = platform(2);
         let err = p
-            .try_request(SimTime::ZERO, ResourceAllocation::extra_large(3), SimDuration::ZERO)
+            .try_request(
+                SimTime::ZERO,
+                ResourceAllocation::extra_large(3),
+                SimDuration::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, CloudError::InvalidAllocation { .. }));
     }
@@ -252,7 +268,11 @@ mod tests {
     #[test]
     fn warmup_reduces_effective_capacity() {
         let mut p = platform(2);
-        p.request(SimTime::ZERO, ResourceAllocation::large(8), SimDuration::ZERO);
+        p.request(
+            SimTime::ZERO,
+            ResourceAllocation::large(8),
+            SimDuration::ZERO,
+        );
         // Boot delay 30 s, then warm-up 60 s at reduced effectiveness.
         let during_warmup = p.effective_capacity(SimTime::from_secs(40.0));
         assert!((during_warmup - 6.0).abs() < 1e-9, "75% of 8 units");
@@ -275,7 +295,11 @@ mod tests {
     #[test]
     fn cost_meter_tracks_changes() {
         let mut p = platform(2);
-        p.request(SimTime::ZERO, ResourceAllocation::large(10), SimDuration::ZERO);
+        p.request(
+            SimTime::ZERO,
+            ResourceAllocation::large(10),
+            SimDuration::ZERO,
+        );
         let _ = p.allocation_at(SimTime::from_hours(1.0));
         assert_eq!(p.cost_meter().num_changes(), 2);
         let cost = p.cost_meter().total_cost(SimTime::from_hours(1.0));
@@ -285,8 +309,16 @@ mod tests {
     #[test]
     fn newer_request_replaces_pending() {
         let mut p = platform(2);
-        p.request(SimTime::ZERO, ResourceAllocation::large(10), SimDuration::from_secs(100.0));
-        p.request(SimTime::from_secs(10.0), ResourceAllocation::large(4), SimDuration::from_secs(1.0));
+        p.request(
+            SimTime::ZERO,
+            ResourceAllocation::large(10),
+            SimDuration::from_secs(100.0),
+        );
+        p.request(
+            SimTime::from_secs(10.0),
+            ResourceAllocation::large(4),
+            SimDuration::from_secs(1.0),
+        );
         // The second (cheaper, faster) request wins.
         assert_eq!(p.allocation_at(SimTime::from_secs(200.0)).count(), 4);
     }

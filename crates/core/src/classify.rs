@@ -156,7 +156,14 @@ mod tests {
 
     /// Mirrors the controller pipeline: coarse clustering for labels, CFS
     /// feature selection, then clustering and training on the selected metrics.
-    fn setup(kind: ClassifierKind) -> (OnlineClassifier, crate::signature::SignatureBuilder, MetricSampler, SimRng) {
+    fn setup(
+        kind: ClassifierKind,
+    ) -> (
+        OnlineClassifier,
+        crate::signature::SignatureBuilder,
+        MetricSampler,
+        SimRng,
+    ) {
         let sampler = MetricSampler::new(MetricModel::default(), SamplerConfig::default());
         let mut rng = SimRng::seed_from_u64(10);
         let levels = [0.2, 0.45, 0.55, 0.95];
@@ -183,7 +190,10 @@ mod tests {
         rng: &mut SimRng,
         level: f64,
     ) -> WorkloadSignature {
-        builder.project(&sampler.sample(&WorkloadPoint::new(ServiceKind::Cassandra, level, 0.05), rng))
+        builder.project(&sampler.sample(
+            &WorkloadPoint::new(ServiceKind::Cassandra, level, 0.05),
+            rng,
+        ))
     }
 
     #[test]
@@ -194,7 +204,11 @@ mod tests {
             ClassifierKind::NearestCentroid,
         ] {
             let (clf, builder, sampler, mut rng) = setup(kind);
-            assert!((3..=5).contains(&clf.num_classes()), "classes {}", clf.num_classes());
+            assert!(
+                (3..=5).contains(&clf.num_classes()),
+                "classes {}",
+                clf.num_classes()
+            );
             let c = clf.classify(&sig(&builder, &sampler, &mut rng, 0.45));
             assert!(clf.is_confident(&c), "{kind:?} should be confident: {c:?}");
             // Two samples of the same plateau land in the same class.

@@ -85,7 +85,10 @@ impl WorkloadClusterer {
     ///
     /// Returns [`DejaVuError::NoTrainingData`] if `signatures` is empty and
     /// propagates clustering errors.
-    pub fn cluster(&self, signatures: &[WorkloadSignature]) -> Result<ClusteringOutcome, DejaVuError> {
+    pub fn cluster(
+        &self,
+        signatures: &[WorkloadSignature],
+    ) -> Result<ClusteringOutcome, DejaVuError> {
         if signatures.is_empty() {
             return Err(DejaVuError::NoTrainingData);
         }
@@ -159,7 +162,11 @@ mod tests {
         let outcome = WorkloadClusterer::new((2, 8), 1).cluster(&sigs).unwrap();
         // The two middle plateaus are close; a small number of classes (3–5)
         // is the expected outcome — far fewer than the 24 hourly workloads.
-        assert!((3..=5).contains(&outcome.num_classes()), "classes {}", outcome.num_classes());
+        assert!(
+            (3..=5).contains(&outcome.num_classes()),
+            "classes {}",
+            outcome.num_classes()
+        );
         assert_eq!(outcome.assignments.len(), sigs.len());
         assert_eq!(outcome.medoids.len(), outcome.num_classes());
         assert!(outcome.min_centroid_distance > 0.0);
@@ -195,5 +202,4 @@ mod tests {
             Err(DejaVuError::NoTrainingData)
         ));
     }
-
 }

@@ -210,14 +210,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = DejaVuConfig::default();
-        c.certainty_threshold = 1.5;
+        let c = DejaVuConfig {
+            certainty_threshold: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DejaVuConfig::default();
-        c.learning_hours = 0;
+        let c = DejaVuConfig {
+            learning_hours: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DejaVuConfig::default();
-        c.cluster_range = (5, 2);
+        let c = DejaVuConfig {
+            cluster_range: (5, 2),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -6,7 +6,9 @@ use crate::clustering::WorkloadClusterer;
 use crate::config::DejaVuConfig;
 use crate::error::DejaVuError;
 use crate::interference::{InterferenceBucket, InterferenceEstimator};
-use crate::repository::{RepositoryKey, SignatureRepository};
+use crate::repository::{
+    AllocationStore, RepositoryKey, RepositoryStats, SignatureRepository, StoreContext,
+};
 use crate::signature::SignatureBuilder;
 use crate::tuner::{LinearSearchTuner, Tuner};
 use dejavu_cloud::{
@@ -48,6 +50,12 @@ pub struct DejaVuStats {
     pub reclusterings: usize,
     /// Interference compensations applied.
     pub interference_compensations: u64,
+    /// Learning-phase tunings skipped because a fleet-shared repository already
+    /// held an allocation another tenant tuned for an equivalent workload.
+    pub fleet_reuses: u64,
+    /// Hit/miss statistics of the underlying repository (shared or local),
+    /// from this controller's perspective.
+    pub repository: RepositoryStats,
     /// Decision latencies (seconds) of reuse-phase adaptations.
     pub adaptation_times_secs: Vec<f64>,
 }
@@ -71,6 +79,13 @@ impl DejaVuStats {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Hit rate of the underlying repository over every lookup this controller
+    /// issued (learning-phase fleet lookups included), as reported by
+    /// [`RepositoryStats::hit_rate`].
+    pub fn repository_hit_rate(&self) -> f64 {
+        self.repository.hit_rate()
+    }
 }
 
 /// The DejaVu framework as a provisioning controller.
@@ -91,7 +106,10 @@ pub struct DejaVuController {
     // Trained state.
     builder: Option<SignatureBuilder>,
     classifier: Option<OnlineClassifier>,
-    repository: SignatureRepository,
+    repository: Box<dyn AllocationStore>,
+    /// Full-catalogue medoid signature of each workload class; the cross-tenant
+    /// identity fleet-shared stores match on.
+    class_signatures: Vec<WorkloadSignature>,
     // Runtime bookkeeping.
     last_profile_time: Option<SimTime>,
     last_action_time: Option<SimTime>,
@@ -116,7 +134,11 @@ impl std::fmt::Debug for DejaVuController {
 
 impl DejaVuController {
     /// Creates a DejaVu controller for a service deployed over `space`.
-    pub fn new(config: DejaVuConfig, service: Box<dyn ServiceModel>, space: AllocationSpace) -> Self {
+    pub fn new(
+        config: DejaVuConfig,
+        service: Box<dyn ServiceModel>,
+        space: AllocationSpace,
+    ) -> Self {
         let profiler = Profiler::new(ProfilerConfig {
             sampler: dejavu_metrics::SamplerConfig {
                 window: config.signature_window,
@@ -138,7 +160,8 @@ impl DejaVuController {
             learning_allocs: Vec::new(),
             builder: None,
             classifier: None,
-            repository: SignatureRepository::new(),
+            repository: Box::new(SignatureRepository::new()),
+            class_signatures: Vec::new(),
             last_profile_time: None,
             last_action_time: None,
             current_class: None,
@@ -160,14 +183,22 @@ impl DejaVuController {
         self
     }
 
+    /// Replaces the backing repository, e.g. with a tenant view over the
+    /// fleet-shared store from `dejavu-fleet`. Call before the first decision;
+    /// any entries already cached in the previous store are not migrated.
+    pub fn with_store(mut self, store: Box<dyn AllocationStore>) -> Self {
+        self.repository = store;
+        self
+    }
+
     /// The current phase.
     pub fn phase(&self) -> DejaVuPhase {
         self.phase
     }
 
-    /// The signature repository (the cache).
-    pub fn repository(&self) -> &SignatureRepository {
-        &self.repository
+    /// The signature repository (the cache) — local or fleet-shared.
+    pub fn repository(&self) -> &dyn AllocationStore {
+        self.repository.as_ref()
     }
 
     /// The statistics gathered so far.
@@ -183,15 +214,18 @@ impl DejaVuController {
     fn profile_due(&self, now: SimTime) -> bool {
         match self.last_profile_time {
             None => true,
-            Some(t) => now.saturating_since(t).as_secs() + 1e-9
-                >= self.config.profile_interval.as_secs(),
+            Some(t) => {
+                now.saturating_since(t).as_secs() + 1e-9 >= self.config.profile_interval.as_secs()
+            }
         }
     }
 
     fn cooldown_passed(&self, now: SimTime) -> bool {
         match self.last_action_time {
             None => true,
-            Some(t) => now.saturating_since(t).as_secs() >= self.config.violation_cooldown.as_secs(),
+            Some(t) => {
+                now.saturating_since(t).as_secs() >= self.config.violation_cooldown.as_secs()
+            }
         }
     }
 
@@ -204,26 +238,58 @@ impl DejaVuController {
         }
     }
 
-    /// Learning-phase step: profile the workload and tune it directly, as the
-    /// state of the art would, while recording the data that will seed the
-    /// cache.
+    /// Learning-phase step: profile the workload and tune it, as the state of
+    /// the art would, while recording the data that will seed the cache.
+    ///
+    /// Before paying for a tuning run, the profiled signature is offered to
+    /// the repository: a plain [`SignatureRepository`] always misses here, but
+    /// a fleet-shared store can return an allocation another tenant already
+    /// tuned for an equivalent workload, eliminating this tenant's cold-start
+    /// cost (the fleet argument of the DejaVu paper's §5).
     fn learn_step(&mut self, obs: &Observation) -> ControllerDecision {
         let report = self.profiler.profile(&obs.workload, &mut self.rng);
         self.stats.signatures_collected += 1;
-        let outcome = self
-            .tuner
-            .tune(&obs.workload, self.service.as_ref(), &self.space, 1.0);
-        self.stats.tunings += 1;
+        let fleet_entry = self.repository.get(
+            StoreContext::with_signature(RepositoryKey::unclassified(), &report.signature)
+                .at(obs.time),
+        );
+        let (allocation, latency, reason) = match fleet_entry {
+            Some(entry) => {
+                self.stats.fleet_reuses += 1;
+                (
+                    entry.allocation,
+                    report.duration,
+                    DecisionReason::FleetReuse,
+                )
+            }
+            None => {
+                let outcome =
+                    self.tuner
+                        .tune(&obs.workload, self.service.as_ref(), &self.space, 1.0);
+                self.stats.tunings += 1;
+                // Publish the fresh tuning decision under its raw signature so
+                // fleet peers (and later this tenant's own reuse phase, via the
+                // class medoids) can skip the same tuning. Local repositories
+                // drop signature-only publications.
+                self.repository.put(
+                    StoreContext::with_signature(RepositoryKey::unclassified(), &report.signature)
+                        .at(obs.time),
+                    outcome.allocation,
+                    obs.time,
+                );
+                (
+                    outcome.allocation,
+                    report.duration + outcome.duration,
+                    DecisionReason::Learning,
+                )
+            }
+        };
         self.learning_sigs.push(report.signature);
         self.learning_workloads.push(obs.workload);
-        self.learning_allocs.push(outcome.allocation);
+        self.learning_allocs.push(allocation);
         self.last_profile_time = Some(obs.time);
         self.last_action_time = Some(obs.time);
-        ControllerDecision::deploy(
-            outcome.allocation,
-            report.duration + outcome.duration,
-            DecisionReason::Learning,
-        )
+        ControllerDecision::deploy(allocation, latency, reason)
     }
 
     /// Ends the learning phase: clusters the collected signatures, selects the
@@ -260,6 +326,11 @@ impl DejaVuController {
         // Seed each class with the largest allocation its members needed during
         // learning: robust even when two nearby load plateaus end up merged
         // into one class, at the cost of slight over-provisioning.
+        self.class_signatures = clustering
+            .medoids
+            .iter()
+            .map(|&m| self.learning_sigs[m].clone())
+            .collect();
         for (class, &medoid) in clustering.medoids.iter().enumerate() {
             let mut allocation = self.learning_allocs[medoid];
             for (i, &assigned) in clustering.assignments.iter().enumerate() {
@@ -269,8 +340,15 @@ impl DejaVuController {
                     allocation = self.learning_allocs[i];
                 }
             }
-            self.repository
-                .insert(RepositoryKey::baseline(class), allocation, now);
+            self.repository.put(
+                StoreContext::with_signature(
+                    RepositoryKey::baseline(class),
+                    &self.class_signatures[class],
+                )
+                .at(now),
+                allocation,
+                now,
+            );
         }
         self.stats.num_classes = clustering.num_classes();
         self.builder = Some(builder);
@@ -312,7 +390,8 @@ impl DejaVuController {
             // Unforeseen workload: deploy full capacity to stay safe.
             self.stats.unforeseen += 1;
             self.consecutive_low_certainty += 1;
-            self.unforeseen_buffer.push((report.signature, obs.workload));
+            self.unforeseen_buffer
+                .push((report.signature, obs.workload));
             self.current_class = None;
             if self.consecutive_low_certainty >= self.config.reclustering_threshold {
                 // Re-clustering runs offline (sandboxed tuning); deployment of
@@ -335,9 +414,13 @@ impl DejaVuController {
         // interference path below re-establishes a bucketed entry only if the
         // SLO keeps being violated with the baseline allocation deployed.
         self.current_bucket = InterferenceBucket::NONE;
-        let entry = self
-            .repository
-            .lookup(RepositoryKey::baseline(classification.class));
+        let key = RepositoryKey::baseline(classification.class);
+        let ctx = match self.class_signatures.get(classification.class) {
+            Some(sig) => StoreContext::with_signature(key, sig),
+            None => StoreContext::keyed(key),
+        }
+        .at(obs.time);
+        let entry = self.repository.get(ctx);
         match entry {
             Some(entry) => {
                 self.stats.cache_hits += 1;
@@ -360,11 +443,7 @@ impl DejaVuController {
                     self.tuner
                         .tune(&obs.workload, self.service.as_ref(), &self.space, 1.0);
                 self.stats.tunings += 1;
-                self.repository.insert(
-                    RepositoryKey::baseline(classification.class),
-                    outcome.allocation,
-                    obs.time,
-                );
+                self.repository.put(ctx, outcome.allocation, obs.time);
                 self.last_action_time = Some(obs.time);
                 self.stats
                     .adaptation_times_secs
@@ -413,7 +492,12 @@ impl DejaVuController {
         }
         self.current_bucket = bucket;
         let key = bucket.key_for(class);
-        let allocation = match self.repository.lookup(key) {
+        let ctx = match self.class_signatures.get(class) {
+            Some(sig) => StoreContext::with_signature(key, sig),
+            None => StoreContext::keyed(key),
+        }
+        .at(obs.time);
+        let allocation = match self.repository.get(ctx) {
             Some(entry) => entry.allocation,
             None => {
                 let stolen = self.estimator.stolen_fraction(index, isolation.utilization);
@@ -422,7 +506,7 @@ impl DejaVuController {
                     self.tuner
                         .tune(&obs.workload, self.service.as_ref(), &self.space, inflation);
                 self.stats.tunings += 1;
-                self.repository.insert(key, outcome.allocation, obs.time);
+                self.repository.put(ctx, outcome.allocation, obs.time);
                 outcome.allocation
             }
         };
@@ -442,6 +526,17 @@ impl ProvisioningController for DejaVuController {
     }
 
     fn decide(&mut self, obs: &Observation) -> ControllerDecision {
+        let decision = self.decide_inner(obs);
+        // Repository stats live in the store (which may be fleet-shared);
+        // mirror them into the controller stats so one snapshot has
+        // everything the reports need.
+        self.stats.repository = self.repository.stats();
+        decision
+    }
+}
+
+impl DejaVuController {
+    fn decide_inner(&mut self, obs: &Observation) -> ControllerDecision {
         // Transition from learning to reuse at the configured boundary.
         if self.phase == DejaVuPhase::Learning
             && obs.time.hour_index() >= self.config.learning_hours
@@ -565,11 +660,18 @@ mod tests {
         let d = ctrl.decide(&obs(24.0, 0.45, ResourceAllocation::large(10), false));
         assert_eq!(ctrl.phase(), DejaVuPhase::Reuse);
         assert!(ctrl.stats().num_classes >= 3 && ctrl.stats().num_classes <= 5);
-        assert!(matches!(d.reason, DecisionReason::CacheHit { .. }), "{:?}", d.reason);
+        assert!(
+            matches!(d.reason, DecisionReason::CacheHit { .. }),
+            "{:?}",
+            d.reason
+        );
         // Adaptation is dominated by the ~10 s signature collection.
         assert!(d.decision_latency.as_secs() <= 11.0);
         let target = d.target.expect("cache hit deploys an allocation");
-        assert!(target.count() >= 4 && target.count() <= 6, "allocation {target}");
+        assert!(
+            target.count() >= 4 && target.count() <= 6,
+            "allocation {target}"
+        );
         assert!(ctrl.stats().cache_hits >= 1);
         assert!(ctrl.signature_metrics().is_some());
     }

@@ -22,7 +22,9 @@ pub enum DejaVuError {
 impl fmt::Display for DejaVuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DejaVuError::NoTrainingData => write!(f, "no workload signatures collected during learning"),
+            DejaVuError::NoTrainingData => {
+                write!(f, "no workload signatures collected during learning")
+            }
             DejaVuError::NotTrained => write!(f, "classifier has not been trained"),
             DejaVuError::Ml(e) => write!(f, "machine learning error: {e}"),
             DejaVuError::Cloud(e) => write!(f, "platform error: {e}"),

@@ -128,26 +128,50 @@ mod tests {
     #[test]
     fn latency_index_ratio() {
         let est = InterferenceEstimator::default();
-        let idx = est.index(&sample(90.0, 100.0), &sample(45.0, 100.0), &Slo::LatencyMs(60.0));
+        let idx = est.index(
+            &sample(90.0, 100.0),
+            &sample(45.0, 100.0),
+            &Slo::LatencyMs(60.0),
+        );
         assert!((idx - 2.0).abs() < 1e-12);
         // Production better than isolation never yields an index below 1.
-        let idx2 = est.index(&sample(30.0, 100.0), &sample(45.0, 100.0), &Slo::LatencyMs(60.0));
+        let idx2 = est.index(
+            &sample(30.0, 100.0),
+            &sample(45.0, 100.0),
+            &Slo::LatencyMs(60.0),
+        );
         assert_eq!(idx2, 1.0);
     }
 
     #[test]
     fn qos_index_ratio() {
         let est = InterferenceEstimator::default();
-        let idx = est.index(&sample(10.0, 80.0), &sample(10.0, 100.0), &Slo::QosPercent(95.0));
+        let idx = est.index(
+            &sample(10.0, 80.0),
+            &sample(10.0, 100.0),
+            &Slo::QosPercent(95.0),
+        );
         assert!((idx - 1.25).abs() < 1e-12);
     }
 
     #[test]
     fn bucketing() {
-        assert_eq!(InterferenceBucket::from_index(1.0, 0.25), InterferenceBucket::NONE);
-        assert_eq!(InterferenceBucket::from_index(1.2, 0.25), InterferenceBucket(1));
-        assert_eq!(InterferenceBucket::from_index(1.3, 0.25), InterferenceBucket(2));
-        assert_eq!(InterferenceBucket::from_index(f64::NAN, 0.25), InterferenceBucket::NONE);
+        assert_eq!(
+            InterferenceBucket::from_index(1.0, 0.25),
+            InterferenceBucket::NONE
+        );
+        assert_eq!(
+            InterferenceBucket::from_index(1.2, 0.25),
+            InterferenceBucket(1)
+        );
+        assert_eq!(
+            InterferenceBucket::from_index(1.3, 0.25),
+            InterferenceBucket(2)
+        );
+        assert_eq!(
+            InterferenceBucket::from_index(f64::NAN, 0.25),
+            InterferenceBucket::NONE
+        );
         let key = InterferenceBucket(2).key_for(3);
         assert_eq!(key.class, 3);
         assert_eq!(key.interference_bucket, 2);

@@ -58,6 +58,9 @@ pub use config::DejaVuConfig;
 pub use controller::{DejaVuController, DejaVuPhase, DejaVuStats};
 pub use error::DejaVuError;
 pub use interference::{InterferenceBucket, InterferenceEstimator};
-pub use repository::{RepositoryEntry, RepositoryKey, SignatureRepository};
+pub use repository::{
+    AllocationStore, RepositoryEntry, RepositoryKey, RepositoryStats, SignatureRepository,
+    StoreContext,
+};
 pub use signature::SignatureBuilder;
 pub use tuner::{LinearSearchTuner, Tuner, TuningOutcome};

@@ -7,6 +7,7 @@
 //! capacity.
 
 use dejavu_cloud::ResourceAllocation;
+use dejavu_metrics::WorkloadSignature;
 use dejavu_simcore::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -29,6 +30,14 @@ impl RepositoryKey {
             class,
             interference_bucket: 0,
         }
+    }
+
+    /// Sentinel key used before any workload class exists (e.g. learning-phase
+    /// lookups that match purely by signature in fleet-shared stores). A plain
+    /// [`SignatureRepository`] never stores anything under this key, so such
+    /// lookups always miss locally.
+    pub fn unclassified() -> Self {
+        RepositoryKey::baseline(usize::MAX)
     }
 }
 
@@ -63,6 +72,123 @@ impl RepositoryStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// Identifies an entry for an [`AllocationStore`].
+///
+/// The `key` is always meaningful to the tenant that issued the operation;
+/// `class_signature` optionally carries the full-catalogue workload signature
+/// characterizing the class (the class medoid, or the raw profiled signature
+/// during learning). Local stores ignore it; fleet-shared stores use it to
+/// match equivalent workload classes across tenants whose locally assigned
+/// class ids differ.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreContext<'a> {
+    /// The tenant-local repository key.
+    pub key: RepositoryKey,
+    /// Cross-tenant identity of the workload class, when known.
+    pub class_signature: Option<&'a WorkloadSignature>,
+    /// Simulated time of the operation; stores with staleness policies (TTL
+    /// eviction in fleet-shared stores) compare entry age against it. Local
+    /// stores ignore it.
+    pub now: SimTime,
+}
+
+impl<'a> StoreContext<'a> {
+    /// A context identified by key alone.
+    pub fn keyed(key: RepositoryKey) -> Self {
+        StoreContext {
+            key,
+            class_signature: None,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// A context identified by key and class signature.
+    pub fn with_signature(key: RepositoryKey, signature: &'a WorkloadSignature) -> Self {
+        StoreContext {
+            key,
+            class_signature: Some(signature),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Attaches the operation's simulated time.
+    pub fn at(mut self, now: SimTime) -> Self {
+        self.now = now;
+        self
+    }
+}
+
+/// The storage interface behind [`crate::controller::DejaVuController`].
+///
+/// The classic single-tenant cache ([`SignatureRepository`]) implements this
+/// directly; `dejavu-fleet` provides tenant views over a shared, sharded
+/// repository so that one tenant's tuning pays off for every recurring
+/// workload in the fleet. Method semantics mirror the inherent
+/// `SignatureRepository` API.
+pub trait AllocationStore: Send {
+    /// Inserts (or replaces) the preferred allocation for `ctx`.
+    fn put(&mut self, ctx: StoreContext<'_>, allocation: ResourceAllocation, tuned_at: SimTime);
+
+    /// Looks up the preferred allocation for `ctx`, counting a hit or miss.
+    fn get(&mut self, ctx: StoreContext<'_>) -> Option<RepositoryEntry>;
+
+    /// Invalidates every entry this tenant can see as its own (used when
+    /// DejaVu re-clusters). Shared stores drop only the tenant's local view,
+    /// never other tenants' contributions.
+    fn clear(&mut self);
+
+    /// Number of entries visible to this tenant.
+    fn len(&self) -> usize;
+
+    /// Returns true if no entries are visible.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accumulated hit/miss statistics from this tenant's perspective.
+    fn stats(&self) -> RepositoryStats;
+
+    /// Snapshot of the visible `(key, entry)` pairs, in key order.
+    fn entries(&self) -> Vec<(RepositoryKey, RepositoryEntry)>;
+}
+
+impl AllocationStore for SignatureRepository {
+    fn put(&mut self, ctx: StoreContext<'_>, allocation: ResourceAllocation, tuned_at: SimTime) {
+        // Signature-only publications (the unclassified sentinel) have no
+        // meaningful local key: storing them would alias every learning-phase
+        // workload under one entry. They only exist for signature-matching
+        // stores; a local repository drops them.
+        if ctx.key == RepositoryKey::unclassified() {
+            return;
+        }
+        self.insert(ctx.key, allocation, tuned_at);
+    }
+
+    fn get(&mut self, ctx: StoreContext<'_>) -> Option<RepositoryEntry> {
+        self.lookup(ctx.key)
+    }
+
+    fn clear(&mut self) {
+        SignatureRepository::clear(self);
+    }
+
+    fn len(&self) -> usize {
+        SignatureRepository::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        SignatureRepository::is_empty(self)
+    }
+
+    fn stats(&self) -> RepositoryStats {
+        SignatureRepository::stats(self)
+    }
+
+    fn entries(&self) -> Vec<(RepositoryKey, RepositoryEntry)> {
+        self.iter().map(|(k, e)| (*k, *e)).collect()
     }
 }
 
@@ -105,7 +231,12 @@ impl SignatureRepository {
     }
 
     /// Inserts (or replaces) the preferred allocation for `key`.
-    pub fn insert(&mut self, key: RepositoryKey, allocation: ResourceAllocation, tuned_at: SimTime) {
+    pub fn insert(
+        &mut self,
+        key: RepositoryKey,
+        allocation: ResourceAllocation,
+        tuned_at: SimTime,
+    ) {
         self.stats.insertions += 1;
         self.entries.insert(
             key,
@@ -121,16 +252,33 @@ impl SignatureRepository {
     /// bumping the entry's reuse counter on a hit.
     pub fn lookup(&mut self, key: RepositoryKey) -> Option<RepositoryEntry> {
         match self.entries.get_mut(&key) {
-            Some(entry) => {
-                entry.hits += 1;
-                self.stats.hits += 1;
-                Some(*entry)
-            }
+            Some(entry) => Some(*Self::record_hit(entry, &mut self.stats)),
             None => {
                 self.stats.misses += 1;
                 None
             }
         }
+    }
+
+    /// The single code path that counts a cache hit: the per-entry reuse
+    /// counter and the aggregate [`RepositoryStats`] advance together, so the
+    /// two can only diverge through entry overwrites or [`clear`](Self::clear)
+    /// (which reset entry counters but deliberately keep lifetime stats).
+    fn record_hit<'a>(
+        entry: &'a mut RepositoryEntry,
+        stats: &mut RepositoryStats,
+    ) -> &'a RepositoryEntry {
+        entry.hits += 1;
+        stats.hits += 1;
+        entry
+    }
+
+    /// Sum of the per-entry reuse counters of the currently cached entries.
+    ///
+    /// Equals `stats().hits` as long as no entry has been overwritten or
+    /// cleared since the last reset.
+    pub fn total_entry_hits(&self) -> u64 {
+        self.entries.values().map(|e| e.hits).sum()
     }
 
     /// Reads an entry without affecting statistics.
@@ -173,7 +321,11 @@ mod tests {
     #[test]
     fn hit_counters_and_rates() {
         let mut repo = SignatureRepository::new();
-        repo.insert(RepositoryKey::baseline(0), ResourceAllocation::large(2), SimTime::ZERO);
+        repo.insert(
+            RepositoryKey::baseline(0),
+            ResourceAllocation::large(2),
+            SimTime::ZERO,
+        );
         let _ = repo.lookup(RepositoryKey::baseline(0));
         let _ = repo.lookup(RepositoryKey::baseline(0));
         let _ = repo.lookup(RepositoryKey::baseline(5));
@@ -213,7 +365,11 @@ mod tests {
     #[test]
     fn clear_empties_the_cache() {
         let mut repo = SignatureRepository::new();
-        repo.insert(RepositoryKey::baseline(0), ResourceAllocation::large(2), SimTime::ZERO);
+        repo.insert(
+            RepositoryKey::baseline(0),
+            ResourceAllocation::large(2),
+            SimTime::ZERO,
+        );
         repo.clear();
         assert!(repo.is_empty());
         assert!(repo.lookup(RepositoryKey::baseline(0)).is_none());
@@ -223,5 +379,53 @@ mod tests {
     #[test]
     fn empty_stats_hit_rate_is_zero() {
         assert_eq!(RepositoryStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn entry_hits_and_aggregate_hits_advance_together() {
+        let mut repo = SignatureRepository::new();
+        repo.insert(
+            RepositoryKey::baseline(0),
+            ResourceAllocation::large(2),
+            SimTime::ZERO,
+        );
+        repo.insert(
+            RepositoryKey::baseline(1),
+            ResourceAllocation::large(4),
+            SimTime::ZERO,
+        );
+        for _ in 0..5 {
+            let _ = repo.lookup(RepositoryKey::baseline(0));
+        }
+        for _ in 0..3 {
+            let _ = repo.lookup(RepositoryKey::baseline(1));
+        }
+        let _ = repo.lookup(RepositoryKey::baseline(9));
+        assert_eq!(repo.stats().hits, 8);
+        assert_eq!(repo.total_entry_hits(), repo.stats().hits);
+    }
+
+    #[test]
+    fn allocation_store_impl_matches_inherent_api() {
+        let mut repo = SignatureRepository::new();
+        let store: &mut dyn AllocationStore = &mut repo;
+        let key = RepositoryKey::baseline(3);
+        store.put(
+            StoreContext::keyed(key),
+            ResourceAllocation::large(5),
+            SimTime::ZERO,
+        );
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        let entry = store.get(StoreContext::keyed(key)).expect("present");
+        assert_eq!(entry.allocation, ResourceAllocation::large(5));
+        assert!(store
+            .get(StoreContext::keyed(RepositoryKey::unclassified()))
+            .is_none());
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.entries().len(), 1);
+        store.clear();
+        assert!(store.is_empty());
     }
 }

@@ -96,7 +96,11 @@ mod tests {
     use dejavu_simcore::SimRng;
     use dejavu_traces::ServiceKind;
 
-    fn profiled(intensities: &[f64], per: usize, seed: u64) -> (Vec<WorkloadSignature>, Vec<usize>) {
+    fn profiled(
+        intensities: &[f64],
+        per: usize,
+        seed: u64,
+    ) -> (Vec<WorkloadSignature>, Vec<usize>) {
         let sampler = MetricSampler::new(MetricModel::default(), SamplerConfig::default());
         let mut rng = SimRng::seed_from_u64(seed);
         let mut sigs = Vec::new();
@@ -122,7 +126,10 @@ mod tests {
         assert!(!builder.metric_names().iter().any(|n| n == "prefetch_hits"));
         let projected = builder.project(&sigs[0]);
         assert_eq!(projected.len(), builder.metric_names().len());
-        assert_eq!(builder.project_values(&sigs[0]), projected.values().to_vec());
+        assert_eq!(
+            builder.project_values(&sigs[0]),
+            projected.values().to_vec()
+        );
     }
 
     #[test]

@@ -110,7 +110,11 @@ mod tests {
     use dejavu_traces::{RequestMix, ServiceKind};
 
     fn cassandra_workload(intensity: f64) -> Workload {
-        Workload::with_intensity(ServiceKind::Cassandra, intensity, RequestMix::update_heavy())
+        Workload::with_intensity(
+            ServiceKind::Cassandra,
+            intensity,
+            RequestMix::update_heavy(),
+        )
     }
 
     #[test]
@@ -140,10 +144,7 @@ mod tests {
         let high = tuner.tune(&cassandra_workload(0.9), &svc, &space, 1.0);
         assert!(high.experiments_run > low.experiments_run);
         assert!(high.duration > low.duration);
-        assert_eq!(
-            low.duration.as_secs(),
-            60.0 * low.experiments_run as f64
-        );
+        assert_eq!(low.duration.as_secs(), 60.0 * low.experiments_run as f64);
     }
 
     #[test]

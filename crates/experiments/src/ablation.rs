@@ -96,7 +96,10 @@ pub fn run(seed: u64) -> AblationResult {
         .map(|n| {
             run_variant(
                 format!("signature-metrics={n}"),
-                DejaVuConfig::builder().max_signature_metrics(n).seed(seed).build(),
+                DejaVuConfig::builder()
+                    .max_signature_metrics(n)
+                    .seed(seed)
+                    .build(),
                 seed,
             )
         })
@@ -117,7 +120,12 @@ mod tests {
         assert_eq!(a.classifiers.len(), 3);
         assert_eq!(a.signature_sizes.len(), 4);
         for row in a.classifiers.iter().chain(&a.signature_sizes) {
-            assert!(row.hit_rate > 0.6, "{} hit rate {}", row.variant, row.hit_rate);
+            assert!(
+                row.hit_rate > 0.6,
+                "{} hit rate {}",
+                row.variant,
+                row.hit_rate
+            );
             assert!(
                 row.violation_fraction < 0.15,
                 "{} violations {}",

@@ -27,7 +27,10 @@ impl Fig1Result {
     pub fn report(&self) -> Report {
         let mut r = Report::new("Figure 1: state-of-the-art retuning under a sine-wave RUBiS load");
         r.kv("SLO violation fraction", pct(self.violation_fraction));
-        r.kv("mean retuning time (s)", format!("{:.0}", self.mean_retuning_secs));
+        r.kv(
+            "mean retuning time (s)",
+            format!("{:.0}", self.mean_retuning_secs),
+        );
         r.kv("adaptations", self.online_tuning.adaptations.len());
         r.hourly("load", &self.online_tuning.load, 2);
         r.hourly("latency ms", &self.online_tuning.latency_ms, 2);
@@ -69,8 +72,16 @@ mod tests {
     #[test]
     fn state_of_the_art_spends_minutes_retuning() {
         let fig = run(1);
-        assert!(fig.mean_retuning_secs > 60.0, "retuning {}", fig.mean_retuning_secs);
-        assert!(fig.violation_fraction > 0.02, "violations {}", fig.violation_fraction);
+        assert!(
+            fig.mean_retuning_secs > 60.0,
+            "retuning {}",
+            fig.mean_retuning_secs
+        );
+        assert!(
+            fig.violation_fraction > 0.02,
+            "violations {}",
+            fig.violation_fraction
+        );
         assert!(fig.online_tuning.adaptations.len() >= 3);
         assert!(fig.report().to_string().contains("retuning"));
     }

@@ -18,9 +18,17 @@ mod tests {
     fn messenger_scale_up_saves_less_than_hotmail() {
         let fig = run(1);
         // Paper: ~35% savings for Messenger vs ~45% for HotMail.
-        assert!(fig.savings > 0.20 && fig.savings < 0.60, "savings {}", fig.savings);
+        assert!(
+            fig.savings > 0.20 && fig.savings < 0.60,
+            "savings {}",
+            fig.savings
+        );
         let hotmail = crate::fig9::run(1);
         assert!(hotmail.savings > 0.25, "hotmail {}", hotmail.savings);
-        assert!(fig.qos_compliance > 0.7, "compliance {}", fig.qos_compliance);
+        assert!(
+            fig.qos_compliance > 0.7,
+            "compliance {}",
+            fig.qos_compliance
+        );
     }
 }

@@ -38,8 +38,14 @@ impl Fig11Result {
             pct(self.without_detection.slo_violation_fraction),
         );
         r.kv("interference compensations", self.compensations);
-        r.kv("mean instances (enabled)", format!("{:.1}", self.mean_instances_with));
-        r.kv("mean instances (disabled)", format!("{:.1}", self.mean_instances_without));
+        r.kv(
+            "mean instances (enabled)",
+            format!("{:.1}", self.mean_instances_with),
+        );
+        r.kv(
+            "mean instances (disabled)",
+            format!("{:.1}", self.mean_instances_without),
+        );
         r
     }
 }
@@ -54,14 +60,20 @@ pub fn run(seed: u64) -> Fig11Result {
     let space = engine.config().space.clone();
 
     let mut with = DejaVuController::new(
-        DejaVuConfig::builder().seed(seed).interference_detection(true).build(),
+        DejaVuConfig::builder()
+            .seed(seed)
+            .interference_detection(true)
+            .build(),
         Box::new(service),
         space.clone(),
     );
     let with_run = engine.run(&service, &mut with);
 
     let mut without = DejaVuController::new(
-        DejaVuConfig::builder().seed(seed).interference_detection(false).build(),
+        DejaVuConfig::builder()
+            .seed(seed)
+            .interference_detection(false)
+            .build(),
         Box::new(service),
         space.clone(),
     )

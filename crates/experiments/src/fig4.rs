@@ -94,8 +94,18 @@ fn panel(service: ServiceKind, metric: &str, mix: RequestMix, seed: u64) -> Fig4
 pub fn run(seed: u64) -> Fig4Result {
     Fig4Result {
         panels: vec![
-            panel(ServiceKind::SpecWeb, "flops_rate", RequestMix::read_only(), seed),
-            panel(ServiceKind::Rubis, "cpu_clk_unhalted", RequestMix::new(0.8), seed ^ 1),
+            panel(
+                ServiceKind::SpecWeb,
+                "flops_rate",
+                RequestMix::read_only(),
+                seed,
+            ),
+            panel(
+                ServiceKind::Rubis,
+                "cpu_clk_unhalted",
+                RequestMix::new(0.8),
+                seed ^ 1,
+            ),
             panel(
                 ServiceKind::Cassandra,
                 "xentop_net_tx_kbps",

@@ -43,7 +43,8 @@ pub fn run(seed: u64) -> Fig5Result {
         .levels()
         .iter()
         .map(|&level| {
-            let w = Workload::with_intensity(ServiceKind::Cassandra, level, RequestMix::update_heavy());
+            let w =
+                Workload::with_intensity(ServiceKind::Cassandra, level, RequestMix::update_heavy());
             profiler.profile(&w, &mut rng).signature
         })
         .collect();

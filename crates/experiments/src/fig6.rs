@@ -42,7 +42,10 @@ impl ScaleOutFigure {
         r.kv("DejaVu cache hit rate", pct(self.hit_rate));
         r.kv("unforeseen-workload fallbacks", self.unforeseen);
         r.kv("DejaVu savings vs fixed max", pct(self.dejavu_savings));
-        r.kv("Autopilot savings vs fixed max", pct(self.autopilot_savings));
+        r.kv(
+            "Autopilot savings vs fixed max",
+            pct(self.autopilot_savings),
+        );
         r.kv(
             "DejaVu SLO violation fraction",
             pct(self.dejavu.slo_violation_fraction),
@@ -114,7 +117,11 @@ mod tests {
     fn messenger_scale_out_matches_paper_shape() {
         let fig = run(1);
         // A handful of classes, overwhelmingly cache hits.
-        assert!((2..=5).contains(&fig.num_classes), "classes {}", fig.num_classes);
+        assert!(
+            (2..=5).contains(&fig.num_classes),
+            "classes {}",
+            fig.num_classes
+        );
         assert!(fig.hit_rate > 0.7, "hit rate {}", fig.hit_rate);
         // A substantial share of the provisioning cost is saved (paper: ~55%;
         // our conservative class merging over-provisions the night hours, see
@@ -125,7 +132,11 @@ mod tests {
             fig.dejavu_savings
         );
         // DejaVu keeps the SLO almost always; adaptation is ~10 s.
-        assert!(fig.dejavu.slo_violation_fraction < 0.10, "violations {}", fig.dejavu.slo_violation_fraction);
+        assert!(
+            fig.dejavu.slo_violation_fraction < 0.10,
+            "violations {}",
+            fig.dejavu.slo_violation_fraction
+        );
         // The report renders.
         let text = fig.report("fig6").to_string();
         assert!(text.contains("savings"));

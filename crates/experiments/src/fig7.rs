@@ -16,7 +16,11 @@ mod tests {
     #[test]
     fn hotmail_scale_out_matches_paper_shape() {
         let fig = run(1);
-        assert!((2..=5).contains(&fig.num_classes), "classes {}", fig.num_classes);
+        assert!(
+            (2..=5).contains(&fig.num_classes),
+            "classes {}",
+            fig.num_classes
+        );
         // Paper: ~60% savings on this trace (see EXPERIMENTS.md for the gap).
         assert!(
             fig.dejavu_savings > 0.25 && fig.dejavu_savings < 0.75,

@@ -39,7 +39,8 @@ impl Fig8Result {
 
     /// Renders the figure.
     pub fn report(&self) -> Report {
-        let mut r = Report::new("Figure 8: adaptation time, DejaVu vs RightScale (log-scale in the paper)");
+        let mut r =
+            Report::new("Figure 8: adaptation time, DejaVu vs RightScale (log-scale in the paper)");
         for b in &self.bars {
             r.kv(
                 &format!("{} / {}", b.trace, b.controller),
@@ -53,7 +54,12 @@ impl Fig8Result {
 fn bars_for(trace: LoadTrace, seed: u64) -> Vec<AdaptationBar> {
     let service = CassandraService::update_heavy();
     let trace_name = trace.name().to_string();
-    let cfg = RunConfig::scale_out(format!("fig8-{trace_name}"), trace, RequestMix::update_heavy(), seed);
+    let cfg = RunConfig::scale_out(
+        format!("fig8-{trace_name}"),
+        trace,
+        RequestMix::update_heavy(),
+        seed,
+    );
     let engine = SimulationEngine::new(cfg);
     let space = engine.config().space.clone();
     let mut out = Vec::new();
@@ -111,9 +117,17 @@ mod tests {
         let fig = run(1);
         for trace in ["messenger", "hotmail"] {
             let dejavu = fig.bar(trace, "dejavu").expect("dejavu bar present");
-            let rs3 = fig.bar(trace, "rightscale-3min").expect("rs-3min bar present");
-            let rs15 = fig.bar(trace, "rightscale-15min").expect("rs-15min bar present");
-            assert!(dejavu.mean_secs < 60.0, "{trace} dejavu {}", dejavu.mean_secs);
+            let rs3 = fig
+                .bar(trace, "rightscale-3min")
+                .expect("rs-3min bar present");
+            let rs15 = fig
+                .bar(trace, "rightscale-15min")
+                .expect("rs-15min bar present");
+            assert!(
+                dejavu.mean_secs < 60.0,
+                "{trace} dejavu {}",
+                dejavu.mean_secs
+            );
             assert!(
                 rs3.mean_secs > 5.0 * dejavu.mean_secs,
                 "{trace}: rs3 {} vs dejavu {}",

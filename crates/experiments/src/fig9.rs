@@ -91,9 +91,17 @@ mod tests {
     fn hotmail_scale_up_matches_paper_shape() {
         let fig = run(1);
         // Paper: ~45% savings; the large type suffices most of the time.
-        assert!(fig.savings > 0.30 && fig.savings < 0.55, "savings {}", fig.savings);
+        assert!(
+            fig.savings > 0.30 && fig.savings < 0.55,
+            "savings {}",
+            fig.savings
+        );
         assert!(fig.xl_fraction < 0.4, "xl fraction {}", fig.xl_fraction);
-        assert!(fig.qos_compliance > 0.9, "compliance {}", fig.qos_compliance);
+        assert!(
+            fig.qos_compliance > 0.9,
+            "compliance {}",
+            fig.qos_compliance
+        );
         assert!(fig.report("fig9").to_string().contains("savings"));
     }
 }

@@ -1,0 +1,122 @@
+//! The `fleet` experiment: runs the standard mixed fleet twice — once with the
+//! shared signature repository, once with per-tenant isolated repositories —
+//! and reports what sharing buys: a higher repository hit rate, fewer
+//! cold-start tuning runs, and the fleet-wide cost picture against the
+//! `FixedMax` and `RightScale` baselines.
+//!
+//! ```text
+//! cargo run -p dejavu-experiments --release -- fleet --tenants 200
+//! ```
+
+use crate::report::{pct, Report};
+use dejavu_fleet::{standard_fleet, FleetConfig, FleetEngine, FleetReport, SharingMode};
+
+/// Result of the fleet comparison.
+#[derive(Debug, Clone)]
+pub struct FleetFigure {
+    /// The fleet with the shared repository.
+    pub shared: FleetReport,
+    /// The same fleet with isolated per-tenant repositories.
+    pub isolated: FleetReport,
+}
+
+impl FleetFigure {
+    /// Renders the comparison as a text report.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("Fleet: shared vs isolated signature repositories");
+        r.kv("tenants", self.shared.tenants.len());
+        r.kv("epochs", self.shared.epochs);
+        r.kv("hit rate (shared)", pct(self.shared.fleet_hit_rate()));
+        r.kv("hit rate (isolated)", pct(self.isolated.fleet_hit_rate()));
+        r.kv("tuning runs (shared)", self.shared.total_tunings());
+        r.kv("tuning runs (isolated)", self.isolated.total_tunings());
+        r.kv(
+            "tunings avoided via fleet reuse",
+            self.shared.total_fleet_reuses(),
+        );
+        r.kv("cross-tenant hits", self.shared.total_cross_tenant_hits());
+        r.kv(
+            "SLO violation (shared)",
+            pct(self.shared.aggregate_slo_violation()),
+        );
+        r.kv(
+            "SLO violation (isolated)",
+            pct(self.isolated.aggregate_slo_violation()),
+        );
+        r.kv(
+            "DejaVu cost (shared)",
+            format!("${:.2}", self.shared.total_cost()),
+        );
+        if let (Some(fixed), Some(right)) = (
+            self.shared.total_fixed_max_cost(),
+            self.shared.total_rightscale_cost(),
+        ) {
+            r.kv("FixedMax cost", format!("${fixed:.2}"));
+            r.kv("RightScale cost", format!("${right:.2}"));
+            r.kv(
+                "savings vs FixedMax",
+                pct(1.0 - self.shared.total_cost() / fixed.max(f64::MIN_POSITIVE)),
+            );
+        }
+        if let Some(repo) = &self.shared.shared_repo {
+            r.kv(
+                "shared repo",
+                format!(
+                    "{} entries / {} anchors / {} shards",
+                    repo.entries,
+                    repo.anchors,
+                    repo.shard_stats.len()
+                ),
+            );
+        }
+        r.line("");
+        r.line(self.shared.render());
+        r
+    }
+}
+
+/// Runs the fleet comparison for `tenants` tenants over `days` days.
+pub fn run_with(seed: u64, tenants: usize, days: usize, baselines: bool) -> FleetFigure {
+    let config = |sharing, run_baselines| FleetConfig {
+        sharing,
+        run_baselines,
+        ..Default::default()
+    };
+    let shared = FleetEngine::new(
+        standard_fleet(tenants, days, seed),
+        config(SharingMode::Shared, baselines),
+    )
+    .run();
+    // The baselines ignore the repository, so their runs are identical in both
+    // fleets; only the shared fleet pays for them.
+    let isolated = FleetEngine::new(
+        standard_fleet(tenants, days, seed),
+        config(SharingMode::Isolated, false),
+    )
+    .run();
+    FleetFigure { shared, isolated }
+}
+
+/// Runs the default-size fleet comparison (40 tenants, 3 days, baselines on).
+pub fn run(seed: u64) -> FleetFigure {
+    run_with(seed, 40, 3, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharing_strictly_beats_isolation_on_hit_rate() {
+        let fig = run_with(3, 8, 2, false);
+        assert!(
+            fig.shared.fleet_hit_rate() > fig.isolated.fleet_hit_rate(),
+            "shared {} vs isolated {}",
+            fig.shared.fleet_hit_rate(),
+            fig.isolated.fleet_hit_rate()
+        );
+        assert!(fig.shared.total_tunings() < fig.isolated.total_tunings());
+        let text = fig.report().into_text();
+        assert!(text.contains("hit rate (shared)"));
+    }
+}

@@ -23,7 +23,6 @@
 //! | [`ablation`] | DESIGN.md ablations (class count, classifier, signature size) |
 
 pub mod ablation;
-pub mod engine;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -33,10 +32,16 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod overhead;
 pub mod report;
 pub mod savings;
 pub mod table1;
+
+/// The single-tenant simulation engine now lives in `dejavu-fleet` (the fleet
+/// drives many of them in lock-step); re-exported here so `figN` modules and
+/// downstream users keep their `dejavu_experiments::engine::…` paths.
+pub use dejavu_fleet::engine;
 
 pub use engine::{RunConfig, RunResult, SimulationEngine};
 pub use report::Report;

@@ -10,12 +10,22 @@ use std::env;
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut seed = 1u64;
+    let mut tenants = 40usize;
+    let mut days = 3usize;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         if arg == "--seed" {
             if let Some(v) = it.next() {
                 seed = v.parse().unwrap_or(1);
+            }
+        } else if arg == "--tenants" {
+            if let Some(v) = it.next() {
+                tenants = v.parse().unwrap_or(40);
+            }
+        } else if arg == "--days" {
+            if let Some(v) = it.next() {
+                days = v.parse().unwrap_or(3);
             }
         } else {
             targets.push(arg.clone());
@@ -53,6 +63,9 @@ fn main() {
             "overhead" => dejavu_experiments::overhead::run(seed).report().into_text(),
             "savings" => dejavu_experiments::savings::run(seed).report().into_text(),
             "ablation" => dejavu_experiments::ablation::run(seed).report().into_text(),
+            "fleet" => dejavu_experiments::fleet::run_with(seed, tenants, days, true)
+                .report()
+                .into_text(),
             other => format!("unknown experiment '{other}'\n"),
         };
         println!("{text}");

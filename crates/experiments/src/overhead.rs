@@ -44,7 +44,10 @@ impl OverheadResult {
                 ),
             );
         }
-        r.kv("mean latency added (ms)", format!("{:.1}", self.mean_added_ms));
+        r.kv(
+            "mean latency added (ms)",
+            format!("{:.1}", self.mean_added_ms),
+        );
         r.kv(
             "network overhead (100 instances)",
             format!("{:.3}%", self.network_fraction * 100.0),
@@ -92,7 +95,11 @@ mod tests {
     fn overhead_matches_paper_magnitudes() {
         let o = run(1);
         assert_eq!(o.rows.len(), 5);
-        assert!((o.mean_added_ms - 3.0).abs() < 0.5, "added {}", o.mean_added_ms);
+        assert!(
+            (o.mean_added_ms - 3.0).abs() < 0.5,
+            "added {}",
+            o.mean_added_ms
+        );
         assert!(o.network_fraction < 0.002, "network {}", o.network_fraction);
         assert!(o.report().to_string().contains("proxy"));
     }

@@ -12,7 +12,9 @@ pub struct Report {
 impl Report {
     /// Creates an empty report.
     pub fn new(title: &str) -> Self {
-        let mut r = Report { text: String::new() };
+        let mut r = Report {
+            text: String::new(),
+        };
         r.heading(title);
         r
     }

@@ -37,7 +37,10 @@ impl SavingsSummary {
     /// Renders the summary.
     pub fn report(&self) -> Report {
         let mut r = Report::new("Section 4.5: provisioning-cost savings");
-        r.kv("scale-out savings (Messenger)", pct(self.scale_out_messenger));
+        r.kv(
+            "scale-out savings (Messenger)",
+            pct(self.scale_out_messenger),
+        );
         r.kv("scale-out savings (HotMail)", pct(self.scale_out_hotmail));
         r.kv("scale-up savings (HotMail)", pct(self.scale_up_hotmail));
         r.kv("scale-up savings (Messenger)", pct(self.scale_up_messenger));

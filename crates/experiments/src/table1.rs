@@ -75,7 +75,11 @@ mod tests {
     #[test]
     fn selection_is_small_informative_and_overlaps_table1() {
         let t = run(5);
-        assert!(t.selected.len() >= 3 && t.selected.len() <= 8, "selected {:?}", t.selected);
+        assert!(
+            t.selected.len() >= 3 && t.selected.len() <= 8,
+            "selected {:?}",
+            t.selected
+        );
         assert!(!t.selected.iter().any(|n| n == "prefetch_hits"));
         assert!(t.merit > 0.0);
         assert!(t.report().to_string().contains("Table 1"));

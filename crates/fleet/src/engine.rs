@@ -1,6 +1,13 @@
 //! The simulation engine: drives a trace through a service model, a simulated
 //! cloud platform and a provisioning controller, recording everything the
 //! figures need.
+//!
+//! Historically this lived in `dejavu-experiments`; it moved here so that the
+//! fleet simulator can drive many tenant engines in lock-step. The classic
+//! one-shot [`SimulationEngine::run`] is unchanged; the fleet uses the
+//! incremental [`SimulationEngine::begin`] / [`SimulationEngine::step`] /
+//! [`SimulationEngine::finish`] decomposition, which produces bit-identical
+//! results (`run` is implemented on top of it).
 
 use dejavu_cloud::{
     AdaptationEvent, AllocationSpace, CloudPlatform, InterferenceSchedule, Observation,
@@ -37,7 +44,12 @@ pub struct RunConfig {
 impl RunConfig {
     /// A scale-out configuration (1–10 large instances) for the given trace,
     /// matching the paper's Cassandra experiments.
-    pub fn scale_out(name: impl Into<String>, trace: LoadTrace, mix: RequestMix, seed: u64) -> Self {
+    pub fn scale_out(
+        name: impl Into<String>,
+        trace: LoadTrace,
+        mix: RequestMix,
+        seed: u64,
+    ) -> Self {
         let space = AllocationSpace::scale_out(1, 10).expect("static range is valid");
         RunConfig {
             name: name.into(),
@@ -162,6 +174,53 @@ impl RunResult {
     }
 }
 
+/// The in-flight state of one run, stepped one observation tick at a time.
+///
+/// Produced by [`SimulationEngine::begin`], advanced by
+/// [`SimulationEngine::step`], consumed by [`SimulationEngine::finish`].
+#[derive(Debug, Clone)]
+pub struct RunState {
+    platform: CloudPlatform,
+    client: ClientEmulator,
+    rng: SimRng,
+    load: TimeSeries,
+    instance_count: TimeSeries,
+    capacity_units: TimeSeries,
+    latency_ms: TimeSeries,
+    qos_percent: TimeSeries,
+    adaptations: Vec<AdaptationEvent>,
+    change_points: Vec<SimTime>,
+    tick_secs: f64,
+    ticks: usize,
+    tick_index: usize,
+    violated_ticks: usize,
+    last_level: f64,
+    last_reconfig: Option<SimTime>,
+    prev_allocation: ResourceAllocation,
+    end: SimTime,
+}
+
+impl RunState {
+    /// The time of the next observation tick, or `None` when the run is over.
+    pub fn next_tick_time(&self) -> Option<SimTime> {
+        if self.tick_index < self.ticks {
+            Some(SimTime::from_secs(self.tick_secs * self.tick_index as f64))
+        } else {
+            None
+        }
+    }
+
+    /// Returns true when every tick has been simulated.
+    pub fn is_done(&self) -> bool {
+        self.tick_index >= self.ticks
+    }
+
+    /// Ticks simulated so far.
+    pub fn ticks_completed(&self) -> usize {
+        self.tick_index
+    }
+}
+
 /// The simulation engine.
 #[derive(Debug, Clone)]
 pub struct SimulationEngine {
@@ -179,93 +238,128 @@ impl SimulationEngine {
         &self.config
     }
 
-    /// Runs `controller` over the configured trace against `service`.
-    pub fn run(
-        &self,
-        service: &dyn ServiceModel,
-        controller: &mut dyn ProvisioningController,
-    ) -> RunResult {
+    /// Starts a run: platform, client emulator and bookkeeping at time zero.
+    pub fn begin(&self) -> RunState {
         let cfg = &self.config;
-        let mut platform = CloudPlatform::new(
+        let platform = CloudPlatform::new(
             cfg.platform.clone(),
             cfg.space.clone(),
             cfg.initial_allocation,
             cfg.interference.clone(),
         );
-        let client = ClientEmulator::default();
-        let mut rng = SimRng::seed_from_u64(cfg.seed);
-
-        let mut load = TimeSeries::new("load");
-        let mut instance_count = TimeSeries::new("instances");
-        let mut capacity_units = TimeSeries::new("capacity");
-        let mut latency_ms = TimeSeries::new("latency_ms");
-        let mut qos_percent = TimeSeries::new("qos_percent");
-        let mut adaptations: Vec<AdaptationEvent> = Vec::new();
-        let mut change_points: Vec<SimTime> = Vec::new();
-
         let end = SimTime::ZERO + cfg.trace.duration();
         let ticks = (cfg.trace.duration().as_secs() / cfg.tick.as_secs()).round() as usize;
-        let mut violated_ticks = 0usize;
-        let mut last_level = f64::NAN;
-        let mut last_reconfig: Option<SimTime> = None;
-        let mut prev_allocation = cfg.initial_allocation;
+        RunState {
+            platform,
+            client: ClientEmulator::default(),
+            rng: SimRng::seed_from_u64(cfg.seed),
+            load: TimeSeries::new("load"),
+            instance_count: TimeSeries::new("instances"),
+            capacity_units: TimeSeries::new("capacity"),
+            latency_ms: TimeSeries::new("latency_ms"),
+            qos_percent: TimeSeries::new("qos_percent"),
+            adaptations: Vec::new(),
+            change_points: Vec::new(),
+            tick_secs: cfg.tick.as_secs(),
+            ticks,
+            tick_index: 0,
+            violated_ticks: 0,
+            last_level: f64::NAN,
+            last_reconfig: None,
+            prev_allocation: cfg.initial_allocation,
+            end,
+        }
+    }
 
-        for i in 0..ticks {
-            let t = SimTime::from_secs(cfg.tick.as_secs() * i as f64);
-            let level = cfg.trace.level_at(t);
-            if last_level.is_nan() || (level - last_level).abs() > 0.02 {
-                if !last_level.is_nan() {
-                    change_points.push(t);
-                }
-                last_level = level;
-            }
-            let allocation = platform.allocation_at(t);
-            if allocation != prev_allocation {
-                last_reconfig = Some(t);
-                prev_allocation = allocation;
-            }
-            let capacity = platform.effective_capacity(t).max(0.05);
-            let ctx = EvalContext {
-                time: t,
-                capacity_units: capacity,
-                since_reconfig: last_reconfig.map(|r| t.saturating_since(r)),
-            };
-            let perf = client.measure(service, level, &ctx, &mut rng);
-            let slo_violated = !service.slo().is_met(&perf);
-            if slo_violated {
-                violated_ticks += 1;
-            }
+    /// Simulates one observation tick: measure the service, let `controller`
+    /// decide, apply the decision to the platform. Returns false once the run
+    /// is complete (in which case nothing was simulated).
+    pub fn step(
+        &self,
+        state: &mut RunState,
+        service: &dyn ServiceModel,
+        controller: &mut dyn ProvisioningController,
+    ) -> bool {
+        let cfg = &self.config;
+        if state.tick_index >= state.ticks {
+            return false;
+        }
+        let t = SimTime::from_secs(state.tick_secs * state.tick_index as f64);
+        state.tick_index += 1;
 
-            load.push(t, level);
-            instance_count.push(t, allocation.count() as f64);
-            capacity_units.push(t, allocation.capacity_units());
-            latency_ms.push(t, perf.latency_ms);
-            qos_percent.push(t, perf.qos_percent);
+        let level = cfg.trace.level_at(t);
+        if state.last_level.is_nan() || (level - state.last_level).abs() > 0.02 {
+            if !state.last_level.is_nan() {
+                state.change_points.push(t);
+            }
+            state.last_level = level;
+        }
+        let allocation = state.platform.allocation_at(t);
+        if allocation != state.prev_allocation {
+            state.last_reconfig = Some(t);
+            state.prev_allocation = allocation;
+        }
+        let capacity = state.platform.effective_capacity(t).max(0.05);
+        let ctx = EvalContext {
+            time: t,
+            capacity_units: capacity,
+            since_reconfig: state.last_reconfig.map(|r| t.saturating_since(r)),
+        };
+        let perf = state.client.measure(service, level, &ctx, &mut state.rng);
+        let slo_violated = !service.slo().is_met(&perf);
+        if slo_violated {
+            state.violated_ticks += 1;
+        }
 
-            let observation = Observation {
-                time: t,
-                workload: Workload::with_intensity(service.kind(), level, cfg.mix),
-                latency_ms: Some(perf.latency_ms),
-                qos_percent: Some(perf.qos_percent),
-                utilization: perf.utilization.min(1.0),
-                slo_violated,
-                current_allocation: allocation,
-            };
-            let decision = controller.decide(&observation);
-            if let Some(target) = decision.target {
-                if target != allocation {
-                    platform.request(t, target, decision.decision_latency);
-                    let completed_at = platform.pending_effective_at().unwrap_or(t);
-                    adaptations.push(AdaptationEvent {
-                        started_at: t,
-                        completed_at,
-                        from: allocation,
-                        to: target,
-                        reason: decision.reason,
-                    });
-                }
+        state.load.push(t, level);
+        state.instance_count.push(t, allocation.count() as f64);
+        state.capacity_units.push(t, allocation.capacity_units());
+        state.latency_ms.push(t, perf.latency_ms);
+        state.qos_percent.push(t, perf.qos_percent);
+
+        let observation = Observation {
+            time: t,
+            workload: Workload::with_intensity(service.kind(), level, cfg.mix),
+            latency_ms: Some(perf.latency_ms),
+            qos_percent: Some(perf.qos_percent),
+            utilization: perf.utilization.min(1.0),
+            slo_violated,
+            current_allocation: allocation,
+        };
+        let decision = controller.decide(&observation);
+        if let Some(target) = decision.target {
+            if target != allocation {
+                state.platform.request(t, target, decision.decision_latency);
+                let completed_at = state.platform.pending_effective_at().unwrap_or(t);
+                state.adaptations.push(AdaptationEvent {
+                    started_at: t,
+                    completed_at,
+                    from: allocation,
+                    to: target,
+                    reason: decision.reason,
+                });
             }
         }
+        true
+    }
+
+    /// Finalizes a completed (or truncated) run into a [`RunResult`].
+    pub fn finish(&self, state: RunState, controller_name: &str) -> RunResult {
+        let cfg = &self.config;
+        let RunState {
+            platform,
+            load,
+            instance_count,
+            capacity_units,
+            latency_ms,
+            qos_percent,
+            adaptations,
+            change_points,
+            ticks,
+            violated_ticks,
+            end,
+            ..
+        } = state;
 
         // Settling time per workload change: the completion of the last
         // adaptation started before the next change.
@@ -287,7 +381,7 @@ impl SimulationEngine {
         let reuse_start = SimTime::from_hours(24.0).min(end);
         RunResult {
             name: cfg.name.clone(),
-            controller: controller.name().to_string(),
+            controller: controller_name.to_string(),
             load,
             instance_count,
             capacity_units,
@@ -300,6 +394,18 @@ impl SimulationEngine {
             settle_times_secs,
             end,
         }
+    }
+
+    /// Runs `controller` over the configured trace against `service`.
+    pub fn run(
+        &self,
+        service: &dyn ServiceModel,
+        controller: &mut dyn ProvisioningController,
+    ) -> RunResult {
+        let mut state = self.begin();
+        while self.step(&mut state, service, controller) {}
+        let name = controller.name().to_string();
+        self.finish(state, &name)
     }
 }
 
@@ -345,5 +451,40 @@ mod tests {
         assert_eq!(r.load.len(), (48.0 * 3600.0 / 300.0) as usize);
         assert!(r.total_cost > 0.0);
         assert_eq!(r.controller, "fixed-max");
+    }
+
+    #[test]
+    fn incremental_stepping_matches_one_shot_run() {
+        let cfg = RunConfig::scale_out("step", short_trace(), RequestMix::update_heavy(), 3)
+            .with_tick(SimDuration::from_secs(300.0));
+        let engine = SimulationEngine::new(cfg);
+        let svc = CassandraService::update_heavy();
+
+        let mut fixed_a = FixedMax::new(&engine.config().space.clone());
+        let one_shot = engine.run(&svc, &mut fixed_a);
+
+        // Step in irregular bursts, as the fleet's epoch loop does.
+        let mut fixed_b = FixedMax::new(&engine.config().space.clone());
+        let mut state = engine.begin();
+        let mut burst = 1;
+        while !state.is_done() {
+            for _ in 0..burst {
+                if !engine.step(&mut state, &svc, &mut fixed_b) {
+                    break;
+                }
+            }
+            burst = burst % 7 + 1;
+        }
+        let stepped = engine.finish(state, "fixed-max");
+
+        assert_eq!(one_shot.load.len(), stepped.load.len());
+        assert_eq!(one_shot.total_cost, stepped.total_cost);
+        assert_eq!(
+            one_shot.slo_violation_fraction,
+            stepped.slo_violation_fraction
+        );
+        let a: Vec<f64> = one_shot.latency_ms.values().to_vec();
+        let b: Vec<f64> = stepped.latency_ms.values().to_vec();
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,55 @@
+//! Multi-tenant fleet simulation with a shared, sharded signature repository.
+//!
+//! The DejaVu paper (ASPLOS 2012) amortizes tuning cost by caching allocation
+//! decisions per workload class — for one service. This crate scales that idea
+//! to a fleet: hundreds of tenants, each owning a
+//! `dejavu_core::DejaVuController`, all reading and writing one
+//! [`SharedSignatureRepository`], so one tenant's tuning pays off for every
+//! recurring workload in the fleet.
+//!
+//! * [`engine`] — the single-tenant simulation engine (moved here from
+//!   `dejavu-experiments`), now steppable one observation tick at a time.
+//! * [`shared_repo`] — the lock-striped, sharded store. Entries are keyed by
+//!   *anchor* (a canonical class signature matched by normalized distance),
+//!   not by tenant-local class id, with per-shard statistics, TTL eviction
+//!   and cross-tenant hit accounting.
+//! * [`tenant_view`] — the `AllocationStore` adapter a tenant's controller
+//!   uses: immediate local overlay, epoch-buffered publishes.
+//! * [`scenario`] — fleet descriptions: diurnal Cassandra fleets, spike
+//!   storms, sine sweeps, interference-heavy co-location, SPECweb contingents.
+//! * [`fleet_engine`] — the bulk-synchronous parallel driver: worker threads
+//!   step tenants within an epoch; the epoch barrier commits buffered writes
+//!   in tenant order, making every fleet run bit-deterministic regardless of
+//!   thread count.
+//! * [`report`] — fleet-wide aggregation (SLO violations, cost vs. baselines,
+//!   cold-start tunings avoided, hit rates, shard balance).
+//!
+//! # Example
+//!
+//! ```
+//! use dejavu_fleet::{FleetConfig, FleetEngine, ScenarioBuilder};
+//! use dejavu_simcore::SimDuration;
+//!
+//! let scenario = ScenarioBuilder::new("demo", 7, 2)
+//!     .tick(SimDuration::from_secs(900.0))
+//!     .diurnal_fleet(3)
+//!     .build();
+//! let report = FleetEngine::new(scenario, FleetConfig::default()).run();
+//! assert_eq!(report.tenants.len(), 3);
+//! ```
+
+pub mod engine;
+pub mod fleet_engine;
+pub mod report;
+pub mod scenario;
+pub mod shared_repo;
+pub mod tenant_view;
+
+pub use engine::{RunConfig, RunResult, RunState, SimulationEngine};
+pub use fleet_engine::{FleetConfig, FleetEngine, SharingMode};
+pub use report::{FleetReport, SharedRepoSnapshot, TenantOutcome};
+pub use scenario::{standard_fleet, Scenario, ScenarioBuilder, ServiceSpec, SpaceKind, TenantSpec};
+pub use shared_repo::{
+    namespace_for, PendingOp, ShardStats, SharedRepoConfig, SharedSignatureRepository, TenantId,
+};
+pub use tenant_view::TenantRepoView;

@@ -1,0 +1,258 @@
+//! Aggregated results of a fleet run.
+
+use crate::engine::RunResult;
+use crate::fleet_engine::SharingMode;
+use crate::shared_repo::{ShardStats, TenantId};
+use dejavu_core::DejaVuStats;
+
+/// Snapshot of the shared repository at the end of a run.
+#[derive(Debug, Clone)]
+pub struct SharedRepoSnapshot {
+    /// Entries held at the end of the run (post-eviction).
+    pub entries: usize,
+    /// Distinct workload-class anchors.
+    pub anchors: usize,
+    /// Aggregate statistics.
+    pub stats: ShardStats,
+    /// Per-shard statistics (lock-stripe balance).
+    pub shard_stats: Vec<ShardStats>,
+}
+
+/// Everything recorded for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// Fleet-wide tenant id.
+    pub id: TenantId,
+    /// Tenant label.
+    pub name: String,
+    /// The namespace the tenant shared entries under.
+    pub namespace: u64,
+    /// The tenant's DejaVu run.
+    pub dejavu: RunResult,
+    /// The tenant controller's statistics (tunings, hits, repository stats).
+    pub stats: DejaVuStats,
+    /// Lookups this tenant served from other tenants' tuning decisions.
+    pub cross_tenant_hits: u64,
+    /// The always-full-capacity baseline, when baselines were enabled.
+    pub fixed_max: Option<RunResult>,
+    /// The RightScale-style baseline, when baselines were enabled.
+    pub rightscale: Option<RunResult>,
+}
+
+/// The aggregated result of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Scenario label.
+    pub scenario: String,
+    /// Whether the repository was shared.
+    pub sharing: SharingMode,
+    /// Number of epochs simulated.
+    pub epochs: usize,
+    /// Per-tenant outcomes, in tenant order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Shared-repository snapshot (None for isolated runs).
+    pub shared_repo: Option<SharedRepoSnapshot>,
+}
+
+impl FleetReport {
+    /// Mean SLO-violation fraction across tenants.
+    pub fn aggregate_slo_violation(&self) -> f64 {
+        if self.tenants.is_empty() {
+            return 0.0;
+        }
+        self.tenants
+            .iter()
+            .map(|t| t.dejavu.slo_violation_fraction)
+            .sum::<f64>()
+            / self.tenants.len() as f64
+    }
+
+    /// Total DejaVu deployment cost over the fleet (USD).
+    pub fn total_cost(&self) -> f64 {
+        self.tenants.iter().map(|t| t.dejavu.total_cost).sum()
+    }
+
+    /// Total cost had every tenant provisioned at full capacity, when the
+    /// baselines were run.
+    pub fn total_fixed_max_cost(&self) -> Option<f64> {
+        self.tenants
+            .iter()
+            .map(|t| t.fixed_max.as_ref().map(|r| r.total_cost))
+            .sum()
+    }
+
+    /// Total cost under the RightScale-style baseline, when run.
+    pub fn total_rightscale_cost(&self) -> Option<f64> {
+        self.tenants
+            .iter()
+            .map(|t| t.rightscale.as_ref().map(|r| r.total_cost))
+            .sum()
+    }
+
+    /// Total tuning runs executed fleet-wide — the cold-start cost the shared
+    /// repository exists to amortize.
+    pub fn total_tunings(&self) -> usize {
+        self.tenants.iter().map(|t| t.stats.tunings).sum()
+    }
+
+    /// Learning-phase tunings skipped thanks to another tenant's entry.
+    pub fn total_fleet_reuses(&self) -> u64 {
+        self.tenants.iter().map(|t| t.stats.fleet_reuses).sum()
+    }
+
+    /// Cross-tenant repository hits fleet-wide.
+    pub fn total_cross_tenant_hits(&self) -> u64 {
+        self.tenants.iter().map(|t| t.cross_tenant_hits).sum()
+    }
+
+    /// Fleet-wide repository hit rate: total hits over total lookups, across
+    /// every tenant's repository view (learning-phase lookups included).
+    pub fn fleet_hit_rate(&self) -> f64 {
+        let hits: u64 = self.tenants.iter().map(|t| t.stats.repository.hits).sum();
+        let misses: u64 = self.tenants.iter().map(|t| t.stats.repository.misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Mean reuse-phase adaptation time across tenants that adapted.
+    pub fn mean_adaptation_secs(&self) -> f64 {
+        let times: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|t| t.stats.mean_adaptation_secs())
+            .filter(|&s| s > 0.0)
+            .collect();
+        if times.is_empty() {
+            0.0
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        }
+    }
+
+    /// Renders a plain-text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, line: String| {
+            out.push_str(&line);
+            out.push('\n');
+        };
+        push(&mut out, format!("fleet scenario '{}'", self.scenario));
+        push(
+            &mut out,
+            format!(
+                "  tenants: {}  sharing: {:?}  epochs: {}",
+                self.tenants.len(),
+                self.sharing,
+                self.epochs
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "  aggregate SLO violation  : {:.2}%",
+                self.aggregate_slo_violation() * 100.0
+            ),
+        );
+        push(
+            &mut out,
+            format!("  total DejaVu cost        : ${:.2}", self.total_cost()),
+        );
+        if let Some(fixed) = self.total_fixed_max_cost() {
+            push(
+                &mut out,
+                format!(
+                    "  total FixedMax cost      : ${:.2} (savings {:.1}%)",
+                    fixed,
+                    (1.0 - self.total_cost() / fixed) * 100.0
+                ),
+            );
+        }
+        if let Some(rs) = self.total_rightscale_cost() {
+            push(&mut out, format!("  total RightScale cost    : ${:.2}", rs));
+        }
+        push(
+            &mut out,
+            format!(
+                "  fleet repository hit rate: {:.2}%",
+                self.fleet_hit_rate() * 100.0
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "  tuning runs (cold starts): {} ({} avoided via fleet reuse)",
+                self.total_tunings(),
+                self.total_fleet_reuses()
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "  cross-tenant hits        : {}",
+                self.total_cross_tenant_hits()
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "  mean adaptation          : {:.1} s",
+                self.mean_adaptation_secs()
+            ),
+        );
+        if let Some(repo) = &self.shared_repo {
+            push(
+                &mut out,
+                format!(
+                    "  shared repo              : {} entries, {} anchors, {} shards",
+                    repo.entries,
+                    repo.anchors,
+                    repo.shard_stats.len()
+                ),
+            );
+            push(
+                &mut out,
+                format!(
+                    "  shared repo activity     : {} inserts, {} evictions, {} cross-tenant hits",
+                    repo.stats.insertions, repo.stats.evictions, repo.stats.cross_tenant_hits
+                ),
+            );
+            let busiest = repo
+                .shard_stats
+                .iter()
+                .map(|s| s.hits + s.misses + s.insertions)
+                .max()
+                .unwrap_or(0);
+            push(&mut out, format!("  busiest shard ops        : {busiest}"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report(sharing: SharingMode) -> FleetReport {
+        FleetReport {
+            scenario: "t".into(),
+            sharing,
+            epochs: 0,
+            tenants: Vec::new(),
+            shared_repo: None,
+        }
+    }
+
+    #[test]
+    fn empty_report_rates_are_zero() {
+        let r = empty_report(SharingMode::Shared);
+        assert_eq!(r.aggregate_slo_violation(), 0.0);
+        assert_eq!(r.fleet_hit_rate(), 0.0);
+        assert_eq!(r.mean_adaptation_secs(), 0.0);
+        assert_eq!(r.total_cost(), 0.0);
+        assert_eq!(r.total_fixed_max_cost(), Some(0.0));
+        assert!(r.render().contains("tenants: 0"));
+    }
+}

@@ -1,0 +1,750 @@
+//! The fleet-shared signature repository: a sharded, lock-striped store of
+//! allocation decisions that many tenants read and write concurrently.
+//!
+//! Layered on `dejavu_core::repository`: tenants interact through the
+//! [`crate::tenant_view::TenantRepoView`] adapter (which implements
+//! `dejavu_core::AllocationStore`), while this module owns the shared state.
+//!
+//! Because class ids are local to each tenant's clusterer, entries are *not*
+//! keyed by class id. Instead each namespace (service kind × request mix ×
+//! allocation space) maintains a list of **anchors** — full-catalogue workload
+//! signatures characterizing a class. A tenant's class is matched to an anchor
+//! by normalized signature distance, so tenants whose clusterers numbered
+//! classes differently (or even found different class counts) still share
+//! entries for equivalent workloads. Entries are keyed by
+//! `(namespace, anchor, interference bucket)`.
+//!
+//! Shards are lock-striped (`RwLock` per shard); a namespace's anchors and
+//! entries live entirely within one shard, so anchor resolution needs a single
+//! lock. Entries carry their tuning time; a TTL turns tuning decisions stale
+//! so a fleet never reuses week-old allocations forever.
+
+use dejavu_cloud::{AllocationSpace, ResourceAllocation};
+use dejavu_simcore::{SimDuration, SimTime};
+use dejavu_traces::{RequestMix, ServiceKind};
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+/// Identifies a tenant within one fleet run.
+pub type TenantId = usize;
+
+/// Configuration of the shared repository.
+#[derive(Debug, Clone)]
+pub struct SharedRepoConfig {
+    /// Number of lock-striped shards.
+    pub shards: usize,
+    /// Entries older than this (by tuning time) are treated as stale: lookups
+    /// miss and [`SharedSignatureRepository::evict_stale`] removes them.
+    pub ttl: Option<SimDuration>,
+    /// Maximum normalized distance at which a class signature matches an
+    /// existing anchor; beyond it a new anchor is created on insert.
+    pub match_tolerance: f64,
+}
+
+impl Default for SharedRepoConfig {
+    fn default() -> Self {
+        SharedRepoConfig {
+            shards: 16,
+            ttl: None,
+            match_tolerance: 0.10,
+        }
+    }
+}
+
+/// One cached allocation decision in the shared store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedEntry {
+    /// The preferred allocation for this anchor × interference bucket.
+    pub allocation: ResourceAllocation,
+    /// When a tuner produced this entry.
+    pub tuned_at: SimTime,
+    /// The tenant whose tuning produced the entry.
+    pub owner: TenantId,
+    /// Total lookups served from this entry.
+    pub hits: u64,
+    /// Lookups served to tenants other than the owner.
+    pub cross_tenant_hits: u64,
+}
+
+/// Hit/miss statistics of one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups that found a fresh entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only stale entries).
+    pub misses: u64,
+    /// Entries inserted (including overwrites).
+    pub insertions: u64,
+    /// Entries removed for staleness.
+    pub evictions: u64,
+    /// Hits served to a tenant other than the entry's owner.
+    pub cross_tenant_hits: u64,
+    /// Anchors created in this shard.
+    pub anchors_created: u64,
+}
+
+impl ShardStats {
+    /// Cache hit rate over all lookups (0.0 if there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.cross_tenant_hits += other.cross_tenant_hits;
+        self.anchors_created += other.anchors_created;
+    }
+}
+
+/// A write buffered by a tenant view during an epoch, applied at the epoch
+/// barrier in tenant order so fleet runs are deterministic regardless of how
+/// worker threads interleave.
+#[derive(Debug, Clone)]
+pub enum PendingOp {
+    /// Publish a tuning decision to the fleet.
+    Publish {
+        /// The publishing tenant.
+        tenant: TenantId,
+        /// The tenant's namespace.
+        namespace: u64,
+        /// Full-catalogue class signature values.
+        signature: Vec<f64>,
+        /// Interference bucket of the entry.
+        interference_bucket: u32,
+        /// The tuned allocation.
+        allocation: ResourceAllocation,
+        /// When it was tuned.
+        tuned_at: SimTime,
+    },
+    /// Account for a cross-tenant hit observed during the epoch.
+    RecordHit {
+        /// The reading tenant.
+        tenant: TenantId,
+        /// The reading tenant's namespace.
+        namespace: u64,
+        /// Signature that matched.
+        signature: Vec<f64>,
+        /// Interference bucket that matched.
+        interference_bucket: u32,
+    },
+    /// Account for a shared-store miss observed during the epoch, so shard
+    /// hit rates stay meaningful under the read-only epoch protocol.
+    RecordMiss {
+        /// The reading tenant's namespace.
+        namespace: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EntryKey {
+    anchor: u32,
+    interference_bucket: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Anchor {
+    centroid: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct NamespaceState {
+    anchors: Vec<Anchor>,
+    entries: BTreeMap<EntryKey, SharedEntry>,
+}
+
+impl NamespaceState {
+    /// Nearest anchor within `tolerance`, or `None`. Ties break toward the
+    /// lowest anchor id, so resolution is deterministic.
+    fn resolve(&self, signature: &[f64], tolerance: f64) -> Option<u32> {
+        let mut best: Option<(u32, f64)> = None;
+        for (id, anchor) in self.anchors.iter().enumerate() {
+            let d = normalized_distance(&anchor.centroid, signature);
+            if d <= tolerance && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((id as u32, d));
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+
+    fn resolve_or_create(&mut self, signature: &[f64], tolerance: f64, created: &mut u64) -> u32 {
+        if let Some(id) = self.resolve(signature, tolerance) {
+            return id;
+        }
+        self.anchors.push(Anchor {
+            centroid: signature.to_vec(),
+        });
+        *created += 1;
+        (self.anchors.len() - 1) as u32
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    namespaces: BTreeMap<u64, NamespaceState>,
+    stats: ShardStats,
+}
+
+/// Relative per-dimension distance between two signatures, normalized so that
+/// "x% apart in every metric" yields roughly `x/100` regardless of metric
+/// magnitudes. Signatures of different lengths never match.
+pub fn normalized_distance(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut sum = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let scale = x.abs().max(y.abs()).max(1e-9);
+        let d = (x - y) / scale;
+        sum += d * d;
+    }
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Stable namespace id for tenants that can share entries: same service kind,
+/// same request mix (quantized) and same allocation space.
+pub fn namespace_for(kind: ServiceKind, mix: RequestMix, space: &AllocationSpace) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    eat(match kind {
+        ServiceKind::Cassandra => 1,
+        ServiceKind::SpecWeb => 2,
+        ServiceKind::Rubis => 3,
+    });
+    for b in ((mix.read_fraction() * 1000.0).round() as u32).to_le_bytes() {
+        eat(b);
+    }
+    for c in space.candidates() {
+        for b in c.count().to_le_bytes() {
+            eat(b);
+        }
+        for b in (c.capacity_units().to_bits()).to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// The fleet-shared, sharded signature repository.
+pub struct SharedSignatureRepository {
+    shards: Vec<RwLock<Shard>>,
+    config: SharedRepoConfig,
+}
+
+impl std::fmt::Debug for SharedSignatureRepository {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSignatureRepository")
+            .field("shards", &self.shards.len())
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl SharedSignatureRepository {
+    /// Creates an empty repository with the given sharding configuration.
+    pub fn new(config: SharedRepoConfig) -> Self {
+        let shards = config.shards.max(1);
+        SharedSignatureRepository {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            config,
+        }
+    }
+
+    /// The configuration the repository was built with.
+    pub fn config(&self) -> &SharedRepoConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic shard routing: every key of `namespace` lives in the
+    /// returned shard, so one lock covers anchor resolution plus the entry.
+    pub fn shard_index(&self, namespace: u64) -> usize {
+        // SplitMix64 finalizer: spreads consecutive namespace ids.
+        let mut z = namespace.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        (z % self.shards.len() as u64) as usize
+    }
+
+    fn is_stale(&self, entry: &SharedEntry, now: SimTime) -> bool {
+        match self.config.ttl {
+            Some(ttl) => now.saturating_since(entry.tuned_at).as_secs() > ttl.as_secs(),
+            None => false,
+        }
+    }
+
+    /// Inserts an allocation decision, creating an anchor for the signature
+    /// if none matches. Thread-safe; takes the shard write lock.
+    ///
+    /// When a fresh entry already exists at the same anchor × bucket, the
+    /// larger allocation wins — mirroring the controller's max-over-members
+    /// seeding policy, so a tenant tuned against a slightly lighter workload
+    /// within the anchor tolerance cannot silently shrink an entry other
+    /// tenants rely on. The tuning time still advances (the entry was
+    /// reconfirmed), and reuse counters survive.
+    pub fn insert(
+        &self,
+        tenant: TenantId,
+        namespace: u64,
+        signature: &[f64],
+        interference_bucket: u32,
+        allocation: ResourceAllocation,
+        tuned_at: SimTime,
+    ) {
+        let mut shard = self.shards[self.shard_index(namespace)]
+            .write()
+            .expect("shared repository shard poisoned");
+        let tolerance = self.config.match_tolerance;
+        let ttl = self.config.ttl;
+        let mut created = 0u64;
+        let ns = shard.namespaces.entry(namespace).or_default();
+        let anchor = ns.resolve_or_create(signature, tolerance, &mut created);
+        let key = EntryKey {
+            anchor,
+            interference_bucket,
+        };
+        ns.entries
+            .entry(key)
+            .and_modify(|existing| {
+                let stale = match ttl {
+                    Some(ttl) => {
+                        tuned_at.saturating_since(existing.tuned_at).as_secs() > ttl.as_secs()
+                    }
+                    None => false,
+                };
+                if stale || allocation.capacity_units() >= existing.allocation.capacity_units() {
+                    existing.allocation = allocation;
+                    existing.owner = tenant;
+                }
+                existing.tuned_at = existing.tuned_at.max(tuned_at);
+            })
+            .or_insert(SharedEntry {
+                allocation,
+                tuned_at,
+                owner: tenant,
+                hits: 0,
+                cross_tenant_hits: 0,
+            });
+        shard.stats.insertions += 1;
+        shard.stats.anchors_created += created;
+    }
+
+    /// Looks up the entry matching `signature` × `interference_bucket`,
+    /// counting hit/miss and reuse statistics. Stale entries are evicted on
+    /// contact. Thread-safe; takes the shard write lock.
+    pub fn lookup(
+        &self,
+        tenant: TenantId,
+        namespace: u64,
+        signature: &[f64],
+        interference_bucket: u32,
+        now: SimTime,
+    ) -> Option<SharedEntry> {
+        let shard_index = self.shard_index(namespace);
+        let mut shard = self.shards[shard_index]
+            .write()
+            .expect("shared repository shard poisoned");
+        let tolerance = self.config.match_tolerance;
+        let ttl = self.config.ttl;
+        let Some(ns) = shard.namespaces.get_mut(&namespace) else {
+            shard.stats.misses += 1;
+            return None;
+        };
+        let Some(anchor) = ns.resolve(signature, tolerance) else {
+            shard.stats.misses += 1;
+            return None;
+        };
+        let key = EntryKey {
+            anchor,
+            interference_bucket,
+        };
+        let stale = match (ns.entries.get(&key), ttl) {
+            (Some(entry), Some(ttl)) => {
+                now.saturating_since(entry.tuned_at).as_secs() > ttl.as_secs()
+            }
+            (Some(_), None) => false,
+            (None, _) => {
+                shard.stats.misses += 1;
+                return None;
+            }
+        };
+        if stale {
+            ns.entries.remove(&key);
+            shard.stats.evictions += 1;
+            shard.stats.misses += 1;
+            return None;
+        }
+        let entry = ns.entries.get_mut(&key).expect("checked above");
+        entry.hits += 1;
+        let cross = entry.owner != tenant;
+        if cross {
+            entry.cross_tenant_hits += 1;
+        }
+        let snapshot = *entry;
+        shard.stats.hits += 1;
+        if cross {
+            shard.stats.cross_tenant_hits += 1;
+        }
+        Some(snapshot)
+    }
+
+    /// Read-only lookup for the epoch-buffered tenant views: no statistics
+    /// move, entries owned by `exclude_owner` are invisible (a tenant's own
+    /// entries live in its local overlay), stale entries are filtered but not
+    /// evicted. Takes only the shard read lock, so an epoch's worth of
+    /// concurrent tenant reads never serialize.
+    pub fn peek(
+        &self,
+        namespace: u64,
+        signature: &[f64],
+        interference_bucket: u32,
+        now: SimTime,
+        exclude_owner: Option<TenantId>,
+    ) -> Option<SharedEntry> {
+        let shard = self.shards[self.shard_index(namespace)]
+            .read()
+            .expect("shared repository shard poisoned");
+        let ns = shard.namespaces.get(&namespace)?;
+        let anchor = ns.resolve(signature, self.config.match_tolerance)?;
+        let entry = ns.entries.get(&EntryKey {
+            anchor,
+            interference_bucket,
+        })?;
+        if self.is_stale(entry, now) {
+            return None;
+        }
+        if exclude_owner == Some(entry.owner) {
+            return None;
+        }
+        Some(*entry)
+    }
+
+    /// Applies a buffered operation (epoch-barrier commit path). Returns true
+    /// if the operation took effect — in particular, whether a `RecordHit`
+    /// still found its entry (a publish committed earlier in the same barrier
+    /// can re-anchor the namespace, in which case the hit is not recorded and
+    /// the caller must not count it either).
+    pub fn apply(&self, op: &PendingOp) -> bool {
+        match op {
+            PendingOp::Publish {
+                tenant,
+                namespace,
+                signature,
+                interference_bucket,
+                allocation,
+                tuned_at,
+            } => {
+                self.insert(
+                    *tenant,
+                    *namespace,
+                    signature,
+                    *interference_bucket,
+                    *allocation,
+                    *tuned_at,
+                );
+                true
+            }
+            PendingOp::RecordHit {
+                tenant,
+                namespace,
+                signature,
+                interference_bucket,
+            } => {
+                let mut shard = self.shards[self.shard_index(*namespace)]
+                    .write()
+                    .expect("shared repository shard poisoned");
+                let tolerance = self.config.match_tolerance;
+                let Some(ns) = shard.namespaces.get_mut(namespace) else {
+                    return false;
+                };
+                let Some(anchor) = ns.resolve(signature, tolerance) else {
+                    return false;
+                };
+                let key = EntryKey {
+                    anchor,
+                    interference_bucket: *interference_bucket,
+                };
+                let Some(entry) = ns.entries.get_mut(&key) else {
+                    return false;
+                };
+                entry.hits += 1;
+                let cross = entry.owner != *tenant;
+                if cross {
+                    entry.cross_tenant_hits += 1;
+                }
+                shard.stats.hits += 1;
+                if cross {
+                    shard.stats.cross_tenant_hits += 1;
+                }
+                true
+            }
+            PendingOp::RecordMiss { namespace } => {
+                let mut shard = self.shards[self.shard_index(*namespace)]
+                    .write()
+                    .expect("shared repository shard poisoned");
+                shard.stats.misses += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes every entry older than the configured TTL. Returns how many
+    /// entries were evicted. A no-op without a TTL.
+    pub fn evict_stale(&self, now: SimTime) -> u64 {
+        let Some(ttl) = self.config.ttl else { return 0 };
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write().expect("shared repository shard poisoned");
+            let mut shard_evicted = 0u64;
+            for ns in shard.namespaces.values_mut() {
+                let before = ns.entries.len();
+                ns.entries
+                    .retain(|_, e| now.saturating_since(e.tuned_at).as_secs() <= ttl.as_secs());
+                shard_evicted += (before - ns.entries.len()) as u64;
+            }
+            shard.stats.evictions += shard_evicted;
+            evicted += shard_evicted;
+        }
+        evicted
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("shared repository shard poisoned")
+                    .namespaces
+                    .values()
+                    .map(|ns| ns.entries.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Returns true if no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of anchors (distinct workload classes) across all shards.
+    pub fn anchor_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("shared repository shard poisoned")
+                    .namespaces
+                    .values()
+                    .map(|ns| ns.anchors.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Per-shard statistics snapshot.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shared repository shard poisoned").stats)
+            .collect()
+    }
+
+    /// Aggregate statistics over every shard.
+    pub fn stats(&self) -> ShardStats {
+        let mut total = ShardStats::default();
+        for s in self.shard_stats() {
+            total.merge(&s);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo() -> SharedSignatureRepository {
+        SharedSignatureRepository::new(SharedRepoConfig::default())
+    }
+
+    #[test]
+    fn insert_then_lookup_roundtrip() {
+        let r = repo();
+        let sig = [100.0, 5.0, 0.3];
+        r.insert(0, 7, &sig, 0, ResourceAllocation::large(4), SimTime::ZERO);
+        let e = r.lookup(1, 7, &sig, 0, SimTime::ZERO).expect("hit");
+        assert_eq!(e.allocation, ResourceAllocation::large(4));
+        assert_eq!(e.owner, 0);
+        assert_eq!(r.stats().hits, 1);
+        assert_eq!(r.stats().cross_tenant_hits, 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.anchor_count(), 1);
+    }
+
+    #[test]
+    fn near_signatures_share_an_anchor_far_ones_do_not() {
+        let r = repo();
+        let sig = [100.0, 5.0, 0.3];
+        let near = [103.0, 5.1, 0.305]; // ~3% away
+        let far = [160.0, 9.0, 0.8];
+        r.insert(0, 7, &sig, 0, ResourceAllocation::large(4), SimTime::ZERO);
+        assert!(r.lookup(1, 7, &near, 0, SimTime::ZERO).is_some());
+        assert!(r.lookup(1, 7, &far, 0, SimTime::ZERO).is_none());
+        r.insert(1, 7, &far, 0, ResourceAllocation::large(8), SimTime::ZERO);
+        assert_eq!(r.anchor_count(), 2);
+        assert_eq!(
+            r.lookup(0, 7, &far, 0, SimTime::ZERO).unwrap().allocation,
+            ResourceAllocation::large(8)
+        );
+    }
+
+    #[test]
+    fn overwrite_within_tolerance_keeps_the_larger_allocation() {
+        let r = repo();
+        let sig = [100.0, 5.0, 0.3];
+        let near = [97.0, 4.9, 0.296];
+        r.insert(0, 7, &sig, 0, ResourceAllocation::large(6), SimTime::ZERO);
+        // A smaller allocation tuned against a slightly lighter workload in
+        // the same anchor must not shrink the entry others rely on…
+        r.insert(
+            1,
+            7,
+            &near,
+            0,
+            ResourceAllocation::large(4),
+            SimTime::from_hours(1.0),
+        );
+        let e = r.lookup(2, 7, &sig, 0, SimTime::ZERO).expect("hit");
+        assert_eq!(e.allocation, ResourceAllocation::large(6));
+        assert_eq!(e.owner, 0);
+        assert_eq!(
+            e.tuned_at,
+            SimTime::from_hours(1.0),
+            "entry was reconfirmed"
+        );
+        // …but a larger one replaces it.
+        r.insert(
+            1,
+            7,
+            &near,
+            0,
+            ResourceAllocation::large(8),
+            SimTime::from_hours(2.0),
+        );
+        let e = r.lookup(2, 7, &sig, 0, SimTime::ZERO).expect("hit");
+        assert_eq!(e.allocation, ResourceAllocation::large(8));
+        assert_eq!(e.owner, 1);
+    }
+
+    #[test]
+    fn record_miss_feeds_shard_stats() {
+        let r = repo();
+        assert!(r.apply(&PendingOp::RecordMiss { namespace: 9 }));
+        assert_eq!(r.stats().misses, 1);
+    }
+
+    #[test]
+    fn namespaces_are_isolated() {
+        let r = repo();
+        let sig = [10.0, 10.0];
+        r.insert(0, 1, &sig, 0, ResourceAllocation::large(2), SimTime::ZERO);
+        assert!(r.lookup(0, 2, &sig, 0, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn interference_buckets_are_separate() {
+        let r = repo();
+        let sig = [10.0, 10.0];
+        r.insert(0, 1, &sig, 0, ResourceAllocation::large(2), SimTime::ZERO);
+        r.insert(0, 1, &sig, 2, ResourceAllocation::large(6), SimTime::ZERO);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.anchor_count(), 1);
+        assert_eq!(
+            r.lookup(0, 1, &sig, 2, SimTime::ZERO).unwrap().allocation,
+            ResourceAllocation::large(6)
+        );
+    }
+
+    #[test]
+    fn ttl_evicts_stale_entries() {
+        let r = SharedSignatureRepository::new(SharedRepoConfig {
+            ttl: Some(SimDuration::from_hours(24.0)),
+            ..Default::default()
+        });
+        let sig = [10.0, 10.0];
+        r.insert(0, 1, &sig, 0, ResourceAllocation::large(2), SimTime::ZERO);
+        assert!(r.lookup(0, 1, &sig, 0, SimTime::from_hours(23.0)).is_some());
+        assert!(r.lookup(0, 1, &sig, 0, SimTime::from_hours(25.0)).is_none());
+        assert_eq!(r.stats().evictions, 1);
+        assert!(r.is_empty());
+
+        r.insert(0, 1, &sig, 0, ResourceAllocation::large(2), SimTime::ZERO);
+        assert_eq!(r.evict_stale(SimTime::from_hours(25.0)), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn peek_excludes_owner_and_moves_no_stats() {
+        let r = repo();
+        let sig = [10.0, 10.0];
+        r.insert(3, 1, &sig, 0, ResourceAllocation::large(2), SimTime::ZERO);
+        assert!(r.peek(1, &sig, 0, SimTime::ZERO, Some(3)).is_none());
+        assert!(r.peek(1, &sig, 0, SimTime::ZERO, Some(4)).is_some());
+        assert!(r.peek(1, &sig, 0, SimTime::ZERO, None).is_some());
+        let stats = r.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let r = repo();
+        for ns in 0..1000u64 {
+            let a = r.shard_index(ns);
+            let b = r.shard_index(ns);
+            assert_eq!(a, b);
+            assert!(a < r.shard_count());
+        }
+    }
+
+    #[test]
+    fn apply_publish_and_record_hit() {
+        let r = repo();
+        let sig = vec![10.0, 10.0];
+        r.apply(&PendingOp::Publish {
+            tenant: 0,
+            namespace: 1,
+            signature: sig.clone(),
+            interference_bucket: 0,
+            allocation: ResourceAllocation::large(3),
+            tuned_at: SimTime::ZERO,
+        });
+        assert_eq!(r.len(), 1);
+        r.apply(&PendingOp::RecordHit {
+            tenant: 5,
+            namespace: 1,
+            signature: sig,
+            interference_bucket: 0,
+        });
+        let stats = r.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.cross_tenant_hits, 1);
+    }
+}

@@ -38,7 +38,10 @@ impl WorkloadPoint {
     /// Panics if `intensity` is negative/not finite or `read_fraction` is
     /// outside `[0, 1]`.
     pub fn new(service: ServiceKind, intensity: f64, read_fraction: f64) -> Self {
-        assert!(intensity.is_finite() && intensity >= 0.0, "invalid intensity");
+        assert!(
+            intensity.is_finite() && intensity >= 0.0,
+            "invalid intensity"
+        );
         assert!(
             (0.0..=1.0).contains(&read_fraction),
             "read fraction must be in [0, 1]"
@@ -136,7 +139,7 @@ impl MetricModel {
             (MetricKind::Hpc, _) if id.0 < 8 => MetricResponse {
                 base: 50.0 + 5.0 * idx,
                 per_intensity: (200.0 + 40.0 * idx) * sf,
-                per_read: if id.0 % 2 == 0 { 60.0 } else { -45.0 } * (1.0 + 0.2 * idx),
+                per_read: if id.0.is_multiple_of(2) { 60.0 } else { -45.0 } * (1.0 + 0.2 * idx),
                 interaction: 25.0 * sf,
                 relative_noise: 0.02,
             },
@@ -165,7 +168,7 @@ impl MetricModel {
             (MetricKind::Hpc, _) => MetricResponse {
                 base: 80.0 + 3.0 * idx,
                 per_intensity: (90.0 + 15.0 * (idx % 5.0)) * sf,
-                per_read: if id.0 % 3 == 0 { 35.0 } else { -20.0 },
+                per_read: if id.0.is_multiple_of(3) { 35.0 } else { -20.0 },
                 interaction: 10.0 * sf,
                 relative_noise: 0.05,
             },

@@ -152,11 +152,16 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(2);
         let point = WorkloadPoint::new(ServiceKind::SpecWeb, 0.7, 1.0);
         let flops_idx = s.model().catalog().find("flops_rate").unwrap().id.0;
-        let expected = s.model().expected_rate(s.model().catalog().find("flops_rate").unwrap().id, &point);
+        let expected = s
+            .model()
+            .expected_rate(s.model().catalog().find("flops_rate").unwrap().id, &point);
         let sigs = s.sample_trials(&point, 5, &mut rng);
         for sig in &sigs {
             let v = sig.values()[flops_idx];
-            assert!((v - expected).abs() / expected < 0.1, "trial too far from expectation");
+            assert!(
+                (v - expected).abs() / expected < 0.1,
+                "trial too far from expectation"
+            );
         }
     }
 
@@ -168,12 +173,20 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         let flops = s.model().catalog().find("flops_rate").unwrap().id.0;
         let lo: Vec<f64> = s
-            .sample_trials(&WorkloadPoint::new(ServiceKind::SpecWeb, 0.4, 1.0), 5, &mut rng)
+            .sample_trials(
+                &WorkloadPoint::new(ServiceKind::SpecWeb, 0.4, 1.0),
+                5,
+                &mut rng,
+            )
             .iter()
             .map(|sig| sig.values()[flops])
             .collect();
         let hi: Vec<f64> = s
-            .sample_trials(&WorkloadPoint::new(ServiceKind::SpecWeb, 0.8, 1.0), 5, &mut rng)
+            .sample_trials(
+                &WorkloadPoint::new(ServiceKind::SpecWeb, 0.8, 1.0),
+                5,
+                &mut rng,
+            )
             .iter()
             .map(|sig| sig.values()[flops])
             .collect();

@@ -204,7 +204,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn mismatched_lengths_panic() {
-        let _ = WorkloadSignature::from_raw(vec!["a".into()], vec![1.0, 2.0], SimDuration::from_secs(1.0));
+        let _ = WorkloadSignature::from_raw(
+            vec!["a".into()],
+            vec![1.0, 2.0],
+            SimDuration::from_secs(1.0),
+        );
     }
 
     #[test]

@@ -74,8 +74,8 @@ impl NaiveBayes {
             if count > 0 {
                 for a in 0..num_attributes {
                     let mean = members.iter().map(|m| m[a]).sum::<f64>() / count as f64;
-                    let var = members.iter().map(|m| (m[a] - mean).powi(2)).sum::<f64>()
-                        / count as f64;
+                    let var =
+                        members.iter().map(|m| (m[a] - mean).powi(2)).sum::<f64>() / count as f64;
                     means[a] = mean;
                     variances[a] = var.max(VARIANCE_FLOOR);
                 }
@@ -96,9 +96,9 @@ impl NaiveBayes {
 
     fn log_likelihood(&self, model: &ClassModel, features: &[f64]) -> f64 {
         let mut ll = model.prior.ln();
-        for a in 0..self.num_attributes {
+        for (a, &x) in features.iter().enumerate().take(self.num_attributes) {
             let var = model.variances[a];
-            let diff = features[a] - model.means[a];
+            let diff = x - model.means[a];
             ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
         }
         ll
@@ -193,7 +193,10 @@ mod tests {
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(p[0] > 0.6);
         let mid = nb.posteriors(&[1.0, -1.0]);
-        assert!(mid[0] < 0.9 && mid[1] < 0.9, "ambiguous point should be uncertain");
+        assert!(
+            mid[0] < 0.9 && mid[1] < 0.9,
+            "ambiguous point should be uncertain"
+        );
     }
 
     #[test]
@@ -211,7 +214,10 @@ mod tests {
     #[test]
     fn rejects_empty_and_unlabeled() {
         let empty = Dataset::new(vec!["x".into()]);
-        assert!(matches!(NaiveBayes::fit(&empty), Err(MlError::EmptyDataset)));
+        assert!(matches!(
+            NaiveBayes::fit(&empty),
+            Err(MlError::EmptyDataset)
+        ));
         let mut unl = Dataset::new(vec!["x".into()]);
         unl.push_unlabeled(vec![1.0]);
         assert!(matches!(NaiveBayes::fit(&unl), Err(MlError::MissingLabels)));

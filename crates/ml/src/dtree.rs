@@ -107,7 +107,11 @@ impl DecisionTree {
         }
         let labels = data.labels()?;
         let num_classes = data.num_classes();
-        let features: Vec<&[f64]> = data.instances().iter().map(|i| i.features.as_slice()).collect();
+        let features: Vec<&[f64]> = data
+            .instances()
+            .iter()
+            .map(|i| i.features.as_slice())
+            .collect();
         let indices: Vec<usize> = (0..data.len()).collect();
         let root = Self::build(&features, &labels, num_classes, &indices, config, 0);
         Ok(DecisionTree {
@@ -134,9 +138,12 @@ impl DecisionTree {
         // Find the best (attribute, threshold) by gain ratio.
         let mut best: Option<(usize, f64, f64)> = None; // (attr, threshold, gain_ratio)
         let num_attrs = features[0].len();
+        #[allow(clippy::needless_range_loop)]
         for attr in 0..num_attrs {
-            let mut values: Vec<(f64, usize)> =
-                indices.iter().map(|&i| (features[i][attr], labels[i])).collect();
+            let mut values: Vec<(f64, usize)> = indices
+                .iter()
+                .map(|&i| (features[i][attr], labels[i]))
+                .collect();
             values.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             // Candidate thresholds: midpoints between distinct consecutive values.
             let mut left_counts = vec![0usize; num_classes];
@@ -162,7 +169,11 @@ impl DecisionTree {
                     let pr = n_right / total;
                     -(pl * pl.log2() + pr * pr.log2())
                 };
-                let gain_ratio = if split_info > 0.0 { gain / split_info } else { 0.0 };
+                let gain_ratio = if split_info > 0.0 {
+                    gain / split_info
+                } else {
+                    0.0
+                };
                 if best
                     .map(|(_, _, g)| gain_ratio > g)
                     .unwrap_or(gain_ratio > config.min_gain)
@@ -187,8 +198,16 @@ impl DecisionTree {
         let right = Self::build(features, labels, num_classes, &right_idx, config, depth + 1);
         // Pessimistic collapse: if both children predict the same class, merge.
         if let (Node::Leaf { counts: lc }, Node::Leaf { counts: rc }) = (&left, &right) {
-            let lmaj = lc.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i);
-            let rmaj = rc.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i);
+            let lmaj = lc
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i);
+            let rmaj = rc
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i);
             if lmaj == rmaj {
                 return Node::Leaf { counts };
             }
@@ -341,8 +360,14 @@ mod tests {
         // Two heavily overlapping classes: confidence near the boundary should
         // be lower than in the clean case.
         let d = labeled_blobs(&[(0.0, 0.0), (1.0, 1.0)], 50, 2.0, 3);
-        let tree = DecisionTree::fit(&d, &DecisionTreeConfig { max_depth: 3, ..Default::default() })
-            .unwrap();
+        let tree = DecisionTree::fit(
+            &d,
+            &DecisionTreeConfig {
+                max_depth: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let (_, conf) = tree.predict_with_confidence(&[0.5, 0.5]);
         assert!(conf < 0.95);
     }
@@ -364,7 +389,12 @@ mod tests {
 
     #[test]
     fn respects_max_depth() {
-        let d = labeled_blobs(&[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0), (15.0, 0.0)], 10, 0.3, 4);
+        let d = labeled_blobs(
+            &[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0), (15.0, 0.0)],
+            10,
+            0.3,
+            4,
+        );
         let tree = DecisionTree::fit(
             &d,
             &DecisionTreeConfig {

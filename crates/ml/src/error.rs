@@ -34,7 +34,10 @@ impl fmt::Display for MlError {
         match self {
             MlError::EmptyDataset => write!(f, "dataset is empty"),
             MlError::MissingLabels => write!(f, "dataset has no class labels"),
-            MlError::InvalidK { requested, available } => write!(
+            MlError::InvalidK {
+                requested,
+                available,
+            } => write!(
                 f,
                 "invalid number of clusters {requested} for {available} instances"
             ),

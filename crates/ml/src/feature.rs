@@ -271,8 +271,14 @@ mod tests {
             "a predictive attr must be selected (got {:?})",
             sel.selected
         );
-        assert!(sel.selected.contains(&3), "the complementary attr must be selected");
-        assert!(!sel.selected.contains(&2), "noise attr must not be selected");
+        assert!(
+            sel.selected.contains(&3),
+            "the complementary attr must be selected"
+        );
+        assert!(
+            !sel.selected.contains(&2),
+            "noise attr must not be selected"
+        );
         assert!(sel.merit > 0.0);
     }
 
@@ -283,7 +289,10 @@ mod tests {
         // The redundant copy should not appear before the complementary attr.
         let pos = |attr: usize| sel.selected.iter().position(|&x| x == attr);
         if let (Some(red), Some(comp)) = (pos(1), pos(3)) {
-            assert!(comp < red, "complementary should be picked before redundant");
+            assert!(
+                comp < red,
+                "complementary should be picked before redundant"
+            );
         }
     }
 
@@ -316,7 +325,10 @@ mod tests {
         // only keeps adding features while the merit does not decrease.
         let min = CfsSelector::default().min_features;
         for w in sel.merit_trace[min.saturating_sub(1).min(sel.merit_trace.len())..].windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "merit must not decrease past the minimum size");
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "merit must not decrease past the minimum size"
+            );
         }
     }
 
@@ -335,7 +347,11 @@ mod tests {
         ));
         let d = structured(6);
         assert!(matches!(
-            CfsSelector { max_features: 0, ..Default::default() }.select(&d),
+            CfsSelector {
+                max_features: 0,
+                ..Default::default()
+            }
+            .select(&d),
             Err(MlError::InvalidConfig(_))
         ));
     }
@@ -346,7 +362,10 @@ mod tests {
         let b = [2.0, 4.0, 6.0, 8.0];
         assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
         let c = [4.0, 3.0, 2.0, 1.0];
-        assert!((pearson(&a, &c) - 1.0).abs() < 1e-12, "correlation is absolute");
+        assert!(
+            (pearson(&a, &c) - 1.0).abs() < 1e-12,
+            "correlation is absolute"
+        );
         let constant = [5.0, 5.0, 5.0, 5.0];
         assert_eq!(pearson(&a, &constant), 0.0);
     }

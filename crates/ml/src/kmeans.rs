@@ -93,7 +93,11 @@ impl KMeans {
     }
 
     fn fit_once(data: &Dataset, config: &KMeansConfig, rng: &mut SimRng) -> KMeans {
-        let points: Vec<&[f64]> = data.instances().iter().map(|i| i.features.as_slice()).collect();
+        let points: Vec<&[f64]> = data
+            .instances()
+            .iter()
+            .map(|i| i.features.as_slice())
+            .collect();
         let mut centroids = Self::kmeanspp_init(&points, config.k, rng);
         let mut assignments = vec![0usize; points.len()];
         let mut iterations_run = 0;
@@ -266,7 +270,11 @@ impl KMeans {
         if self.k() < 2 || data.len() < 2 {
             return 0.0;
         }
-        let points: Vec<&[f64]> = data.instances().iter().map(|i| i.features.as_slice()).collect();
+        let points: Vec<&[f64]> = data
+            .instances()
+            .iter()
+            .map(|i| i.features.as_slice())
+            .collect();
         let mut total = 0.0;
         let mut counted = 0usize;
         for (i, p) in points.iter().enumerate() {
@@ -374,7 +382,15 @@ mod tests {
     #[test]
     fn separates_clear_blobs() {
         let d = blobs(&[(0.0, 0.0), (50.0, 50.0)], 20, 0.5, 1);
-        let km = KMeans::fit(&d, &KMeansConfig { k: 2, ..Default::default() }, 2).unwrap();
+        let km = KMeans::fit(
+            &d,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            2,
+        )
+        .unwrap();
         let a = km.assign(&[0.0, 0.0]);
         let b = km.assign(&[50.0, 50.0]);
         assert_ne!(a, b);
@@ -385,11 +401,25 @@ mod tests {
     fn rejects_bad_k() {
         let d = blobs(&[(0.0, 0.0)], 3, 0.1, 1);
         assert!(matches!(
-            KMeans::fit(&d, &KMeansConfig { k: 0, ..Default::default() }, 1),
+            KMeans::fit(
+                &d,
+                &KMeansConfig {
+                    k: 0,
+                    ..Default::default()
+                },
+                1
+            ),
             Err(MlError::InvalidK { .. })
         ));
         assert!(matches!(
-            KMeans::fit(&d, &KMeansConfig { k: 10, ..Default::default() }, 1),
+            KMeans::fit(
+                &d,
+                &KMeansConfig {
+                    k: 10,
+                    ..Default::default()
+                },
+                1
+            ),
             Err(MlError::InvalidK { .. })
         ));
     }
@@ -406,23 +436,49 @@ mod tests {
     #[test]
     fn assignments_cover_all_points() {
         let d = blobs(&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 15, 0.3, 3);
-        let km = KMeans::fit(&d, &KMeansConfig { k: 3, ..Default::default() }, 3).unwrap();
+        let km = KMeans::fit(
+            &d,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            3,
+        )
+        .unwrap();
         assert_eq!(km.assignments().len(), d.len());
         assert!(km.assignments().iter().all(|&c| c < 3));
     }
 
     #[test]
     fn silhouette_prefers_true_k() {
-        let d = blobs(&[(0.0, 0.0), (30.0, 0.0), (0.0, 30.0), (30.0, 30.0)], 12, 0.5, 4);
+        let d = blobs(
+            &[(0.0, 0.0), (30.0, 0.0), (0.0, 30.0), (30.0, 30.0)],
+            12,
+            0.5,
+            4,
+        );
         let base = KMeansConfig::default();
-        let k2 = KMeans::fit(&d, &KMeansConfig { k: 2, ..base.clone() }, 4).unwrap();
+        let k2 = KMeans::fit(
+            &d,
+            &KMeansConfig {
+                k: 2,
+                ..base.clone()
+            },
+            4,
+        )
+        .unwrap();
         let k4 = KMeans::fit(&d, &KMeansConfig { k: 4, ..base }, 4).unwrap();
         assert!(k4.silhouette(&d) > k2.silhouette(&d));
     }
 
     #[test]
     fn auto_k_finds_the_right_count() {
-        let d = blobs(&[(0.0, 0.0), (40.0, 0.0), (0.0, 40.0), (40.0, 40.0)], 10, 0.4, 5);
+        let d = blobs(
+            &[(0.0, 0.0), (40.0, 0.0), (0.0, 40.0), (40.0, 40.0)],
+            10,
+            0.4,
+            5,
+        );
         let model = KMeans::fit_auto_k(&d, 2..=8, &KMeansConfig::default(), 5).unwrap();
         assert_eq!(model.k(), 4);
     }
@@ -430,7 +486,15 @@ mod tests {
     #[test]
     fn medoid_is_member_of_cluster() {
         let d = blobs(&[(0.0, 0.0), (20.0, 20.0)], 10, 0.5, 6);
-        let km = KMeans::fit(&d, &KMeansConfig { k: 2, ..Default::default() }, 6).unwrap();
+        let km = KMeans::fit(
+            &d,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            6,
+        )
+        .unwrap();
         for c in 0..2 {
             let m = km.medoid_of(&d, c).unwrap();
             assert_eq!(km.assignments()[m], c);
@@ -450,14 +514,30 @@ mod tests {
     #[test]
     fn distance_to_nearest_is_small_for_training_points() {
         let d = blobs(&[(5.0, 5.0)], 20, 0.2, 8);
-        let km = KMeans::fit(&d, &KMeansConfig { k: 1, ..Default::default() }, 8).unwrap();
+        let km = KMeans::fit(
+            &d,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            8,
+        )
+        .unwrap();
         assert!(km.distance_to_nearest(&[5.0, 5.0]) < 1.0);
     }
 
     #[test]
     fn single_cluster_silhouette_is_zero() {
         let d = blobs(&[(0.0, 0.0)], 5, 0.1, 9);
-        let km = KMeans::fit(&d, &KMeansConfig { k: 1, ..Default::default() }, 9).unwrap();
+        let km = KMeans::fit(
+            &d,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            9,
+        )
+        .unwrap();
         assert_eq!(km.silhouette(&d), 0.0);
     }
 }

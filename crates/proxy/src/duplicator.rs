@@ -88,7 +88,10 @@ impl RequestDuplicator {
             (0.0..=1.0).contains(&config.session_sample_fraction),
             "sample fraction must be in [0, 1]"
         );
-        assert!(config.added_latency_ms >= 0.0, "latency overhead must be non-negative");
+        assert!(
+            config.added_latency_ms >= 0.0,
+            "latency overhead must be non-negative"
+        );
         RequestDuplicator {
             config,
             stats: DuplicatorStats::default(),

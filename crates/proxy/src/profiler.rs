@@ -68,7 +68,10 @@ impl Profiler {
     ///
     /// Panics if the clone capacity is not positive.
     pub fn new(config: ProfilerConfig) -> Self {
-        assert!(config.clone_capacity_units > 0.0, "clone capacity must be positive");
+        assert!(
+            config.clone_capacity_units > 0.0,
+            "clone capacity must be positive"
+        );
         let sampler = MetricSampler::new(MetricModel::default(), config.sampler.clone());
         Profiler { config, sampler }
     }
@@ -123,7 +126,11 @@ mod tests {
     use dejavu_traces::{RequestMix, ServiceKind};
 
     fn workload(intensity: f64) -> Workload {
-        Workload::with_intensity(ServiceKind::Cassandra, intensity, RequestMix::update_heavy())
+        Workload::with_intensity(
+            ServiceKind::Cassandra,
+            intensity,
+            RequestMix::update_heavy(),
+        )
     }
 
     #[test]
@@ -143,7 +150,9 @@ mod tests {
         let low = p.profile(&workload(0.2), &mut rng);
         let low2 = p.profile(&workload(0.2), &mut rng);
         let high = p.profile(&workload(0.9), &mut rng);
-        assert!(low.signature.distance(&high.signature) > 5.0 * low.signature.distance(&low2.signature));
+        assert!(
+            low.signature.distance(&high.signature) > 5.0 * low.signature.distance(&low2.signature)
+        );
     }
 
     #[test]

@@ -131,7 +131,10 @@ mod tests {
         let c_full = svc.required_capacity(1.0);
         assert!(c_full > 1.7 * c_half && c_full < 2.4 * c_half);
         // Full capacity of the paper's deployment is 10 large instances.
-        assert!(c_full <= 10.5, "peak must be servable by 10 instances, got {c_full}");
+        assert!(
+            c_full <= 10.5,
+            "peak must be servable by 10 instances, got {c_full}"
+        );
     }
 
     #[test]

@@ -101,7 +101,12 @@ impl QueueingModel {
     /// Full performance sample for an (intensity, capacity) pair with an
     /// optional latency multiplier for transient penalties (re-partitioning,
     /// cold caches).
-    pub fn sample(&self, intensity: f64, capacity_units: f64, latency_multiplier: f64) -> PerfSample {
+    pub fn sample(
+        &self,
+        intensity: f64,
+        capacity_units: f64,
+        latency_multiplier: f64,
+    ) -> PerfSample {
         let rho = self.utilization(intensity, capacity_units);
         PerfSample {
             latency_ms: (self.latency_at_utilization(rho) * latency_multiplier.max(1.0))

@@ -187,7 +187,9 @@ mod tests {
 
     #[test]
     fn bidding_mix_has_more_writes() {
-        assert!(InteractionMix::bidding().read_fraction() < InteractionMix::browsing().read_fraction());
+        assert!(
+            InteractionMix::bidding().read_fraction() < InteractionMix::browsing().read_fraction()
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl EvalContext {
 
 /// A modelled network service: given the offered intensity and the capacity it
 /// currently has, report the performance a client emulator would measure.
-pub trait ServiceModel {
+///
+/// Models are immutable descriptions, so the trait requires `Send + Sync`:
+/// the fleet simulator evaluates tenants on parallel worker threads.
+pub trait ServiceModel: Send + Sync {
     /// Which benchmark this models.
     fn kind(&self) -> ServiceKind;
 

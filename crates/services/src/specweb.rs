@@ -140,7 +140,9 @@ mod tests {
     fn workload_mixes() {
         assert_eq!(SpecWebWorkload::Support.mix().read_fraction(), 1.0);
         assert!(SpecWebWorkload::Banking.mix().read_fraction() < 1.0);
-        assert!(SpecWebWorkload::Banking.demand_factor() > SpecWebWorkload::Support.demand_factor());
+        assert!(
+            SpecWebWorkload::Banking.demand_factor() > SpecWebWorkload::Support.demand_factor()
+        );
     }
 
     #[test]

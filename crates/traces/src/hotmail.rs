@@ -63,10 +63,10 @@ const DAY_SHIFTS: [i64; 7] = [0, 1, -1, 0, 2, 1, -2];
 pub fn hotmail_week(seed: u64) -> LoadTrace {
     let mut rng = SimRng::seed_from_u64(seed ^ 0x07E1_AA11);
     let mut levels = Vec::with_capacity(168);
-    for day in 0..7 {
+    for (day, &shift) in DAY_SHIFTS.iter().enumerate() {
         let weekend = day >= 5;
         for hour in 0..24 {
-            let shifted = (hour as i64 - DAY_SHIFTS[day] + 24) as usize % 24;
+            let shifted = (hour as i64 - shift + 24) as usize % 24;
             let mut level = hotmail_hour_level(shifted);
             if weekend {
                 level *= WEEKEND_FACTOR;
@@ -98,7 +98,11 @@ mod tests {
     fn learning_day_has_about_four_distinct_levels() {
         let t = hotmail_week(2);
         let day1 = t.days(0, 1);
-        let mut rounded: Vec<i64> = day1.levels().iter().map(|l| (l * 20.0).round() as i64).collect();
+        let mut rounded: Vec<i64> = day1
+            .levels()
+            .iter()
+            .map(|l| (l * 20.0).round() as i64)
+            .collect();
         rounded.sort_unstable();
         rounded.dedup();
         assert!(

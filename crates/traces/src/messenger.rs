@@ -46,10 +46,10 @@ const DAY_SHIFTS: [i64; 7] = [0, -1, 1, 2, -1, 0, 1];
 pub fn messenger_week(seed: u64) -> LoadTrace {
     let mut rng = SimRng::seed_from_u64(seed ^ 0x4D53_4E21);
     let mut levels = Vec::with_capacity(168);
-    for day in 0..7 {
+    for (day, &shift) in DAY_SHIFTS.iter().enumerate() {
         let weekend = day >= 5;
         for hour in 0..24 {
-            let shifted = (hour as i64 - DAY_SHIFTS[day] + 24) as usize % 24;
+            let shifted = (hour as i64 - shift + 24) as usize % 24;
             let mut level = messenger_hour_level(shifted);
             if weekend {
                 level *= WEEKEND_FACTOR;
@@ -77,7 +77,11 @@ mod tests {
     fn learning_day_has_four_distinct_levels() {
         let t = messenger_week(2);
         let day1 = t.days(0, 1);
-        let mut rounded: Vec<i64> = day1.levels().iter().map(|l| (l * 20.0).round() as i64).collect();
+        let mut rounded: Vec<i64> = day1
+            .levels()
+            .iter()
+            .map(|l| (l * 20.0).round() as i64)
+            .collect();
         rounded.sort_unstable();
         rounded.dedup();
         assert!(

@@ -114,11 +114,25 @@ mod tests {
     #[test]
     fn rejects_degenerate_inputs() {
         assert_eq!(
-            sine_trace("bad", SimDuration::ZERO, SimDuration::from_mins(10.0), SimDuration::from_mins(5.0), 0.5, 0.1),
+            sine_trace(
+                "bad",
+                SimDuration::ZERO,
+                SimDuration::from_mins(10.0),
+                SimDuration::from_mins(5.0),
+                0.5,
+                0.1
+            ),
             Err(TraceError::InvalidStep)
         );
         assert_eq!(
-            sine_trace("bad", SimDuration::from_mins(10.0), SimDuration::ZERO, SimDuration::from_mins(5.0), 0.5, 0.1),
+            sine_trace(
+                "bad",
+                SimDuration::from_mins(10.0),
+                SimDuration::ZERO,
+                SimDuration::from_mins(5.0),
+                0.5,
+                0.1
+            ),
             Err(TraceError::Empty)
         );
     }

@@ -88,7 +88,7 @@ mod tests {
             .zip(crowded.levels())
             .filter(|(a, b)| (*a - *b).abs() > 1e-12)
             .count();
-        assert!(changed <= 10 && changed >= 5, "changed {changed}");
+        assert!((5..=10).contains(&changed), "changed {changed}");
     }
 
     #[test]

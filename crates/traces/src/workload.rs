@@ -17,7 +17,11 @@ pub enum ServiceKind {
 
 impl ServiceKind {
     /// All modelled services.
-    pub const ALL: [ServiceKind; 3] = [ServiceKind::Cassandra, ServiceKind::SpecWeb, ServiceKind::Rubis];
+    pub const ALL: [ServiceKind; 3] = [
+        ServiceKind::Cassandra,
+        ServiceKind::SpecWeb,
+        ServiceKind::Rubis,
+    ];
 
     /// A short lowercase name used in reports.
     pub fn name(self) -> &'static str {
@@ -112,7 +116,10 @@ impl WorkloadIntensity {
     ///
     /// Panics if `value` is not finite or is negative.
     pub fn new(value: f64) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "intensity must be finite and non-negative");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "intensity must be finite and non-negative"
+        );
         WorkloadIntensity(value.min(1.5))
     }
 
@@ -215,7 +222,8 @@ mod tests {
 
     #[test]
     fn service_kind_names_are_distinct() {
-        let names: std::collections::HashSet<_> = ServiceKind::ALL.iter().map(|s| s.name()).collect();
+        let names: std::collections::HashSet<_> =
+            ServiceKind::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), ServiceKind::ALL.len());
     }
 }

@@ -14,7 +14,9 @@ fn main() {
     print!("{}", figure.report());
     for trace in ["messenger", "hotmail"] {
         let dejavu = figure.bar(trace, "dejavu").expect("dejavu bar");
-        let rs = figure.bar(trace, "rightscale-15min").expect("rightscale bar");
+        let rs = figure
+            .bar(trace, "rightscale-15min")
+            .expect("rightscale bar");
         println!(
             "{trace}: DejaVu settles in {:.0} s on average; RightScale (15 min calm time) needs {:.0} s — {:.0}x slower.",
             dejavu.mean_secs,

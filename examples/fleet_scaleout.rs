@@ -1,0 +1,47 @@
+//! Fleet scale-out: run a mixed multi-tenant fleet with and without the
+//! shared signature repository and print what sharing buys.
+//!
+//! ```text
+//! cargo run --release --example fleet_scaleout
+//! ```
+
+use dejavu::fleet::{standard_fleet, FleetConfig, FleetEngine, SharingMode};
+
+fn main() {
+    let tenants = 60;
+    let days = 3;
+    let seed = 42;
+
+    // The same fleet twice: once with every tenant's controller wired to the
+    // shared, sharded repository; once with per-tenant private caches.
+    let shared =
+        FleetEngine::new(standard_fleet(tenants, days, seed), FleetConfig::default()).run();
+    let isolated = FleetEngine::new(
+        standard_fleet(tenants, days, seed),
+        FleetConfig {
+            sharing: SharingMode::Isolated,
+            ..Default::default()
+        },
+    )
+    .run();
+
+    println!("{}", shared.render());
+    println!("{}", isolated.render());
+
+    println!("what sharing bought:");
+    println!(
+        "  repository hit rate : {:.1}% -> {:.1}%",
+        isolated.fleet_hit_rate() * 100.0,
+        shared.fleet_hit_rate() * 100.0
+    );
+    println!(
+        "  cold-start tunings  : {} -> {} ({} avoided via fleet reuse)",
+        isolated.total_tunings(),
+        shared.total_tunings(),
+        shared.total_fleet_reuses()
+    );
+    println!(
+        "  cross-tenant hits   : {}",
+        shared.total_cross_tenant_hits()
+    );
+}

@@ -33,9 +33,18 @@ fn main() {
 
     let stats = dejavu.stats();
     println!("workload classes identified : {}", stats.num_classes);
-    println!("signature metrics           : {:?}", dejavu.signature_metrics());
-    println!("cache hit rate              : {:.1}%", stats.hit_rate() * 100.0);
-    println!("mean adaptation time        : {:.1} s", stats.mean_adaptation_secs());
+    println!(
+        "signature metrics           : {:?}",
+        dejavu.signature_metrics()
+    );
+    println!(
+        "cache hit rate              : {:.1}%",
+        stats.hit_rate() * 100.0
+    );
+    println!(
+        "mean adaptation time        : {:.1} s",
+        stats.mean_adaptation_secs()
+    );
     println!(
         "SLO violations              : {:.1}% of samples",
         dejavu_run.slo_violation_fraction * 100.0
@@ -49,7 +58,7 @@ fn main() {
         dejavu_run.reuse_savings_vs(&fixed_run) * 100.0
     );
     println!("\ncached allocations:");
-    for (key, entry) in dejavu.repository().iter() {
+    for (key, entry) in dejavu.repository().entries() {
         println!(
             "  class {} / interference bucket {} -> {} ({} reuses)",
             key.class, key.interference_bucket, entry.allocation, entry.hits

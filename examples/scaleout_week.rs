@@ -11,13 +11,18 @@ use dejavu::experiments::fig6::scale_out_comparison;
 use dejavu::traces::{hotmail_week, messenger_week};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "messenger".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "messenger".to_string());
     let trace = match which.as_str() {
         "hotmail" => hotmail_week(7),
         _ => messenger_week(7),
     };
     let figure = scale_out_comparison(trace, 7);
-    print!("{}", figure.report(&format!("Scaling out Cassandra ({which} trace)")));
+    print!(
+        "{}",
+        figure.report(&format!("Scaling out Cassandra ({which} trace)"))
+    );
     println!(
         "\nDejaVu reconfigured {} times; Autopilot {} times; the fixed baseline never.",
         figure.dejavu.adaptations.len(),

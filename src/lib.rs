@@ -15,6 +15,8 @@
 //! * [`proxy`] — the duplicating proxy and clone-VM profiler.
 //! * [`baselines`] — Autopilot, RightScale-style, fixed and tuning baselines.
 //! * [`experiments`] — the per-figure/per-table experiment harnesses.
+//! * [`fleet`] — the multi-tenant fleet simulator with its shared, sharded
+//!   signature repository.
 //! * [`simcore`] — the deterministic simulation kernel.
 //!
 //! # Example
@@ -37,6 +39,7 @@ pub use dejavu_baselines as baselines;
 pub use dejavu_cloud as cloud;
 pub use dejavu_core as core;
 pub use dejavu_experiments as experiments;
+pub use dejavu_fleet as fleet;
 pub use dejavu_metrics as metrics;
 pub use dejavu_ml as ml;
 pub use dejavu_proxy as proxy;

@@ -56,7 +56,11 @@ fn dejavu_adaptations_are_seconds_not_minutes() {
     );
     let _ = engine.run(&service, &mut dejavu);
     let stats = dejavu.stats();
-    assert!(stats.mean_adaptation_secs() <= 15.0, "mean {}", stats.mean_adaptation_secs());
+    assert!(
+        stats.mean_adaptation_secs() <= 15.0,
+        "mean {}",
+        stats.mean_adaptation_secs()
+    );
     assert!(stats
         .adaptation_times_secs
         .iter()
@@ -67,10 +71,8 @@ fn dejavu_adaptations_are_seconds_not_minutes() {
 fn rightscale_converges_but_needs_multiple_calm_periods() {
     let engine = scale_out_engine(2, 3);
     let service = CassandraService::update_heavy();
-    let mut rs = RightScale::with_calm_time(
-        engine.config().space.clone(),
-        SimDuration::from_mins(3.0),
-    );
+    let mut rs =
+        RightScale::with_calm_time(engine.config().space.clone(), SimDuration::from_mins(3.0));
     let run = engine.run(&service, &mut rs);
     assert!(!run.adaptations.is_empty());
     assert!(

@@ -1,54 +1,99 @@
 //! Property-based tests over the core invariants, spanning crates.
+//!
+//! The properties are exercised with a small hand-rolled harness (`cases`)
+//! driven by the workspace's own deterministic [`SimRng`] rather than an
+//! external property-testing crate: the build is hermetic, and determinism
+//! matters more here than shrinking — every failure reproduces exactly.
 
 use dejavu::cloud::{AllocationSpace, CostMeter, ResourceAllocation};
+use dejavu::core::{DejaVuConfig, DejaVuController};
+use dejavu::fleet::{
+    FleetConfig, FleetEngine, ScenarioBuilder, SharedRepoConfig, SharedSignatureRepository,
+    SimulationEngine,
+};
 use dejavu::metrics::WorkloadSignature;
 use dejavu::ml::kmeans::{KMeans, KMeansConfig};
 use dejavu::ml::Dataset;
-use dejavu::services::{CassandraService, ServiceModel};
 use dejavu::services::service::EvalContext;
-use dejavu::simcore::{SimDuration, SimTime};
+use dejavu::services::{CassandraService, ServiceModel};
+use dejavu::simcore::{SimDuration, SimRng, SimTime};
 use dejavu::traces::LoadTrace;
-use proptest::prelude::*;
 
-proptest! {
-    /// Signature normalization makes signatures invariant to how long the
-    /// profiler sampled.
-    #[test]
-    fn signature_is_sampling_duration_invariant(
-        values in proptest::collection::vec(0.0f64..10_000.0, 1..20),
-        short in 1.0f64..100.0,
-        factor in 1.1f64..50.0,
-    ) {
-        let names: Vec<String> = (0..values.len()).map(|i| format!("m{i}")).collect();
+/// Runs `body` for `n` deterministic random cases, labelling failures with the
+/// case index so they can be replayed.
+fn cases(n: u64, mut body: impl FnMut(&mut SimRng, u64)) {
+    for case in 0..n {
+        let mut rng = SimRng::seed_from_u64(P_SEED ^ case);
+        body(&mut rng, case);
+    }
+}
+
+const P_SEED: u64 = 0x5EED_0F20_7E57_CA5E;
+
+/// Signature normalization makes signatures invariant to how long the
+/// profiler sampled.
+#[test]
+fn signature_is_sampling_duration_invariant() {
+    cases(64, |rng, case| {
+        let len = 1 + rng.uniform_usize(19);
+        let values: Vec<f64> = (0..len).map(|_| rng.uniform(0.0, 10_000.0)).collect();
+        let short = rng.uniform(1.0, 100.0);
+        let factor = rng.uniform(1.1, 50.0);
+        let names: Vec<String> = (0..len).map(|i| format!("m{i}")).collect();
         let long_values: Vec<f64> = values.iter().map(|v| v * factor).collect();
         let a = WorkloadSignature::from_raw(names.clone(), values, SimDuration::from_secs(short));
-        let b = WorkloadSignature::from_raw(names, long_values, SimDuration::from_secs(short * factor));
-        prop_assert!(a.distance(&b) < 1e-6 * (1.0 + a.values().iter().sum::<f64>().abs()));
-    }
+        let b =
+            WorkloadSignature::from_raw(names, long_values, SimDuration::from_secs(short * factor));
+        let tolerance = 1e-6 * (1.0 + a.values().iter().sum::<f64>().abs());
+        assert!(
+            a.distance(&b) < tolerance,
+            "case {case}: distance {}",
+            a.distance(&b)
+        );
+    });
+}
 
-    /// The queueing model is monotone: more load never reduces latency, more
-    /// capacity never increases it.
-    #[test]
-    fn latency_is_monotone(
-        load_a in 0.05f64..1.2,
-        load_b in 0.05f64..1.2,
-        cap_a in 1.0f64..12.0,
-        cap_b in 1.0f64..12.0,
-    ) {
-        let svc = CassandraService::update_heavy();
-        let ctx = |cap| EvalContext::steady(SimTime::ZERO, cap);
-        let (lo_load, hi_load) = if load_a <= load_b { (load_a, load_b) } else { (load_b, load_a) };
-        let (lo_cap, hi_cap) = if cap_a <= cap_b { (cap_a, cap_b) } else { (cap_b, cap_a) };
-        prop_assert!(svc.evaluate(hi_load, &ctx(5.0)).latency_ms >= svc.evaluate(lo_load, &ctx(5.0)).latency_ms - 1e-9);
-        prop_assert!(svc.evaluate(0.7, &ctx(lo_cap)).latency_ms >= svc.evaluate(0.7, &ctx(hi_cap)).latency_ms - 1e-9);
-    }
+/// The queueing model is monotone: more load never reduces latency, more
+/// capacity never increases it.
+#[test]
+fn latency_is_monotone() {
+    let svc = CassandraService::update_heavy();
+    let ctx = |cap| EvalContext::steady(SimTime::ZERO, cap);
+    cases(64, |rng, case| {
+        let load_a = rng.uniform(0.05, 1.2);
+        let load_b = rng.uniform(0.05, 1.2);
+        let cap_a = rng.uniform(1.0, 12.0);
+        let cap_b = rng.uniform(1.0, 12.0);
+        let (lo_load, hi_load) = if load_a <= load_b {
+            (load_a, load_b)
+        } else {
+            (load_b, load_a)
+        };
+        let (lo_cap, hi_cap) = if cap_a <= cap_b {
+            (cap_a, cap_b)
+        } else {
+            (cap_b, cap_a)
+        };
+        assert!(
+            svc.evaluate(hi_load, &ctx(5.0)).latency_ms
+                >= svc.evaluate(lo_load, &ctx(5.0)).latency_ms - 1e-9,
+            "case {case}: latency not monotone in load"
+        );
+        assert!(
+            svc.evaluate(0.7, &ctx(lo_cap)).latency_ms
+                >= svc.evaluate(0.7, &ctx(hi_cap)).latency_ms - 1e-9,
+            "case {case}: latency not antitone in capacity"
+        );
+    });
+}
 
-    /// Cost metering is additive over adjacent time windows.
-    #[test]
-    fn cost_meter_is_additive(
-        counts in proptest::collection::vec(1u32..10, 1..8),
-        split in 0.1f64..0.9,
-    ) {
+/// Cost metering is additive over adjacent time windows.
+#[test]
+fn cost_meter_is_additive() {
+    cases(64, |rng, case| {
+        let n = 1 + rng.uniform_usize(7);
+        let counts: Vec<u32> = (0..n).map(|_| 1 + rng.uniform_usize(9) as u32).collect();
+        let split = rng.uniform(0.1, 0.9);
         let mut meter = CostMeter::new();
         for (i, &c) in counts.iter().enumerate() {
             meter.record(SimTime::from_hours(i as f64), ResourceAllocation::large(c));
@@ -57,55 +102,202 @@ proptest! {
         let mid = SimTime::from_hours(counts.len() as f64 * split);
         let total = meter.cost_between(SimTime::ZERO, end);
         let parts = meter.cost_between(SimTime::ZERO, mid) + meter.cost_between(mid, end);
-        prop_assert!((total - parts).abs() < 1e-9);
-        prop_assert!(total >= 0.0);
-    }
+        assert!(
+            (total - parts).abs() < 1e-9,
+            "case {case}: {total} != {parts}"
+        );
+        assert!(total >= 0.0);
+    });
+}
 
-    /// The allocation space's cheapest_with_capacity always returns an
-    /// allocation that actually provides the requested capacity (or the
-    /// maximum available).
-    #[test]
-    fn cheapest_with_capacity_is_sufficient(capacity in 0.0f64..15.0) {
-        let space = AllocationSpace::scale_out(1, 10).unwrap();
+/// The allocation space's cheapest_with_capacity always returns an allocation
+/// that actually provides the requested capacity (or the maximum available).
+#[test]
+fn cheapest_with_capacity_is_sufficient() {
+    let space = AllocationSpace::scale_out(1, 10).unwrap();
+    cases(64, |rng, case| {
+        let capacity = rng.uniform(0.0, 15.0);
         let chosen = space.cheapest_with_capacity(capacity);
         if capacity <= 10.0 {
-            prop_assert!(chosen.capacity_units() >= capacity - 1e-9);
+            assert!(chosen.capacity_units() >= capacity - 1e-9, "case {case}");
         } else {
-            prop_assert_eq!(chosen, space.full_capacity());
+            assert_eq!(chosen, space.full_capacity(), "case {case}");
         }
-    }
+    });
+}
 
-    /// k-means assignments always point at the nearest centroid.
-    #[test]
-    fn kmeans_assignments_are_nearest(
-        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 8..40),
-        k in 2usize..5,
-    ) {
+/// k-means assignments always point at the nearest centroid.
+#[test]
+fn kmeans_assignments_are_nearest() {
+    cases(24, |rng, case| {
+        let n = 8 + rng.uniform_usize(32);
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)))
+            .collect();
+        let k = (2 + rng.uniform_usize(3)).min(points.len());
         let mut data = Dataset::new(vec!["x".into(), "y".into()]);
         for (x, y) in &points {
             data.push_unlabeled(vec![*x, *y]);
         }
-        let k = k.min(points.len());
-        let model = KMeans::fit(&data, &KMeansConfig { k, ..Default::default() }, 7).unwrap();
+        let model = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k,
+                ..Default::default()
+            },
+            7,
+        )
+        .unwrap();
         for (i, inst) in data.instances().iter().enumerate() {
             let assigned = model.assignments()[i];
-            let d_assigned = dejavu::ml::dataset::distance(&inst.features, &model.centroids()[assigned]);
+            let d_assigned =
+                dejavu::ml::dataset::distance(&inst.features, &model.centroids()[assigned]);
             for c in model.centroids() {
-                prop_assert!(d_assigned <= dejavu::ml::dataset::distance(&inst.features, c) + 1e-9);
+                assert!(
+                    d_assigned <= dejavu::ml::dataset::distance(&inst.features, c) + 1e-9,
+                    "case {case}: point {i} not assigned to nearest centroid"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Load traces never produce levels outside the valid range, under any
-    /// rescaling.
-    #[test]
-    fn trace_rescaling_stays_in_range(
-        levels in proptest::collection::vec(0.0f64..1.0, 1..48),
-        new_peak in 0.05f64..1.5,
-    ) {
+/// Shard routing of the fleet-shared repository is stable: the same namespace
+/// always lands in the same in-range shard, across repository instances.
+#[test]
+fn shared_repo_shard_routing_is_stable() {
+    let a = SharedSignatureRepository::new(SharedRepoConfig::default());
+    let b = SharedSignatureRepository::new(SharedRepoConfig::default());
+    let mut populated = vec![false; a.shard_count()];
+    cases(64, |rng, case| {
+        for _ in 0..64 {
+            let ns = rng.uniform01().to_bits();
+            let shard = a.shard_index(ns);
+            assert!(shard < a.shard_count(), "case {case}: shard out of range");
+            assert_eq!(shard, a.shard_index(ns), "case {case}: routing not stable");
+            assert_eq!(
+                shard,
+                b.shard_index(ns),
+                "case {case}: routing differs per instance"
+            );
+            populated[shard] = true;
+        }
+    });
+    assert!(
+        populated.iter().all(|&p| p),
+        "4096 random namespaces should touch every one of {} shards",
+        a.shard_count()
+    );
+}
+
+/// Concurrent inserts and lookups from many threads never lose entries: after
+/// the threads join, every inserted signature is retrievable and the entry
+/// count matches what was inserted.
+#[test]
+fn shared_repo_concurrent_inserts_lose_nothing() {
+    let repo = SharedSignatureRepository::new(SharedRepoConfig {
+        shards: 8,
+        ..Default::default()
+    });
+    let threads = 8usize;
+    let per_thread = 200usize;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let repo = &repo;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let ns = (t * per_thread + i) as u64;
+                    // Signatures far apart so every insert is its own anchor.
+                    let sig = [1000.0 * (i + 1) as f64, 10.0 * (t + 1) as f64];
+                    repo.insert(
+                        t,
+                        ns,
+                        &sig,
+                        0,
+                        ResourceAllocation::large(1 + (i % 9) as u32),
+                        SimTime::ZERO,
+                    );
+                    // Interleave lookups of our own writes while others write.
+                    assert!(repo.lookup(t, ns, &sig, 0, SimTime::ZERO).is_some());
+                }
+            });
+        }
+    });
+    assert_eq!(repo.len(), threads * per_thread, "entries were lost");
+    for t in 0..threads {
+        for i in 0..per_thread {
+            let ns = (t * per_thread + i) as u64;
+            let sig = [1000.0 * (i + 1) as f64, 10.0 * (t + 1) as f64];
+            let entry = repo
+                .lookup(0, ns, &sig, 0, SimTime::ZERO)
+                .unwrap_or_else(|| panic!("entry of thread {t} op {i} lost"));
+            assert_eq!(
+                entry.allocation,
+                ResourceAllocation::large(1 + (i % 9) as u32)
+            );
+        }
+    }
+}
+
+/// A single-tenant fleet bit-matches a stand-alone `SimulationEngine` run with
+/// the same seed: the shared repository degenerates to the tenant's private
+/// overlay, the epoch loop to plain sequential stepping.
+#[test]
+fn single_tenant_fleet_bit_matches_single_controller_run() {
+    let scenario = ScenarioBuilder::new("solo", 21, 2)
+        .tick(SimDuration::from_secs(300.0))
+        .diurnal_fleet(1)
+        .build();
+    let spec = scenario.tenants[0].clone();
+
+    // Stand-alone run, exactly as the classic experiments drive it.
+    let engine = SimulationEngine::new(spec.run_config(scenario.tick));
+    let service = CassandraService::update_heavy();
+    let mut controller = DejaVuController::new(
+        DejaVuConfig::builder()
+            .learning_hours(24)
+            .seed(spec.seed)
+            .build(),
+        Box::new(service),
+        engine.config().space.clone(),
+    );
+    let solo = engine.run(&service, &mut controller);
+
+    // The same tenant as a one-member fleet, shared repository enabled.
+    let report = FleetEngine::new(scenario, FleetConfig::default()).run();
+    let fleet = &report.tenants[0];
+
+    assert_eq!(fleet.dejavu.load.values(), solo.load.values());
+    assert_eq!(
+        fleet.dejavu.instance_count.values(),
+        solo.instance_count.values()
+    );
+    assert_eq!(fleet.dejavu.latency_ms.values(), solo.latency_ms.values());
+    assert_eq!(fleet.dejavu.total_cost, solo.total_cost);
+    assert_eq!(fleet.dejavu.reuse_cost, solo.reuse_cost);
+    assert_eq!(
+        fleet.dejavu.slo_violation_fraction,
+        solo.slo_violation_fraction
+    );
+    assert_eq!(fleet.dejavu.adaptations.len(), solo.adaptations.len());
+    assert_eq!(fleet.stats.tunings, controller.stats().tunings);
+    assert_eq!(fleet.cross_tenant_hits, 0);
+}
+
+/// Load traces never produce levels outside the valid range, under any
+/// rescaling.
+#[test]
+fn trace_rescaling_stays_in_range() {
+    cases(64, |rng, case| {
+        let n = 1 + rng.uniform_usize(47);
+        let levels: Vec<f64> = (0..n).map(|_| rng.uniform01()).collect();
+        let new_peak = rng.uniform(0.05, 1.5);
         let trace = LoadTrace::hourly("prop", levels).unwrap();
         let rescaled = trace.rescaled_to_peak(new_peak);
-        prop_assert!(rescaled.levels().iter().all(|&l| (0.0..=1.5).contains(&l)));
-        prop_assert!((rescaled.peak() - new_peak).abs() < 1e-9);
-    }
+        assert!(
+            rescaled.levels().iter().all(|&l| (0.0..=1.5).contains(&l)),
+            "case {case}: level out of range"
+        );
+        assert!((rescaled.peak() - new_peak).abs() < 1e-9, "case {case}");
+    });
 }

@@ -1,0 +1,178 @@
+//! Offline minimal stand-in for the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! Supports the subset of the API the workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`, `Bencher::iter`
+//! and `black_box`. Timing is wall-clock with adaptive iteration counts and a
+//! plain-text report; statistical analysis is out of scope. When the binary is
+//! invoked with `--test` (as `cargo test` does for `harness = false` bench
+//! targets) each benchmark body runs exactly once so the target stays fast.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Runs one benchmark body.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    samples: usize,
+    result: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it enough times for a stable mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            *self.result = Some(Duration::ZERO);
+            return;
+        }
+        // One warm-up call decides how many timed iterations are affordable.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let warmup = warmup_start.elapsed();
+        let iters = if warmup < Duration::from_micros(100) {
+            self.samples.max(100)
+        } else if warmup < Duration::from_millis(10) {
+            self.samples.max(10)
+        } else {
+            self.samples.clamp(1, 3)
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.result = Some(start.elapsed() / iters as u32);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut result = None;
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            samples: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        report(&self.name, id, result, self.criterion.test_mode);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut result = None;
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            samples: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        report("", id, result, self.test_mode);
+        self
+    }
+}
+
+fn report(group: &str, id: &str, result: Option<Duration>, test_mode: bool) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match (test_mode, result) {
+        (true, _) => println!("test {label} ... ok"),
+        (false, Some(mean)) => println!("{label:<55} {:>12.3?}/iter", mean),
+        (false, None) => println!("{label:<55} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_body() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+        };
+        let mut ran = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .bench_function("inner", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+}

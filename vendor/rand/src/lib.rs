@@ -1,0 +1,106 @@
+//! Offline API-shape stand-in for the `rand` crate's trait surface.
+//!
+//! `dejavu-simcore` implements its own xoshiro-based generator and only needs
+//! the `rand` traits (`RngCore`, `SeedableRng`, `Rng`) so that callers can use
+//! the familiar interface. This crate provides those traits with the subset of
+//! the API the workspace uses; the actual randomness always comes from
+//! `SimRng`'s own deterministic stream.
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error`. The workspace's generators are
+/// infallible, so this is never constructed outside of trait signatures.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random number generator error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random-number-generation interface, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure (never fails here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed;
+
+    /// Creates a generator from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+/// A range that can be sampled from, mirroring
+/// `rand::distributions::uniform::SampleRange` for the types the workspace
+/// draws (`Range<f64>`).
+pub trait SampleRange<T> {
+    /// Draws one sample from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Convenience sampling interface, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..100 {
+            let x = rng.gen_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+}

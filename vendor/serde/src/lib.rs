@@ -1,0 +1,15 @@
+//! Offline API-shape stand-in for [serde](https://serde.rs).
+//!
+//! The workspace builds hermetically (no crates.io access), so this crate
+//! provides just enough of serde's surface for the sources to compile: the
+//! `Serialize`/`Deserialize` marker traits and the derive macros (which emit
+//! no code). No data is serialized anywhere in the workspace; replacing this
+//! stub with the real serde is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
