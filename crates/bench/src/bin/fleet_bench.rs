@@ -1,0 +1,352 @@
+//! `fleet-bench` — the recorded performance trajectory of the fleet hot path.
+//!
+//! Runs the standard mixed fleet end to end (shared and isolated repository
+//! modes) and a shared-repository lookup microbenchmark, then emits
+//! `BENCH_fleet.json` so every perf PR leaves comparable numbers behind.
+//!
+//! ```text
+//! cargo run --release -p dejavu-bench --bin fleet-bench            # full: 200 and 1000 tenants
+//! cargo run --release -p dejavu-bench --bin fleet-bench -- --quick # CI smoke: 40 tenants
+//! ```
+//!
+//! Flags:
+//!
+//! * `--quick` — small fleet (40 tenants, 1 day) and fewer microbench samples.
+//! * `--fleet TENANTS:DAYS` — override the fleet configurations (repeatable).
+//! * `--out PATH` — where to write the JSON (default `BENCH_fleet.json`).
+//! * `--label NAME` — label recorded with this run (default `current`).
+//! * `--append` — append this run to an existing trajectory file instead of
+//!   overwriting it.
+//! * `--baseline PATH` — compare against a previously recorded file and exit
+//!   non-zero if `shared_lookup_hit_per_sec` regressed more than
+//!   `--max-regress` (default 0.30, i.e. 30%).
+
+use dejavu_cloud::ResourceAllocation;
+use dejavu_core::{RepositoryKey, SignatureRepository};
+use dejavu_fleet::{
+    standard_fleet, FleetConfig, FleetEngine, SharedRepoConfig, SharedSignatureRepository,
+    SharingMode,
+};
+use dejavu_simcore::SimTime;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    out: String,
+    label: String,
+    append: bool,
+    baseline: Option<String>,
+    max_regress: f64,
+    fleets: Vec<(usize, usize)>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_fleet.json".to_string(),
+        label: "current".to_string(),
+        append: false,
+        baseline: None,
+        max_regress: 0.30,
+        fleets: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--append" => args.append = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--label" => args.label = it.next().expect("--label needs a name"),
+            "--baseline" => args.baseline = Some(it.next().expect("--baseline needs a path")),
+            "--fleet" => {
+                let spec = it.next().expect("--fleet needs TENANTS:DAYS");
+                let (t, d) = spec.split_once(':').expect("--fleet needs TENANTS:DAYS");
+                args.fleets.push((
+                    t.parse().expect("tenant count"),
+                    d.parse().expect("day count"),
+                ));
+            }
+            "--max-regress" => {
+                args.max_regress = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-regress needs a fraction")
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One end-to-end fleet measurement.
+struct FleetMeasurement {
+    tenants: usize,
+    days: usize,
+    mode: &'static str,
+    epochs: usize,
+    secs: f64,
+    epochs_per_sec: f64,
+    hit_rate: f64,
+}
+
+fn run_fleet(tenants: usize, days: usize, sharing: SharingMode) -> FleetMeasurement {
+    let scenario = standard_fleet(tenants, days, 11);
+    let engine = FleetEngine::new(
+        scenario,
+        FleetConfig {
+            sharing,
+            ..Default::default()
+        },
+    );
+    let start = Instant::now();
+    let report = engine.run();
+    let secs = start.elapsed().as_secs_f64();
+    FleetMeasurement {
+        tenants,
+        days,
+        mode: match sharing {
+            SharingMode::Shared => "shared",
+            SharingMode::Isolated => "isolated",
+        },
+        epochs: report.epochs,
+        secs,
+        epochs_per_sec: report.epochs as f64 / secs.max(1e-12),
+        hit_rate: report.fleet_hit_rate(),
+    }
+}
+
+/// A 30-metric signature for anchor `a`, shaped like the profiler's output:
+/// magnitudes spread over decades, distinct anchors well beyond the match
+/// tolerance.
+fn signature(a: usize) -> Vec<f64> {
+    let base = 10.0 * 1.17f64.powi(a as i32 % 64);
+    (0..30)
+        .map(|m| base * (0.05 + ((m * 7 + a * 3) % 13) as f64 * 0.4))
+        .collect()
+}
+
+struct LookupMeasurement {
+    samples: usize,
+    per_sec: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn measure<F: FnMut(usize)>(samples: usize, mut op: F) -> LookupMeasurement {
+    let mut ns: Vec<f64> = Vec::with_capacity(samples);
+    let total = Instant::now();
+    for i in 0..samples {
+        let t = Instant::now();
+        op(i);
+        ns.push(t.elapsed().as_nanos() as f64);
+    }
+    let secs = total.elapsed().as_secs_f64();
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    LookupMeasurement {
+        samples,
+        per_sec: samples as f64 / secs.max(1e-12),
+        p50_ns: percentile(&ns, 0.50),
+        p99_ns: percentile(&ns, 0.99),
+    }
+}
+
+/// Microbenchmarks the shared repository (signature-matched lookups over a
+/// realistically anchor-heavy namespace) against the isolated per-tenant
+/// repository (key-direct lookups).
+fn lookup_microbench(anchors: usize, samples: usize) -> Vec<(String, LookupMeasurement)> {
+    let shared = SharedSignatureRepository::new(SharedRepoConfig::default());
+    for a in 0..anchors {
+        shared.insert(
+            0,
+            7,
+            &signature(a),
+            (a % 3) as u32,
+            ResourceAllocation::large(1 + (a % 9) as u32),
+            SimTime::ZERO,
+        );
+    }
+    let hit_sigs: Vec<Vec<f64>> = (0..64).map(signature).collect();
+    let miss_sig: Vec<f64> = (0..30).map(|m| 1.0 + m as f64 * 1e6).collect();
+
+    let mut results = Vec::new();
+    results.push((
+        "shared_lookup_hit".to_string(),
+        measure(samples, |i| {
+            let sig = &hit_sigs[i % hit_sigs.len()];
+            std::hint::black_box(shared.lookup(1, 7, sig, (i % 3) as u32, SimTime::ZERO));
+        }),
+    ));
+    results.push((
+        "shared_lookup_miss".to_string(),
+        measure(samples, |_| {
+            std::hint::black_box(shared.lookup(1, 7, &miss_sig, 0, SimTime::ZERO));
+        }),
+    ));
+    results.push((
+        "shared_peek".to_string(),
+        measure(samples, |i| {
+            let sig = &hit_sigs[i % hit_sigs.len()];
+            std::hint::black_box(shared.peek(7, sig, (i % 3) as u32, SimTime::ZERO, Some(99)));
+        }),
+    ));
+
+    let mut isolated = SignatureRepository::new();
+    for a in 0..anchors {
+        isolated.insert(
+            RepositoryKey {
+                class: a,
+                interference_bucket: (a % 3) as u32,
+            },
+            ResourceAllocation::large(1 + (a % 9) as u32),
+            SimTime::ZERO,
+        );
+    }
+    results.push((
+        "isolated_lookup_hit".to_string(),
+        measure(samples, |i| {
+            let key = RepositoryKey {
+                class: i % anchors,
+                interference_bucket: ((i % anchors) % 3) as u32,
+            };
+            std::hint::black_box(isolated.lookup(key));
+        }),
+    ));
+    results
+}
+
+/// Extracts the number following the LAST occurrence of `"key":` in a
+/// hand-rolled JSON file — for trajectory files holding several runs, that is
+/// the most recent one.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.rfind(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+    let (default_sizes, anchors, samples): (&[(usize, usize)], usize, usize) = if args.quick {
+        (&[(40, 1)], 128, 2_000)
+    } else {
+        (&[(200, 3), (1000, 1)], 512, 20_000)
+    };
+    let fleet_sizes: &[(usize, usize)] = if args.fleets.is_empty() {
+        default_sizes
+    } else {
+        &args.fleets
+    };
+
+    let mut fleets = Vec::new();
+    for &(tenants, days) in fleet_sizes {
+        for sharing in [SharingMode::Shared, SharingMode::Isolated] {
+            let m = run_fleet(tenants, days, sharing);
+            eprintln!(
+                "fleet {:>5} tenants x {} day(s) [{:>8}]: {:>7.2} epochs/s ({} epochs in {:.3}s, hit rate {:.1}%)",
+                m.tenants, m.days, m.mode, m.epochs_per_sec, m.epochs, m.secs, m.hit_rate * 100.0
+            );
+            fleets.push(m);
+        }
+    }
+
+    let lookups = lookup_microbench(anchors, samples);
+    for (name, m) in &lookups {
+        eprintln!(
+            "{name:>22}: {:>12.0} ops/s  p50 {:>7.0} ns  p99 {:>7.0} ns  ({} samples, {anchors} anchors)",
+            m.per_sec, m.p50_ns, m.p99_ns, m.samples
+        );
+    }
+
+    // The headline number the CI regression gate watches.
+    let shared_hit_per_sec = lookups
+        .iter()
+        .find(|(n, _)| n == "shared_lookup_hit")
+        .map(|(_, m)| m.per_sec)
+        .expect("shared_lookup_hit always measured");
+
+    // The label is spliced into hand-rolled JSON: escape the two characters
+    // that would break the string literal.
+    let label = args.label.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut run = String::new();
+    let _ = write!(
+        run,
+        "    {{\n      \"label\": \"{}\",\n      \"mode\": \"{}\",\n      \"workers\": {},\n      \"shared_lookup_hit_per_sec\": {:.0},\n      \"fleets\": [\n",
+        label,
+        if args.quick { "quick" } else { "full" },
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        shared_hit_per_sec,
+    );
+    for (i, m) in fleets.iter().enumerate() {
+        let _ = writeln!(
+            run,
+            "        {{\"tenants\": {}, \"days\": {}, \"mode\": \"{}\", \"epochs\": {}, \"secs\": {:.4}, \"epochs_per_sec\": {:.2}, \"hit_rate\": {:.4}}}{}",
+            m.tenants, m.days, m.mode, m.epochs, m.secs, m.epochs_per_sec, m.hit_rate,
+            if i + 1 < fleets.len() { "," } else { "" }
+        );
+    }
+    run.push_str("      ],\n      \"lookups\": [\n");
+    for (i, (name, m)) in lookups.iter().enumerate() {
+        let _ = writeln!(
+            run,
+            "        {{\"name\": \"{name}\", \"anchors\": {anchors}, \"samples\": {}, \"per_sec\": {:.0}, \"p50_ns\": {:.0}, \"p99_ns\": {:.0}}}{}",
+            m.samples, m.per_sec, m.p50_ns, m.p99_ns,
+            if i + 1 < lookups.len() { "," } else { "" }
+        );
+    }
+    run.push_str("      ]\n    }");
+
+    let existing = if args.append {
+        std::fs::read_to_string(&args.out).ok()
+    } else {
+        None
+    };
+    let json = match existing {
+        // Splice the new run into the existing trajectory's `runs` array.
+        Some(prior) => {
+            let trimmed = prior.trim_end();
+            let body = trimmed
+                .strip_suffix("]\n}")
+                .or_else(|| trimmed.strip_suffix("]}"))
+                .unwrap_or_else(|| panic!("{} is not a fleet-bench trajectory file", args.out))
+                .trim_end()
+                .to_string();
+            format!("{body},\n{run}\n  ]\n}}\n")
+        }
+        None => format!("{{\n  \"runs\": [\n{run}\n  ]\n}}\n"),
+    };
+    std::fs::write(&args.out, &json).expect("write BENCH_fleet.json");
+    eprintln!("wrote {}", args.out);
+
+    if let Some(baseline) = &args.baseline {
+        let base = std::fs::read_to_string(baseline).expect("read baseline file");
+        let base_per_sec = extract_number(&base, "shared_lookup_hit_per_sec")
+            .expect("baseline has shared_lookup_hit_per_sec");
+        let floor = base_per_sec * (1.0 - args.max_regress);
+        eprintln!(
+            "regression gate: {shared_hit_per_sec:.0} ops/s vs baseline {base_per_sec:.0} (floor {floor:.0})"
+        );
+        if shared_hit_per_sec < floor {
+            eprintln!(
+                "FAIL: shared_lookup_hit_per_sec regressed more than {:.0}%",
+                args.max_regress * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("regression gate passed");
+    }
+}

@@ -110,8 +110,9 @@ impl OnlineClassifier {
     /// Classifies a signature.
     pub fn classify(&self, signature: &WorkloadSignature) -> Classification {
         let normalized = self.clustering.normalize(signature.values());
-        let nearest = self.clustering.kmeans.assign(&normalized);
-        let distance = self.clustering.kmeans.distance_to_nearest(&normalized);
+        // One pass over the centroids for both the assignment and its
+        // distance — this runs on every periodic profile, fleet-wide.
+        let (nearest, distance) = self.clustering.kmeans.assign_with_distance(&normalized);
         // A signature much farther from its nearest centroid than that
         // cluster's own radius is an unforeseen workload. A floor tied to the
         // inter-centroid spacing keeps very tight clusters from flagging every

@@ -47,6 +47,7 @@ pub mod clustering;
 pub mod config;
 pub mod controller;
 pub mod error;
+pub mod flatmap;
 pub mod interference;
 pub mod repository;
 pub mod signature;
@@ -57,6 +58,7 @@ pub use clustering::{ClusteringOutcome, WorkloadClusterer};
 pub use config::DejaVuConfig;
 pub use controller::{DejaVuController, DejaVuPhase, DejaVuStats};
 pub use error::DejaVuError;
+pub use flatmap::FlatMap;
 pub use interference::{InterferenceBucket, InterferenceEstimator};
 pub use repository::{
     AllocationStore, RepositoryEntry, RepositoryKey, RepositoryStats, SignatureRepository,

@@ -6,11 +6,11 @@
 //! straight to the right allocation; misses fall back to tuning or to full
 //! capacity.
 
+use crate::flatmap::FlatMap;
 use dejavu_cloud::ResourceAllocation;
 use dejavu_metrics::WorkloadSignature;
 use dejavu_simcore::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Repository key: workload class × interference bucket.
 ///
@@ -210,7 +210,7 @@ impl AllocationStore for SignatureRepository {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SignatureRepository {
-    entries: BTreeMap<RepositoryKey, RepositoryEntry>,
+    entries: FlatMap<RepositoryKey, RepositoryEntry>,
     stats: RepositoryStats,
 }
 

@@ -15,6 +15,9 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SignatureBuilder {
     selection: FeatureSelection,
+    /// The selected metric names, shared with every projected signature so
+    /// the per-profile projection allocates only the value vector.
+    projected_names: std::sync::Arc<[String]>,
 }
 
 impl SignatureBuilder {
@@ -46,7 +49,11 @@ impl SignatureBuilder {
             dataset.try_push(dejavu_ml::Instance::labeled(sig.values().to_vec(), label))?;
         }
         let selection = CfsSelector::new(max_metrics).select(&dataset)?;
-        Ok(SignatureBuilder { selection })
+        let projected_names = selection.selected_names.clone().into();
+        Ok(SignatureBuilder {
+            selection,
+            projected_names,
+        })
     }
 
     /// A builder that keeps every metric (used when feature selection is
@@ -60,6 +67,7 @@ impl SignatureBuilder {
                 merit: 0.0,
                 merit_trace: Vec::new(),
             },
+            projected_names: signature.shared_names(),
         }
     }
 
@@ -80,7 +88,10 @@ impl SignatureBuilder {
 
     /// Projects a full-catalogue signature onto the selected metrics.
     pub fn project(&self, signature: &WorkloadSignature) -> WorkloadSignature {
-        signature.project(&self.selection.selected)
+        signature.project_shared(
+            &self.selection.selected,
+            std::sync::Arc::clone(&self.projected_names),
+        )
     }
 
     /// Projects the raw values of a full-catalogue signature.

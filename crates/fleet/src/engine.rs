@@ -253,11 +253,11 @@ impl SimulationEngine {
             platform,
             client: ClientEmulator::default(),
             rng: SimRng::seed_from_u64(cfg.seed),
-            load: TimeSeries::new("load"),
-            instance_count: TimeSeries::new("instances"),
-            capacity_units: TimeSeries::new("capacity"),
-            latency_ms: TimeSeries::new("latency_ms"),
-            qos_percent: TimeSeries::new("qos_percent"),
+            load: TimeSeries::with_capacity("load", ticks),
+            instance_count: TimeSeries::with_capacity("instances", ticks),
+            capacity_units: TimeSeries::with_capacity("capacity", ticks),
+            latency_ms: TimeSeries::with_capacity("latency_ms", ticks),
+            qos_percent: TimeSeries::with_capacity("qos_percent", ticks),
             adaptations: Vec::new(),
             change_points: Vec::new(),
             tick_secs: cfg.tick.as_secs(),

@@ -215,19 +215,26 @@ impl FleetEngine {
             });
             // Epoch barrier: publish buffered writes in tenant order, then age
             // out stale entries. This is the only place the shared store
-            // changes, which is what keeps fleet runs deterministic.
+            // changes, which is what keeps fleet runs deterministic. The whole
+            // epoch's operations go through one batched commit — each shard's
+            // write lock is taken once per barrier, not once per operation —
+            // while the per-shard commit sequence stays in tenant order.
+            let mut ops: Vec<PendingOp> = Vec::new();
+            let mut op_tenants: Vec<usize> = Vec::new();
             for (tenant, outbox) in outboxes.iter().enumerate() {
                 let Some(outbox) = outbox else { continue };
-                let ops = std::mem::take(&mut *outbox.lock().expect("tenant outbox poisoned"));
-                for op in &ops {
-                    let applied = shared.apply(op);
-                    // A hit only counts if the store still holds the entry at
-                    // commit time (an earlier publish in this barrier can have
-                    // re-anchored the namespace), keeping the engine-side and
-                    // store-side cross-tenant counters consistent.
-                    if applied && matches!(op, PendingOp::RecordHit { .. }) {
-                        cross_tenant_hits[tenant] += 1;
-                    }
+                let drained = std::mem::take(&mut *outbox.lock().expect("tenant outbox poisoned"));
+                op_tenants.resize(op_tenants.len() + drained.len(), tenant);
+                ops.extend(drained);
+            }
+            let applied = shared.apply_batch(&ops);
+            for ((op, tenant), applied) in ops.iter().zip(&op_tenants).zip(applied) {
+                // A hit only counts if the store still holds the entry at
+                // commit time (an earlier publish in this barrier can have
+                // re-anchored the namespace), keeping the engine-side and
+                // store-side cross-tenant counters consistent.
+                if applied && matches!(op, PendingOp::RecordHit { .. }) {
+                    cross_tenant_hits[*tenant] += 1;
                 }
             }
             shared.evict_stale(epoch_end);

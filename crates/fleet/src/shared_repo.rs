@@ -14,15 +14,44 @@
 //! entries for equivalent workloads. Entries are keyed by
 //! `(namespace, anchor, interference bucket)`.
 //!
+//! # Hot-path design
+//!
+//! * **Indexed anchor resolution.** A namespace's anchors are indexed by a
+//!   ball tree in quantized log-magnitude space, with the query radius
+//!   derived from the match tolerance so that any anchor within tolerance of
+//!   a query provably lies inside the query's φ-ball ([`AnchorSet`]).
+//!   `resolve` therefore inspects candidate cells/leaves instead of every
+//!   anchor in the namespace, and the remaining exact checks use an
+//!   early-exit distance ([`normalized_distance_within`]) that bails as soon
+//!   as the partial sum exceeds the tolerance bound. Results — including the
+//!   lowest-id tie-break — are bit-identical to a brute-force linear scan
+//!   (property-tested in `tests/properties.rs`).
+//! * **Read-only read path.** Hit/miss/reuse counters are relaxed atomics
+//!   ([`ShardCounters`]), so [`SharedSignatureRepository::lookup`] and
+//!   [`SharedSignatureRepository::peek`] take only the shard **read** lock;
+//!   readers never serialize behind each other. Stale entries found by a
+//!   lookup are counted as misses but left in place — eviction is deferred to
+//!   the epoch TTL sweep ([`SharedSignatureRepository::evict_stale`]).
+//! * **Batched commits.** The epoch barrier applies a whole epoch's buffered
+//!   operations through [`SharedSignatureRepository::apply_batch`], which
+//!   groups them by shard and takes each shard's write lock once per epoch
+//!   instead of once per operation, while preserving the deterministic
+//!   tenant-order commit sequence within every shard.
+//! * **Flat storage.** Entries live in a key-sorted
+//!   [`FlatMap`](dejavu_core::FlatMap) (one contiguous vector per namespace)
+//!   and anchor centroids in one flat `f64` slab per namespace, so a lookup
+//!   touches contiguous memory instead of chasing B-tree nodes.
+//!
 //! Shards are lock-striped (`RwLock` per shard); a namespace's anchors and
 //! entries live entirely within one shard, so anchor resolution needs a single
 //! lock. Entries carry their tuning time; a TTL turns tuning decisions stale
 //! so a fleet never reuses week-old allocations forever.
 
 use dejavu_cloud::{AllocationSpace, ResourceAllocation};
+use dejavu_core::FlatMap;
 use dejavu_simcore::{SimDuration, SimTime};
 use dejavu_traces::{RequestMix, ServiceKind};
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::RwLock;
 
 /// Identifies a tenant within one fleet run.
@@ -66,6 +95,29 @@ pub struct SharedEntry {
     pub cross_tenant_hits: u64,
 }
 
+/// The stored form of an entry: reuse counters are relaxed atomics so the
+/// read path can account hits under the shard read lock.
+#[derive(Debug)]
+struct StoredEntry {
+    allocation: ResourceAllocation,
+    tuned_at: SimTime,
+    owner: TenantId,
+    hits: AtomicU64,
+    cross_tenant_hits: AtomicU64,
+}
+
+impl StoredEntry {
+    fn snapshot(&self) -> SharedEntry {
+        SharedEntry {
+            allocation: self.allocation,
+            tuned_at: self.tuned_at,
+            owner: self.owner,
+            hits: self.hits.load(Relaxed),
+            cross_tenant_hits: self.cross_tenant_hits.load(Relaxed),
+        }
+    }
+}
+
 /// Hit/miss statistics of one shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardStats {
@@ -105,6 +157,32 @@ impl ShardStats {
     }
 }
 
+/// Per-shard counters, advanced with relaxed atomics so the read path never
+/// needs the shard write lock. Snapshots are only taken at epoch barriers or
+/// after a run, when no concurrent updates are in flight, so totals are exact.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    cross_tenant_hits: AtomicU64,
+    anchors_created: AtomicU64,
+}
+
+impl ShardCounters {
+    fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            insertions: self.insertions.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            cross_tenant_hits: self.cross_tenant_hits.load(Relaxed),
+            anchors_created: self.anchors_created.load(Relaxed),
+        }
+    }
+}
+
 /// A write buffered by a tenant view during an epoch, applied at the epoch
 /// barrier in tenant order so fleet runs are deterministic regardless of how
 /// worker threads interleave.
@@ -135,6 +213,14 @@ pub enum PendingOp {
         signature: Vec<f64>,
         /// Interference bucket that matched.
         interference_bucket: u32,
+        /// The `(anchor id, anchor count, distance)` witness of the peek-time
+        /// resolution. Anchors only accrete and new ids always lose distance
+        /// ties to older ones, so at commit the resolution can only change if
+        /// an anchor created since the peek is strictly closer: the commit
+        /// checks just those delta anchors instead of re-resolving the whole
+        /// namespace — byte-identical outcomes either way. `None` (e.g.
+        /// hand-built ops) resolves from scratch.
+        resolved: Option<(u32, u32, f64)>,
     },
     /// Account for a shared-store miss observed during the epoch, so shard
     /// hit rates stay meaningful under the read-only epoch protocol.
@@ -144,69 +230,576 @@ pub enum PendingOp {
     },
 }
 
+impl PendingOp {
+    /// The namespace the operation touches (determines its shard).
+    pub fn namespace(&self) -> u64 {
+        match self {
+            PendingOp::Publish { namespace, .. }
+            | PendingOp::RecordHit { namespace, .. }
+            | PendingOp::RecordMiss { namespace } => *namespace,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct EntryKey {
     anchor: u32,
     interference_bucket: u32,
 }
 
-#[derive(Debug, Clone)]
-struct Anchor {
-    centroid: Vec<f64>,
+/// Values below this magnitude share one log-space band; mirrors the epsilon
+/// floor in [`normalized_distance`].
+const MAG_FLOOR: f64 = 1e-9;
+
+/// Ball-tree leaves hold at most this many anchors.
+const LEAF_SIZE: usize = 8;
+
+/// Query φ vectors at most this wide are stack-allocated during resolution.
+const PHI_STACK_DIMS: usize = 64;
+
+/// Log-magnitude of a signature component: the coordinate the anchor index
+/// works in. The key property (proved in the [`AnchorSet`] docs): two values
+/// whose relative difference is δ < 1 have log-magnitudes within
+/// `-ln(1 - δ)` of each other, regardless of sign or the ε floor.
+fn log_mag(v: f64) -> f64 {
+    v.abs().max(MAG_FLOOR).ln()
 }
 
-#[derive(Debug, Clone, Default)]
-struct NamespaceState {
-    anchors: Vec<Anchor>,
-    entries: BTreeMap<EntryKey, SharedEntry>,
+/// One node of the anchor ball tree. Leaves reference a range of
+/// [`AnchorSet::order`]; internal nodes reference their children.
+#[derive(Debug, Clone, Copy)]
+struct BallNode {
+    /// Offset of this node's center in [`AnchorSet::node_centers`].
+    center: u32,
+    /// Radius of the ball (in log-magnitude space) around the center.
+    radius: f64,
+    /// Leaf: `[start, start+len)` into `order`. Internal: `len == 0`.
+    start: u32,
+    len: u32,
+    /// Internal: child node indices. Unused for leaves.
+    left: u32,
+    right: u32,
 }
 
-impl NamespaceState {
+/// The anchors of one namespace plus their quantized spatial index.
+///
+/// Centroids are stored in one flat slab (`centroids[slot*dims..]`), so
+/// candidate checks stream contiguous memory. The index is a **ball tree in
+/// log-magnitude space**: anchor `a` maps to `φ(a)_i = ln(max(|a_i|, 1e-9))`,
+/// and the tree prunes by Euclidean distance over φ.
+///
+/// Why that is exact: a per-dimension relative difference
+/// `δ_i = |x_i−y_i| / max(|x_i|,|y_i|,ε) < 1` implies
+/// `|φ(x)_i − φ(y)_i| ≤ -ln(1−δ_i)` (wlog `u = max(|x_i|, ε) ≥ v`: either
+/// `|x_i| ≥ ε`, then `|y_i| ≥ |x_i|(1−δ_i)` so the log-ratio of the floored
+/// magnitudes is at most `-ln(1−δ_i)`; or both sit at the ε floor and the
+/// difference is 0 — opposite signs above the floor are impossible with
+/// δ < 1). A normalized distance ≤ tol over n dimensions bounds
+/// `Σ δ_i² ≤ tol²·n`, and since `(-ln(1−δ))²` is convex the worst case
+/// concentrates in one dimension, giving the Euclidean ball bound
+/// `‖φ(x)−φ(y)‖₂ ≤ -ln(1 − tol·√n)`. Every anchor within tolerance of a
+/// query therefore lies inside that φ-ball of the query: the tree yields a
+/// candidate superset, and the early-exit [`normalized_distance_within`]
+/// check in original space decides exactly.
+///
+/// When `tol·√n ≥ 1` the bound degenerates and the set falls back to a
+/// linear scan, which the early-exit distance keeps cheap. Anchors added
+/// since the last (deterministic, growth-triggered) rebuild are scanned
+/// linearly as a tail.
+#[derive(Debug, Default)]
+struct AnchorSet {
+    /// Signature length of the indexed anchors (fixed by the first anchor).
+    dims: usize,
+    /// Flat centroid slab for anchors whose signature length is `dims`.
+    centroids: Vec<f64>,
+    /// Flat slab of φ (log-magnitude) vectors, parallel to `centroids`.
+    phi: Vec<f64>,
+    /// Anchor ids in slab order (`slab_ids[slot]` = anchor id stored there).
+    slab_ids: Vec<u32>,
+    /// φ-ball query radius implied by the tolerance; 0.0 disables the tree.
+    radius_bound: f64,
+    /// Ball-tree nodes (root is node 0 when non-empty).
+    nodes: Vec<BallNode>,
+    /// Node centers slab (`node.center` indexes it, `dims` wide).
+    node_centers: Vec<f64>,
+    /// Slab slots, reordered so each leaf owns a contiguous range.
+    order: Vec<u32>,
+    /// Number of slab slots covered by the tree; slots beyond it are the
+    /// linear tail, re-indexed when the slab outgrows `built * 5/4`.
+    built: usize,
+    /// Anchors whose signature length differs from `dims` (degenerate; kept
+    /// for exactness — they can only match queries of their own length).
+    misfits: Vec<(u32, Vec<f64>)>,
+    /// Total number of anchors ever created in this namespace.
+    count: u32,
+}
+
+impl AnchorSet {
+    /// Squared Euclidean distance between `a` and `b`, bailing out with
+    /// `None` once it provably exceeds `bound_sq`.
+    fn sq_dist_within(a: &[f64], b: &[f64], bound_sq: f64) -> Option<f64> {
+        let mut sum = 0.0;
+        for (&x, &y) in a.iter().zip(b) {
+            let d = x - y;
+            sum += d * d;
+            if sum > bound_sq {
+                return None;
+            }
+        }
+        Some(sum)
+    }
+
+    /// Builds the ball tree over `slots` (recursive; appends to `nodes`).
+    fn build_node(&mut self, start: usize, len: usize, scratch: &mut Vec<f64>) -> u32 {
+        let dims = self.dims;
+        // Node center: mean of member φ vectors; radius: max member distance.
+        scratch.clear();
+        scratch.resize(dims, 0.0);
+        for &slot in &self.order[start..start + len] {
+            let at = slot as usize * dims;
+            for (acc, &v) in scratch.iter_mut().zip(&self.phi[at..at + dims]) {
+                *acc += v;
+            }
+        }
+        for acc in scratch.iter_mut() {
+            *acc /= len as f64;
+        }
+        let center = self.node_centers.len() as u32;
+        self.node_centers.extend_from_slice(scratch);
+        let center_at = center as usize;
+        let mut radius_sq = 0.0f64;
+        for &slot in &self.order[start..start + len] {
+            let at = slot as usize * dims;
+            let d = Self::sq_dist_within(
+                &self.phi[at..at + dims],
+                &self.node_centers[center_at..center_at + dims],
+                f64::INFINITY,
+            )
+            .expect("no bound");
+            radius_sq = radius_sq.max(d);
+        }
+        let node_index = self.nodes.len() as u32;
+        self.nodes.push(BallNode {
+            center,
+            radius: radius_sq.sqrt(),
+            start: start as u32,
+            len: len as u32,
+            left: 0,
+            right: 0,
+        });
+        if len <= LEAF_SIZE {
+            return node_index;
+        }
+        // Split at the median of the widest-spread φ dimension. The sort key
+        // includes the slot so the order (hence the tree) is deterministic.
+        let mut split_dim = 0;
+        let mut best_spread = -1.0f64;
+        for d in 0..dims {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &slot in &self.order[start..start + len] {
+                let v = self.phi[slot as usize * dims + d];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                split_dim = d;
+            }
+        }
+        {
+            let (phi, order) = (&self.phi, &mut self.order);
+            order[start..start + len].sort_by(|&a, &b| {
+                let va = phi[a as usize * dims + split_dim];
+                let vb = phi[b as usize * dims + split_dim];
+                va.partial_cmp(&vb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+        }
+        let half = len / 2;
+        let left = self.build_node(start, half, scratch);
+        let right = self.build_node(start + half, len - half, scratch);
+        let node = &mut self.nodes[node_index as usize];
+        node.len = 0;
+        node.left = left;
+        node.right = right;
+        node_index
+    }
+
+    /// Rebuilds the tree over the whole slab (tail becomes empty).
+    fn rebuild(&mut self) {
+        self.nodes.clear();
+        self.node_centers.clear();
+        self.order = (0..self.slab_ids.len() as u32).collect();
+        self.built = self.slab_ids.len();
+        if self.built == 0 || self.radius_bound == 0.0 {
+            return;
+        }
+        let mut scratch = Vec::with_capacity(self.dims);
+        self.build_node(0, self.built, &mut scratch);
+    }
+
     /// Nearest anchor within `tolerance`, or `None`. Ties break toward the
     /// lowest anchor id, so resolution is deterministic.
     fn resolve(&self, signature: &[f64], tolerance: f64) -> Option<u32> {
-        let mut best: Option<(u32, f64)> = None;
-        for (id, anchor) in self.anchors.iter().enumerate() {
-            let d = normalized_distance(&anchor.centroid, signature);
-            if d <= tolerance && best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((id as u32, d));
-            }
-        }
-        best.map(|(id, _)| id)
+        self.resolve_with_distance(signature, tolerance)
+            .map(|(_, id)| id)
     }
 
-    fn resolve_or_create(&mut self, signature: &[f64], tolerance: f64, created: &mut u64) -> u32 {
-        if let Some(id) = self.resolve(signature, tolerance) {
-            return id;
+    /// [`resolve`](Self::resolve) returning `(distance, id)`.
+    fn resolve_with_distance(&self, signature: &[f64], tolerance: f64) -> Option<(f64, u32)> {
+        self.resolve_inner(signature, tolerance)
+    }
+
+    /// Nearest anchor among those with ids ≥ `from_id` (the delta since a
+    /// witnessed resolution), with the same tolerance and tie-break rules.
+    fn resolve_since(&self, signature: &[f64], tolerance: f64, from_id: u32) -> Option<(f64, u32)> {
+        let mut best: Option<(f64, u32)> = None;
+        if self.dims > 0 && signature.len() == self.dims {
+            let start = self.slab_ids.partition_point(|&id| id < from_id);
+            for slot in start..self.slab_ids.len() {
+                self.consider_slot(slot, signature, None, tolerance, &mut best);
+            }
+        } else {
+            self.scan_misfits(signature, tolerance, from_id, &mut best);
         }
-        self.anchors.push(Anchor {
-            centroid: signature.to_vec(),
-        });
-        *created += 1;
-        (self.anchors.len() - 1) as u32
+        best
+    }
+
+    /// Exact-checks the misfit anchors (ids ≥ `from_id`) against the query,
+    /// with the same inclusive limit and lowest-id tie-break as
+    /// [`consider_slot`](Self::consider_slot).
+    fn scan_misfits(
+        &self,
+        signature: &[f64],
+        tolerance: f64,
+        from_id: u32,
+        best: &mut Option<(f64, u32)>,
+    ) {
+        for (id, values) in &self.misfits {
+            if *id < from_id {
+                continue;
+            }
+            let limit = best.map_or(tolerance, |(d, _)| d.min(tolerance));
+            if let Some(d) = normalized_distance_within(values, signature, limit) {
+                if best.is_none_or(|(bd, bid)| d < bd || (d == bd && *id < bid)) {
+                    *best = Some((d, *id));
+                }
+            }
+        }
+    }
+
+    /// Exact-checks slab `slot` against the query, updating `best`. The
+    /// bail-out bound tightens as better candidates are found but stays
+    /// inclusive, so equal-distance candidates complete and the lowest-id
+    /// tie-break stays exact. When the query's φ vector is available, a
+    /// division-free φ-distance test (a necessary condition for matching
+    /// within the current bound) screens the candidate first, so the
+    /// division-heavy exact distance runs only on probable matches.
+    fn consider_slot(
+        &self,
+        slot: usize,
+        signature: &[f64],
+        q_phi: Option<(&[f64], &mut (f64, f64))>,
+        tolerance: f64,
+        best: &mut Option<(f64, u32)>,
+    ) {
+        let id = self.slab_ids[slot];
+        let at = slot * self.dims;
+        let limit = best.map_or(tolerance, |(d, _)| d.min(tolerance));
+        if let Some((q_phi, thresh_cache)) = q_phi {
+            let thresh = self.cached_threshold(thresh_cache, limit);
+            if thresh.is_finite()
+                && Self::sq_dist_within(q_phi, &self.phi[at..at + self.dims], thresh * thresh)
+                    .is_none()
+            {
+                return; // provably farther than `limit`
+            }
+        }
+        if let Some(d) =
+            normalized_distance_within(&self.centroids[at..at + self.dims], signature, limit)
+        {
+            if best.is_none_or(|(bd, bid)| d < bd || (d == bd && id < bid)) {
+                *best = Some((d, id));
+            }
+        }
+    }
+
+    /// The φ-space pruning threshold for the current best distance `limit`:
+    /// a ball whose nearest φ-point is farther than this provably contains
+    /// only anchors with true distance > `limit`. Symmetric to the insertion
+    /// bound: distance ≤ limit ⇒ ‖φ-diff‖ ≤ -ln(1 − limit·√n).
+    fn phi_threshold(&self, limit: f64) -> f64 {
+        let x = limit * (self.dims as f64).sqrt();
+        if x >= 1.0 {
+            f64::INFINITY
+        } else {
+            // Headroom for floating-point rounding between the φ mapping and
+            // the exact distance check.
+            -(1.0 - x).ln() * (1.0 + 1e-12) + 1e-12
+        }
+    }
+
+    /// [`phi_threshold`](Self::phi_threshold) memoized on `limit`: the limit
+    /// only changes when the best-so-far match improves, so the `ln` behind
+    /// the threshold leaves the per-candidate inner loop.
+    fn cached_threshold(&self, cache: &mut (f64, f64), limit: f64) -> f64 {
+        if cache.0 != limit {
+            *cache = (limit, self.phi_threshold(limit));
+        }
+        cache.1
+    }
+
+    /// Best-first branch-and-bound descent: visits the child whose ball is
+    /// nearer to the query first, so the best-so-far distance (and with it
+    /// the φ pruning radius) shrinks as early as possible. Pruned balls
+    /// provably hold only anchors strictly farther than the current best, so
+    /// the result — including the lowest-id tie-break — is identical to a
+    /// full scan.
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        ni: u32,
+        dist_to_center_sq: f64,
+        q_phi: &[f64],
+        signature: &[f64],
+        tolerance: f64,
+        best: &mut Option<(f64, u32)>,
+        thresh_cache: &mut (f64, f64),
+    ) {
+        let node = self.nodes[ni as usize];
+        let limit = best.map_or(tolerance, |(d, _)| d.min(tolerance));
+        let thresh = self.cached_threshold(thresh_cache, limit);
+        if thresh.is_finite() {
+            let reach = thresh + node.radius;
+            if dist_to_center_sq > reach * reach {
+                return; // every member is provably farther than `limit`
+            }
+        }
+        if node.len > 0 {
+            for &slot in &self.order[node.start as usize..(node.start + node.len) as usize] {
+                self.consider_slot(
+                    slot as usize,
+                    signature,
+                    Some((q_phi, &mut *thresh_cache)),
+                    tolerance,
+                    best,
+                );
+            }
+            return;
+        }
+        let center_of = |child: u32| {
+            let at = self.nodes[child as usize].center as usize;
+            &self.node_centers[at..at + self.dims]
+        };
+        let dl = Self::sq_dist_within(q_phi, center_of(node.left), f64::INFINITY)
+            .expect("unbounded distance");
+        let dr = Self::sq_dist_within(q_phi, center_of(node.right), f64::INFINITY)
+            .expect("unbounded distance");
+        if dl <= dr {
+            self.descend(
+                node.left,
+                dl,
+                q_phi,
+                signature,
+                tolerance,
+                best,
+                thresh_cache,
+            );
+            self.descend(
+                node.right,
+                dr,
+                q_phi,
+                signature,
+                tolerance,
+                best,
+                thresh_cache,
+            );
+        } else {
+            self.descend(
+                node.right,
+                dr,
+                q_phi,
+                signature,
+                tolerance,
+                best,
+                thresh_cache,
+            );
+            self.descend(
+                node.left,
+                dl,
+                q_phi,
+                signature,
+                tolerance,
+                best,
+                thresh_cache,
+            );
+        }
+    }
+
+    fn resolve_inner(&self, signature: &[f64], tolerance: f64) -> Option<(f64, u32)> {
+        let mut best: Option<(f64, u32)> = None;
+        if self.dims > 0 && signature.len() == self.dims {
+            if self.radius_bound > 0.0 && !self.nodes.is_empty() {
+                // The query's φ vector lives on the stack for the typical
+                // catalogue width, so the lookup hot path stays allocation
+                // free; pathological widths spill to the heap.
+                let mut stack_buf = [0.0f64; PHI_STACK_DIMS];
+                let mut heap_buf = Vec::new();
+                let q_phi: &[f64] = if self.dims <= PHI_STACK_DIMS {
+                    for (out, &v) in stack_buf.iter_mut().zip(signature) {
+                        *out = log_mag(v);
+                    }
+                    &stack_buf[..self.dims]
+                } else {
+                    heap_buf.extend(signature.iter().map(|&v| log_mag(v)));
+                    &heap_buf
+                };
+                let at = self.nodes[0].center as usize;
+                let d0 = Self::sq_dist_within(
+                    q_phi,
+                    &self.node_centers[at..at + self.dims],
+                    f64::INFINITY,
+                )
+                .expect("unbounded distance");
+                // (limit, φ-threshold) memo, refreshed when `best` improves.
+                let mut thresh_cache = (f64::NAN, f64::INFINITY);
+                self.descend(
+                    0,
+                    d0,
+                    q_phi,
+                    signature,
+                    tolerance,
+                    &mut best,
+                    &mut thresh_cache,
+                );
+                // Anchors added since the last rebuild: linear tail, checked
+                // with the (by now tight) best-so-far bound.
+                for slot in self.built..self.slab_ids.len() {
+                    self.consider_slot(
+                        slot,
+                        signature,
+                        Some((q_phi, &mut thresh_cache)),
+                        tolerance,
+                        &mut best,
+                    );
+                }
+            } else {
+                for slot in 0..self.slab_ids.len() {
+                    self.consider_slot(slot, signature, None, tolerance, &mut best);
+                }
+            }
+            // Misfits have a different length, so they can never match here.
+        } else {
+            self.scan_misfits(signature, tolerance, 0, &mut best);
+        }
+        best
+    }
+
+    fn push(&mut self, signature: &[f64], tolerance: f64) -> u32 {
+        let id = self.count;
+        self.count += 1;
+        if self.dims == 0 && !signature.is_empty() {
+            // First anchor fixes the namespace's signature dimensionality and
+            // the φ-ball bound derived from it.
+            self.dims = signature.len();
+            let per_dim_bound = tolerance * (self.dims as f64).sqrt();
+            self.radius_bound = if (0.0..1.0).contains(&per_dim_bound) && per_dim_bound > 0.0 {
+                // A hair of headroom absorbs floating-point rounding between
+                // the φ mapping and the exact distance check.
+                -(1.0 - per_dim_bound).ln() * (1.0 + 1e-12) + 1e-12
+            } else {
+                0.0
+            };
+        }
+        if signature.len() == self.dims && self.dims > 0 {
+            self.centroids.extend_from_slice(signature);
+            self.phi.extend(signature.iter().map(|&v| log_mag(v)));
+            self.slab_ids.push(id);
+            // Rebuild once the linear tail outgrows a fifth of the indexed
+            // part; growth thresholds depend only on the anchor count, so
+            // index geometry is reproducible run to run.
+            let n = self.slab_ids.len();
+            if self.radius_bound > 0.0 && n >= 2 * LEAF_SIZE && n > self.built + self.built / 4 {
+                self.rebuild();
+            }
+        } else {
+            self.misfits.push((id, signature.to_vec()));
+        }
+        id
+    }
+
+    fn len(&self) -> usize {
+        self.count as usize
     }
 }
 
 #[derive(Debug, Default)]
+struct NamespaceState {
+    anchors: AnchorSet,
+    entries: FlatMap<EntryKey, StoredEntry>,
+}
+
+impl NamespaceState {
+    fn resolve_or_create(&mut self, signature: &[f64], tolerance: f64, created: &mut u64) -> u32 {
+        if let Some(id) = self.anchors.resolve(signature, tolerance) {
+            return id;
+        }
+        *created += 1;
+        self.anchors.push(signature, tolerance)
+    }
+}
+
+#[derive(Debug, Default)]
+struct ShardState {
+    namespaces: FlatMap<u64, NamespaceState>,
+}
+
+#[derive(Debug, Default)]
 struct Shard {
-    namespaces: BTreeMap<u64, NamespaceState>,
-    stats: ShardStats,
+    state: RwLock<ShardState>,
+    counters: ShardCounters,
 }
 
 /// Relative per-dimension distance between two signatures, normalized so that
 /// "x% apart in every metric" yields roughly `x/100` regardless of metric
 /// magnitudes. Signatures of different lengths never match.
 pub fn normalized_distance(a: &[f64], b: &[f64]) -> f64 {
+    normalized_distance_within(a, b, f64::INFINITY).unwrap_or(f64::INFINITY)
+}
+
+/// Early-exit form of [`normalized_distance`]: returns the exact distance if
+/// it is at most `limit`, or `None` if it exceeds `limit` — bailing out of
+/// the accumulation as soon as the partial sum proves the outcome.
+/// Accumulation order matches the full computation and acceptance is decided
+/// on the final `sqrt(sum/n)` value itself, so both the returned distance and
+/// the accept/reject outcome are bit-identical to computing
+/// `normalized_distance(a, b)` and comparing it with `limit`.
+pub fn normalized_distance_within(a: &[f64], b: &[f64], limit: f64) -> Option<f64> {
     if a.len() != b.len() || a.is_empty() {
-        return f64::INFINITY;
+        return None;
     }
+    // Conservative bail-out: d ≤ limit implies sum ≤ limit²·n up to a few
+    // ulps of the division/sqrt chain, so inflate the bound slightly — the
+    // exact `d ≤ limit` test below is the authoritative decision, and the
+    // inflation only means a borderline candidate completes its accumulation.
+    let bound = limit * limit * a.len() as f64 * (1.0 + 1e-12);
     let mut sum = 0.0;
     for (&x, &y) in a.iter().zip(b) {
         let scale = x.abs().max(y.abs()).max(1e-9);
         let d = (x - y) / scale;
         sum += d * d;
+        if sum > bound {
+            return None;
+        }
     }
-    (sum / a.len() as f64).sqrt()
+    let d = (sum / a.len() as f64).sqrt();
+    if d <= limit {
+        Some(d)
+    } else {
+        None
+    }
 }
 
 /// Stable namespace id for tenants that can share entries: same service kind,
@@ -238,7 +831,7 @@ pub fn namespace_for(kind: ServiceKind, mix: RequestMix, space: &AllocationSpace
 
 /// The fleet-shared, sharded signature repository.
 pub struct SharedSignatureRepository {
-    shards: Vec<RwLock<Shard>>,
+    shards: Vec<Shard>,
     config: SharedRepoConfig,
 }
 
@@ -256,7 +849,7 @@ impl SharedSignatureRepository {
     pub fn new(config: SharedRepoConfig) -> Self {
         let shards = config.shards.max(1);
         SharedSignatureRepository {
-            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
             config,
         }
     }
@@ -282,9 +875,9 @@ impl SharedSignatureRepository {
         (z % self.shards.len() as u64) as usize
     }
 
-    fn is_stale(&self, entry: &SharedEntry, now: SimTime) -> bool {
+    fn is_stale(&self, tuned_at: SimTime, now: SimTime) -> bool {
         match self.config.ttl {
-            Some(ttl) => now.saturating_since(entry.tuned_at).as_secs() > ttl.as_secs(),
+            Some(ttl) => now.saturating_since(tuned_at).as_secs() > ttl.as_secs(),
             None => false,
         }
     }
@@ -307,22 +900,48 @@ impl SharedSignatureRepository {
         allocation: ResourceAllocation,
         tuned_at: SimTime,
     ) {
-        let mut shard = self.shards[self.shard_index(namespace)]
+        let shard = &self.shards[self.shard_index(namespace)];
+        let mut state = shard
+            .state
             .write()
             .expect("shared repository shard poisoned");
-        let tolerance = self.config.match_tolerance;
-        let ttl = self.config.ttl;
+        Self::insert_locked(
+            &mut state,
+            &shard.counters,
+            &self.config,
+            tenant,
+            namespace,
+            signature,
+            interference_bucket,
+            allocation,
+            tuned_at,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_locked(
+        state: &mut ShardState,
+        counters: &ShardCounters,
+        config: &SharedRepoConfig,
+        tenant: TenantId,
+        namespace: u64,
+        signature: &[f64],
+        interference_bucket: u32,
+        allocation: ResourceAllocation,
+        tuned_at: SimTime,
+    ) {
         let mut created = 0u64;
-        let ns = shard.namespaces.entry(namespace).or_default();
-        let anchor = ns.resolve_or_create(signature, tolerance, &mut created);
+        let ns = state
+            .namespaces
+            .get_mut_or_insert_with(namespace, NamespaceState::default);
+        let anchor = ns.resolve_or_create(signature, config.match_tolerance, &mut created);
         let key = EntryKey {
             anchor,
             interference_bucket,
         };
-        ns.entries
-            .entry(key)
-            .and_modify(|existing| {
-                let stale = match ttl {
+        match ns.entries.get_mut(&key) {
+            Some(existing) => {
+                let stale = match config.ttl {
                     Some(ttl) => {
                         tuned_at.saturating_since(existing.tuned_at).as_secs() > ttl.as_secs()
                     }
@@ -333,21 +952,29 @@ impl SharedSignatureRepository {
                     existing.owner = tenant;
                 }
                 existing.tuned_at = existing.tuned_at.max(tuned_at);
-            })
-            .or_insert(SharedEntry {
-                allocation,
-                tuned_at,
-                owner: tenant,
-                hits: 0,
-                cross_tenant_hits: 0,
-            });
-        shard.stats.insertions += 1;
-        shard.stats.anchors_created += created;
+            }
+            None => {
+                ns.entries.insert(
+                    key,
+                    StoredEntry {
+                        allocation,
+                        tuned_at,
+                        owner: tenant,
+                        hits: AtomicU64::new(0),
+                        cross_tenant_hits: AtomicU64::new(0),
+                    },
+                );
+            }
+        }
+        counters.insertions.fetch_add(1, Relaxed);
+        counters.anchors_created.fetch_add(created, Relaxed);
     }
 
     /// Looks up the entry matching `signature` × `interference_bucket`,
-    /// counting hit/miss and reuse statistics. Stale entries are evicted on
-    /// contact. Thread-safe; takes the shard write lock.
+    /// counting hit/miss and reuse statistics. Thread-safe; takes only the
+    /// shard **read** lock — statistics move through relaxed atomics, and a
+    /// stale entry merely misses (the epoch TTL sweep evicts it later), so
+    /// concurrent lookups never serialize.
     pub fn lookup(
         &self,
         tenant: TenantId,
@@ -356,50 +983,41 @@ impl SharedSignatureRepository {
         interference_bucket: u32,
         now: SimTime,
     ) -> Option<SharedEntry> {
-        let shard_index = self.shard_index(namespace);
-        let mut shard = self.shards[shard_index]
-            .write()
+        let shard = &self.shards[self.shard_index(namespace)];
+        let state = shard
+            .state
+            .read()
             .expect("shared repository shard poisoned");
-        let tolerance = self.config.match_tolerance;
-        let ttl = self.config.ttl;
-        let Some(ns) = shard.namespaces.get_mut(&namespace) else {
-            shard.stats.misses += 1;
+        let entry = state
+            .namespaces
+            .get(&namespace)
+            .and_then(|ns| {
+                ns.anchors
+                    .resolve(signature, self.config.match_tolerance)
+                    .map(|anchor| (ns, anchor))
+            })
+            .and_then(|(ns, anchor)| {
+                ns.entries.get(&EntryKey {
+                    anchor,
+                    interference_bucket,
+                })
+            });
+        let Some(entry) = entry else {
+            shard.counters.misses.fetch_add(1, Relaxed);
             return None;
         };
-        let Some(anchor) = ns.resolve(signature, tolerance) else {
-            shard.stats.misses += 1;
-            return None;
-        };
-        let key = EntryKey {
-            anchor,
-            interference_bucket,
-        };
-        let stale = match (ns.entries.get(&key), ttl) {
-            (Some(entry), Some(ttl)) => {
-                now.saturating_since(entry.tuned_at).as_secs() > ttl.as_secs()
-            }
-            (Some(_), None) => false,
-            (None, _) => {
-                shard.stats.misses += 1;
-                return None;
-            }
-        };
-        if stale {
-            ns.entries.remove(&key);
-            shard.stats.evictions += 1;
-            shard.stats.misses += 1;
+        if self.is_stale(entry.tuned_at, now) {
+            // Count the miss; eviction is the TTL sweep's job.
+            shard.counters.misses.fetch_add(1, Relaxed);
             return None;
         }
-        let entry = ns.entries.get_mut(&key).expect("checked above");
-        entry.hits += 1;
-        let cross = entry.owner != tenant;
-        if cross {
-            entry.cross_tenant_hits += 1;
-        }
-        let snapshot = *entry;
-        shard.stats.hits += 1;
-        if cross {
-            shard.stats.cross_tenant_hits += 1;
+        let hits = entry.hits.fetch_add(1, Relaxed) + 1;
+        shard.counters.hits.fetch_add(1, Relaxed);
+        let mut snapshot = entry.snapshot();
+        snapshot.hits = hits;
+        if entry.owner != tenant {
+            snapshot.cross_tenant_hits = entry.cross_tenant_hits.fetch_add(1, Relaxed) + 1;
+            shard.counters.cross_tenant_hits.fetch_add(1, Relaxed);
         }
         Some(snapshot)
     }
@@ -417,22 +1035,64 @@ impl SharedSignatureRepository {
         now: SimTime,
         exclude_owner: Option<TenantId>,
     ) -> Option<SharedEntry> {
-        let shard = self.shards[self.shard_index(namespace)]
+        self.peek_resolved(
+            namespace,
+            signature,
+            interference_bucket,
+            now,
+            exclude_owner,
+        )
+        .map(|(entry, _)| entry)
+    }
+
+    /// [`peek`](Self::peek), additionally returning the `(anchor id, anchor
+    /// count, distance)` the resolution went through — the witness a buffered
+    /// [`PendingOp::RecordHit`] carries so the epoch commit only has to check
+    /// anchors created after the peek instead of re-resolving the namespace.
+    pub fn peek_resolved(
+        &self,
+        namespace: u64,
+        signature: &[f64],
+        interference_bucket: u32,
+        now: SimTime,
+        exclude_owner: Option<TenantId>,
+    ) -> Option<(SharedEntry, (u32, u32, f64))> {
+        let state = self.shards[self.shard_index(namespace)]
+            .state
             .read()
             .expect("shared repository shard poisoned");
-        let ns = shard.namespaces.get(&namespace)?;
-        let anchor = ns.resolve(signature, self.config.match_tolerance)?;
+        let ns = state.namespaces.get(&namespace)?;
+        let (distance, anchor) = ns
+            .anchors
+            .resolve_with_distance(signature, self.config.match_tolerance)?;
         let entry = ns.entries.get(&EntryKey {
             anchor,
             interference_bucket,
         })?;
-        if self.is_stale(entry, now) {
+        if self.is_stale(entry.tuned_at, now) {
             return None;
         }
         if exclude_owner == Some(entry.owner) {
             return None;
         }
-        Some(*entry)
+        Some((entry.snapshot(), (anchor, ns.anchors.count, distance)))
+    }
+
+    /// Resolves `signature` to its anchor id within `namespace`, if any
+    /// anchor lies within the configured match tolerance. Diagnostic /
+    /// testing surface for the indexed resolution: results are exactly those
+    /// of a brute-force nearest-anchor scan with ties broken toward the
+    /// lowest anchor id.
+    pub fn resolve_anchor(&self, namespace: u64, signature: &[f64]) -> Option<u32> {
+        let state = self.shards[self.shard_index(namespace)]
+            .state
+            .read()
+            .expect("shared repository shard poisoned");
+        state
+            .namespaces
+            .get(&namespace)?
+            .anchors
+            .resolve(signature, self.config.match_tolerance)
     }
 
     /// Applies a buffered operation (epoch-barrier commit path). Returns true
@@ -441,6 +1101,47 @@ impl SharedSignatureRepository {
     /// can re-anchor the namespace, in which case the hit is not recorded and
     /// the caller must not count it either).
     pub fn apply(&self, op: &PendingOp) -> bool {
+        let shard = &self.shards[self.shard_index(op.namespace())];
+        let mut state = shard
+            .state
+            .write()
+            .expect("shared repository shard poisoned");
+        Self::apply_locked(&mut state, &shard.counters, &self.config, op)
+    }
+
+    /// Applies a whole epoch's buffered operations, grouped so each shard's
+    /// write lock is taken **once** rather than once per operation. Within a
+    /// shard, operations apply in their order in `ops` (the fleet engine
+    /// passes them in tenant order), and operations on different shards touch
+    /// disjoint namespaces, so the outcome is identical to applying `ops`
+    /// sequentially. Returns one applied-flag per operation, in input order.
+    pub fn apply_batch(&self, ops: &[PendingOp]) -> Vec<bool> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, op) in ops.iter().enumerate() {
+            by_shard[self.shard_index(op.namespace())].push(i);
+        }
+        let mut applied = vec![false; ops.len()];
+        for (shard, indices) in self.shards.iter().zip(by_shard) {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut state = shard
+                .state
+                .write()
+                .expect("shared repository shard poisoned");
+            for i in indices {
+                applied[i] = Self::apply_locked(&mut state, &shard.counters, &self.config, &ops[i]);
+            }
+        }
+        applied
+    }
+
+    fn apply_locked(
+        state: &mut ShardState,
+        counters: &ShardCounters,
+        config: &SharedRepoConfig,
+        op: &PendingOp,
+    ) -> bool {
         match op {
             PendingOp::Publish {
                 tenant,
@@ -450,7 +1151,10 @@ impl SharedSignatureRepository {
                 allocation,
                 tuned_at,
             } => {
-                self.insert(
+                Self::insert_locked(
+                    state,
+                    counters,
+                    config,
                     *tenant,
                     *namespace,
                     signature,
@@ -465,40 +1169,46 @@ impl SharedSignatureRepository {
                 namespace,
                 signature,
                 interference_bucket,
+                resolved,
             } => {
-                let mut shard = self.shards[self.shard_index(*namespace)]
-                    .write()
-                    .expect("shared repository shard poisoned");
-                let tolerance = self.config.match_tolerance;
-                let Some(ns) = shard.namespaces.get_mut(namespace) else {
+                let Some(ns) = state.namespaces.get(namespace) else {
                     return false;
                 };
-                let Some(anchor) = ns.resolve(signature, tolerance) else {
+                // Reuse the peek-time resolution: anchors only accrete and
+                // distance ties go to older (lower) ids, so the witnessed
+                // anchor can only be displaced by a strictly closer anchor
+                // created since the peek — check just that delta.
+                let anchor = match resolved {
+                    Some((anchor, count, distance)) => {
+                        match ns
+                            .anchors
+                            .resolve_since(signature, config.match_tolerance, *count)
+                        {
+                            Some((d_new, a_new)) if d_new < *distance => Some(a_new),
+                            _ => Some(*anchor),
+                        }
+                    }
+                    None => ns.anchors.resolve(signature, config.match_tolerance),
+                };
+                let Some(anchor) = anchor else {
                     return false;
                 };
-                let key = EntryKey {
+                let Some(entry) = ns.entries.get(&EntryKey {
                     anchor,
                     interference_bucket: *interference_bucket,
-                };
-                let Some(entry) = ns.entries.get_mut(&key) else {
+                }) else {
                     return false;
                 };
-                entry.hits += 1;
-                let cross = entry.owner != *tenant;
-                if cross {
-                    entry.cross_tenant_hits += 1;
-                }
-                shard.stats.hits += 1;
-                if cross {
-                    shard.stats.cross_tenant_hits += 1;
+                entry.hits.fetch_add(1, Relaxed);
+                counters.hits.fetch_add(1, Relaxed);
+                if entry.owner != *tenant {
+                    entry.cross_tenant_hits.fetch_add(1, Relaxed);
+                    counters.cross_tenant_hits.fetch_add(1, Relaxed);
                 }
                 true
             }
-            PendingOp::RecordMiss { namespace } => {
-                let mut shard = self.shards[self.shard_index(*namespace)]
-                    .write()
-                    .expect("shared repository shard poisoned");
-                shard.stats.misses += 1;
+            PendingOp::RecordMiss { .. } => {
+                counters.misses.fetch_add(1, Relaxed);
                 true
             }
         }
@@ -506,19 +1216,26 @@ impl SharedSignatureRepository {
 
     /// Removes every entry older than the configured TTL. Returns how many
     /// entries were evicted. A no-op without a TTL.
+    ///
+    /// This sweep is the only place stale entries leave the store: the read
+    /// path treats them as misses but does not evict, so it can run under the
+    /// shard read lock.
     pub fn evict_stale(&self, now: SimTime) -> u64 {
         let Some(ttl) = self.config.ttl else { return 0 };
         let mut evicted = 0;
         for shard in &self.shards {
-            let mut shard = shard.write().expect("shared repository shard poisoned");
+            let mut state = shard
+                .state
+                .write()
+                .expect("shared repository shard poisoned");
             let mut shard_evicted = 0u64;
-            for ns in shard.namespaces.values_mut() {
+            for ns in state.namespaces.values_mut() {
                 let before = ns.entries.len();
                 ns.entries
                     .retain(|_, e| now.saturating_since(e.tuned_at).as_secs() <= ttl.as_secs());
                 shard_evicted += (before - ns.entries.len()) as u64;
             }
-            shard.stats.evictions += shard_evicted;
+            shard.counters.evictions.fetch_add(shard_evicted, Relaxed);
             evicted += shard_evicted;
         }
         evicted
@@ -529,7 +1246,8 @@ impl SharedSignatureRepository {
         self.shards
             .iter()
             .map(|s| {
-                s.read()
+                s.state
+                    .read()
                     .expect("shared repository shard poisoned")
                     .namespaces
                     .values()
@@ -549,7 +1267,8 @@ impl SharedSignatureRepository {
         self.shards
             .iter()
             .map(|s| {
-                s.read()
+                s.state
+                    .read()
                     .expect("shared repository shard poisoned")
                     .namespaces
                     .values()
@@ -561,10 +1280,7 @@ impl SharedSignatureRepository {
 
     /// Per-shard statistics snapshot.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shared repository shard poisoned").stats)
-            .collect()
+        self.shards.iter().map(|s| s.counters.snapshot()).collect()
     }
 
     /// Aggregate statistics over every shard.
@@ -684,7 +1400,7 @@ mod tests {
     }
 
     #[test]
-    fn ttl_evicts_stale_entries() {
+    fn ttl_makes_entries_stale_and_the_sweep_evicts_them() {
         let r = SharedSignatureRepository::new(SharedRepoConfig {
             ttl: Some(SimDuration::from_hours(24.0)),
             ..Default::default()
@@ -692,12 +1408,13 @@ mod tests {
         let sig = [10.0, 10.0];
         r.insert(0, 1, &sig, 0, ResourceAllocation::large(2), SimTime::ZERO);
         assert!(r.lookup(0, 1, &sig, 0, SimTime::from_hours(23.0)).is_some());
+        // A stale entry misses, but stays in place until the TTL sweep runs —
+        // lookups are read-only.
         assert!(r.lookup(0, 1, &sig, 0, SimTime::from_hours(25.0)).is_none());
-        assert_eq!(r.stats().evictions, 1);
-        assert!(r.is_empty());
-
-        r.insert(0, 1, &sig, 0, ResourceAllocation::large(2), SimTime::ZERO);
+        assert_eq!(r.stats().misses, 1);
+        assert_eq!(r.len(), 1);
         assert_eq!(r.evict_stale(SimTime::from_hours(25.0)), 1);
+        assert_eq!(r.stats().evictions, 1);
         assert!(r.is_empty());
     }
 
@@ -742,9 +1459,94 @@ mod tests {
             namespace: 1,
             signature: sig,
             interference_bucket: 0,
+            resolved: None,
         });
         let stats = r.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.cross_tenant_hits, 1);
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_apply() {
+        let mk_ops = || -> Vec<PendingOp> {
+            let mut ops = Vec::new();
+            for t in 0..6usize {
+                let ns = (t % 3) as u64;
+                let sig = vec![10.0 * (1 + t % 2) as f64, 5.0, 80.0];
+                ops.push(PendingOp::Publish {
+                    tenant: t,
+                    namespace: ns,
+                    signature: sig.clone(),
+                    interference_bucket: 0,
+                    allocation: ResourceAllocation::large(1 + t as u32),
+                    tuned_at: SimTime::from_hours(t as f64),
+                });
+                ops.push(PendingOp::RecordHit {
+                    tenant: t + 10,
+                    namespace: ns,
+                    signature: sig,
+                    interference_bucket: 0,
+                    resolved: None,
+                });
+                ops.push(PendingOp::RecordMiss { namespace: ns });
+            }
+            ops
+        };
+        let sequential = repo();
+        let seq_applied: Vec<bool> = mk_ops().iter().map(|op| sequential.apply(op)).collect();
+        let batched = repo();
+        let batch_applied = batched.apply_batch(&mk_ops());
+        assert_eq!(seq_applied, batch_applied);
+        assert_eq!(sequential.len(), batched.len());
+        assert_eq!(sequential.anchor_count(), batched.anchor_count());
+        assert_eq!(sequential.stats(), batched.stats());
+    }
+
+    #[test]
+    fn early_exit_distance_matches_full_distance() {
+        let a = [100.0, 5.0, 0.3, 77.0];
+        let b = [103.0, 5.2, 0.31, 75.0];
+        let full = normalized_distance(&a, &b);
+        assert_eq!(normalized_distance_within(&a, &b, 1.0), Some(full));
+        assert_eq!(normalized_distance_within(&a, &b, full), Some(full));
+        assert_eq!(normalized_distance_within(&a, &b, full * 0.99), None);
+        assert_eq!(normalized_distance_within(&a, &[1.0], 10.0), None);
+    }
+
+    #[test]
+    fn mixed_length_signatures_resolve_exactly() {
+        // A namespace whose anchors have different dimensionalities: the
+        // first fixes the grid; the misfit stays matchable for queries of
+        // its own length.
+        let r = repo();
+        r.insert(
+            0,
+            1,
+            &[10.0, 20.0, 30.0],
+            0,
+            ResourceAllocation::large(2),
+            SimTime::ZERO,
+        );
+        r.insert(
+            0,
+            1,
+            &[10.0, 20.0],
+            0,
+            ResourceAllocation::large(5),
+            SimTime::ZERO,
+        );
+        assert_eq!(r.anchor_count(), 2);
+        assert_eq!(
+            r.lookup(1, 1, &[10.0, 20.0, 30.0], 0, SimTime::ZERO)
+                .unwrap()
+                .allocation,
+            ResourceAllocation::large(2)
+        );
+        assert_eq!(
+            r.lookup(1, 1, &[10.0, 20.0], 0, SimTime::ZERO)
+                .unwrap()
+                .allocation,
+            ResourceAllocation::large(5)
+        );
     }
 }

@@ -24,8 +24,8 @@ use dejavu_cloud::ResourceAllocation;
 use dejavu_core::repository::{
     AllocationStore, RepositoryEntry, RepositoryKey, RepositoryStats, StoreContext,
 };
+use dejavu_core::FlatMap;
 use dejavu_simcore::SimTime;
-use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Shared handle to a tenant's buffered operations; the fleet engine drains it
@@ -38,7 +38,7 @@ pub struct TenantRepoView {
     shared: Arc<SharedSignatureRepository>,
     tenant: TenantId,
     namespace: u64,
-    local: BTreeMap<RepositoryKey, RepositoryEntry>,
+    local: FlatMap<RepositoryKey, RepositoryEntry>,
     stats: RepositoryStats,
     outbox: Outbox,
 }
@@ -57,7 +57,7 @@ impl TenantRepoView {
                 shared,
                 tenant,
                 namespace,
-                local: BTreeMap::new(),
+                local: FlatMap::new(),
                 stats: RepositoryStats::default(),
                 outbox: Arc::clone(&outbox),
             },
@@ -118,20 +118,21 @@ impl AllocationStore for TenantRepoView {
             self.stats.misses += 1;
             return None;
         };
-        match self.shared.peek(
+        match self.shared.peek_resolved(
             self.namespace,
             sig.values(),
             ctx.key.interference_bucket,
             ctx.now,
             Some(self.tenant),
         ) {
-            Some(shared_entry) => {
+            Some((shared_entry, resolved)) => {
                 self.stats.hits += 1;
                 self.push_op(PendingOp::RecordHit {
                     tenant: self.tenant,
                     namespace: self.namespace,
                     signature: sig.values().to_vec(),
                     interference_bucket: ctx.key.interference_bucket,
+                    resolved: Some(resolved),
                 });
                 let entry = RepositoryEntry {
                     allocation: shared_entry.allocation,

@@ -91,6 +91,13 @@ pub struct MetricResponse {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricModel {
     catalog: MetricCatalog,
+    /// Response coefficients precomputed per `(service, metric)`. `response`
+    /// is a pure function of the catalogue, so this is a lookup table of the
+    /// values `compute_response` derives — the samplers call it for every
+    /// metric of every profile, fleet-wide. Derived state: when the vendored
+    /// serde stub is swapped for the real crate, mark this `#[serde(skip)]`
+    /// and rebuild it on deserialize rather than trusting the wire.
+    responses: Vec<MetricResponse>,
 }
 
 impl Default for MetricModel {
@@ -102,7 +109,30 @@ impl Default for MetricModel {
 impl MetricModel {
     /// Creates a model over the given catalogue.
     pub fn new(catalog: MetricCatalog) -> Self {
-        MetricModel { catalog }
+        let mut model = MetricModel {
+            catalog,
+            responses: Vec::new(),
+        };
+        model.responses = ServiceKind::ALL
+            .iter()
+            .flat_map(|&service| {
+                model
+                    .catalog
+                    .descriptors()
+                    .iter()
+                    .map(move |d| (service, d.id))
+                    .collect::<Vec<_>>()
+            })
+            .map(|(service, id)| model.compute_response(id, service))
+            .collect();
+        model
+    }
+
+    fn service_index(service: ServiceKind) -> usize {
+        ServiceKind::ALL
+            .iter()
+            .position(|&s| s == service)
+            .expect("every service kind is in ALL")
     }
 
     /// The catalogue this model generates values for.
@@ -128,6 +158,10 @@ impl MetricModel {
     ///
     /// Panics if `id` is not in the catalogue.
     pub fn response(&self, id: MetricId, service: ServiceKind) -> MetricResponse {
+        self.responses[Self::service_index(service) * self.catalog.len() + id.0]
+    }
+
+    fn compute_response(&self, id: MetricId, service: ServiceKind) -> MetricResponse {
         let desc = self
             .catalog
             .get(id)

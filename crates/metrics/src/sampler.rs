@@ -59,6 +59,8 @@ impl Default for SamplerConfig {
 pub struct MetricSampler {
     model: MetricModel,
     config: SamplerConfig,
+    /// Catalogue names, shared once with every signature this sampler emits.
+    names: std::sync::Arc<[String]>,
 }
 
 impl MetricSampler {
@@ -70,7 +72,12 @@ impl MetricSampler {
     pub fn new(model: MetricModel, config: SamplerConfig) -> Self {
         assert!(!config.window.is_zero(), "sampling window must be positive");
         assert!(config.hpc_registers > 0, "need at least one HPC register");
-        MetricSampler { model, config }
+        let names = model.catalog().names().into();
+        MetricSampler {
+            model,
+            config,
+            names,
+        }
     }
 
     /// The underlying generative model.
@@ -106,7 +113,11 @@ impl MetricSampler {
             let noisy = rng.normal(expected, expected.abs() * rel_noise).max(0.0);
             raw.push(noisy * secs);
         }
-        WorkloadSignature::from_raw(self.model.catalog().names(), raw, self.config.window)
+        WorkloadSignature::from_raw_shared(
+            std::sync::Arc::clone(&self.names),
+            raw,
+            self.config.window,
+        )
     }
 
     /// Collects `trials` signatures at the same operating point (the repeated

@@ -4,6 +4,7 @@
 use dejavu_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A workload signature `WS = {m_1, m_2, ..., m_N}`.
 ///
@@ -34,7 +35,11 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSignature {
-    names: Vec<String>,
+    /// Metric names, shared between signatures: every signature the sampler
+    /// or a projection produces carries the same name list, so cloning a
+    /// signature (the profiling hot path does, fleet-wide and hourly) bumps
+    /// a reference count instead of copying one `String` per metric.
+    names: Arc<[String]>,
     /// Normalized (per-second) metric values.
     values: Vec<f64>,
     /// The sampling window the raw values were accumulated over.
@@ -50,6 +55,17 @@ impl WorkloadSignature {
     /// Panics if `names` and `raw_values` have different lengths or the
     /// duration is zero.
     pub fn from_raw(names: Vec<String>, raw_values: Vec<f64>, sampling: SimDuration) -> Self {
+        Self::from_raw_shared(names.into(), raw_values, sampling)
+    }
+
+    /// [`from_raw`](Self::from_raw) over an already-shared name list — the
+    /// samplers cache one `Arc` per catalogue, so per-signature allocation is
+    /// just the value vector.
+    pub fn from_raw_shared(
+        names: Arc<[String]>,
+        raw_values: Vec<f64>,
+        sampling: SimDuration,
+    ) -> Self {
         assert_eq!(names.len(), raw_values.len(), "one value per metric name");
         assert!(!sampling.is_zero(), "sampling duration must be positive");
         let secs = sampling.as_secs();
@@ -66,12 +82,28 @@ impl WorkloadSignature {
     ///
     /// Panics if `names` and `values` have different lengths.
     pub fn from_normalized(names: Vec<String>, values: Vec<f64>, sampling: SimDuration) -> Self {
+        Self::from_normalized_shared(names.into(), values, sampling)
+    }
+
+    /// [`from_normalized`](Self::from_normalized) over an already-shared name
+    /// list.
+    pub fn from_normalized_shared(
+        names: Arc<[String]>,
+        values: Vec<f64>,
+        sampling: SimDuration,
+    ) -> Self {
         assert_eq!(names.len(), values.len(), "one value per metric name");
         WorkloadSignature {
             names,
             values,
             sampling,
         }
+    }
+
+    /// The shared name list (for building further signatures over the same
+    /// metrics without re-allocating names).
+    pub fn shared_names(&self) -> Arc<[String]> {
+        Arc::clone(&self.names)
     }
 
     /// Metric names, in order.
@@ -114,7 +146,13 @@ impl WorkloadSignature {
     ///
     /// Panics if any index is out of range.
     pub fn project(&self, indices: &[usize]) -> WorkloadSignature {
-        let names = indices.iter().map(|&i| self.names[i].clone()).collect();
+        let names: Arc<[String]> = indices.iter().map(|&i| self.names[i].clone()).collect();
+        self.project_shared(indices, names)
+    }
+
+    /// [`project`](Self::project) with a pre-built projected name list (one
+    /// `Arc` per feature selection, not one allocation per projection).
+    pub fn project_shared(&self, indices: &[usize], names: Arc<[String]>) -> WorkloadSignature {
         let values = indices.iter().map(|&i| self.values[i]).collect();
         WorkloadSignature {
             names,

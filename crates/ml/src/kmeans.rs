@@ -2,7 +2,7 @@
 //! number of clusters (silhouette score), mirroring the role of WEKA's
 //! `SimpleKMeans` in the paper's workload-class identification step.
 
-use crate::dataset::{distance, squared_distance, Dataset};
+use crate::dataset::{distance, squared_distance, squared_distance_within, Dataset};
 use crate::error::MlError;
 use dejavu_simcore::SimRng;
 use serde::{Deserialize, Serialize};
@@ -53,6 +53,49 @@ pub struct KMeans {
     iterations_run: usize,
 }
 
+/// Reusable buffers for one [`KMeans::fit`] call: every restart runs over
+/// the same scratch, so the per-restart cost is arithmetic, not allocator
+/// traffic.
+struct FitScratch {
+    /// Flat `k×dims` centroid slab of the current restart.
+    centroids: Vec<f64>,
+    /// Flat `k×dims` accumulation slab for the Lloyd update step.
+    next: Vec<f64>,
+    counts: Vec<usize>,
+    assignments: Vec<usize>,
+    /// `k×n` buffer of every centroid-to-point squared distance of one
+    /// assignment step, computed centroid-by-centroid in point-parallel
+    /// lanes.
+    dist_all: Vec<f64>,
+    /// Dimension-major (`dims×n`) copy of the data points (k-means++ lanes).
+    points_t: Vec<f64>,
+    /// Per-point distance buffer of one seeding round.
+    dist: Vec<f64>,
+    /// k-means++ running minimum distances.
+    weights: Vec<f64>,
+}
+
+impl FitScratch {
+    fn new(n: usize, k: usize, dims: usize, points: &[&[f64]]) -> Self {
+        let mut points_t = vec![0.0f64; n * dims];
+        for (i, p) in points.iter().enumerate() {
+            for (d, &x) in p.iter().enumerate() {
+                points_t[d * n + i] = x;
+            }
+        }
+        FitScratch {
+            centroids: Vec::with_capacity(k * dims),
+            next: vec![0.0; k * dims],
+            counts: vec![0; k],
+            assignments: vec![0; n],
+            dist_all: vec![0.0; k * n],
+            points_t,
+            dist: vec![0.0; n],
+            weights: vec![0.0; n],
+        }
+    }
+}
+
 impl KMeans {
     /// Fits k-means to `data` with the given configuration and seed.
     ///
@@ -76,131 +119,253 @@ impl KMeans {
                 "max_iterations must be at least 1".into(),
             ));
         }
-        let mut best: Option<KMeans> = None;
-        let restarts = config.restarts.max(1);
-        for r in 0..restarts {
-            let mut rng = SimRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37_79B9));
-            let fitted = Self::fit_once(data, config, &mut rng);
-            if best
-                .as_ref()
-                .map(|b| fitted.inertia < b.inertia)
-                .unwrap_or(true)
-            {
-                best = Some(fitted);
-            }
-        }
-        Ok(best.expect("at least one restart ran"))
-    }
-
-    fn fit_once(data: &Dataset, config: &KMeansConfig, rng: &mut SimRng) -> KMeans {
+        // All restarts share one scratch allocation (the fits are small
+        // enough that allocator traffic, not arithmetic, dominates a naive
+        // formulation) and the winner is materialized once at the end.
         let points: Vec<&[f64]> = data
             .instances()
             .iter()
             .map(|i| i.features.as_slice())
             .collect();
-        let mut centroids = Self::kmeanspp_init(&points, config.k, rng);
-        let mut assignments = vec![0usize; points.len()];
-        let mut iterations_run = 0;
-        for _ in 0..config.max_iterations {
-            iterations_run += 1;
-            // Assignment step.
-            for (i, p) in points.iter().enumerate() {
-                assignments[i] = Self::nearest(&centroids, p).0;
-            }
-            // Update step.
-            let mut new_centroids = vec![vec![0.0; points[0].len()]; config.k];
-            let mut counts = vec![0usize; config.k];
-            for (i, p) in points.iter().enumerate() {
-                let c = assignments[i];
-                counts[c] += 1;
-                for (acc, &x) in new_centroids[c].iter_mut().zip(p.iter()) {
-                    *acc += x;
-                }
-            }
-            for (c, centroid) in new_centroids.iter_mut().enumerate() {
-                if counts[c] == 0 {
-                    // Re-seed an empty cluster with the point farthest from its centroid.
-                    let far = points
-                        .iter()
-                        .enumerate()
-                        .max_by(|(_, a), (_, b)| {
-                            let da = squared_distance(a, &centroids[assignments[0]]);
-                            let db = squared_distance(b, &centroids[assignments[0]]);
-                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-                        })
-                        .map(|(i, _)| i)
-                        .unwrap_or(0);
-                    *centroid = points[far].to_vec();
-                } else {
-                    for acc in centroid.iter_mut() {
-                        *acc /= counts[c] as f64;
-                    }
-                }
-            }
-            let movement: f64 = centroids
-                .iter()
-                .zip(&new_centroids)
-                .map(|(a, b)| distance(a, b))
-                .sum();
-            centroids = new_centroids;
-            if movement < config.tolerance {
-                break;
+        let mut scratch = FitScratch::new(points.len(), config.k, points[0].len(), &points);
+        Ok(Self::fit_with_scratch(&points, config, seed, &mut scratch))
+    }
+
+    /// [`fit`](Self::fit) over pre-validated points and caller-owned scratch,
+    /// so a `k` sweep ([`fit_auto_k`](Self::fit_auto_k)) transposes the data
+    /// and allocates buffers once instead of once per candidate `k`.
+    fn fit_with_scratch(
+        points: &[&[f64]],
+        config: &KMeansConfig,
+        seed: u64,
+        scratch: &mut FitScratch,
+    ) -> KMeans {
+        let mut best: Option<(f64, Vec<f64>, Vec<usize>, usize)> = None;
+        let restarts = config.restarts.max(1);
+        for r in 0..restarts {
+            let mut rng = SimRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37_79B9));
+            let (inertia, iterations_run) = Self::fit_once(points, config, &mut rng, scratch);
+            if best.as_ref().map(|b| inertia < b.0).unwrap_or(true) {
+                best = Some((
+                    inertia,
+                    scratch.centroids.clone(),
+                    scratch.assignments.clone(),
+                    iterations_run,
+                ));
             }
         }
-        // Final assignment + inertia.
-        let mut inertia = 0.0;
-        for (i, p) in points.iter().enumerate() {
-            let (c, d2) = Self::nearest(&centroids, p);
-            assignments[i] = c;
-            inertia += d2;
-        }
+        let (inertia, centroids, assignments, iterations_run) =
+            best.expect("at least one restart ran");
+        let dims = points[0].len();
         KMeans {
-            centroids,
+            centroids: centroids.chunks(dims).map(|c| c.to_vec()).collect(),
             inertia,
             assignments,
             iterations_run,
         }
     }
 
-    fn kmeanspp_init(points: &[&[f64]], k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
-        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-        centroids.push(points[rng.uniform_usize(points.len())].to_vec());
-        while centroids.len() < k {
-            let weights: Vec<f64> = points
-                .iter()
-                .map(|p| {
-                    centroids
-                        .iter()
-                        .map(|c| squared_distance(p, c))
-                        .fold(f64::INFINITY, f64::min)
-                })
-                .collect();
-            let total: f64 = weights.iter().sum();
-            if total <= 0.0 {
-                // All points coincide with existing centroids; duplicate one.
-                centroids.push(points[rng.uniform_usize(points.len())].to_vec());
-                continue;
+    /// One k-means run over flat `k×dims` centroid buffers: the Lloyd loop
+    /// reuses two slabs (current and next) instead of allocating a
+    /// vector-of-vectors per iteration, and the distance-heavy steps compute
+    /// many independent distances in parallel lanes over a dimension-major
+    /// layout ([`Self::distances_to_all`]), which vectorizes where a single
+    /// distance's serial add chain cannot. Each individual distance keeps the
+    /// exact accumulation order of [`squared_distance`], so results are
+    /// bit-for-bit identical to the textbook nested-`Vec` formulation.
+    fn fit_once(
+        points: &[&[f64]],
+        config: &KMeansConfig,
+        rng: &mut SimRng,
+        scratch: &mut FitScratch,
+    ) -> (f64, usize) {
+        let dims = points[0].len();
+        let k = config.k;
+        Self::kmeanspp_init(points, k, rng, scratch);
+        let n = points.len();
+        scratch.next.resize(k * dims, 0.0);
+        scratch.counts.resize(k, 0);
+        scratch.dist_all.resize(k * n, 0.0);
+        let FitScratch {
+            centroids,
+            next,
+            counts,
+            assignments,
+            dist_all,
+            points_t,
+            ..
+        } = scratch;
+        let mut iterations_run = 0;
+        for _ in 0..config.max_iterations {
+            iterations_run += 1;
+            // Assignment step: each centroid's distances to every point in
+            // point-parallel lanes, then a per-point argmin over k values.
+            Self::all_distances(centroids, k, dims, points_t, n, dist_all);
+            for (i, a) in assignments.iter_mut().enumerate() {
+                *a = Self::argmin_strided(dist_all, n, k, i).0;
             }
-            let mut target = rng.uniform01() * total;
-            let mut chosen = points.len() - 1;
-            for (i, w) in weights.iter().enumerate() {
-                target -= w;
-                if target <= 0.0 {
-                    chosen = i;
-                    break;
+            // Update step.
+            next.fill(0.0);
+            counts.fill(0);
+            for (i, p) in points.iter().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (acc, &x) in next[c * dims..(c + 1) * dims].iter_mut().zip(p.iter()) {
+                    *acc += x;
                 }
             }
-            centroids.push(points[chosen].to_vec());
+            for c in 0..k {
+                let centroid = &mut next[c * dims..(c + 1) * dims];
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster with the point farthest from its centroid.
+                    let anchor = &centroids[assignments[0] * dims..(assignments[0] + 1) * dims];
+                    let far = points
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            let da = squared_distance(a, anchor);
+                            let db = squared_distance(b, anchor);
+                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    centroid.copy_from_slice(points[far]);
+                } else {
+                    for acc in centroid.iter_mut() {
+                        *acc /= counts[c] as f64;
+                    }
+                }
+            }
+            let movement: f64 = (0..k)
+                .map(|c| {
+                    distance(
+                        &centroids[c * dims..(c + 1) * dims],
+                        &next[c * dims..(c + 1) * dims],
+                    )
+                })
+                .sum();
+            std::mem::swap(centroids, next);
+            if movement < config.tolerance {
+                break;
+            }
         }
-        centroids
+        // Final assignment + inertia.
+        Self::all_distances(centroids, k, dims, points_t, n, dist_all);
+        let mut inertia = 0.0;
+        for (i, a) in assignments.iter_mut().enumerate() {
+            let (c, d2) = Self::argmin_strided(dist_all, n, k, i);
+            *a = c;
+            inertia += d2;
+        }
+        (inertia, iterations_run)
+    }
+
+    /// Squared distances of every `(centroid, point)` pair into a `k×n`
+    /// buffer: for each centroid, the inner loop accumulates over independent
+    /// per-point lanes of the dimension-major point slab, which the compiler
+    /// can vectorize — unlike a single distance, whose additions form a
+    /// serial dependency chain. Each pair still adds its dimensions in
+    /// ascending order, so every distance is bit-identical to
+    /// [`squared_distance`].
+    fn all_distances(
+        centroids: &[f64],
+        k: usize,
+        dims: usize,
+        points_t: &[f64],
+        n: usize,
+        out: &mut [f64],
+    ) {
+        out.fill(0.0);
+        for c in 0..k {
+            let centroid = &centroids[c * dims..(c + 1) * dims];
+            let row = &mut out[c * n..(c + 1) * n];
+            for (d, &cv) in centroid.iter().enumerate() {
+                let lane = &points_t[d * n..(d + 1) * n];
+                for (acc, &x) in row.iter_mut().zip(lane) {
+                    let diff = cv - x;
+                    *acc += diff * diff;
+                }
+            }
+        }
+    }
+
+    /// Argmin over the `k` values `buf[c*n + i]` for point `i`; ties break
+    /// toward the lower centroid index, matching a strict-`<` ascending scan.
+    fn argmin_strided(buf: &[f64], n: usize, k: usize, i: usize) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for c in 0..k {
+            let v = buf[c * n + i];
+            if v < best.1 {
+                best = (c, v);
+            }
+        }
+        best
+    }
+
+    /// k-means++ seeding into a flat `k×dims` slab. Incremental: each point's
+    /// distance to the nearest chosen centroid is kept and folded with just
+    /// the newest centroid per round — O(k·n) instead of recomputing the full
+    /// minimum (O(k²·n)). `min` over exact distances is associative, so the
+    /// weights are bit-identical to the recomputed form.
+    fn kmeanspp_init(points: &[&[f64]], k: usize, rng: &mut SimRng, scratch: &mut FitScratch) {
+        let dims = points[0].len();
+        let n = points.len();
+        let points_t = &scratch.points_t;
+        let distances_to_newest = |newest: &[f64], dist: &mut [f64]| {
+            dist.fill(0.0);
+            for (d, &c) in newest.iter().enumerate() {
+                let row = &points_t[d * n..(d + 1) * n];
+                for (acc, &x) in dist.iter_mut().zip(row) {
+                    let diff = x - c;
+                    *acc += diff * diff;
+                }
+            }
+        };
+        let centroids = &mut scratch.centroids;
+        centroids.clear();
+        centroids.extend_from_slice(points[rng.uniform_usize(n)]);
+        let weights = &mut scratch.weights;
+        distances_to_newest(&centroids[0..dims], weights);
+        while centroids.len() < k * dims {
+            let total: f64 = weights.iter().sum();
+            let newest = if total <= 0.0 {
+                // All points coincide with existing centroids; duplicate one.
+                points[rng.uniform_usize(n)]
+            } else {
+                let mut target = rng.uniform01() * total;
+                let mut chosen = n - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    target -= w;
+                    if target <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                points[chosen]
+            };
+            // Incremental k-means++ weights: fold the newest centroid into
+            // each point's running minimum. `min` over exact distances is
+            // associative, so this is bit-identical to recomputing the full
+            // minimum over all chosen centroids.
+            distances_to_newest(newest, &mut scratch.dist);
+            for (w, &d) in weights.iter_mut().zip(&scratch.dist) {
+                *w = d.min(*w);
+            }
+            centroids.extend_from_slice(newest);
+        }
     }
 
     fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
         let mut best = (0usize, f64::INFINITY);
         for (i, c) in centroids.iter().enumerate() {
-            let d = squared_distance(c, p);
-            if d < best.1 {
-                best = (i, d);
+            // Early exit: stop accumulating a centroid's distance once it
+            // provably exceeds the best so far. The bail-out is strict, so a
+            // centroid tying the best completes and loses to the earlier
+            // index exactly as the full computation would.
+            if let Some(d) = squared_distance_within(c, p, best.1) {
+                if d < best.1 {
+                    best = (i, d);
+                }
             }
         }
         best
@@ -245,6 +410,13 @@ impl KMeans {
         Self::nearest(&self.centroids, point).1.sqrt()
     }
 
+    /// Nearest centroid and the distance to it in one pass — the cache-lookup
+    /// hot path of the online classifier, which needs both.
+    pub fn assign_with_distance(&self, point: &[f64]) -> (usize, f64) {
+        let (cluster, d2) = Self::nearest(&self.centroids, point);
+        (cluster, d2.sqrt())
+    }
+
     /// Index of the training instance closest to the centroid of `cluster`,
     /// i.e. the paper's "instance closest to the cluster's centroid" that is
     /// handed to the Tuner.
@@ -275,18 +447,30 @@ impl KMeans {
             .iter()
             .map(|i| i.features.as_slice())
             .collect();
+        self.silhouette_from(&pairwise_distances(&points))
+    }
+
+    /// [`silhouette`](Self::silhouette) over a precomputed pairwise distance
+    /// matrix (row-major `n×n`), so [`fit_auto_k`](Self::fit_auto_k) can
+    /// score every candidate `k` against one matrix instead of recomputing
+    /// all distances per candidate.
+    fn silhouette_from(&self, matrix: &[f64]) -> f64 {
+        let n = self.assignments.len();
+        if self.k() < 2 || n < 2 {
+            return 0.0;
+        }
         let mut total = 0.0;
         let mut counted = 0usize;
-        for (i, p) in points.iter().enumerate() {
+        for i in 0..n {
             let own = self.assignments[i];
             let mut intra = 0.0;
             let mut intra_n = 0usize;
             let mut inter: Vec<(f64, usize)> = vec![(0.0, 0); self.k()];
-            for (j, q) in points.iter().enumerate() {
+            for j in 0..n {
                 if i == j {
                     continue;
                 }
-                let d = distance(p, q);
+                let d = matrix[i * n + j];
                 if self.assignments[j] == own {
                     intra += d;
                     intra_n += 1;
@@ -339,11 +523,30 @@ impl KMeans {
             )));
         }
         let hi = hi.min(data.len());
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if base.max_iterations == 0 {
+            return Err(MlError::InvalidConfig(
+                "max_iterations must be at least 1".into(),
+            ));
+        }
+        let points: Vec<&[f64]> = data
+            .instances()
+            .iter()
+            .map(|i| i.features.as_slice())
+            .collect();
+        let mut scratch = FitScratch::new(points.len(), hi, points[0].len(), &points);
+        let matrix = pairwise_distances_from(&points, &scratch.points_t);
         let mut fits: Vec<(f64, KMeans)> = Vec::new();
         for k in lo..=hi {
             let cfg = KMeansConfig { k, ..base.clone() };
-            let model = KMeans::fit(data, &cfg, seed)?;
-            let score = if k == 1 { 0.0 } else { model.silhouette(data) };
+            let model = KMeans::fit_with_scratch(&points, &cfg, seed, &mut scratch);
+            let score = if k == 1 {
+                0.0
+            } else {
+                model.silhouette_from(&matrix)
+            };
             fits.push((score, model));
         }
         // Prefer higher silhouette; among near-ties prefer more clusters.
@@ -362,6 +565,52 @@ impl KMeans {
             .expect("range validated to be non-empty");
         Ok(chosen.1)
     }
+}
+
+/// Row-major `n×n` matrix of pairwise Euclidean distances. Both triangles are
+/// filled from one computation per pair; `distance` is exactly symmetric, so
+/// consumers see bit-identical values to computing each direction directly.
+/// Rows are computed in parallel lanes over a dimension-major copy of the
+/// points — each pair's sum still accumulates dimensions in ascending order,
+/// so every entry equals `distance(points[i], points[j])` bit-for-bit.
+fn pairwise_distances(points: &[&[f64]]) -> Vec<f64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dims = points[0].len();
+    let mut points_t = vec![0.0f64; n * dims];
+    for (i, p) in points.iter().enumerate() {
+        for (d, &x) in p.iter().enumerate() {
+            points_t[d * n + i] = x;
+        }
+    }
+    pairwise_distances_from(points, &points_t)
+}
+
+/// [`pairwise_distances`] over an existing dimension-major copy of the
+/// points (e.g. [`FitScratch::points_t`]), avoiding a redundant transpose.
+/// Only the `j > i` lanes are accumulated — each pair is computed once.
+fn pairwise_distances_from(points: &[&[f64]], points_t: &[f64]) -> Vec<f64> {
+    let n = points.len();
+    let mut matrix = vec![0.0; n * n];
+    let mut row = vec![0.0f64; n];
+    for i in 0..n {
+        row[i + 1..].fill(0.0);
+        for (d, &x) in points[i].iter().enumerate() {
+            let lane = &points_t[d * n + i + 1..(d + 1) * n];
+            for (acc, &y) in row[i + 1..].iter_mut().zip(lane) {
+                let diff = y - x;
+                *acc += diff * diff;
+            }
+        }
+        for j in i + 1..n {
+            let d = row[j].sqrt();
+            matrix[i * n + j] = d;
+            matrix[j * n + i] = d;
+        }
+    }
+    matrix
 }
 
 #[cfg(test)]

@@ -38,6 +38,16 @@ impl TimeSeries {
         }
     }
 
+    /// Creates an empty series preallocated for `capacity` samples — use when
+    /// the sample count is known up front (one per observation tick).
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::with_capacity(capacity),
+            values: Vec::with_capacity(capacity),
+        }
+    }
+
     /// The series name.
     pub fn name(&self) -> &str {
         &self.name

@@ -284,6 +284,162 @@ fn single_tenant_fleet_bit_matches_single_controller_run() {
     assert_eq!(fleet.cross_tenant_hits, 0);
 }
 
+/// The indexed anchor resolution of the shared repository returns exactly
+/// what a brute-force linear scan over all anchors would: the nearest anchor
+/// within tolerance, ties broken toward the lowest anchor id. The reference
+/// model below mirrors anchor accretion (a signature farther than the
+/// tolerance from every anchor becomes a new anchor) with plain linear
+/// scans, while the repository exercises its φ-space ball tree, linear tail
+/// and early-exit distance over hundreds of anchors and rebuilds.
+#[test]
+fn indexed_anchor_resolution_matches_brute_force() {
+    use dejavu::fleet::shared_repo::normalized_distance;
+
+    struct RefModel {
+        anchors: Vec<Vec<f64>>,
+        tolerance: f64,
+    }
+    impl RefModel {
+        fn resolve(&self, sig: &[f64]) -> Option<u32> {
+            let mut best: Option<(u32, f64)> = None;
+            for (id, anchor) in self.anchors.iter().enumerate() {
+                let d = normalized_distance(anchor, sig);
+                if d <= self.tolerance && best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((id as u32, d));
+                }
+            }
+            best.map(|(id, _)| id)
+        }
+        fn resolve_or_create(&mut self, sig: &[f64]) -> u32 {
+            match self.resolve(sig) {
+                Some(id) => id,
+                None => {
+                    self.anchors.push(sig.to_vec());
+                    (self.anchors.len() - 1) as u32
+                }
+            }
+        }
+    }
+
+    cases(12, |rng, case| {
+        let tolerance = rng.uniform(0.02, 0.5);
+        let dims = 1 + rng.uniform_usize(34);
+        let repo = SharedSignatureRepository::new(SharedRepoConfig {
+            match_tolerance: tolerance,
+            ..Default::default()
+        });
+        let mut reference = RefModel {
+            anchors: Vec::new(),
+            tolerance,
+        };
+        let namespace = case;
+        let sig = |rng: &mut SimRng| -> Vec<f64> {
+            (0..dims)
+                .map(|_| {
+                    // Mixed magnitudes, signs and exact zeros stress the
+                    // log-magnitude mapping underneath the index.
+                    match rng.uniform_usize(8) {
+                        0 => 0.0,
+                        1 => -rng.uniform(0.0, 10.0),
+                        2 => rng.uniform(0.0, 1e-8),
+                        3 => rng.uniform(0.0, 1e6),
+                        _ => rng.uniform(0.1, 100.0),
+                    }
+                })
+                .collect()
+        };
+        let mut bases: Vec<Vec<f64>> = Vec::new();
+        for step in 0..400 {
+            // Mostly perturbations of earlier signatures (to land near
+            // existing anchors and exercise tie-breaking in dense regions),
+            // sometimes brand-new points.
+            let q: Vec<f64> = if bases.is_empty() || rng.uniform_usize(4) == 0 {
+                sig(rng)
+            } else {
+                let base = &bases[rng.uniform_usize(bases.len())];
+                let scale = rng.uniform(0.0, 2.5 * tolerance);
+                base.iter()
+                    .map(|&v| v * (1.0 + rng.uniform(-scale, scale)))
+                    .collect()
+            };
+            assert_eq!(
+                repo.resolve_anchor(namespace, &q),
+                reference.resolve(&q),
+                "case {case} step {step}: indexed resolve diverged from brute force"
+            );
+            repo.insert(
+                0,
+                namespace,
+                &q,
+                0,
+                ResourceAllocation::large(1),
+                SimTime::ZERO,
+            );
+            reference.resolve_or_create(&q);
+            assert_eq!(
+                repo.anchor_count(),
+                reference.anchors.len(),
+                "case {case} step {step}: anchor accretion diverged"
+            );
+            bases.push(q);
+        }
+    });
+}
+
+/// Exact distance ties resolve toward the lowest anchor id through the index,
+/// just as the brute-force scan's strict-`<` comparison does.
+#[test]
+fn anchor_resolution_ties_break_toward_lowest_id() {
+    let repo = SharedSignatureRepository::new(SharedRepoConfig {
+        match_tolerance: 0.4,
+        ..Default::default()
+    });
+    // Anchors at [2.0] and [4.5]: the query [3.0] is exactly 1/3 away
+    // (relative) from both — IEEE division rounds both quotients from the
+    // same real value, so the distances are bit-equal.
+    repo.insert(0, 1, &[2.0], 0, ResourceAllocation::large(1), SimTime::ZERO);
+    repo.insert(7, 1, &[4.5], 0, ResourceAllocation::large(2), SimTime::ZERO);
+    assert_eq!(repo.anchor_count(), 2, "anchors must not merge");
+    assert_eq!(repo.resolve_anchor(1, &[3.0]), Some(0));
+}
+
+/// The read path is genuinely read-only: concurrent lookups and peeks from
+/// many threads proceed under the shard read lock, and the relaxed-atomic
+/// statistics lose no updates. (Before the read-only read path, every lookup
+/// took the shard write lock and serialized all readers.)
+#[test]
+fn concurrent_lookups_and_peeks_lose_no_statistics() {
+    let repo = SharedSignatureRepository::new(SharedRepoConfig::default());
+    let sig = [100.0, 5.0, 0.3];
+    repo.insert(0, 1, &sig, 0, ResourceAllocation::large(4), SimTime::ZERO);
+    let threads = 8;
+    let per_thread = 500;
+    std::thread::scope(|scope| {
+        for t in 1..=threads {
+            let repo = &repo;
+            let sig = &sig;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let hit = repo
+                        .lookup(t, 1, sig, 0, SimTime::ZERO)
+                        .expect("entry stays visible under concurrency");
+                    assert!(hit.hits > 0);
+                    // Peeks interleave with the lookups on the same shard;
+                    // they must see the entry and move no statistics.
+                    if i % 3 == 0 {
+                        assert!(repo.peek(1, sig, 0, SimTime::ZERO, Some(99)).is_some());
+                    }
+                }
+            });
+        }
+    });
+    let stats = repo.stats();
+    let expected = (threads * per_thread) as u64;
+    assert_eq!(stats.hits, expected, "relaxed counters must not lose hits");
+    assert_eq!(stats.cross_tenant_hits, expected);
+    assert_eq!(stats.misses, 0);
+}
+
 /// Load traces never produce levels outside the valid range, under any
 /// rescaling.
 #[test]
