@@ -29,6 +29,7 @@ use dejavu_fleet::{
 };
 use dejavu_simcore::SimTime;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
@@ -116,6 +117,64 @@ fn run_fleet(tenants: usize, days: usize, sharing: SharingMode) -> FleetMeasurem
         secs,
         epochs_per_sec: report.epochs as f64 / secs.max(1e-12),
         hit_rate: report.fleet_hit_rate(),
+    }
+}
+
+/// The warm-vs-cold convergence measurement: how many epochs a newcomer
+/// fleet needs to reach its first `FleetReuse`, starting cold vs starting
+/// from a snapshot of a previously-run seed fleet. This is the paper's
+/// central claim (a tuned cache lets newcomers skip the learning phase),
+/// measured at fleet scale.
+struct WarmStartMeasurement {
+    seed_tenants: usize,
+    seed_days: usize,
+    newcomers: usize,
+    days: usize,
+    snapshot_bytes: usize,
+    cold_first_reuse_epochs: Option<f64>,
+    cold_reusing_tenants: usize,
+    warm_first_reuse_epochs: Option<f64>,
+    warm_reusing_tenants: usize,
+    cold_hit_rate: f64,
+    warm_hit_rate: f64,
+}
+
+fn warm_vs_cold(
+    seed_tenants: usize,
+    seed_days: usize,
+    newcomers: usize,
+    days: usize,
+) -> WarmStartMeasurement {
+    // Seed fleet: run it shared and persist the tuned repository.
+    let seed_engine = FleetEngine::new(
+        standard_fleet(seed_tenants, seed_days, 11),
+        FleetConfig::default(),
+    );
+    let repo = Arc::new(SharedSignatureRepository::new(
+        seed_engine.config().repo.clone(),
+    ));
+    seed_engine.run_on(Arc::clone(&repo));
+    let snapshot = repo.save_snapshot();
+
+    // Newcomer fleet (different seed → different tenants), cold vs warm.
+    let newcomer_engine =
+        FleetEngine::new(standard_fleet(newcomers, days, 23), FleetConfig::default());
+    let cold = newcomer_engine.run();
+    let (warm, _) = newcomer_engine
+        .run_warm(&snapshot)
+        .expect("snapshot produced by this process loads");
+    WarmStartMeasurement {
+        seed_tenants,
+        seed_days,
+        newcomers,
+        days,
+        snapshot_bytes: snapshot.len(),
+        cold_first_reuse_epochs: cold.mean_epochs_to_first_reuse(),
+        cold_reusing_tenants: cold.tenants_with_fleet_reuse(),
+        warm_first_reuse_epochs: warm.mean_epochs_to_first_reuse(),
+        warm_reusing_tenants: warm.tenants_with_fleet_reuse(),
+        cold_hit_rate: cold.fleet_hit_rate(),
+        warm_hit_rate: warm.fleet_hit_rate(),
     }
 }
 
@@ -264,6 +323,28 @@ fn main() {
         }
     }
 
+    let warm = if args.quick {
+        warm_vs_cold(24, 1, 8, 1)
+    } else {
+        warm_vs_cold(48, 2, 16, 1)
+    };
+    let fmt_epochs = |e: Option<f64>| match e {
+        Some(v) => format!("{v:.1}"),
+        None => "never".to_string(),
+    };
+    eprintln!(
+        "warm-start: first reuse after {} epochs ({}/{} tenants) vs cold {} epochs ({}/{}); hit rate {:.1}% vs {:.1}% ({} B snapshot)",
+        fmt_epochs(warm.warm_first_reuse_epochs),
+        warm.warm_reusing_tenants,
+        warm.newcomers,
+        fmt_epochs(warm.cold_first_reuse_epochs),
+        warm.cold_reusing_tenants,
+        warm.newcomers,
+        warm.warm_hit_rate * 100.0,
+        warm.cold_hit_rate * 100.0,
+        warm.snapshot_bytes,
+    );
+
     let lookups = lookup_microbench(anchors, samples);
     for (name, m) in &lookups {
         eprintln!(
@@ -299,7 +380,27 @@ fn main() {
             if i + 1 < fleets.len() { "," } else { "" }
         );
     }
-    run.push_str("      ],\n      \"lookups\": [\n");
+    let json_epochs = |e: Option<f64>| match e {
+        Some(v) => format!("{v:.2}"),
+        None => "null".to_string(),
+    };
+    run.push_str("      ],\n");
+    let _ = writeln!(
+        run,
+        "      \"warm_start\": {{\"seed_tenants\": {}, \"seed_days\": {}, \"newcomers\": {}, \"days\": {}, \"snapshot_bytes\": {}, \"warm_first_reuse_epochs\": {}, \"warm_reusing_tenants\": {}, \"cold_first_reuse_epochs\": {}, \"cold_reusing_tenants\": {}, \"warm_hit_rate\": {:.4}, \"cold_hit_rate\": {:.4}}},",
+        warm.seed_tenants,
+        warm.seed_days,
+        warm.newcomers,
+        warm.days,
+        warm.snapshot_bytes,
+        json_epochs(warm.warm_first_reuse_epochs),
+        warm.warm_reusing_tenants,
+        json_epochs(warm.cold_first_reuse_epochs),
+        warm.cold_reusing_tenants,
+        warm.warm_hit_rate,
+        warm.cold_hit_rate,
+    );
+    run.push_str("      \"lookups\": [\n");
     for (i, (name, m)) in lookups.iter().enumerate() {
         let _ = writeln!(
             run,

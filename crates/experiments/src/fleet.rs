@@ -4,12 +4,46 @@
 //! cold-start tuning runs, and the fleet-wide cost picture against the
 //! `FixedMax` and `RightScale` baselines.
 //!
+//! Persistence and elastic tenancy ride on the same command:
+//!
 //! ```text
 //! cargo run -p dejavu-experiments --release -- fleet --tenants 200
+//! # seed a snapshot, then warm-start a newcomer fleet from it:
+//! cargo run -p dejavu-experiments --release -- fleet --tenants 40 --snapshot-out fleet.snap
+//! cargo run -p dejavu-experiments --release -- fleet --tenants 8 --snapshot-in fleet.snap
+//! # elastic tenancy: staggered late joiners + mid-run departures:
+//! cargo run -p dejavu-experiments --release -- fleet --tenants 40 --churn
 //! ```
+//!
+//! With `--snapshot-in` the report carries the newcomer-convergence numbers
+//! (mean epochs to the first `FleetReuse`) that show a warm-started tenant
+//! skipping the learning phase the DejaVu paper sets out to amortize.
 
 use crate::report::{pct, Report};
-use dejavu_fleet::{standard_fleet, FleetConfig, FleetEngine, FleetReport, SharingMode};
+use dejavu_fleet::{
+    churn_fleet, standard_fleet, FleetConfig, FleetEngine, FleetReport, SharedSignatureRepository,
+    SharingMode,
+};
+use std::sync::Arc;
+
+/// Options of one `fleet` experiment invocation.
+#[derive(Debug, Clone, Default)]
+pub struct FleetOptions {
+    /// Master scenario seed.
+    pub seed: u64,
+    /// Fleet size.
+    pub tenants: usize,
+    /// Days simulated per tenant.
+    pub days: usize,
+    /// Run the FixedMax/RightScale baselines alongside.
+    pub baselines: bool,
+    /// Use the churn scenario (staggered joiners, mid-run departures).
+    pub churn: bool,
+    /// Warm-start the shared fleet from this snapshot file.
+    pub snapshot_in: Option<String>,
+    /// Persist the shared repository to this snapshot file afterwards.
+    pub snapshot_out: Option<String>,
+}
 
 /// Result of the fleet comparison.
 #[derive(Debug, Clone)]
@@ -26,6 +60,14 @@ impl FleetFigure {
         let mut r = Report::new("Fleet: shared vs isolated signature repositories");
         r.kv("tenants", self.shared.tenants.len());
         r.kv("epochs", self.shared.epochs);
+        r.kv(
+            "repository start",
+            if self.shared.warm_start {
+                "warm (snapshot)"
+            } else {
+                "cold"
+            },
+        );
         r.kv("hit rate (shared)", pct(self.shared.fleet_hit_rate()));
         r.kv("hit rate (isolated)", pct(self.isolated.fleet_hit_rate()));
         r.kv("tuning runs (shared)", self.shared.total_tunings());
@@ -34,6 +76,17 @@ impl FleetFigure {
             "tunings avoided via fleet reuse",
             self.shared.total_fleet_reuses(),
         );
+        if let Some(mean) = self.shared.mean_epochs_to_first_reuse() {
+            r.kv(
+                "epochs to first fleet reuse",
+                format!(
+                    "{:.1} (mean over {} of {} tenants)",
+                    mean,
+                    self.shared.tenants_with_fleet_reuse(),
+                    self.shared.tenants.len()
+                ),
+            );
+        }
         r.kv("cross-tenant hits", self.shared.total_cross_tenant_hits());
         r.kv(
             "SLO violation (shared)",
@@ -75,26 +128,49 @@ impl FleetFigure {
     }
 }
 
-/// Runs the fleet comparison for `tenants` tenants over `days` days.
-pub fn run_with(seed: u64, tenants: usize, days: usize, baselines: bool) -> FleetFigure {
+/// Runs the fleet comparison under `opts`. Reads/writes snapshot files when
+/// requested; IO or snapshot-format problems surface as errors.
+pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::Error>> {
+    let scenario = if opts.churn {
+        churn_fleet(opts.tenants, opts.days, opts.seed, 24)
+    } else {
+        standard_fleet(opts.tenants, opts.days, opts.seed)
+    };
     let config = |sharing, run_baselines| FleetConfig {
         sharing,
         run_baselines,
         ..Default::default()
     };
-    let shared = FleetEngine::new(
-        standard_fleet(tenants, days, seed),
-        config(SharingMode::Shared, baselines),
-    )
-    .run();
+
+    let engine = FleetEngine::new(
+        scenario.clone(),
+        config(SharingMode::Shared, opts.baselines),
+    );
+    let repo = Arc::new(match &opts.snapshot_in {
+        Some(path) => SharedSignatureRepository::load_snapshot(&std::fs::read_to_string(path)?)?,
+        None => SharedSignatureRepository::new(engine.config().repo.clone()),
+    });
+    let shared = engine.run_on(Arc::clone(&repo));
+    if let Some(path) = &opts.snapshot_out {
+        std::fs::write(path, repo.save_snapshot())?;
+    }
+
     // The baselines ignore the repository, so their runs are identical in both
     // fleets; only the shared fleet pays for them.
-    let isolated = FleetEngine::new(
-        standard_fleet(tenants, days, seed),
-        config(SharingMode::Isolated, false),
-    )
-    .run();
-    FleetFigure { shared, isolated }
+    let isolated = FleetEngine::new(scenario, config(SharingMode::Isolated, false)).run();
+    Ok(FleetFigure { shared, isolated })
+}
+
+/// Runs the fleet comparison for `tenants` tenants over `days` days.
+pub fn run_with(seed: u64, tenants: usize, days: usize, baselines: bool) -> FleetFigure {
+    run_opts(&FleetOptions {
+        seed,
+        tenants,
+        days,
+        baselines,
+        ..Default::default()
+    })
+    .expect("fleet run without snapshot IO cannot fail")
 }
 
 /// Runs the default-size fleet comparison (40 tenants, 3 days, baselines on).
@@ -118,5 +194,79 @@ mod tests {
         assert!(fig.shared.total_tunings() < fig.isolated.total_tunings());
         let text = fig.report().into_text();
         assert!(text.contains("hit rate (shared)"));
+    }
+
+    #[test]
+    fn snapshot_round_trip_warm_starts_a_newcomer_fleet() {
+        let dir = std::env::temp_dir().join("dejavu-fleet-exp-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        // Per-process file name: concurrent test invocations (debug + release,
+        // parallel CI jobs) must not race on one snapshot path.
+        let path = dir
+            .join(format!("fleet-{}.snap", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+
+        let seeded = run_opts(&FleetOptions {
+            seed: 3,
+            tenants: 6,
+            days: 2,
+            snapshot_out: Some(path.clone()),
+            ..Default::default()
+        })
+        .expect("seeding run");
+        assert!(!seeded.shared.warm_start);
+
+        let warm = run_opts(&FleetOptions {
+            seed: 9,
+            tenants: 2,
+            days: 1,
+            snapshot_in: Some(path.clone()),
+            ..Default::default()
+        })
+        .expect("warm run");
+        assert!(warm.shared.warm_start);
+        let cold = run_opts(&FleetOptions {
+            seed: 9,
+            tenants: 2,
+            days: 1,
+            ..Default::default()
+        })
+        .expect("cold run");
+        let warm_first = warm
+            .shared
+            .mean_epochs_to_first_reuse()
+            .expect("warm fleet reuses");
+        if let Some(cold_first) = cold.shared.mean_epochs_to_first_reuse() {
+            assert!(
+                warm_first <= cold_first,
+                "warm {warm_first} vs cold {cold_first}"
+            );
+        }
+        assert!(warm.report().into_text().contains("warm (snapshot)"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn churn_scenario_runs_and_reports_late_joiners() {
+        let fig = run_opts(&FleetOptions {
+            seed: 5,
+            tenants: 8,
+            days: 2,
+            churn: true,
+            ..Default::default()
+        })
+        .expect("churn run");
+        assert!(
+            fig.shared.tenants.iter().any(|t| t.joined_epoch > 0),
+            "no late joiner"
+        );
+        assert!(
+            fig.shared
+                .tenants
+                .iter()
+                .any(|t| t.active_epochs < fig.shared.epochs),
+            "no early leaver"
+        );
     }
 }

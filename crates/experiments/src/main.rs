@@ -3,6 +3,8 @@
 //! ```text
 //! cargo run -p dejavu-experiments --release -- all
 //! cargo run -p dejavu-experiments --release -- fig6 fig8 --seed 7
+//! cargo run -p dejavu-experiments --release -- fleet --tenants 40 --snapshot-out fleet.snap
+//! cargo run -p dejavu-experiments --release -- fleet --tenants 8 --snapshot-in fleet.snap --churn
 //! ```
 
 use std::env;
@@ -10,8 +12,13 @@ use std::env;
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut seed = 1u64;
-    let mut tenants = 40usize;
-    let mut days = 3usize;
+    let mut fleet_opts = dejavu_experiments::fleet::FleetOptions {
+        seed: 1,
+        tenants: 40,
+        days: 3,
+        baselines: true,
+        ..Default::default()
+    };
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -21,16 +28,34 @@ fn main() {
             }
         } else if arg == "--tenants" {
             if let Some(v) = it.next() {
-                tenants = v.parse().unwrap_or(40);
+                fleet_opts.tenants = v.parse().unwrap_or(40);
             }
         } else if arg == "--days" {
             if let Some(v) = it.next() {
-                days = v.parse().unwrap_or(3);
+                fleet_opts.days = v.parse().unwrap_or(3);
             }
+        } else if arg == "--snapshot-in" || arg == "--snapshot-out" {
+            // A missing path must not silently no-op (or swallow the next
+            // flag as a file name): demand a non-flag value.
+            let path = match it.next() {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => {
+                    eprintln!("{arg} needs a file path");
+                    std::process::exit(2);
+                }
+            };
+            if arg == "--snapshot-in" {
+                fleet_opts.snapshot_in = Some(path);
+            } else {
+                fleet_opts.snapshot_out = Some(path);
+            }
+        } else if arg == "--churn" {
+            fleet_opts.churn = true;
         } else {
             targets.push(arg.clone());
         }
     }
+    fleet_opts.seed = seed;
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = vec![
             "fig1", "fig4", "fig5", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
@@ -63,9 +88,13 @@ fn main() {
             "overhead" => dejavu_experiments::overhead::run(seed).report().into_text(),
             "savings" => dejavu_experiments::savings::run(seed).report().into_text(),
             "ablation" => dejavu_experiments::ablation::run(seed).report().into_text(),
-            "fleet" => dejavu_experiments::fleet::run_with(seed, tenants, days, true)
-                .report()
-                .into_text(),
+            "fleet" => match dejavu_experiments::fleet::run_opts(&fleet_opts) {
+                Ok(figure) => figure.report().into_text(),
+                Err(e) => {
+                    eprintln!("fleet experiment failed: {e}");
+                    std::process::exit(1);
+                }
+            },
             other => format!("unknown experiment '{other}'\n"),
         };
         println!("{text}");

@@ -1,0 +1,204 @@
+//! Figure-accuracy regression tests: pin the reproduced figs 6–11 numbers
+//! against the paper's reported savings and adaptation times, so a perf PR
+//! that accidentally changes floating-point behavior, clustering, or the
+//! controller's decision sequence cannot silently drift the science.
+//!
+//! Every experiment is fully deterministic at a fixed seed, so the bands
+//! below can be tight. Two kinds of bound appear:
+//!
+//! * **Paper bands** — where the paper reports a number (≈55% scale-out /
+//!   ≈35% scale-up savings, ~10 s DejaVu decision time, an order of magnitude
+//!   vs RightScale, >$250k/year per 100 instances at 2011 prices), the test
+//!   asserts the reproduction lands in a tolerance band around it. Our
+//!   conservative class merging over-provisions night hours, so the savings
+//!   floor sits below the paper's point estimate (see EXPERIMENTS.md).
+//! * **Pinned values** — the exact seed-1 numbers of this reproduction,
+//!   asserted with a ±15% relative band. These catch silent drift: anyone
+//!   changing them must re-validate against the paper and update the pins
+//!   deliberately.
+
+use dejavu_experiments::{fig10, fig11, fig6, fig7, fig8, fig9, savings};
+
+const SEED: u64 = 1;
+
+/// `value` within ±`tol` (relative) of `pin`.
+fn near(value: f64, pin: f64, tol: f64) -> bool {
+    (value - pin).abs() <= pin.abs() * tol
+}
+
+#[test]
+fn fig6_messenger_scale_out_savings_hold() {
+    let fig = fig6::run(SEED);
+    // Paper band: meaningful savings with a handful of classes and an
+    // almost-always-met SLO.
+    assert!(
+        (2..=5).contains(&fig.num_classes),
+        "classes {}",
+        fig.num_classes
+    );
+    assert!(fig.hit_rate >= 0.85, "hit rate {}", fig.hit_rate);
+    assert!(
+        fig.dejavu_savings > 0.20 && fig.dejavu_savings < 0.70,
+        "savings {} outside the paper band",
+        fig.dejavu_savings
+    );
+    assert!(
+        fig.dejavu.slo_violation_fraction < 0.10,
+        "violations {}",
+        fig.dejavu.slo_violation_fraction
+    );
+    // Pinned seed-1 values of this reproduction.
+    assert!(
+        near(fig.dejavu_savings, 0.314, 0.15),
+        "savings {}",
+        fig.dejavu_savings
+    );
+    assert!(
+        near(fig.dejavu.slo_violation_fraction, 0.028, 0.15),
+        "violations {}",
+        fig.dejavu.slo_violation_fraction
+    );
+}
+
+#[test]
+fn fig7_hotmail_scale_out_savings_hold() {
+    let fig = fig7::run(SEED);
+    assert!(
+        fig.dejavu_savings > 0.20 && fig.dejavu_savings < 0.70,
+        "savings {} outside the paper band",
+        fig.dejavu_savings
+    );
+    assert!(
+        fig.dejavu.slo_violation_fraction < 0.10,
+        "violations {}",
+        fig.dejavu.slo_violation_fraction
+    );
+    assert!(
+        near(fig.dejavu_savings, 0.473, 0.15),
+        "savings {}",
+        fig.dejavu_savings
+    );
+    assert!(near(fig.hit_rate, 0.885, 0.15), "hit rate {}", fig.hit_rate);
+}
+
+#[test]
+fn fig8_adaptation_time_stays_an_order_of_magnitude_ahead() {
+    let fig = fig8::run(SEED);
+    for trace in ["messenger", "hotmail"] {
+        let dejavu = fig.bar(trace, "dejavu").expect("dejavu bar");
+        let rs3 = fig.bar(trace, "rightscale-3min").expect("rs3 bar");
+        let rs15 = fig.bar(trace, "rightscale-15min").expect("rs15 bar");
+        // Paper: DejaVu decides in ~10 s (the signature-collection window).
+        assert!(
+            near(dejavu.mean_secs, 10.0, 0.2),
+            "{trace}: dejavu decision time {} s drifted from ~10 s",
+            dejavu.mean_secs
+        );
+        // Paper: RightScale needs minutes — more than an order of magnitude.
+        assert!(
+            rs3.mean_secs > dejavu.mean_secs * 10.0,
+            "{trace}: rs3 {} vs dejavu {}",
+            rs3.mean_secs,
+            dejavu.mean_secs
+        );
+        assert!(
+            rs15.mean_secs > rs3.mean_secs,
+            "{trace}: longer calm time must adapt slower ({} vs {})",
+            rs15.mean_secs,
+            rs3.mean_secs
+        );
+    }
+    // Pinned seed-1 values.
+    assert!(near(
+        fig.bar("messenger", "rightscale-3min").unwrap().mean_secs,
+        320.0,
+        0.15
+    ));
+    assert!(near(
+        fig.bar("hotmail", "rightscale-15min").unwrap().mean_secs,
+        749.0,
+        0.15
+    ));
+}
+
+#[test]
+fn fig9_and_fig10_scale_up_savings_hold() {
+    let hotmail = fig9::run(SEED);
+    let messenger = fig10::run(SEED);
+    for (name, fig, pin) in [("fig9", &hotmail, 0.463), ("fig10", &messenger, 0.389)] {
+        // Paper band: ≈35% scale-up savings with QoS ≥ 95% nearly always.
+        assert!(
+            fig.savings > 0.20 && fig.savings < 0.60,
+            "{name}: savings {} outside the paper band",
+            fig.savings
+        );
+        assert!(
+            fig.qos_compliance > 0.85,
+            "{name}: QoS compliance {}",
+            fig.qos_compliance
+        );
+        assert!(
+            fig.xl_fraction < 0.35,
+            "{name}: extra-large fraction {}",
+            fig.xl_fraction
+        );
+        assert!(
+            near(fig.savings, pin, 0.15),
+            "{name}: savings {}",
+            fig.savings
+        );
+    }
+}
+
+#[test]
+fn fig11_interference_detection_keeps_compensating() {
+    let fig = fig11::run(SEED);
+    assert!(fig.compensations > 0, "no compensations");
+    assert!(
+        fig.mean_instances_with > fig.mean_instances_without,
+        "detection must provision extra capacity ({} vs {})",
+        fig.mean_instances_with,
+        fig.mean_instances_without
+    );
+    assert!(
+        fig.with_detection.slo_violation_fraction < fig.without_detection.slo_violation_fraction,
+        "detection must reduce violations ({} vs {})",
+        fig.with_detection.slo_violation_fraction,
+        fig.without_detection.slo_violation_fraction
+    );
+    // Pinned seed-1 values.
+    assert!(
+        near(fig.compensations as f64, 87.0, 0.15),
+        "{}",
+        fig.compensations
+    );
+    assert!(
+        near(fig.with_detection.slo_violation_fraction, 0.294, 0.15),
+        "{}",
+        fig.with_detection.slo_violation_fraction
+    );
+}
+
+#[test]
+fn savings_summary_matches_the_paper_projection() {
+    let s = savings::run(SEED);
+    // Paper: >$250k/year for 100 large instances at ~55% savings; our
+    // reproduction saves ≈41% on average, so the floor sits proportionally
+    // lower while remaining six figures.
+    assert!(
+        s.mean_savings() > 0.30 && s.mean_savings() < 0.60,
+        "mean savings {}",
+        s.mean_savings()
+    );
+    assert!(
+        s.yearly_savings_usd(100) > 100_000.0,
+        "yearly savings {}",
+        s.yearly_savings_usd(100)
+    );
+    // Pinned seed-1 value: $122k/year per 100 instances.
+    assert!(
+        near(s.yearly_savings_usd(100), 122_012.0, 0.15),
+        "yearly savings {}",
+        s.yearly_savings_usd(100)
+    );
+}

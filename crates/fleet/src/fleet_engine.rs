@@ -13,16 +13,43 @@
 //! Mid-epoch the shared store never changes, and commits have a fixed order,
 //! so the fleet result is a pure function of the scenario — it does not
 //! depend on thread count or OS scheduling.
+//!
+//! # Elastic tenancy
+//!
+//! Tenants may join and leave mid-run ([`crate::TenantSpec::start`] /
+//! [`crate::TenantSpec::stop`]). Admission and retirement happen **at epoch
+//! barriers only** — a joining tenant takes its first observation tick in the
+//! epoch after the barrier at (or right after) its start time, and a leaving
+//! tenant is finalized at the barrier ending the epoch that reaches its stop
+//! time — so churn never perturbs the deterministic commit order. A tenant's
+//! trace and local clock begin at its join barrier; because admission is
+//! barrier-aligned, a tenant joining an otherwise quiescent fleet behaves bit
+//! identically to a tenant running alone against a repository warm-started
+//! from a snapshot of that fleet (property-tested in `tests/properties.rs`).
+//!
+//! # Warm starts
+//!
+//! [`FleetEngine::run_on`] runs the fleet against a caller-provided (e.g.
+//! snapshot-loaded) repository, and the caller can persist the final state
+//! with [`SharedSignatureRepository::save_snapshot`];
+//! [`FleetEngine::run_warm`] wires both ends. A warm run **resumes the global
+//! fleet clock at the snapshot's clock** (the seeding run's high-water mark),
+//! so entry ages — and TTL expiry — carry over restarts rather than letting
+//! arbitrarily old entries masquerade as fresh. [`FleetReport`] records
+//! per-tenant epochs-to-first-fleet-reuse and the fleet-wide hit-rate curve,
+//! which is how warm-start convergence is measured against cold starts.
 
 use crate::engine::{RunState, SimulationEngine};
 use crate::report::{FleetReport, SharedRepoSnapshot, TenantOutcome};
 use crate::scenario::Scenario;
 use crate::shared_repo::{PendingOp, SharedRepoConfig, SharedSignatureRepository};
+use crate::snapshot::SnapshotError;
 use crate::tenant_view::{Outbox, TenantRepoView};
 use dejavu_baselines::{FixedMax, RightScale, RightScaleConfig};
 use dejavu_core::{DejaVuConfig, DejaVuController};
 use dejavu_services::ServiceModel;
 use dejavu_simcore::SimTime;
+use std::sync::Arc;
 
 /// Whether tenants share one repository or each keep their own.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +89,8 @@ impl Default for FleetConfig {
     }
 }
 
-/// One tenant's complete in-flight simulation.
+/// One tenant's complete in-flight simulation, plus its tenancy window in
+/// epochs (derived from the spec's start/stop times, barrier-aligned).
 struct TenantRun {
     engine: SimulationEngine,
     service: Box<dyn ServiceModel>,
@@ -70,6 +98,14 @@ struct TenantRun {
     state: RunState,
     fixed: Option<(FixedMax, RunState)>,
     rightscale: Option<(RightScale, RunState)>,
+    /// First global epoch in which the tenant steps (its join barrier).
+    start_epoch: usize,
+    /// Global epoch count at whose barrier the tenant retires, if it leaves.
+    stop_epoch: Option<usize>,
+    /// Epochs since join at which the first `FleetReuse` fired (1-based).
+    first_reuse_epoch: Option<usize>,
+    /// Epochs this tenant has actually been stepped through.
+    active_epochs: usize,
 }
 
 /// Steps one run up to (excluding) `epoch_end`.
@@ -89,8 +125,28 @@ fn step_until(
 }
 
 impl TenantRun {
-    /// Steps every in-flight run of this tenant up to (excluding) `epoch_end`.
-    fn step_epoch(&mut self, epoch_end: SimTime) {
+    /// Steps every in-flight run of this tenant up to the barrier ending
+    /// global epoch `epoch` (0-based), honouring the tenancy window. Times
+    /// handed to the tenant are **local** (zero at its join barrier), so a
+    /// late joiner steps exactly like a tenant that started a fresh fleet.
+    fn step_epoch(&mut self, epoch: usize, epoch_secs: f64) {
+        let end_epoch = epoch + 1;
+        if end_epoch <= self.start_epoch {
+            return; // not admitted yet
+        }
+        let mut local_epochs = end_epoch - self.start_epoch;
+        if let Some(stop) = self.stop_epoch {
+            let cap = stop.saturating_sub(self.start_epoch);
+            if cap == 0 {
+                return;
+            }
+            local_epochs = local_epochs.min(cap);
+        }
+        if local_epochs <= self.active_epochs {
+            return; // already stepped past its retirement barrier
+        }
+        self.active_epochs = local_epochs;
+        let epoch_end = SimTime::from_secs(epoch_secs * local_epochs as f64);
         let service = self.service.as_ref();
         step_until(
             &self.engine,
@@ -105,6 +161,13 @@ impl TenantRun {
         if let Some((controller, state)) = &mut self.rightscale {
             step_until(&self.engine, service, state, controller, epoch_end);
         }
+    }
+
+    /// Whether the tenant retires at the barrier ending global epoch `epoch`.
+    fn retires_at(&self, epoch: usize) -> bool {
+        let end_epoch = epoch + 1;
+        end_epoch > self.start_epoch
+            && (self.state.is_done() || self.stop_epoch.is_some_and(|stop| end_epoch >= stop))
     }
 }
 
@@ -142,10 +205,40 @@ impl FleetEngine {
         configured.clamp(1, tenants.max(1))
     }
 
-    /// Runs the fleet to completion and aggregates the report.
+    /// Runs the fleet to completion against a fresh, cold repository.
     pub fn run(&self) -> FleetReport {
-        let shared = std::sync::Arc::new(SharedSignatureRepository::new(self.config.repo.clone()));
-        let mut runs: Vec<TenantRun> = Vec::with_capacity(self.scenario.tenants.len());
+        self.run_on(Arc::new(SharedSignatureRepository::new(
+            self.config.repo.clone(),
+        )))
+    }
+
+    /// Loads `snapshot` (see [`crate::snapshot`]) and runs the fleet against
+    /// the warm repository it describes. The snapshot's own configuration
+    /// (sharding, TTL, tolerance) governs the repository, not
+    /// [`FleetConfig::repo`]. Returns the report and the repository so the
+    /// caller can persist the post-run state.
+    pub fn run_warm(
+        &self,
+        snapshot: &str,
+    ) -> Result<(FleetReport, Arc<SharedSignatureRepository>), SnapshotError> {
+        let shared = Arc::new(SharedSignatureRepository::load_snapshot(snapshot)?);
+        let report = self.run_on(Arc::clone(&shared));
+        Ok((report, shared))
+    }
+
+    /// Runs the fleet against a caller-provided repository (cold or
+    /// snapshot-loaded). Keep a clone of the `Arc` to call
+    /// [`SharedSignatureRepository::save_snapshot`] afterwards.
+    pub fn run_on(&self, shared: Arc<SharedSignatureRepository>) -> FleetReport {
+        let warm_start = !shared.is_empty();
+        let epoch_secs = self.scenario.epoch.as_secs();
+        // A warm-started fleet resumes the global clock where the snapshot
+        // left it (the repository's high-water mark): entry ages, and with
+        // them TTL expiry, carry over restarts instead of resetting to zero.
+        // Cold repositories have a zero clock, so nothing changes for them.
+        let origin_secs = shared.clock().as_secs();
+        let to_epochs = |secs: f64| (secs / epoch_secs).ceil() as usize;
+        let mut runs: Vec<Option<TenantRun>> = Vec::with_capacity(self.scenario.tenants.len());
         let mut outboxes: Vec<Option<Outbox>> = Vec::with_capacity(self.scenario.tenants.len());
 
         for spec in &self.scenario.tenants {
@@ -158,12 +251,20 @@ impl FleetEngine {
             let mut controller =
                 DejaVuController::new(dv_config, spec.service.build(), space.clone())
                     .with_name(format!("dejavu-{}", spec.name));
+            let start_epoch = to_epochs(spec.start.as_secs());
             let outbox = match self.config.sharing {
                 SharingMode::Shared => {
-                    let (view, outbox) = TenantRepoView::new(
-                        std::sync::Arc::clone(&shared),
+                    // The view maps this tenant's local clock onto the global
+                    // fleet clock (its join barrier), so shared-store
+                    // timestamps — and with them TTL staleness — stay
+                    // coherent across tenants that joined at different times.
+                    let (view, outbox) = TenantRepoView::new_with_offset(
+                        Arc::clone(&shared),
                         spec.id,
                         spec.namespace(),
+                        dejavu_simcore::SimDuration::from_secs(
+                            origin_secs + epoch_secs * start_epoch as f64,
+                        ),
                     );
                     controller = controller.with_store(Box::new(view));
                     Some(outbox)
@@ -181,34 +282,50 @@ impl FleetEngine {
                     engine.begin(),
                 )
             });
-            runs.push(TenantRun {
+            let stop_epoch = spec
+                .stop
+                .map(|stop| to_epochs(stop.as_secs()).max(start_epoch));
+            runs.push(Some(TenantRun {
                 engine,
                 service: spec.service.build(),
                 controller,
                 state,
                 fixed,
                 rightscale,
-            });
+                start_epoch,
+                stop_epoch,
+                first_reuse_epoch: None,
+                active_epochs: 0,
+            }));
             outboxes.push(outbox);
         }
 
-        let epoch_secs = self.scenario.epoch.as_secs();
-        let horizon = runs
+        // Fleet horizon: every tenant's window, in epochs.
+        let epochs = runs
             .iter()
-            .map(|r| r.engine.config().trace.duration().as_secs())
-            .fold(0.0f64, f64::max);
-        let epochs = (horizon / epoch_secs).ceil() as usize;
+            .zip(&self.scenario.tenants)
+            .map(|(run, spec)| {
+                let run = run.as_ref().expect("all runs live before the loop");
+                let trace_epochs = to_epochs(spec.trace.duration().as_secs());
+                match run.stop_epoch {
+                    Some(stop) => stop.min(run.start_epoch + trace_epochs),
+                    None => run.start_epoch + trace_epochs,
+                }
+            })
+            .max()
+            .unwrap_or(0);
         let workers = self.worker_count(runs.len());
         let mut cross_tenant_hits = vec![0u64; runs.len()];
+        let mut outcomes: Vec<Option<TenantOutcome>> = (0..runs.len()).map(|_| None).collect();
+        let mut hit_rate_curve = Vec::with_capacity(epochs);
 
         for epoch in 0..epochs {
-            let epoch_end = SimTime::from_secs(epoch_secs * (epoch + 1) as f64);
             let chunk_size = runs.len().div_ceil(workers);
             std::thread::scope(|scope| {
                 for chunk in runs.chunks_mut(chunk_size) {
                     scope.spawn(move || {
-                        for run in chunk {
-                            run.step_epoch(epoch_end);
+                        for run in chunk.iter_mut().flatten() {
+                            run.step_epoch(epoch, epoch_secs);
                         }
                     });
                 }
@@ -237,41 +354,52 @@ impl FleetEngine {
                     cross_tenant_hits[*tenant] += 1;
                 }
             }
-            shared.evict_stale(epoch_end);
+            shared.evict_stale(SimTime::from_secs(
+                origin_secs + epoch_secs * (epoch + 1) as f64,
+            ));
+
+            // Convergence bookkeeping, then barrier-aligned retirement.
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for (i, slot) in runs.iter_mut().enumerate() {
+                let Some(run) = slot else {
+                    if let Some(outcome) = &outcomes[i] {
+                        hits += outcome.stats.repository.hits;
+                        misses += outcome.stats.repository.misses;
+                    }
+                    continue;
+                };
+                let stats = run.controller.stats();
+                hits += stats.repository.hits;
+                misses += stats.repository.misses;
+                if run.first_reuse_epoch.is_none()
+                    && epoch + 1 > run.start_epoch
+                    && stats.fleet_reuses > 0
+                {
+                    run.first_reuse_epoch = Some(epoch + 1 - run.start_epoch);
+                }
+                if run.retires_at(epoch) {
+                    let run = slot.take().expect("checked above");
+                    outcomes[i] = Some(self.finalize(i, run, cross_tenant_hits[i]));
+                }
+            }
+            hit_rate_curve.push(if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            });
         }
 
-        let mut tenants = Vec::with_capacity(runs.len());
-        for (i, run) in runs.into_iter().enumerate() {
-            let TenantRun {
-                engine,
-                controller,
-                state,
-                fixed,
-                rightscale,
-                ..
-            } = run;
-            let name = controller.name().to_string();
-            let dejavu = engine.finish(state, &name);
-            let fixed_max = fixed.map(|(c, s)| {
-                let n = c.name().to_string();
-                engine.finish(s, &n)
-            });
-            let rightscale = rightscale.map(|(c, s)| {
-                let n = c.name().to_string();
-                engine.finish(s, &n)
-            });
-            let spec = &self.scenario.tenants[i];
-            tenants.push(TenantOutcome {
-                id: spec.id,
-                name: spec.name.clone(),
-                namespace: spec.namespace(),
-                stats: controller.stats().clone(),
-                cross_tenant_hits: cross_tenant_hits[i],
-                dejavu,
-                fixed_max,
-                rightscale,
-            });
+        // Finalize any tenant still in flight (e.g. a zero-epoch fleet).
+        for (i, slot) in runs.iter_mut().enumerate() {
+            if let Some(run) = slot.take() {
+                outcomes[i] = Some(self.finalize(i, run, cross_tenant_hits[i]));
+            }
         }
+        let tenants: Vec<TenantOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every tenant finalized"))
+            .collect();
 
         let shared_repo =
             (self.config.sharing == SharingMode::Shared).then(|| SharedRepoSnapshot {
@@ -285,8 +413,49 @@ impl FleetEngine {
             scenario: self.scenario.name.clone(),
             sharing: self.config.sharing,
             epochs,
+            warm_start,
             tenants,
             shared_repo,
+            hit_rate_curve,
+        }
+    }
+
+    /// Turns a finished (or retired) tenant run into its outcome record.
+    fn finalize(&self, index: usize, run: TenantRun, cross_tenant_hits: u64) -> TenantOutcome {
+        let TenantRun {
+            engine,
+            controller,
+            state,
+            fixed,
+            rightscale,
+            start_epoch,
+            first_reuse_epoch,
+            active_epochs,
+            ..
+        } = run;
+        let name = controller.name().to_string();
+        let dejavu = engine.finish(state, &name);
+        let fixed_max = fixed.map(|(c, s)| {
+            let n = c.name().to_string();
+            engine.finish(s, &n)
+        });
+        let rightscale = rightscale.map(|(c, s)| {
+            let n = c.name().to_string();
+            engine.finish(s, &n)
+        });
+        let spec = &self.scenario.tenants[index];
+        TenantOutcome {
+            id: spec.id,
+            name: spec.name.clone(),
+            namespace: spec.namespace(),
+            stats: controller.stats().clone(),
+            cross_tenant_hits,
+            joined_epoch: start_epoch,
+            active_epochs,
+            first_fleet_reuse_epoch: first_reuse_epoch,
+            dejavu,
+            fixed_max,
+            rightscale,
         }
     }
 }
@@ -336,6 +505,7 @@ mod tests {
             assert_eq!(a.cross_tenant_hits, b.cross_tenant_hits);
             assert_eq!(a.dejavu.latency_ms.values(), b.dejavu.latency_ms.values());
         }
+        assert_eq!(one.hit_rate_curve, four.hit_rate_curve);
     }
 
     #[test]
@@ -366,6 +536,8 @@ mod tests {
         assert!(snapshot.entries > 0);
         assert!(snapshot.stats.cross_tenant_hits > 0);
         assert!(isolated.shared_repo.is_none());
+        assert!(!shared.warm_start);
+        assert_eq!(shared.hit_rate_curve.len(), shared.epochs);
     }
 
     #[test]
@@ -384,5 +556,134 @@ mod tests {
             assert!(t.rightscale.is_some());
         }
         assert!(report.total_fixed_max_cost().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn staggered_arrivals_and_departures_shape_the_run() {
+        let scenario = ScenarioBuilder::new("churn", 5, 2)
+            .tick(SimDuration::from_secs(600.0))
+            .diurnal_fleet(4)
+            .stagger_arrivals(
+                2,
+                SimDuration::from_hours(6.0),
+                SimDuration::from_hours(3.0),
+            )
+            .depart_at(0, SimDuration::from_hours(12.0))
+            .build();
+        let report = FleetEngine::new(scenario, FleetConfig::default()).run();
+        // 2 days + the latest joiner's 9 h offset = 57 one-hour epochs.
+        assert_eq!(report.epochs, 57);
+        let t = &report.tenants;
+        assert_eq!((t[0].joined_epoch, t[1].joined_epoch), (0, 0));
+        assert_eq!((t[2].joined_epoch, t[3].joined_epoch), (6, 9));
+        // The departing tenant simulated only 12 of its 48 hours.
+        assert_eq!(t[0].active_epochs, 12);
+        assert_eq!(t[0].dejavu.load.len(), 12 * 6);
+        assert_eq!(t[1].active_epochs, 48);
+        // Late joiners still complete their full trace, shifted.
+        assert_eq!(t[3].active_epochs, 48);
+        assert_eq!(t[3].dejavu.load.len(), 48 * 6);
+    }
+
+    #[test]
+    fn late_joiner_entries_survive_ttl_sweeps_on_the_global_clock() {
+        // Tenant 1 joins at hour 30 with a 24 h TTL in force. Its publishes
+        // must carry *global* timestamps: were they tenant-local, the first
+        // barrier sweep after its join (global hour 31+) would see them as
+        // 30-hours-old and reap them on sight.
+        let scenario = ScenarioBuilder::new("ttl-churn", 11, 1)
+            .tick(SimDuration::from_secs(600.0))
+            .diurnal_fleet(2)
+            .arrive_at(1, SimDuration::from_hours(30.0))
+            .build();
+        let engine = FleetEngine::new(
+            scenario,
+            FleetConfig {
+                repo: SharedRepoConfig {
+                    ttl: Some(SimDuration::from_hours(24.0)),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let repo = Arc::new(SharedSignatureRepository::new(engine.config().repo.clone()));
+        engine.run_on(Arc::clone(&repo));
+        let snapshot = repo.to_snapshot();
+        let late_entries: Vec<_> = snapshot
+            .namespaces
+            .iter()
+            .flat_map(|ns| &ns.entries)
+            .filter(|e| e.owner == 1)
+            .collect();
+        assert!(
+            !late_entries.is_empty(),
+            "the late joiner's entries were swept away"
+        );
+        // Its timestamps are global: at or after its hour-30 join barrier.
+        for e in &late_entries {
+            assert!(
+                e.tuned_at_secs >= 30.0 * 3600.0,
+                "tenant-local timestamp {} leaked into the shared store",
+                e.tuned_at_secs
+            );
+        }
+        // The founder's day-one entries aged out under the same TTL.
+        assert!(repo.stats().evictions > 0, "TTL never evicted anything");
+    }
+
+    #[test]
+    fn warm_start_resumes_the_fleet_clock_so_ttls_span_restarts() {
+        let ttl_config = || FleetConfig {
+            repo: SharedRepoConfig {
+                ttl: Some(SimDuration::from_hours(24.0)),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // Seed fleet: 2 days with a 24 h TTL; its clock ends at hour 48.
+        let seed = FleetEngine::new(tiny_scenario(3), ttl_config());
+        let repo = Arc::new(SharedSignatureRepository::new(seed.config().repo.clone()));
+        seed.run_on(Arc::clone(&repo));
+        assert_eq!(repo.clock().as_secs(), 48.0 * 3600.0);
+        let evictions_at_snapshot = repo.stats().evictions;
+        let entries_at_snapshot = repo.len();
+        assert!(entries_at_snapshot > 0, "seed fleet left no entries");
+        let snapshot = repo.save_snapshot();
+
+        // Warm run: its barrier sweeps continue at hour 49, 50, …, so the
+        // seeded day-two entries age past the TTL *during* the warm run
+        // instead of being treated as freshly tuned at warm hour zero.
+        let newcomer = FleetEngine::new(tiny_scenario(1), ttl_config());
+        let (_, warm_repo) = newcomer.run_warm(&snapshot).expect("snapshot loads");
+        assert_eq!(warm_repo.clock().as_secs(), (48.0 + 48.0) * 3600.0);
+        assert!(
+            warm_repo.stats().evictions > evictions_at_snapshot,
+            "seeded entries never aged out during the warm run ({} vs {})",
+            warm_repo.stats().evictions,
+            evictions_at_snapshot
+        );
+    }
+
+    #[test]
+    fn warm_start_round_trips_through_snapshots() {
+        let seeding = FleetEngine::new(tiny_scenario(4), FleetConfig::default());
+        let repo = Arc::new(SharedSignatureRepository::new(SharedRepoConfig::default()));
+        let cold = seeding.run_on(Arc::clone(&repo));
+        assert!(!cold.warm_start);
+        let snapshot = repo.save_snapshot();
+
+        let newcomer = FleetEngine::new(tiny_scenario(1), FleetConfig::default());
+        let (warm, warm_repo) = newcomer.run_warm(&snapshot).expect("snapshot loads");
+        assert!(warm.warm_start);
+        // The newcomer converges faster than a cold-started twin.
+        let cold_single = newcomer.run();
+        let warm_first = warm.tenants[0].first_fleet_reuse_epoch.expect("warm reuse");
+        // When the cold twin never reused, warm is strictly better already.
+        if let Some(cold_first) = cold_single.tenants[0].first_fleet_reuse_epoch {
+            assert!(warm_first <= cold_first);
+        }
+        assert!(warm.total_fleet_reuses() > 0);
+        // The repository kept evolving and can be persisted again.
+        assert!(warm_repo.save_snapshot().len() >= snapshot.len());
     }
 }

@@ -43,13 +43,17 @@ pub mod fleet_engine;
 pub mod report;
 pub mod scenario;
 pub mod shared_repo;
+pub mod snapshot;
 pub mod tenant_view;
 
 pub use engine::{RunConfig, RunResult, RunState, SimulationEngine};
 pub use fleet_engine::{FleetConfig, FleetEngine, SharingMode};
 pub use report::{FleetReport, SharedRepoSnapshot, TenantOutcome};
-pub use scenario::{standard_fleet, Scenario, ScenarioBuilder, ServiceSpec, SpaceKind, TenantSpec};
+pub use scenario::{
+    churn_fleet, standard_fleet, Scenario, ScenarioBuilder, ServiceSpec, SpaceKind, TenantSpec,
+};
 pub use shared_repo::{
     namespace_for, PendingOp, ShardStats, SharedRepoConfig, SharedSignatureRepository, TenantId,
 };
+pub use snapshot::{RepoSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use tenant_view::TenantRepoView;

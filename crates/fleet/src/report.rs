@@ -33,6 +33,16 @@ pub struct TenantOutcome {
     pub stats: DejaVuStats,
     /// Lookups this tenant served from other tenants' tuning decisions.
     pub cross_tenant_hits: u64,
+    /// Global epoch at whose barrier the tenant was admitted (0 = fleet
+    /// start; elastic tenants join later).
+    pub joined_epoch: usize,
+    /// Epochs the tenant was actually simulated for (fewer than the fleet
+    /// total for late joiners and early leavers).
+    pub active_epochs: usize,
+    /// Epochs after joining until the tenant's first `FleetReuse` decision
+    /// (1-based), if it ever reused a fleet entry. This is the newcomer
+    /// convergence metric: warm-started fleets reach it in fewer epochs.
+    pub first_fleet_reuse_epoch: Option<usize>,
     /// The always-full-capacity baseline, when baselines were enabled.
     pub fixed_max: Option<RunResult>,
     /// The RightScale-style baseline, when baselines were enabled.
@@ -48,10 +58,15 @@ pub struct FleetReport {
     pub sharing: SharingMode,
     /// Number of epochs simulated.
     pub epochs: usize,
+    /// Whether the run started from a non-empty (snapshot-loaded) repository.
+    pub warm_start: bool,
     /// Per-tenant outcomes, in tenant order.
     pub tenants: Vec<TenantOutcome>,
     /// Shared-repository snapshot (None for isolated runs).
     pub shared_repo: Option<SharedRepoSnapshot>,
+    /// Fleet-wide cumulative repository hit rate after each epoch barrier —
+    /// the convergence curve warm starts bend upward.
+    pub hit_rate_curve: Vec<f64>,
 }
 
 impl FleetReport {
@@ -117,6 +132,32 @@ impl FleetReport {
         }
     }
 
+    /// Mean epochs-after-join until the first `FleetReuse`, across tenants
+    /// that ever reused a fleet entry (`None` when no tenant did). The
+    /// headline newcomer-convergence number: a tenant joining a warm fleet
+    /// reaches its first reuse in measurably fewer epochs than a cold start.
+    pub fn mean_epochs_to_first_reuse(&self) -> Option<f64> {
+        let epochs: Vec<f64> = self
+            .tenants
+            .iter()
+            .filter_map(|t| t.first_fleet_reuse_epoch)
+            .map(|e| e as f64)
+            .collect();
+        if epochs.is_empty() {
+            None
+        } else {
+            Some(epochs.iter().sum::<f64>() / epochs.len() as f64)
+        }
+    }
+
+    /// Tenants that reached at least one `FleetReuse`.
+    pub fn tenants_with_fleet_reuse(&self) -> usize {
+        self.tenants
+            .iter()
+            .filter(|t| t.first_fleet_reuse_epoch.is_some())
+            .count()
+    }
+
     /// Mean reuse-phase adaptation time across tenants that adapted.
     pub fn mean_adaptation_secs(&self) -> f64 {
         let times: Vec<f64> = self
@@ -143,12 +184,23 @@ impl FleetReport {
         push(
             &mut out,
             format!(
-                "  tenants: {}  sharing: {:?}  epochs: {}",
+                "  tenants: {}  sharing: {:?}  epochs: {}  start: {}",
                 self.tenants.len(),
                 self.sharing,
-                self.epochs
+                self.epochs,
+                if self.warm_start { "warm" } else { "cold" }
             ),
         );
+        if let Some(mean) = self.mean_epochs_to_first_reuse() {
+            push(
+                &mut out,
+                format!(
+                    "  epochs to first reuse    : {:.1} (mean over {} tenants)",
+                    mean,
+                    self.tenants_with_fleet_reuse()
+                ),
+            );
+        }
         push(
             &mut out,
             format!(
@@ -240,8 +292,10 @@ mod tests {
             scenario: "t".into(),
             sharing,
             epochs: 0,
+            warm_start: false,
             tenants: Vec::new(),
             shared_repo: None,
+            hit_rate_curve: Vec::new(),
         }
     }
 
@@ -253,6 +307,9 @@ mod tests {
         assert_eq!(r.mean_adaptation_secs(), 0.0);
         assert_eq!(r.total_cost(), 0.0);
         assert_eq!(r.total_fixed_max_cost(), Some(0.0));
+        assert_eq!(r.mean_epochs_to_first_reuse(), None);
+        assert_eq!(r.tenants_with_fleet_reuse(), 0);
         assert!(r.render().contains("tenants: 0"));
+        assert!(r.render().contains("cold"));
     }
 }

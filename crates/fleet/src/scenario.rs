@@ -106,6 +106,13 @@ pub struct TenantSpec {
     pub interference: InterferenceSchedule,
     /// Deterministic per-tenant seed (client noise, profiling, clustering).
     pub seed: u64,
+    /// Fleet time at which the tenant joins. The BSP engine admits tenants at
+    /// epoch barriers, so the effective join is the first barrier at or after
+    /// this time; the tenant's trace (and local clock) starts there.
+    pub start: SimDuration,
+    /// Fleet time at which the tenant retires (truncating its trace), if it
+    /// leaves mid-run. Retirement also happens at the next epoch barrier.
+    pub stop: Option<SimDuration>,
 }
 
 impl TenantSpec {
@@ -208,6 +215,8 @@ impl ScenarioBuilder {
             space,
             interference,
             seed: mix_seed(self.seed, id as u64 + 1),
+            start: SimDuration::from_secs(0.0),
+            stop: None,
         });
     }
 
@@ -315,6 +324,37 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Schedules a staggered start for every tenant from id `from` onward:
+    /// the first joins the fleet at `first_at`, each subsequent one `every`
+    /// later. Tenants added by later family calls keep their default
+    /// immediate start unless scheduled again.
+    pub fn stagger_arrivals(
+        mut self,
+        from: usize,
+        first_at: SimDuration,
+        every: SimDuration,
+    ) -> Self {
+        for t in self.tenants.iter_mut().skip(from) {
+            let wave = t.id - from;
+            t.start = first_at + every * wave as f64;
+        }
+        self
+    }
+
+    /// Schedules tenant `tenant` to join the fleet at `at` (effective at the
+    /// first epoch barrier at or after `at`).
+    pub fn arrive_at(mut self, tenant: usize, at: SimDuration) -> Self {
+        self.tenants[tenant].start = at;
+        self
+    }
+
+    /// Schedules tenant `tenant` to leave the fleet at `at` (effective at the
+    /// first epoch barrier at or after `at`), truncating its run.
+    pub fn depart_at(mut self, tenant: usize, at: SimDuration) -> Self {
+        self.tenants[tenant].stop = Some(at);
+        self
+    }
+
     /// Finishes the scenario.
     pub fn build(self) -> Scenario {
         Scenario {
@@ -343,6 +383,28 @@ pub fn standard_fleet(tenants: usize, days: usize, seed: u64) -> Scenario {
         .interference_heavy(interference)
         .specweb_fleet(specweb)
         .build()
+}
+
+/// The standard fleet under churn: the last quarter of the tenants join
+/// staggered (one per epoch, starting after `warmup_hours`), and every tenth
+/// of the founding tenants departs at the halfway point. Exercises elastic
+/// tenancy: newcomers measure how fast the warm shared cache converges them,
+/// and departures verify their knowledge survives them.
+pub fn churn_fleet(tenants: usize, days: usize, seed: u64, warmup_hours: u64) -> Scenario {
+    let mut scenario = standard_fleet(tenants, days, seed);
+    scenario.name = format!("churn-fleet-{tenants}");
+    let mut builder_tenants = std::mem::take(&mut scenario.tenants);
+    let late_from = builder_tenants.len() - builder_tenants.len() / 4;
+    for t in builder_tenants.iter_mut().skip(late_from) {
+        let wave = t.id - late_from;
+        t.start = SimDuration::from_hours(warmup_hours as f64) + scenario.epoch * wave as f64;
+    }
+    let half = SimDuration::from_hours(days as f64 * 12.0);
+    for t in builder_tenants.iter_mut().take(late_from).step_by(10) {
+        t.stop = Some(half);
+    }
+    scenario.tenants = builder_tenants;
+    scenario
 }
 
 #[cfg(test)]
@@ -381,6 +443,57 @@ mod tests {
         // SPECweb workloads rotate every 3 tenants: 4 and 7 run Support again.
         assert_eq!(s.tenants[4].namespace(), s.tenants[7].namespace());
         assert_ne!(s.tenants[4].namespace(), s.tenants[5].namespace());
+    }
+
+    #[test]
+    fn churn_fleet_staggers_late_joiners_and_schedules_departures() {
+        let s = churn_fleet(20, 2, 7, 24);
+        assert_eq!(s.tenants.len(), 20);
+        // Founding tenants start immediately; the last quarter is staggered.
+        assert!(s.tenants[..15].iter().all(|t| t.start.is_zero()));
+        for (i, t) in s.tenants[15..].iter().enumerate() {
+            let expected = SimDuration::from_hours(24.0) + s.epoch * i as f64;
+            assert_eq!(t.start.as_secs(), expected.as_secs(), "tenant {}", t.id);
+            assert!(t.stop.is_none(), "late joiners stay");
+        }
+        // Every tenth founder departs at the halfway point.
+        let leavers: Vec<usize> = s
+            .tenants
+            .iter()
+            .filter(|t| t.stop.is_some())
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(leavers, vec![0, 10]);
+        assert_eq!(
+            s.tenants[0].stop.unwrap().as_secs(),
+            SimDuration::from_hours(24.0).as_secs()
+        );
+        // The schedule is derived deterministically from the scenario.
+        let again = churn_fleet(20, 2, 7, 24);
+        for (a, b) in s.tenants.iter().zip(&again.tenants) {
+            assert_eq!(a.start.as_secs(), b.start.as_secs());
+            assert_eq!(a.stop.map(|d| d.as_secs()), b.stop.map(|d| d.as_secs()));
+        }
+    }
+
+    #[test]
+    fn stagger_and_window_builders_set_tenant_schedules() {
+        let s = ScenarioBuilder::new("windows", 1, 2)
+            .diurnal_fleet(4)
+            .stagger_arrivals(
+                2,
+                SimDuration::from_hours(2.0),
+                SimDuration::from_hours(1.0),
+            )
+            .arrive_at(1, SimDuration::from_hours(5.0))
+            .depart_at(0, SimDuration::from_hours(30.0))
+            .build();
+        assert!(s.tenants[0].start.is_zero());
+        assert_eq!(s.tenants[1].start.as_hours(), 5.0);
+        assert_eq!(s.tenants[2].start.as_hours(), 2.0);
+        assert_eq!(s.tenants[3].start.as_hours(), 3.0);
+        assert_eq!(s.tenants[0].stop.unwrap().as_hours(), 30.0);
+        assert!(s.tenants[3].stop.is_none());
     }
 
     #[test]

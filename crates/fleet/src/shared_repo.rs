@@ -265,6 +265,20 @@ fn log_mag(v: f64) -> f64 {
     v.abs().max(MAG_FLOOR).ln()
 }
 
+/// The φ-ball query radius implied by `tolerance` over `dims` dimensions
+/// (0.0 disables the tree). Shared by anchor insertion and snapshot
+/// restoration so a loaded repository derives the exact same bound.
+fn phi_radius_bound(dims: usize, tolerance: f64) -> f64 {
+    let per_dim_bound = tolerance * (dims as f64).sqrt();
+    if (0.0..1.0).contains(&per_dim_bound) && per_dim_bound > 0.0 {
+        // A hair of headroom absorbs floating-point rounding between the φ
+        // mapping and the exact distance check.
+        -(1.0 - per_dim_bound).ln() * (1.0 + 1e-12) + 1e-12
+    } else {
+        0.0
+    }
+}
+
 /// One node of the anchor ball tree. Leaves reference a range of
 /// [`AnchorSet::order`]; internal nodes reference their children.
 #[derive(Debug, Clone, Copy)]
@@ -704,14 +718,7 @@ impl AnchorSet {
             // First anchor fixes the namespace's signature dimensionality and
             // the φ-ball bound derived from it.
             self.dims = signature.len();
-            let per_dim_bound = tolerance * (self.dims as f64).sqrt();
-            self.radius_bound = if (0.0..1.0).contains(&per_dim_bound) && per_dim_bound > 0.0 {
-                // A hair of headroom absorbs floating-point rounding between
-                // the φ mapping and the exact distance check.
-                -(1.0 - per_dim_bound).ln() * (1.0 + 1e-12) + 1e-12
-            } else {
-                0.0
-            };
+            self.radius_bound = phi_radius_bound(self.dims, tolerance);
         }
         if signature.len() == self.dims && self.dims > 0 {
             self.centroids.extend_from_slice(signature);
@@ -732,6 +739,78 @@ impl AnchorSet {
 
     fn len(&self) -> usize {
         self.count as usize
+    }
+
+    /// All anchors as `(id, values)` in strictly increasing id order, merging
+    /// the slab (already id-ordered) with the misfits — the canonical order
+    /// the snapshot format stores.
+    fn snapshot_anchors(&self) -> Vec<crate::snapshot::AnchorSnapshot> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut slab = 0usize;
+        let mut misfit = 0usize;
+        while slab < self.slab_ids.len() || misfit < self.misfits.len() {
+            let take_slab = match (self.slab_ids.get(slab), self.misfits.get(misfit)) {
+                (Some(&s), Some((m, _))) => s < *m,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_slab {
+                let at = slab * self.dims;
+                out.push(crate::snapshot::AnchorSnapshot {
+                    id: self.slab_ids[slab],
+                    values: self.centroids[at..at + self.dims].to_vec(),
+                });
+                slab += 1;
+            } else {
+                let (id, values) = &self.misfits[misfit];
+                out.push(crate::snapshot::AnchorSnapshot {
+                    id: *id,
+                    values: values.clone(),
+                });
+                misfit += 1;
+            }
+        }
+        out
+    }
+
+    /// Reconstructs an anchor set from snapshot anchors (id order), exactly as
+    /// if they had been [`push`](Self::push)ed one by one: the first non-empty
+    /// anchor fixes `dims` and the φ bound, same-length anchors form the slab,
+    /// everything else becomes a misfit. The ball tree is rebuilt from
+    /// scratch; resolution is provably independent of index geometry.
+    fn restore(
+        anchors: &[crate::snapshot::AnchorSnapshot],
+        tolerance: f64,
+    ) -> Result<AnchorSet, String> {
+        for (i, a) in anchors.iter().enumerate() {
+            if a.id as usize != i {
+                return Err(format!(
+                    "anchor ids must be dense and ordered (found id {} at position {i})",
+                    a.id
+                ));
+            }
+        }
+        let dims = anchors
+            .iter()
+            .find(|a| !a.values.is_empty())
+            .map_or(0, |a| a.values.len());
+        let mut set = AnchorSet {
+            dims,
+            radius_bound: phi_radius_bound(dims, tolerance),
+            count: anchors.len() as u32,
+            ..AnchorSet::default()
+        };
+        for a in anchors {
+            if dims > 0 && a.values.len() == dims {
+                set.centroids.extend_from_slice(&a.values);
+                set.phi.extend(a.values.iter().map(|&v| log_mag(v)));
+                set.slab_ids.push(a.id);
+            } else {
+                set.misfits.push((a.id, a.values.clone()));
+            }
+        }
+        set.rebuild();
+        Ok(set)
     }
 }
 
@@ -833,6 +912,11 @@ pub fn namespace_for(kind: ServiceKind, mix: RequestMix, space: &AllocationSpace
 pub struct SharedSignatureRepository {
     shards: Vec<Shard>,
     config: SharedRepoConfig,
+    /// High-water mark of the global fleet times this repository has seen
+    /// (IEEE bits of a non-negative `f64`, so `fetch_max` on the bits is a
+    /// numeric max). Persisted as the snapshot clock: a warm start resumes
+    /// the fleet clock here instead of resetting entry ages to zero.
+    clock: AtomicU64,
 }
 
 impl std::fmt::Debug for SharedSignatureRepository {
@@ -851,7 +935,21 @@ impl SharedSignatureRepository {
         SharedSignatureRepository {
             shards: (0..shards).map(|_| Shard::default()).collect(),
             config,
+            clock: AtomicU64::new(0.0f64.to_bits()),
         }
+    }
+
+    /// Advances the repository's clock high-water mark to at least `now`.
+    fn advance_clock(&self, now: SimTime) {
+        self.clock
+            .fetch_max(now.as_secs().max(0.0).to_bits(), Relaxed);
+    }
+
+    /// The latest global fleet time the repository has seen (via inserts,
+    /// commits and TTL sweeps). [`FleetEngine::run_on`](crate::FleetEngine)
+    /// resumes a warm-started fleet's clock here.
+    pub fn clock(&self) -> SimTime {
+        SimTime::from_secs(f64::from_bits(self.clock.load(Relaxed)))
     }
 
     /// The configuration the repository was built with.
@@ -900,6 +998,7 @@ impl SharedSignatureRepository {
         allocation: ResourceAllocation,
         tuned_at: SimTime,
     ) {
+        self.advance_clock(tuned_at);
         let shard = &self.shards[self.shard_index(namespace)];
         let mut state = shard
             .state
@@ -1101,6 +1200,9 @@ impl SharedSignatureRepository {
     /// can re-anchor the namespace, in which case the hit is not recorded and
     /// the caller must not count it either).
     pub fn apply(&self, op: &PendingOp) -> bool {
+        if let PendingOp::Publish { tuned_at, .. } = op {
+            self.advance_clock(*tuned_at);
+        }
         let shard = &self.shards[self.shard_index(op.namespace())];
         let mut state = shard
             .state
@@ -1118,6 +1220,9 @@ impl SharedSignatureRepository {
     pub fn apply_batch(&self, ops: &[PendingOp]) -> Vec<bool> {
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, op) in ops.iter().enumerate() {
+            if let PendingOp::Publish { tuned_at, .. } = op {
+                self.advance_clock(*tuned_at);
+            }
             by_shard[self.shard_index(op.namespace())].push(i);
         }
         let mut applied = vec![false; ops.len()];
@@ -1215,12 +1320,14 @@ impl SharedSignatureRepository {
     }
 
     /// Removes every entry older than the configured TTL. Returns how many
-    /// entries were evicted. A no-op without a TTL.
+    /// entries were evicted. Advances the repository clock either way; the
+    /// eviction itself is a no-op without a TTL.
     ///
     /// This sweep is the only place stale entries leave the store: the read
     /// path treats them as misses but does not evict, so it can run under the
     /// shard read lock.
     pub fn evict_stale(&self, now: SimTime) -> u64 {
+        self.advance_clock(now);
         let Some(ttl) = self.config.ttl else { return 0 };
         let mut evicted = 0;
         for shard in &self.shards {
@@ -1281,6 +1388,149 @@ impl SharedSignatureRepository {
     /// Per-shard statistics snapshot.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards.iter().map(|s| s.counters.snapshot()).collect()
+    }
+
+    /// Captures the complete repository state as plain data — configuration,
+    /// every namespace's anchors and entries, per-shard statistics. Meant to
+    /// be taken between epochs (no writers in flight); the φ-space anchor
+    /// index is not captured (it is rebuilt on restore).
+    pub fn to_snapshot(&self) -> crate::snapshot::RepoSnapshot {
+        let mut namespaces = Vec::new();
+        for shard in &self.shards {
+            let state = shard
+                .state
+                .read()
+                .expect("shared repository shard poisoned");
+            for (&ns_id, ns) in state.namespaces.iter() {
+                let entries = ns
+                    .entries
+                    .iter()
+                    .map(|(key, e)| crate::snapshot::EntrySnapshot {
+                        anchor: key.anchor,
+                        bucket: key.interference_bucket,
+                        allocation: e.allocation,
+                        tuned_at_secs: e.tuned_at.as_secs(),
+                        owner: e.owner,
+                        hits: e.hits.load(Relaxed),
+                        cross_tenant_hits: e.cross_tenant_hits.load(Relaxed),
+                    })
+                    .collect();
+                namespaces.push(crate::snapshot::NamespaceSnapshot {
+                    id: ns_id,
+                    anchors: ns.anchors.snapshot_anchors(),
+                    entries,
+                });
+            }
+        }
+        crate::snapshot::RepoSnapshot {
+            shards: self.shards.len(),
+            match_tolerance: self.config.match_tolerance,
+            ttl_secs: self.config.ttl.map(|d| d.as_secs()),
+            clock_secs: self.clock().as_secs(),
+            namespaces,
+            shard_stats: self.shard_stats(),
+        }
+    }
+
+    /// Reconstructs a repository from a snapshot. The restored repository is
+    /// behaviorally bit-identical to the one the snapshot was taken from:
+    /// `resolve`/`lookup`/`peek` answers, statistics and all subsequent
+    /// operations proceed exactly as they would have on the original
+    /// (property-tested in `tests/properties.rs`).
+    pub fn from_snapshot(
+        snapshot: &crate::snapshot::RepoSnapshot,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let inconsistent =
+            |message: String| crate::snapshot::SnapshotError::Inconsistent { message };
+        if snapshot.shards == 0 || snapshot.shards > crate::snapshot::MAX_SHARDS {
+            return Err(inconsistent(format!(
+                "shard count {} outside 1..={}",
+                snapshot.shards,
+                crate::snapshot::MAX_SHARDS
+            )));
+        }
+        if snapshot.shard_stats.len() != snapshot.shards {
+            return Err(inconsistent(format!(
+                "{} shard stat records for {} shards",
+                snapshot.shard_stats.len(),
+                snapshot.shards
+            )));
+        }
+        let repo = SharedSignatureRepository::new(SharedRepoConfig {
+            shards: snapshot.shards,
+            ttl: snapshot.ttl_secs.map(SimDuration::from_secs),
+            match_tolerance: snapshot.match_tolerance,
+        });
+        repo.advance_clock(SimTime::from_secs(snapshot.clock_secs));
+        for ns_snap in &snapshot.namespaces {
+            let anchors = AnchorSet::restore(&ns_snap.anchors, snapshot.match_tolerance)
+                .map_err(|e| inconsistent(format!("namespace {}: {e}", ns_snap.id)))?;
+            let mut entries = FlatMap::new();
+            for e in &ns_snap.entries {
+                if e.anchor as usize >= ns_snap.anchors.len() {
+                    return Err(inconsistent(format!(
+                        "namespace {}: entry references unknown anchor {}",
+                        ns_snap.id, e.anchor
+                    )));
+                }
+                let key = EntryKey {
+                    anchor: e.anchor,
+                    interference_bucket: e.bucket,
+                };
+                let stored = StoredEntry {
+                    allocation: e.allocation,
+                    tuned_at: SimTime::from_secs(e.tuned_at_secs),
+                    owner: e.owner,
+                    hits: AtomicU64::new(e.hits),
+                    cross_tenant_hits: AtomicU64::new(e.cross_tenant_hits),
+                };
+                if entries.insert(key, stored).is_some() {
+                    return Err(inconsistent(format!(
+                        "namespace {}: duplicate entry {} × {}",
+                        ns_snap.id, e.anchor, e.bucket
+                    )));
+                }
+            }
+            let shard = &repo.shards[repo.shard_index(ns_snap.id)];
+            let mut state = shard
+                .state
+                .write()
+                .expect("shared repository shard poisoned");
+            let prior = state
+                .namespaces
+                .insert(ns_snap.id, NamespaceState { anchors, entries });
+            if prior.is_some() {
+                return Err(inconsistent(format!("duplicate namespace {}", ns_snap.id)));
+            }
+        }
+        for (shard, stats) in repo.shards.iter().zip(&snapshot.shard_stats) {
+            shard.counters.hits.store(stats.hits, Relaxed);
+            shard.counters.misses.store(stats.misses, Relaxed);
+            shard.counters.insertions.store(stats.insertions, Relaxed);
+            shard.counters.evictions.store(stats.evictions, Relaxed);
+            shard
+                .counters
+                .cross_tenant_hits
+                .store(stats.cross_tenant_hits, Relaxed);
+            shard
+                .counters
+                .anchors_created
+                .store(stats.anchors_created, Relaxed);
+        }
+        Ok(repo)
+    }
+
+    /// Serializes the repository to the versioned snapshot text format
+    /// (see [`crate::snapshot`]). Deterministic: identical repository states
+    /// produce byte-identical snapshots.
+    pub fn save_snapshot(&self) -> String {
+        crate::snapshot::encode(&self.to_snapshot())
+    }
+
+    /// Loads a repository from snapshot text produced by
+    /// [`save_snapshot`](Self::save_snapshot).
+    pub fn load_snapshot(text: &str) -> Result<Self, crate::snapshot::SnapshotError> {
+        Self::from_snapshot(&crate::snapshot::decode(text)?)
     }
 
     /// Aggregate statistics over every shard.
@@ -1511,6 +1761,67 @@ mod tests {
         assert_eq!(normalized_distance_within(&a, &b, full), Some(full));
         assert_eq!(normalized_distance_within(&a, &b, full * 0.99), None);
         assert_eq!(normalized_distance_within(&a, &[1.0], 10.0), None);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_state_and_stats() {
+        let r = SharedSignatureRepository::new(SharedRepoConfig {
+            shards: 4,
+            ttl: Some(SimDuration::from_hours(48.0)),
+            match_tolerance: 0.1,
+        });
+        for ns in 0..6u64 {
+            for a in 0..5usize {
+                let sig = [100.0 * (a + 1) as f64, 5.0 + ns as f64, -0.3];
+                r.insert(
+                    a,
+                    ns,
+                    &sig,
+                    (a % 2) as u32,
+                    ResourceAllocation::large(1 + a as u32),
+                    SimTime::from_hours(a as f64),
+                );
+                r.lookup(9, ns, &sig, (a % 2) as u32, SimTime::from_hours(1.0));
+            }
+            // A mixed-length (misfit) anchor and a deliberate miss.
+            r.insert(
+                0,
+                ns,
+                &[1.0, 2.0],
+                0,
+                ResourceAllocation::large(1),
+                SimTime::ZERO,
+            );
+            r.lookup(9, ns, &[9e9, 9e9, 9e9], 0, SimTime::ZERO);
+        }
+        let text = r.save_snapshot();
+        assert_eq!(text, r.save_snapshot(), "snapshots are deterministic");
+        let loaded = SharedSignatureRepository::load_snapshot(&text).expect("loads");
+        assert_eq!(loaded.len(), r.len());
+        assert_eq!(loaded.anchor_count(), r.anchor_count());
+        assert_eq!(loaded.stats(), r.stats());
+        assert_eq!(loaded.shard_stats(), r.shard_stats());
+        assert_eq!(loaded.save_snapshot(), text, "round-trip is byte-identical");
+        // Subsequent operations behave identically on both repositories.
+        for ns in 0..6u64 {
+            for a in 0..5usize {
+                let sig = [100.0 * (a + 1) as f64, 5.0 + ns as f64, -0.3];
+                assert_eq!(loaded.resolve_anchor(ns, &sig), r.resolve_anchor(ns, &sig));
+                assert_eq!(
+                    loaded.lookup(9, ns, &sig, (a % 2) as u32, SimTime::from_hours(2.0)),
+                    r.lookup(9, ns, &sig, (a % 2) as u32, SimTime::from_hours(2.0))
+                );
+            }
+            assert_eq!(
+                loaded.resolve_anchor(ns, &[1.0, 2.0]),
+                r.resolve_anchor(ns, &[1.0, 2.0])
+            );
+        }
+        assert_eq!(
+            loaded.evict_stale(SimTime::from_hours(100.0)),
+            r.evict_stale(SimTime::from_hours(100.0))
+        );
+        assert_eq!(loaded.stats(), r.stats());
     }
 
     #[test]

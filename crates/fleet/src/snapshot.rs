@@ -1,0 +1,608 @@
+//! Versioned, deterministic persistence for the fleet-shared signature
+//! repository.
+//!
+//! A snapshot captures everything the repository needs to resume **bit
+//! identically**: the sharding configuration, every namespace's anchors (in
+//! anchor-id order, with full-precision centroid values), every entry with its
+//! reuse counters, and the per-shard statistics. The φ-space ball-tree anchor
+//! index is *not* serialized — it is a pure acceleration structure whose
+//! results are provably identical to a linear scan, so the loader simply
+//! rebuilds it.
+//!
+//! # Format
+//!
+//! The format is a line-oriented text format, chosen over the vendored serde
+//! stubs because it must round-trip `f64`s bit-exactly and emit byte-identical
+//! output for identical repositories (floats are written as 16-digit hex IEEE
+//! bit patterns, `fb<bits>`). The first line carries the format version and is
+//! checked on load:
+//!
+//! ```text
+//! dejavu-fleet-snapshot v1
+//! config shards=16 tolerance=fb3fb999999999999a ttl=none clock=fb40f5180000000000
+//! namespace 42
+//! anchor 0 fb4024000000000000 fb4034000000000000
+//! entry 0 0 L 4 fb0000000000000000 7 12 3
+//! shard 0 12 3 5 0 3 1
+//! end
+//! ```
+//!
+//! * `namespace <id>` starts a namespace block; `anchor <id> <values…>` lines
+//!   list its anchors in id order (anchors whose dimensionality differs from
+//!   the namespace's first non-empty anchor are the "misfits" of
+//!   [`shared_repo`](crate::shared_repo) and are reconstructed as such);
+//!   `entry <anchor> <bucket> <type> <count> <tuned_at> <owner> <hits>
+//!   <cross_hits>` lines list its entries in key order.
+//! * `shard <idx> <hits> <misses> <insertions> <evictions> <cross> <anchors>`
+//!   lines restore the per-shard statistics counters.
+//! * `end` terminates the snapshot; trailing garbage is rejected.
+//!
+//! Version policy: the major version (`v1`) changes whenever a change would
+//! make an old snapshot decode to a *different* repository state; loaders
+//! reject versions they do not understand rather than guessing. New optional
+//! trailing fields within a line are **not** allowed — that would break the
+//! byte-identical determinism guarantee tests rely on.
+
+use crate::shared_repo::ShardStats;
+use dejavu_cloud::{InstanceType, ResourceAllocation};
+use serde::{Deserialize, Serialize};
+
+/// The version string written to (and required of) every snapshot.
+pub const SNAPSHOT_VERSION: &str = "dejavu-fleet-snapshot v1";
+
+/// Upper bound on the shard count a snapshot may declare. Real repositories
+/// use a handful of lock stripes (default 16); the bound exists so a corrupt
+/// or hostile `config shards=…` line is rejected with a typed error instead
+/// of aborting the process inside a huge allocation.
+pub const MAX_SHARDS: usize = 1 << 16;
+
+// The snapshot types stay serde-shaped so the planned swap to the real serde
+// (ROADMAP: `vendor/*` are hermetic stand-ins) is a manifest-only change:
+// these bounds fail to compile if anyone drops the derives — which is also
+// what requires the vendored derive macros to emit real marker impls.
+const _: () = {
+    fn serde_shaped<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+    #[allow(dead_code)]
+    fn assert_snapshot_types_are_serde_shaped() {
+        serde_shaped::<RepoSnapshot>();
+        serde_shaped::<NamespaceSnapshot>();
+        serde_shaped::<AnchorSnapshot>();
+        serde_shaped::<EntrySnapshot>();
+    }
+};
+
+/// Why a snapshot failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The version line did not match [`SNAPSHOT_VERSION`].
+    Version {
+        /// The version line actually found.
+        found: String,
+    },
+    /// A line failed to parse.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The decoded data is structurally inconsistent (e.g. anchor ids with
+    /// gaps, entries referencing unknown anchors, shard index out of range).
+    Inconsistent {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Version { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found:?} (expected {SNAPSHOT_VERSION:?})"
+                )
+            }
+            SnapshotError::Format { line, message } => {
+                write!(f, "snapshot line {line}: {message}")
+            }
+            SnapshotError::Inconsistent { message } => {
+                write!(f, "inconsistent snapshot: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One anchor of a namespace: its id and full-precision centroid values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnchorSnapshot {
+    /// The anchor id (dense: ids cover `0..count`).
+    pub id: u32,
+    /// Full-catalogue signature values of the anchor centroid.
+    pub values: Vec<f64>,
+}
+
+/// One stored entry of a namespace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntrySnapshot {
+    /// The anchor the entry is keyed under.
+    pub anchor: u32,
+    /// The interference bucket the entry is keyed under.
+    pub bucket: u32,
+    /// The cached allocation decision.
+    pub allocation: ResourceAllocation,
+    /// When a tuner produced the entry, in **global fleet time** (tenant
+    /// views translate their local clocks at the publish boundary, so TTL
+    /// staleness is coherent across tenants and across restarts).
+    pub tuned_at_secs: f64,
+    /// The tenant whose tuning produced the entry.
+    pub owner: usize,
+    /// Total lookups served from the entry.
+    pub hits: u64,
+    /// Lookups served to tenants other than the owner.
+    pub cross_tenant_hits: u64,
+}
+
+/// One namespace: anchors in id order plus entries in key order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamespaceSnapshot {
+    /// The namespace id.
+    pub id: u64,
+    /// All anchors, in strictly increasing id order.
+    pub anchors: Vec<AnchorSnapshot>,
+    /// All entries, in `(anchor, bucket)` order.
+    pub entries: Vec<EntrySnapshot>,
+}
+
+/// The complete, plain-data image of a [`crate::SharedSignatureRepository`].
+///
+/// Obtained from [`crate::SharedSignatureRepository::to_snapshot`] and turned
+/// back into a repository by
+/// [`crate::SharedSignatureRepository::from_snapshot`]; [`encode`] and
+/// [`decode`] convert it to and from the persistent text form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepoSnapshot {
+    /// Number of lock-striped shards.
+    pub shards: usize,
+    /// The anchor match tolerance the repository was built with.
+    pub match_tolerance: f64,
+    /// TTL in seconds, if entries expire.
+    pub ttl_secs: Option<f64>,
+    /// The global fleet clock when the snapshot was taken (the high-water
+    /// mark of times the repository has seen). A warm start resumes the
+    /// fleet clock here, so entry ages — and with them TTL expiry — carry
+    /// over restarts instead of resetting to zero.
+    pub clock_secs: f64,
+    /// Every non-empty namespace, in (shard index, namespace id) order.
+    pub namespaces: Vec<NamespaceSnapshot>,
+    /// Per-shard statistics counters, one per shard.
+    pub shard_stats: Vec<ShardStats>,
+}
+
+/// Encodes an `f64` as its IEEE-754 bit pattern (`fb` + 16 hex digits):
+/// bit-exact and byte-deterministic, unlike decimal formatting.
+fn write_f64(out: &mut String, v: f64) {
+    out.push_str("fb");
+    out.push_str(&format!("{:016x}", v.to_bits()));
+}
+
+fn parse_f64(tok: &str) -> Option<f64> {
+    let hex = tok.strip_prefix("fb")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok().map(f64::from_bits)
+}
+
+/// Serializes a snapshot to the versioned text format. Output is
+/// byte-deterministic: identical repositories encode to identical strings.
+pub fn encode(snapshot: &RepoSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(SNAPSHOT_VERSION);
+    out.push('\n');
+    out.push_str(&format!("config shards={} tolerance=", snapshot.shards));
+    write_f64(&mut out, snapshot.match_tolerance);
+    out.push_str(" ttl=");
+    match snapshot.ttl_secs {
+        Some(secs) => write_f64(&mut out, secs),
+        None => out.push_str("none"),
+    }
+    out.push_str(" clock=");
+    write_f64(&mut out, snapshot.clock_secs);
+    out.push('\n');
+    for ns in &snapshot.namespaces {
+        out.push_str(&format!("namespace {}\n", ns.id));
+        for anchor in &ns.anchors {
+            out.push_str(&format!("anchor {}", anchor.id));
+            for &v in &anchor.values {
+                out.push(' ');
+                write_f64(&mut out, v);
+            }
+            out.push('\n');
+        }
+        for e in &ns.entries {
+            let ty = match e.allocation.instance_type() {
+                InstanceType::Large => 'L',
+                InstanceType::ExtraLarge => 'X',
+            };
+            out.push_str(&format!(
+                "entry {} {} {} {} ",
+                e.anchor,
+                e.bucket,
+                ty,
+                e.allocation.count()
+            ));
+            write_f64(&mut out, e.tuned_at_secs);
+            out.push_str(&format!(
+                " {} {} {}\n",
+                e.owner, e.hits, e.cross_tenant_hits
+            ));
+        }
+    }
+    for (idx, s) in snapshot.shard_stats.iter().enumerate() {
+        out.push_str(&format!(
+            "shard {idx} {} {} {} {} {} {}\n",
+            s.hits, s.misses, s.insertions, s.evictions, s.cross_tenant_hits, s.anchors_created
+        ));
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn format_err(line: usize, message: impl Into<String>) -> SnapshotError {
+    SnapshotError::Format {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_int<T: std::str::FromStr>(tok: &str, line: usize, what: &str) -> Result<T, SnapshotError> {
+    tok.parse()
+        .map_err(|_| format_err(line, format!("bad {what} {tok:?}")))
+}
+
+fn parse_float(tok: &str, line: usize, what: &str) -> Result<f64, SnapshotError> {
+    parse_f64(tok).ok_or_else(|| {
+        format_err(
+            line,
+            format!("bad {what} {tok:?} (expected fb<16 hex digits>)"),
+        )
+    })
+}
+
+/// Parses the versioned text format back into a [`RepoSnapshot`].
+pub fn decode(text: &str) -> Result<RepoSnapshot, SnapshotError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (_, version) = lines.next().ok_or_else(|| SnapshotError::Version {
+        found: String::new(),
+    })?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::Version {
+            found: version.to_string(),
+        });
+    }
+
+    let (config_line_no, config_line) = lines
+        .next()
+        .ok_or_else(|| format_err(2, "missing config line"))?;
+    let mut shards = None;
+    let mut tolerance = None;
+    let mut ttl_secs = None;
+    let mut clock_secs = None;
+    let mut fields = config_line.split_whitespace();
+    if fields.next() != Some("config") {
+        return Err(format_err(config_line_no, "expected `config ...`"));
+    }
+    for field in fields {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format_err(config_line_no, format!("bad config field {field:?}")))?;
+        match key {
+            "shards" => shards = Some(parse_int::<usize>(value, config_line_no, "shard count")?),
+            "tolerance" => tolerance = Some(parse_float(value, config_line_no, "tolerance")?),
+            "ttl" => {
+                ttl_secs = Some(if value == "none" {
+                    None
+                } else {
+                    Some(parse_float(value, config_line_no, "ttl")?)
+                })
+            }
+            "clock" => clock_secs = Some(parse_float(value, config_line_no, "clock")?),
+            other => {
+                return Err(format_err(
+                    config_line_no,
+                    format!("unknown config key {other:?}"),
+                ))
+            }
+        }
+    }
+    let shards = shards.ok_or_else(|| format_err(config_line_no, "config is missing `shards`"))?;
+    let match_tolerance =
+        tolerance.ok_or_else(|| format_err(config_line_no, "config is missing `tolerance`"))?;
+    let ttl_secs = ttl_secs.ok_or_else(|| format_err(config_line_no, "config is missing `ttl`"))?;
+    let clock_secs =
+        clock_secs.ok_or_else(|| format_err(config_line_no, "config is missing `clock`"))?;
+
+    let mut namespaces: Vec<NamespaceSnapshot> = Vec::new();
+    let mut shard_stats: Vec<(usize, ShardStats)> = Vec::new();
+    let mut ended = false;
+    for (line_no, line) in &mut lines {
+        let mut toks = line.split_whitespace();
+        let Some(head) = toks.next() else {
+            return Err(format_err(line_no, "blank line"));
+        };
+        match head {
+            "namespace" => {
+                let id = parse_int::<u64>(
+                    toks.next()
+                        .ok_or_else(|| format_err(line_no, "namespace needs an id"))?,
+                    line_no,
+                    "namespace id",
+                )?;
+                if toks.next().is_some() {
+                    return Err(format_err(line_no, "trailing tokens after namespace id"));
+                }
+                namespaces.push(NamespaceSnapshot {
+                    id,
+                    anchors: Vec::new(),
+                    entries: Vec::new(),
+                });
+            }
+            "anchor" => {
+                let ns = namespaces
+                    .last_mut()
+                    .ok_or_else(|| format_err(line_no, "anchor before any namespace"))?;
+                if !ns.entries.is_empty() {
+                    return Err(format_err(line_no, "anchor after entries in a namespace"));
+                }
+                let id = parse_int::<u32>(
+                    toks.next()
+                        .ok_or_else(|| format_err(line_no, "anchor needs an id"))?,
+                    line_no,
+                    "anchor id",
+                )?;
+                let values = toks
+                    .map(|t| parse_float(t, line_no, "anchor value"))
+                    .collect::<Result<Vec<f64>, _>>()?;
+                ns.anchors.push(AnchorSnapshot { id, values });
+            }
+            "entry" => {
+                let ns = namespaces
+                    .last_mut()
+                    .ok_or_else(|| format_err(line_no, "entry before any namespace"))?;
+                let mut next = |what: &str| {
+                    toks.next()
+                        .ok_or_else(|| format_err(line_no, format!("entry is missing {what}")))
+                };
+                let anchor = parse_int::<u32>(next("anchor")?, line_no, "entry anchor")?;
+                let bucket = parse_int::<u32>(next("bucket")?, line_no, "entry bucket")?;
+                let ty = match next("instance type")? {
+                    "L" => InstanceType::Large,
+                    "X" => InstanceType::ExtraLarge,
+                    other => {
+                        return Err(format_err(line_no, format!("bad instance type {other:?}")))
+                    }
+                };
+                let count = parse_int::<u32>(next("count")?, line_no, "entry count")?;
+                let tuned_at_secs = parse_float(next("tuned_at")?, line_no, "tuned_at")?;
+                let owner = parse_int::<usize>(next("owner")?, line_no, "entry owner")?;
+                let hits = parse_int::<u64>(next("hits")?, line_no, "entry hits")?;
+                let cross = parse_int::<u64>(next("cross hits")?, line_no, "entry cross hits")?;
+                if toks.next().is_some() {
+                    return Err(format_err(line_no, "trailing tokens after entry"));
+                }
+                let allocation = ResourceAllocation::new(ty, count)
+                    .map_err(|e| format_err(line_no, format!("bad allocation: {e}")))?;
+                ns.entries.push(EntrySnapshot {
+                    anchor,
+                    bucket,
+                    allocation,
+                    tuned_at_secs,
+                    owner,
+                    hits,
+                    cross_tenant_hits: cross,
+                });
+            }
+            "shard" => {
+                let mut next = |what: &str| {
+                    toks.next()
+                        .ok_or_else(|| format_err(line_no, format!("shard is missing {what}")))
+                };
+                let idx = parse_int::<usize>(next("index")?, line_no, "shard index")?;
+                let stats = ShardStats {
+                    hits: parse_int(next("hits")?, line_no, "shard hits")?,
+                    misses: parse_int(next("misses")?, line_no, "shard misses")?,
+                    insertions: parse_int(next("insertions")?, line_no, "shard insertions")?,
+                    evictions: parse_int(next("evictions")?, line_no, "shard evictions")?,
+                    cross_tenant_hits: parse_int(next("cross")?, line_no, "shard cross hits")?,
+                    anchors_created: parse_int(next("anchors")?, line_no, "shard anchors")?,
+                };
+                if toks.next().is_some() {
+                    return Err(format_err(line_no, "trailing tokens after shard"));
+                }
+                shard_stats.push((idx, stats));
+            }
+            "end" => {
+                ended = true;
+                break;
+            }
+            other => return Err(format_err(line_no, format!("unknown record {other:?}"))),
+        }
+    }
+    if !ended {
+        return Err(SnapshotError::Inconsistent {
+            message: "snapshot is truncated (no `end` line)".into(),
+        });
+    }
+    if let Some((line_no, _)) = lines.next() {
+        return Err(format_err(line_no, "data after `end`"));
+    }
+
+    if shards == 0 || shards > MAX_SHARDS {
+        return Err(SnapshotError::Inconsistent {
+            message: format!("shard count {shards} outside 1..={MAX_SHARDS}"),
+        });
+    }
+    let mut stats = vec![ShardStats::default(); shards];
+    let mut seen = vec![false; shards];
+    for (idx, s) in shard_stats {
+        if idx >= shards {
+            return Err(SnapshotError::Inconsistent {
+                message: format!("shard index {idx} out of range (shards={shards})"),
+            });
+        }
+        if std::mem::replace(&mut seen[idx], true) {
+            return Err(SnapshotError::Inconsistent {
+                message: format!("duplicate shard record {idx}"),
+            });
+        }
+        stats[idx] = s;
+    }
+    // The encoder always writes one record per shard; a gap means the
+    // snapshot was truncated or hand-mangled. Reject rather than silently
+    // zero that shard's statistics.
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(SnapshotError::Inconsistent {
+            message: format!("missing shard record {missing} (shards={shards})"),
+        });
+    }
+
+    Ok(RepoSnapshot {
+        shards,
+        match_tolerance,
+        ttl_secs,
+        clock_secs,
+        namespaces,
+        shard_stats: stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RepoSnapshot {
+        RepoSnapshot {
+            shards: 4,
+            match_tolerance: 0.1,
+            ttl_secs: Some(86_400.0),
+            clock_secs: 7_200.0,
+            namespaces: vec![NamespaceSnapshot {
+                id: 42,
+                anchors: vec![
+                    AnchorSnapshot {
+                        id: 0,
+                        values: vec![10.0, -0.5, 0.0],
+                    },
+                    AnchorSnapshot {
+                        id: 1,
+                        values: vec![7.0, 7.0],
+                    },
+                ],
+                entries: vec![EntrySnapshot {
+                    anchor: 0,
+                    bucket: 2,
+                    allocation: ResourceAllocation::extra_large(3),
+                    tuned_at_secs: 3600.0,
+                    owner: 9,
+                    hits: 12,
+                    cross_tenant_hits: 4,
+                }],
+            }],
+            shard_stats: vec![ShardStats::default(); 4],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_and_is_deterministic() {
+        let snap = sample();
+        let text = encode(&snap);
+        assert_eq!(text, encode(&snap), "encoding must be deterministic");
+        let back = decode(&text).expect("decodes");
+        assert_eq!(back, snap);
+        assert_eq!(encode(&back), text, "re-encoding is byte-identical");
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e308,
+            -2.5e-17,
+            f64::NAN,
+        ] {
+            let mut s = String::new();
+            write_f64(&mut s, v);
+            let back = parse_f64(&s).expect("parses");
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut text = encode(&sample());
+        text = text.replace("v1", "v0");
+        assert!(matches!(decode(&text), Err(SnapshotError::Version { .. })));
+    }
+
+    #[test]
+    fn truncated_and_trailing_snapshots_are_rejected() {
+        let text = encode(&sample());
+        let truncated = text.trim_end_matches("end\n");
+        assert!(matches!(
+            decode(truncated),
+            Err(SnapshotError::Inconsistent { .. })
+        ));
+        let trailing = format!("{text}junk\n");
+        assert!(matches!(
+            decode(&trailing),
+            Err(SnapshotError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_shard_counts_are_rejected_not_allocated() {
+        let text = encode(&sample()).replace("shards=4", "shards=9000000000000000");
+        match decode(&text) {
+            Err(SnapshotError::Inconsistent { message }) => {
+                assert!(message.contains("shard count"), "{message}");
+            }
+            other => panic!("expected an inconsistency error, got {other:?}"),
+        }
+        let mut snap = sample();
+        snap.shards = MAX_SHARDS + 1;
+        assert!(crate::SharedSignatureRepository::from_snapshot(&snap).is_err());
+    }
+
+    #[test]
+    fn missing_shard_records_are_rejected() {
+        let text: String = encode(&sample())
+            .lines()
+            .filter(|l| !l.starts_with("shard 2 "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        match decode(&text) {
+            Err(SnapshotError::Inconsistent { message }) => {
+                assert!(message.contains("missing shard record 2"), "{message}");
+            }
+            other => panic!("expected an inconsistency error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbled_lines_report_their_line_number() {
+        let text = encode(&sample()).replace("entry 0 2 X 3", "entry 0 2 Q 3");
+        match decode(&text) {
+            Err(SnapshotError::Format { line, message }) => {
+                assert!(line > 2, "line {line}");
+                assert!(message.contains("instance type"), "{message}");
+            }
+            other => panic!("expected a format error, got {other:?}"),
+        }
+    }
+}

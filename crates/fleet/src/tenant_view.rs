@@ -18,6 +18,16 @@
 //! entries this tenant owns (its own knowledge lives in the overlay; after a
 //! re-clustering `clear`, stale self-entries must not resurrect through the
 //! shared path).
+//!
+//! # Clocks
+//!
+//! A tenant's controller runs on its **local** clock (zero at its join
+//! barrier), but the shared store's timestamps are **global** fleet times —
+//! otherwise a late joiner's entries would look ancient to the barrier TTL
+//! sweep and one tenant's staleness would be judged against another tenant's
+//! clock. The view is the boundary: it adds the tenant's
+//! [`clock offset`](TenantRepoView::new_with_offset) when publishing or
+//! consulting the shared store and keeps the local overlay in local time.
 
 use crate::shared_repo::{PendingOp, SharedSignatureRepository, TenantId};
 use dejavu_cloud::ResourceAllocation;
@@ -25,7 +35,7 @@ use dejavu_core::repository::{
     AllocationStore, RepositoryEntry, RepositoryKey, RepositoryStats, StoreContext,
 };
 use dejavu_core::FlatMap;
-use dejavu_simcore::SimTime;
+use dejavu_simcore::{SimDuration, SimTime};
 use std::sync::{Arc, Mutex};
 
 /// Shared handle to a tenant's buffered operations; the fleet engine drains it
@@ -38,6 +48,10 @@ pub struct TenantRepoView {
     shared: Arc<SharedSignatureRepository>,
     tenant: TenantId,
     namespace: u64,
+    /// Global fleet time of this tenant's join barrier: added to local times
+    /// when talking to the shared store, so shared timestamps are coherent
+    /// fleet-wide no matter when a tenant joined.
+    clock_offset: SimDuration,
     local: FlatMap<RepositoryKey, RepositoryEntry>,
     stats: RepositoryStats,
     outbox: Outbox,
@@ -45,11 +59,23 @@ pub struct TenantRepoView {
 
 impl TenantRepoView {
     /// Creates a view for `tenant` within `namespace`, returning the view and
-    /// the outbox handle the fleet engine drains at epoch barriers.
+    /// the outbox handle the fleet engine drains at epoch barriers. The
+    /// tenant's clock is taken to coincide with the fleet's (offset zero).
     pub fn new(
         shared: Arc<SharedSignatureRepository>,
         tenant: TenantId,
         namespace: u64,
+    ) -> (Self, Outbox) {
+        Self::new_with_offset(shared, tenant, namespace, SimDuration::from_secs(0.0))
+    }
+
+    /// [`new`](Self::new) for a tenant whose local clock starts
+    /// `clock_offset` into the fleet run (an elastic late joiner).
+    pub fn new_with_offset(
+        shared: Arc<SharedSignatureRepository>,
+        tenant: TenantId,
+        namespace: u64,
+        clock_offset: SimDuration,
     ) -> (Self, Outbox) {
         let outbox: Outbox = Arc::new(Mutex::new(Vec::new()));
         (
@@ -57,6 +83,7 @@ impl TenantRepoView {
                 shared,
                 tenant,
                 namespace,
+                clock_offset,
                 local: FlatMap::new(),
                 stats: RepositoryStats::default(),
                 outbox: Arc::clone(&outbox),
@@ -73,6 +100,17 @@ impl TenantRepoView {
     /// The namespace this view reads and publishes under.
     pub fn namespace(&self) -> u64 {
         self.namespace
+    }
+
+    /// This tenant's local time as global fleet time.
+    fn to_global(&self, local: SimTime) -> SimTime {
+        local + self.clock_offset
+    }
+
+    /// Global fleet time as this tenant's local time, clamped to the tenant's
+    /// time zero for instants before it joined.
+    fn to_local(&self, global: SimTime) -> SimTime {
+        SimTime::ZERO + global.saturating_since(SimTime::ZERO + self.clock_offset)
     }
 
     fn push_op(&self, op: PendingOp) {
@@ -103,7 +141,7 @@ impl AllocationStore for TenantRepoView {
                 signature: sig.values().to_vec(),
                 interference_bucket: ctx.key.interference_bucket,
                 allocation,
-                tuned_at,
+                tuned_at: self.to_global(tuned_at),
             });
         }
     }
@@ -122,7 +160,7 @@ impl AllocationStore for TenantRepoView {
             self.namespace,
             sig.values(),
             ctx.key.interference_bucket,
-            ctx.now,
+            self.to_global(ctx.now),
             Some(self.tenant),
         ) {
             Some((shared_entry, resolved)) => {
@@ -136,7 +174,9 @@ impl AllocationStore for TenantRepoView {
                 });
                 let entry = RepositoryEntry {
                     allocation: shared_entry.allocation,
-                    tuned_at: shared_entry.tuned_at,
+                    // The overlay lives on the tenant's local clock; clamp
+                    // entries tuned before this tenant joined to its time zero.
+                    tuned_at: self.to_local(shared_entry.tuned_at),
                     hits: 1,
                 };
                 // Adopt the fleet's answer locally for classified workloads so

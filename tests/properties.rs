@@ -20,8 +20,14 @@ use dejavu::simcore::{SimDuration, SimRng, SimTime};
 use dejavu::traces::LoadTrace;
 
 /// Runs `body` for `n` deterministic random cases, labelling failures with the
-/// case index so they can be replayed.
+/// case index so they can be replayed. `DEJAVU_PROPTEST_CASES` (the
+/// `PROPTEST_CASES` equivalent of this hand-rolled harness) overrides the
+/// per-property default — the nightly CI job raises it.
 fn cases(n: u64, mut body: impl FnMut(&mut SimRng, u64)) {
+    let n = std::env::var("DEJAVU_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(n);
     for case in 0..n {
         let mut rng = SimRng::seed_from_u64(P_SEED ^ case);
         body(&mut rng, case);
@@ -438,6 +444,298 @@ fn concurrent_lookups_and_peeks_lose_no_statistics() {
     assert_eq!(stats.hits, expected, "relaxed counters must not lose hits");
     assert_eq!(stats.cross_tenant_hits, expected);
     assert_eq!(stats.misses, 0);
+}
+
+/// Snapshot round-trip: after an arbitrary operation sequence, saving and
+/// loading the shared repository yields a repository that behaves **bit
+/// identically** — every subsequent resolve/lookup/insert/eviction produces
+/// the same results and statistics on both, and after those subsequent
+/// operations the two repositories still serialize to byte-identical
+/// snapshots.
+#[test]
+fn shared_repo_snapshot_round_trip_is_bit_identical() {
+    use dejavu::fleet::SharedRepoConfig;
+
+    cases(16, |rng, case| {
+        let ttl = if rng.uniform01() < 0.5 {
+            Some(SimDuration::from_hours(rng.uniform(12.0, 72.0)))
+        } else {
+            None
+        };
+        let tolerance = rng.uniform(0.05, 0.3);
+        let repo = SharedSignatureRepository::new(SharedRepoConfig {
+            shards: 1 + rng.uniform_usize(16),
+            ttl,
+            match_tolerance: tolerance,
+        });
+        let dims = 2 + rng.uniform_usize(6);
+        let mut bases: Vec<Vec<f64>> = Vec::new();
+        let mut op = |rng: &mut SimRng,
+                      repo: &SharedSignatureRepository,
+                      probe_twin: Option<&SharedSignatureRepository>| {
+            let sig: Vec<f64> = if bases.is_empty() || rng.uniform_usize(3) == 0 {
+                (0..dims).map(|_| rng.uniform(0.1, 1e4)).collect()
+            } else {
+                let base = &bases[rng.uniform_usize(bases.len())];
+                let scale = rng.uniform(0.0, 2.0 * tolerance);
+                base.iter()
+                    .map(|&v| v * (1.0 + rng.uniform(-scale, scale)))
+                    .collect()
+            };
+            bases.push(sig.clone());
+            let ns = rng.uniform_usize(5) as u64;
+            let bucket = rng.uniform_usize(3) as u32;
+            let tenant = rng.uniform_usize(4);
+            let now = SimTime::from_hours(rng.uniform(0.0, 96.0));
+            match rng.uniform_usize(4) {
+                0 => {
+                    let alloc = ResourceAllocation::large(1 + rng.uniform_usize(9) as u32);
+                    repo.insert(tenant, ns, &sig, bucket, alloc, now);
+                    if let Some(twin) = probe_twin {
+                        twin.insert(tenant, ns, &sig, bucket, alloc, now);
+                    }
+                }
+                1 => {
+                    let got = repo.lookup(tenant, ns, &sig, bucket, now);
+                    if let Some(twin) = probe_twin {
+                        assert_eq!(got, twin.lookup(tenant, ns, &sig, bucket, now));
+                    }
+                }
+                2 => {
+                    let got = repo.peek(ns, &sig, bucket, now, Some(tenant));
+                    if let Some(twin) = probe_twin {
+                        assert_eq!(got, twin.peek(ns, &sig, bucket, now, Some(tenant)));
+                    }
+                }
+                _ => {
+                    let got = repo.resolve_anchor(ns, &sig);
+                    if let Some(twin) = probe_twin {
+                        assert_eq!(got, twin.resolve_anchor(ns, &sig));
+                    }
+                }
+            }
+        };
+        for _ in 0..120 {
+            op(rng, &repo, None);
+        }
+        let text = repo.save_snapshot();
+        let loaded = SharedSignatureRepository::load_snapshot(&text)
+            .unwrap_or_else(|e| panic!("case {case}: snapshot failed to load: {e}"));
+        assert_eq!(loaded.save_snapshot(), text, "case {case}: re-save differs");
+        assert_eq!(loaded.stats(), repo.stats(), "case {case}");
+        assert_eq!(loaded.shard_stats(), repo.shard_stats(), "case {case}");
+        // All subsequent operations behave identically on both repositories…
+        for _ in 0..80 {
+            op(rng, &repo, Some(&loaded));
+        }
+        let sweep_at = SimTime::from_hours(rng.uniform(0.0, 120.0));
+        assert_eq!(
+            repo.evict_stale(sweep_at),
+            loaded.evict_stale(sweep_at),
+            "case {case}: TTL sweeps diverged"
+        );
+        assert_eq!(loaded.stats(), repo.stats(), "case {case}: stats diverged");
+        // …and the evolved repositories still serialize identically.
+        assert_eq!(
+            loaded.save_snapshot(),
+            repo.save_snapshot(),
+            "case {case}: snapshots diverged after subsequent ops"
+        );
+    });
+}
+
+/// Elastic-tenancy determinism: a scenario with staggered joins and mid-run
+/// departures is bit-identical across 1, 2 and 8 worker threads.
+#[test]
+fn churn_scenarios_are_deterministic_across_worker_counts() {
+    let scenario = || {
+        ScenarioBuilder::new("churn-prop", 17, 2)
+            .tick(SimDuration::from_secs(600.0))
+            .diurnal_fleet(5)
+            .stagger_arrivals(
+                3,
+                SimDuration::from_hours(5.0),
+                SimDuration::from_hours(2.0),
+            )
+            .depart_at(1, SimDuration::from_hours(13.0))
+            .build()
+    };
+    let run = |workers| {
+        FleetEngine::new(
+            scenario(),
+            FleetConfig {
+                workers,
+                ..Default::default()
+            },
+        )
+        .run()
+    };
+    let one = run(1);
+    for workers in [2, 8] {
+        let other = run(workers);
+        assert_eq!(one.epochs, other.epochs);
+        assert_eq!(
+            one.hit_rate_curve, other.hit_rate_curve,
+            "{workers} workers"
+        );
+        for (a, b) in one.tenants.iter().zip(&other.tenants) {
+            assert_eq!(a.joined_epoch, b.joined_epoch, "{workers} workers");
+            assert_eq!(a.active_epochs, b.active_epochs, "{workers} workers");
+            assert_eq!(
+                a.first_fleet_reuse_epoch, b.first_fleet_reuse_epoch,
+                "{workers} workers"
+            );
+            assert_eq!(
+                a.dejavu.total_cost, b.dejavu.total_cost,
+                "{workers} workers"
+            );
+            assert_eq!(a.dejavu.latency_ms.values(), b.dejavu.latency_ms.values());
+            assert_eq!(a.stats.tunings, b.stats.tunings);
+            assert_eq!(a.cross_tenant_hits, b.cross_tenant_hits);
+        }
+    }
+}
+
+/// A tenant that joins a fleet whose other members have already retired
+/// behaves bit-identically to a fresh tenant running alone against a
+/// repository warm-started from a snapshot of that fleet: admission is
+/// epoch-barrier-aligned and tenant clocks are local, so the late joiner sees
+/// exactly the snapshot state.
+#[test]
+fn rejoining_tenant_matches_fresh_tenant_warm_started_from_snapshot() {
+    use std::sync::Arc;
+
+    for seed in [21u64, 33] {
+        // Fleet F: tenants 0–2 run day one (tenant 0 departs early at 12 h);
+        // tenant 3 "rejoins" at hour 24, once everyone else is gone.
+        let full = ScenarioBuilder::new("rejoin", seed, 1)
+            .tick(SimDuration::from_secs(600.0))
+            .diurnal_fleet(4)
+            .depart_at(0, SimDuration::from_hours(12.0))
+            .arrive_at(3, SimDuration::from_hours(24.0))
+            .build();
+        let full_report = FleetEngine::new(full.clone(), FleetConfig::default()).run();
+
+        // Prefix fleet G: the same first day without tenant 3; snapshot it.
+        let mut prefix = ScenarioBuilder::new("rejoin", seed, 1)
+            .tick(SimDuration::from_secs(600.0))
+            .diurnal_fleet(4)
+            .depart_at(0, SimDuration::from_hours(12.0))
+            .build();
+        prefix.tenants.truncate(3);
+        let engine = FleetEngine::new(prefix, FleetConfig::default());
+        let repo = Arc::new(SharedSignatureRepository::new(SharedRepoConfig::default()));
+        engine.run_on(Arc::clone(&repo));
+        let snapshot = repo.save_snapshot();
+
+        // Warm fleet H: tenant 3 alone (same spec, immediate start) against
+        // the loaded snapshot.
+        let mut solo = full.clone();
+        solo.tenants = vec![{
+            let mut spec = full.tenants[3].clone();
+            spec.start = SimDuration::from_secs(0.0);
+            spec
+        }];
+        let (warm_report, _) = FleetEngine::new(solo, FleetConfig::default())
+            .run_warm(&snapshot)
+            .expect("snapshot loads");
+
+        let rejoined = &full_report.tenants[3];
+        let fresh = &warm_report.tenants[0];
+        assert_eq!(
+            rejoined.dejavu.total_cost, fresh.dejavu.total_cost,
+            "seed {seed}"
+        );
+        assert_eq!(
+            rejoined.dejavu.latency_ms.values(),
+            fresh.dejavu.latency_ms.values(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            rejoined.dejavu.instance_count.values(),
+            fresh.dejavu.instance_count.values(),
+            "seed {seed}"
+        );
+        assert_eq!(rejoined.stats.tunings, fresh.stats.tunings, "seed {seed}");
+        assert_eq!(
+            rejoined.stats.fleet_reuses, fresh.stats.fleet_reuses,
+            "seed {seed}"
+        );
+        assert_eq!(
+            rejoined.first_fleet_reuse_epoch, fresh.first_fleet_reuse_epoch,
+            "seed {seed}"
+        );
+        assert_eq!(
+            rejoined.cross_tenant_hits, fresh.cross_tenant_hits,
+            "seed {seed}"
+        );
+    }
+}
+
+/// The TTL sweep reclaims exactly the entries that lookups and peeks deferred
+/// as stale (the PR 2 read-only read path defers eviction to the sweep), and
+/// every counter stays consistent: misses accrue at lookup time, evictions
+/// only at sweep time.
+#[test]
+fn ttl_sweep_reclaims_deferred_stale_entries_with_consistent_counters() {
+    use dejavu::fleet::SharedRepoConfig;
+
+    cases(32, |rng, case| {
+        let ttl_hours = rng.uniform(6.0, 48.0);
+        let repo = SharedSignatureRepository::new(SharedRepoConfig {
+            shards: 1 + rng.uniform_usize(8),
+            ttl: Some(SimDuration::from_hours(ttl_hours)),
+            ..Default::default()
+        });
+        let n = 1 + rng.uniform_usize(40);
+        let mut tuned: Vec<(u64, Vec<f64>, SimTime)> = Vec::new();
+        for i in 0..n {
+            // One namespace per entry keeps the reference model trivial.
+            let sig = vec![100.0 + i as f64, 55.0];
+            let at = SimTime::from_hours(rng.uniform(0.0, 72.0));
+            repo.insert(0, i as u64, &sig, 0, ResourceAllocation::large(2), at);
+            tuned.push((i as u64, sig, at));
+        }
+        let now = SimTime::from_hours(rng.uniform(0.0, 120.0));
+        let stale = |at: SimTime| now.saturating_since(at).as_secs() > ttl_hours * 3600.0;
+        let expected_stale = tuned.iter().filter(|(_, _, at)| stale(*at)).count() as u64;
+
+        // Lookups and peeks defer staleness: they miss but evict nothing.
+        for (ns, sig, at) in &tuned {
+            let hit = repo.lookup(1, *ns, sig, 0, now);
+            assert_eq!(hit.is_none(), stale(*at), "case {case} ns {ns}");
+            assert_eq!(
+                repo.peek(*ns, sig, 0, now, None).is_none(),
+                stale(*at),
+                "case {case} ns {ns}"
+            );
+        }
+        assert_eq!(repo.len(), n, "case {case}: lookups must not evict");
+        let stats = repo.stats();
+        assert_eq!(stats.misses, expected_stale, "case {case}");
+        assert_eq!(stats.hits, n as u64 - expected_stale, "case {case}");
+        assert_eq!(stats.evictions, 0, "case {case}");
+
+        // The sweep reclaims exactly the deferred entries.
+        assert_eq!(repo.evict_stale(now), expected_stale, "case {case}");
+        assert_eq!(repo.len(), n - expected_stale as usize, "case {case}");
+        let stats = repo.stats();
+        assert_eq!(stats.evictions, expected_stale, "case {case}");
+        assert_eq!(
+            stats.misses, expected_stale,
+            "case {case}: the sweep must not count misses"
+        );
+        // Evicted entries are really gone; fresh ones still hit.
+        for (ns, sig, at) in &tuned {
+            assert_eq!(
+                repo.lookup(1, *ns, sig, 0, now).is_none(),
+                stale(*at),
+                "case {case} ns {ns} after sweep"
+            );
+        }
+        // A second sweep at the same time is a no-op.
+        assert_eq!(repo.evict_stale(now), 0, "case {case}");
+    });
 }
 
 /// Load traces never produce levels outside the valid range, under any

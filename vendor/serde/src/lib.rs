@@ -2,14 +2,20 @@
 //!
 //! The workspace builds hermetically (no crates.io access), so this crate
 //! provides just enough of serde's surface for the sources to compile: the
-//! `Serialize`/`Deserialize` marker traits and the derive macros (which emit
-//! no code). No data is serialized anywhere in the workspace; replacing this
-//! stub with the real serde is a manifest-only change.
+//! `Serialize`/`Deserialize` marker traits and derive macros that emit empty
+//! impls of them, so `T: Serialize` bounds work — `dejavu_fleet::snapshot`
+//! asserts those bounds on its snapshot types at compile time to keep them
+//! serde-shaped for the planned swap to the real crates. The actual byte
+//! format of fleet snapshots is the hand-rolled, versioned text codec in
+//! `dejavu_fleet::snapshot`, chosen for bit-exact determinism; replacing this
+//! stub with the real serde stays a manifest-only change.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait mirroring `serde::Serialize`.
+/// Marker trait mirroring `serde::Serialize`. The vendored derive implements
+/// it (with no methods) for every non-generic type that derives `Serialize`.
 pub trait Serialize {}
 
-/// Marker trait mirroring `serde::Deserialize`.
+/// Marker trait mirroring `serde::Deserialize`. The vendored derive implements
+/// it for every non-generic type that derives `Deserialize`.
 pub trait Deserialize<'de>: Sized {}

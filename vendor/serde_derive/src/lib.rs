@@ -1,21 +1,67 @@
-//! No-op stand-ins for serde's `#[derive(Serialize, Deserialize)]` macros.
+//! Stand-ins for serde's `#[derive(Serialize, Deserialize)]` macros.
 //!
 //! The workspace builds in a hermetic environment with no access to crates.io,
-//! so the real `serde_derive` cannot be vendored. Nothing in the workspace
-//! actually serializes data — the derives only decorate types so that the code
-//! keeps serde-compatible shape — so emitting no impls at all is sufficient.
-//! Swapping this crate for the real one requires no source change.
+//! so the real `serde_derive` cannot be vendored. Unlike the original no-op
+//! stubs, these derives emit real (empty) impls of the marker traits in
+//! `vendor/serde`, so code can use `T: serde::Serialize` bounds — the fleet
+//! snapshot module compile-time-asserts them on its types — and still compile
+//! unchanged against the real serde, whose derives also emit impls of those
+//! traits. Swapping in the real crates remains a manifest-only change.
+//!
+//! Limitation kept deliberately small: for generic types (e.g. `FlatMap<K, V>`)
+//! the derive emits nothing, because mirroring serde's per-parameter bounds
+//! without `syn` is not worth the complexity — no generic type in the
+//! workspace is used through a serde bound.
 
-use proc_macro::TokenStream;
+use proc_macro::{TokenStream, TokenTree};
 
-/// Accepts and discards a `#[derive(Serialize)]` invocation.
-#[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+/// Extracts the name of the derived type, or `None` when the type is generic
+/// (in which case no impl is emitted — see the crate docs).
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    // Any token that is not the `struct`/`enum` keyword — attribute bodies
+    // (`#[...]`, doc comments), visibility — is skipped.
+    while let Some(tree) = tokens.next() {
+        let TokenTree::Ident(ident) = tree else {
+            continue;
+        };
+        let word = ident.to_string();
+        if word != "struct" && word != "enum" {
+            continue;
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            _ => return None,
+        };
+        // A `<` right after the name means generic parameters.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '<' {
+                return None;
+            }
+        }
+        return Some(name);
+    }
+    None
 }
 
-/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+/// Emits `impl ::serde::Serialize for T {}` for non-generic `T`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for T {}` for non-generic `T`.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
 }
