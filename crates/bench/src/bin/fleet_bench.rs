@@ -1,8 +1,11 @@
 //! `fleet-bench` — the recorded performance trajectory of the fleet hot path.
 //!
 //! Runs the standard mixed fleet end to end (shared and isolated repository
-//! modes) and a shared-repository lookup microbenchmark, then emits
-//! `BENCH_fleet.json` so every perf PR leaves comparable numbers behind.
+//! modes), the BSP-vs-async commit-transport comparison (same fleet under
+//! the lock-step barrier and under bounded staleness, with a `k = 0`
+//! bit-match check), and a shared-repository lookup microbenchmark, then
+//! emits `BENCH_fleet.json` so every perf PR leaves comparable numbers
+//! behind.
 //!
 //! ```text
 //! cargo run --release -p dejavu-bench --bin fleet-bench            # full: 200 and 1000 tenants
@@ -25,7 +28,7 @@ use dejavu_cloud::ResourceAllocation;
 use dejavu_core::{RepositoryKey, SignatureRepository};
 use dejavu_fleet::{
     standard_fleet, FleetConfig, FleetEngine, SharedRepoConfig, SharedSignatureRepository,
-    SharingMode,
+    SharingMode, TransportConfig,
 };
 use dejavu_simcore::SimTime;
 use std::fmt::Write as _;
@@ -175,6 +178,64 @@ fn warm_vs_cold(
         warm_reusing_tenants: warm.tenants_with_fleet_reuse(),
         cold_hit_rate: cold.fleet_hit_rate(),
         warm_hit_rate: warm.fleet_hit_rate(),
+    }
+}
+
+/// The BSP-vs-async transport comparison: the same shared fleet driven by
+/// the lock-step epoch barrier and by the bounded-staleness transport
+/// (free-running tenant threads, views at most `staleness` epochs stale).
+/// Also verifies that `staleness = 0` bit-matches the barrier, so the
+/// recorded speedup is attributable to relaxed synchronization alone.
+struct TransportMeasurement {
+    tenants: usize,
+    days: usize,
+    staleness: usize,
+    bsp_epochs_per_sec: f64,
+    async_epochs_per_sec: f64,
+    speedup: f64,
+    view_staleness_mean: f64,
+    view_staleness_max: usize,
+    async0_bit_match: bool,
+}
+
+fn transport_compare(tenants: usize, days: usize, staleness: usize) -> TransportMeasurement {
+    let run = |transport: TransportConfig| {
+        let engine = FleetEngine::new(
+            standard_fleet(tenants, days, 11),
+            FleetConfig {
+                transport,
+                ..Default::default()
+            },
+        );
+        let start = Instant::now();
+        let report = engine.run();
+        (report, start.elapsed().as_secs_f64())
+    };
+    let (bsp_report, bsp_secs) = run(TransportConfig::Bsp);
+    let (async_report, async_secs) = run(TransportConfig::BoundedStaleness { staleness });
+    let (async0_report, _) = run(TransportConfig::BoundedStaleness { staleness: 0 });
+    let async0_bit_match = async0_report.hit_rate_curve == bsp_report.hit_rate_curve
+        && bsp_report
+            .tenants
+            .iter()
+            .zip(&async0_report.tenants)
+            .all(|(a, b)| {
+                a.dejavu.total_cost == b.dejavu.total_cost
+                    && a.stats.tunings == b.stats.tunings
+                    && a.cross_tenant_hits == b.cross_tenant_hits
+            });
+    let bsp_epochs_per_sec = bsp_report.epochs as f64 / bsp_secs.max(1e-12);
+    let async_epochs_per_sec = async_report.epochs as f64 / async_secs.max(1e-12);
+    TransportMeasurement {
+        tenants,
+        days,
+        staleness,
+        bsp_epochs_per_sec,
+        async_epochs_per_sec,
+        speedup: async_epochs_per_sec / bsp_epochs_per_sec.max(1e-12),
+        view_staleness_mean: async_report.transport.view_staleness.mean(),
+        view_staleness_max: async_report.transport.view_staleness.max(),
+        async0_bit_match,
     }
 }
 
@@ -345,6 +406,24 @@ fn main() {
         warm.snapshot_bytes,
     );
 
+    let transport = if args.quick {
+        transport_compare(40, 1, 2)
+    } else {
+        transport_compare(200, 3, 2)
+    };
+    eprintln!(
+        "transport {:>4} tenants x {} day(s): bsp {:>7.2} epochs/s vs async(k={}) {:>7.2} ({:.2}x; view staleness mean {:.2} max {}; k=0 bit-match {})",
+        transport.tenants,
+        transport.days,
+        transport.bsp_epochs_per_sec,
+        transport.staleness,
+        transport.async_epochs_per_sec,
+        transport.speedup,
+        transport.view_staleness_mean,
+        transport.view_staleness_max,
+        transport.async0_bit_match,
+    );
+
     let lookups = lookup_microbench(anchors, samples);
     for (name, m) in &lookups {
         eprintln!(
@@ -399,6 +478,19 @@ fn main() {
         warm.cold_reusing_tenants,
         warm.warm_hit_rate,
         warm.cold_hit_rate,
+    );
+    let _ = writeln!(
+        run,
+        "      \"transport\": {{\"tenants\": {}, \"days\": {}, \"staleness\": {}, \"bsp_epochs_per_sec\": {:.2}, \"async_epochs_per_sec\": {:.2}, \"speedup\": {:.3}, \"view_staleness_mean\": {:.3}, \"view_staleness_max\": {}, \"async0_bit_match\": {}}},",
+        transport.tenants,
+        transport.days,
+        transport.staleness,
+        transport.bsp_epochs_per_sec,
+        transport.async_epochs_per_sec,
+        transport.speedup,
+        transport.view_staleness_mean,
+        transport.view_staleness_max,
+        transport.async0_bit_match,
     );
     run.push_str("      \"lookups\": [\n");
     for (i, (name, m)) in lookups.iter().enumerate() {

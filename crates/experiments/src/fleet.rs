@@ -4,7 +4,8 @@
 //! cold-start tuning runs, and the fleet-wide cost picture against the
 //! `FixedMax` and `RightScale` baselines.
 //!
-//! Persistence and elastic tenancy ride on the same command:
+//! Persistence, elastic tenancy and the commit transport ride on the same
+//! command:
 //!
 //! ```text
 //! cargo run -p dejavu-experiments --release -- fleet --tenants 200
@@ -13,16 +14,22 @@
 //! cargo run -p dejavu-experiments --release -- fleet --tenants 8 --snapshot-in fleet.snap
 //! # elastic tenancy: staggered late joiners + mid-run departures:
 //! cargo run -p dejavu-experiments --release -- fleet --tenants 40 --churn
+//! # free-running tenants, views at most 2 epochs stale:
+//! cargo run -p dejavu-experiments --release -- fleet --transport async --staleness 2
+//! # drop never-hit entries when persisting:
+//! cargo run -p dejavu-experiments --release -- fleet --snapshot-out fleet.snap --snapshot-compact
 //! ```
 //!
 //! With `--snapshot-in` the report carries the newcomer-convergence numbers
 //! (mean epochs to the first `FleetReuse`) that show a warm-started tenant
-//! skipping the learning phase the DejaVu paper sets out to amortize.
+//! skipping the learning phase the DejaVu paper sets out to amortize. With
+//! `--transport async` the report additionally carries the observed-staleness
+//! telemetry of the bounded-staleness transport.
 
 use crate::report::{pct, Report};
 use dejavu_fleet::{
     churn_fleet, standard_fleet, FleetConfig, FleetEngine, FleetReport, SharedSignatureRepository,
-    SharingMode,
+    SharingMode, TransportConfig,
 };
 use std::sync::Arc;
 
@@ -43,6 +50,10 @@ pub struct FleetOptions {
     pub snapshot_in: Option<String>,
     /// Persist the shared repository to this snapshot file afterwards.
     pub snapshot_out: Option<String>,
+    /// Drop never-hit entries when persisting the snapshot.
+    pub snapshot_compact: bool,
+    /// The commit transport driving both fleets (BSP barrier by default).
+    pub transport: TransportConfig,
 }
 
 /// Result of the fleet comparison.
@@ -68,6 +79,29 @@ impl FleetFigure {
                 "cold"
             },
         );
+        // The BSP barrier is the byte-stable default; only non-BSP runs
+        // announce their transport and staleness telemetry.
+        if self.shared.transport.name != "bsp" {
+            r.kv("transport", &self.shared.transport.name);
+            r.kv(
+                "view staleness (epochs)",
+                format!(
+                    "mean {:.2} / max {} over {} tenant-epochs",
+                    self.shared.transport.view_staleness.mean(),
+                    self.shared.transport.view_staleness.max(),
+                    self.shared.transport.view_staleness.total(),
+                ),
+            );
+            r.kv(
+                "reuse staleness (epochs)",
+                format!(
+                    "mean {:.2} / max {} over {} committed hits",
+                    self.shared.transport.reuse_staleness.mean(),
+                    self.shared.transport.reuse_staleness.max(),
+                    self.shared.transport.reuse_staleness.total(),
+                ),
+            );
+        }
         r.kv("hit rate (shared)", pct(self.shared.fleet_hit_rate()));
         r.kv("hit rate (isolated)", pct(self.isolated.fleet_hit_rate()));
         r.kv("tuning runs (shared)", self.shared.total_tunings());
@@ -139,6 +173,7 @@ pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::
     let config = |sharing, run_baselines| FleetConfig {
         sharing,
         run_baselines,
+        transport: opts.transport,
         ..Default::default()
     };
 
@@ -152,7 +187,12 @@ pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::
     });
     let shared = engine.run_on(Arc::clone(&repo));
     if let Some(path) = &opts.snapshot_out {
-        std::fs::write(path, repo.save_snapshot())?;
+        let text = if opts.snapshot_compact {
+            repo.save_snapshot_compact()
+        } else {
+            repo.save_snapshot()
+        };
+        std::fs::write(path, text)?;
     }
 
     // The baselines ignore the repository, so their runs are identical in both
@@ -245,6 +285,83 @@ mod tests {
         }
         assert!(warm.report().into_text().contains("warm (snapshot)"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn async_transport_runs_and_reports_staleness() {
+        let bsp = run_opts(&FleetOptions {
+            seed: 3,
+            tenants: 6,
+            days: 1,
+            ..Default::default()
+        })
+        .expect("bsp run");
+        let k = 2;
+        let fig = run_opts(&FleetOptions {
+            seed: 3,
+            tenants: 6,
+            days: 1,
+            transport: TransportConfig::BoundedStaleness { staleness: k },
+            ..Default::default()
+        })
+        .expect("async run");
+        assert_eq!(fig.shared.transport.name, "async(staleness=2)");
+        assert!(fig.shared.transport.view_staleness.max() <= k);
+        let text = fig.report().into_text();
+        assert!(text.contains("view staleness"));
+        // The BSP report stays free of transport telemetry lines.
+        assert!(!bsp.report().into_text().contains("view staleness"));
+    }
+
+    #[test]
+    fn compacted_snapshots_shed_never_hit_entries() {
+        let dir = std::env::temp_dir().join("dejavu-fleet-exp-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let full_path = dir
+            .join(format!("fleet-full-{}.snap", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let compact_path = dir
+            .join(format!("fleet-compact-{}.snap", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let base = FleetOptions {
+            seed: 3,
+            tenants: 6,
+            days: 1,
+            ..Default::default()
+        };
+        run_opts(&FleetOptions {
+            snapshot_out: Some(full_path.clone()),
+            ..base.clone()
+        })
+        .expect("full snapshot run");
+        run_opts(&FleetOptions {
+            snapshot_out: Some(compact_path.clone()),
+            snapshot_compact: true,
+            ..base
+        })
+        .expect("compacted snapshot run");
+        let full = std::fs::read_to_string(&full_path).expect("full snapshot");
+        let compact = std::fs::read_to_string(&compact_path).expect("compacted snapshot");
+        assert!(
+            compact.len() < full.len(),
+            "compaction shed nothing: {} vs {} bytes",
+            compact.len(),
+            full.len()
+        );
+        // The compacted snapshot still loads and warm-starts a fleet.
+        let warm = run_opts(&FleetOptions {
+            seed: 9,
+            tenants: 2,
+            days: 1,
+            snapshot_in: Some(compact_path.clone()),
+            ..Default::default()
+        })
+        .expect("warm run from compacted snapshot");
+        assert!(warm.shared.warm_start);
+        std::fs::remove_file(&full_path).ok();
+        std::fs::remove_file(&compact_path).ok();
     }
 
     #[test]

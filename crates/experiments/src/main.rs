@@ -5,8 +5,10 @@
 //! cargo run -p dejavu-experiments --release -- fig6 fig8 --seed 7
 //! cargo run -p dejavu-experiments --release -- fleet --tenants 40 --snapshot-out fleet.snap
 //! cargo run -p dejavu-experiments --release -- fleet --tenants 8 --snapshot-in fleet.snap --churn
+//! cargo run -p dejavu-experiments --release -- fleet --transport async --staleness 2
 //! ```
 
+use dejavu_fleet::TransportConfig;
 use std::env;
 
 fn main() {
@@ -19,6 +21,10 @@ fn main() {
         baselines: true,
         ..Default::default()
     };
+    // `--transport async` defaults to 1 epoch of staleness; `--staleness`
+    // overrides it (0 bit-matches the BSP barrier).
+    let mut transport_async = false;
+    let mut staleness = 1usize;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -34,6 +40,28 @@ fn main() {
             if let Some(v) = it.next() {
                 fleet_opts.days = v.parse().unwrap_or(3);
             }
+        } else if arg == "--transport" {
+            match it.next().map(String::as_str) {
+                Some("bsp") => transport_async = false,
+                Some("async") => transport_async = true,
+                other => {
+                    eprintln!(
+                        "--transport needs 'bsp' or 'async' (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--staleness" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) => staleness = k,
+                None => {
+                    eprintln!("--staleness needs an epoch count");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--snapshot-compact" {
+            fleet_opts.snapshot_compact = true;
         } else if arg == "--snapshot-in" || arg == "--snapshot-out" {
             // A missing path must not silently no-op (or swallow the next
             // flag as a file name): demand a non-flag value.
@@ -56,6 +84,9 @@ fn main() {
         }
     }
     fleet_opts.seed = seed;
+    if transport_async {
+        fleet_opts.transport = TransportConfig::BoundedStaleness { staleness };
+    }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = vec![
             "fig1", "fig4", "fig5", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",

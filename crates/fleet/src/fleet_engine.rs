@@ -2,30 +2,37 @@
 //! the shared simulated clock, with all DejaVu controllers reading and
 //! writing one [`SharedSignatureRepository`].
 //!
-//! # Determinism
+//! # Transports
 //!
-//! Tenants advance in **epochs** (bulk-synchronous): within an epoch each
-//! worker thread steps a disjoint chunk of tenants through their observation
-//! ticks, reading the shared repository through read-only, epoch-frozen
-//! snapshots ([`SharedSignatureRepository::peek`]) while buffering their own
-//! writes in per-tenant outboxes. At the epoch barrier the engine drains the
-//! outboxes **in tenant order** and applies them, then runs TTL eviction.
-//! Mid-epoch the shared store never changes, and commits have a fixed order,
-//! so the fleet result is a pure function of the scenario — it does not
-//! depend on thread count or OS scheduling.
+//! How tenant-buffered operations reach the shared store — and what
+//! consistency tenants observe — is the job of the pluggable
+//! [`crate::transport`] layer. The engine prepares tenants (admission
+//! windows, clock offsets, outboxes), hands them to a
+//! [`CommitTransport`], and turns the driven runs into a [`FleetReport`]:
+//!
+//! * [`TransportConfig::Bsp`] (default) — the lock-step epoch barrier.
+//!   Tenants advance in epochs; at each barrier the transport drains the
+//!   outboxes **in tenant order** and applies them, then runs TTL eviction.
+//!   Mid-epoch the shared store never changes, so the fleet result is a pure
+//!   function of the scenario — independent of thread count or OS scheduling.
+//! * [`TransportConfig::BoundedStaleness`] — free-running tenant threads
+//!   whose views trail the commit frontier by at most `K` epochs. `K = 0`
+//!   bit-matches the barrier; `K > 0` trades bitwise result reproducibility
+//!   for pipeline parallelism.
 //!
 //! # Elastic tenancy
 //!
 //! Tenants may join and leave mid-run ([`crate::TenantSpec::start`] /
 //! [`crate::TenantSpec::stop`]). Admission and retirement happen **at epoch
-//! barriers only** — a joining tenant takes its first observation tick in the
-//! epoch after the barrier at (or right after) its start time, and a leaving
-//! tenant is finalized at the barrier ending the epoch that reaches its stop
-//! time — so churn never perturbs the deterministic commit order. A tenant's
-//! trace and local clock begin at its join barrier; because admission is
-//! barrier-aligned, a tenant joining an otherwise quiescent fleet behaves bit
-//! identically to a tenant running alone against a repository warm-started
-//! from a snapshot of that fleet (property-tested in `tests/properties.rs`).
+//! boundaries only** — a joining tenant takes its first observation tick in
+//! the epoch after the barrier at (or right after) its start time, and a
+//! leaving tenant retires at the barrier ending the epoch that reaches its
+//! stop time — so churn never perturbs the deterministic commit order. A
+//! tenant's trace and local clock begin at its join barrier; because
+//! admission is barrier-aligned, a tenant joining an otherwise quiescent
+//! fleet behaves bit-identically to a tenant running alone against a
+//! repository warm-started from a snapshot of that fleet (property-tested in
+//! `tests/properties.rs`).
 //!
 //! # Warm starts
 //!
@@ -39,16 +46,14 @@
 //! per-tenant epochs-to-first-fleet-reuse and the fleet-wide hit-rate curve,
 //! which is how warm-start convergence is measured against cold starts.
 
-use crate::engine::{RunState, SimulationEngine};
 use crate::report::{FleetReport, SharedRepoSnapshot, TenantOutcome};
 use crate::scenario::Scenario;
-use crate::shared_repo::{PendingOp, SharedRepoConfig, SharedSignatureRepository};
+use crate::shared_repo::{SharedRepoConfig, SharedSignatureRepository};
 use crate::snapshot::SnapshotError;
-use crate::tenant_view::{Outbox, TenantRepoView};
+use crate::tenant_view::TenantRepoView;
+use crate::transport::{CommitTransport, FleetHarness, TenantRun, TransportConfig};
 use dejavu_baselines::{FixedMax, RightScale, RightScaleConfig};
 use dejavu_core::{DejaVuConfig, DejaVuController};
-use dejavu_services::ServiceModel;
-use dejavu_simcore::SimTime;
 use std::sync::Arc;
 
 /// Whether tenants share one repository or each keep their own.
@@ -66,7 +71,9 @@ pub enum SharingMode {
 pub struct FleetConfig {
     /// Repository sharing mode.
     pub sharing: SharingMode,
-    /// Worker threads; 0 means "one per available core".
+    /// Worker threads for the barrier transport and tenant finalization;
+    /// 0 means "one per available core". The bounded-staleness transport
+    /// runs one thread per tenant regardless.
     pub workers: usize,
     /// Shared-repository sharding/TTL configuration.
     pub repo: SharedRepoConfig,
@@ -75,6 +82,8 @@ pub struct FleetConfig {
     /// Also run the `FixedMax` and `RightScale` baselines for every tenant
     /// (for the fleet-wide cost comparison). Roughly triples the work.
     pub run_baselines: bool,
+    /// The commit transport coordinating tenants and the shared store.
+    pub transport: TransportConfig,
 }
 
 impl Default for FleetConfig {
@@ -85,89 +94,8 @@ impl Default for FleetConfig {
             repo: SharedRepoConfig::default(),
             learning_hours: 24,
             run_baselines: false,
+            transport: TransportConfig::Bsp,
         }
-    }
-}
-
-/// One tenant's complete in-flight simulation, plus its tenancy window in
-/// epochs (derived from the spec's start/stop times, barrier-aligned).
-struct TenantRun {
-    engine: SimulationEngine,
-    service: Box<dyn ServiceModel>,
-    controller: DejaVuController,
-    state: RunState,
-    fixed: Option<(FixedMax, RunState)>,
-    rightscale: Option<(RightScale, RunState)>,
-    /// First global epoch in which the tenant steps (its join barrier).
-    start_epoch: usize,
-    /// Global epoch count at whose barrier the tenant retires, if it leaves.
-    stop_epoch: Option<usize>,
-    /// Epochs since join at which the first `FleetReuse` fired (1-based).
-    first_reuse_epoch: Option<usize>,
-    /// Epochs this tenant has actually been stepped through.
-    active_epochs: usize,
-}
-
-/// Steps one run up to (excluding) `epoch_end`.
-fn step_until(
-    engine: &SimulationEngine,
-    service: &dyn ServiceModel,
-    state: &mut RunState,
-    controller: &mut dyn ProvisioningController,
-    epoch_end: SimTime,
-) {
-    while let Some(t) = state.next_tick_time() {
-        if t.as_secs() >= epoch_end.as_secs() {
-            break;
-        }
-        engine.step(state, service, controller);
-    }
-}
-
-impl TenantRun {
-    /// Steps every in-flight run of this tenant up to the barrier ending
-    /// global epoch `epoch` (0-based), honouring the tenancy window. Times
-    /// handed to the tenant are **local** (zero at its join barrier), so a
-    /// late joiner steps exactly like a tenant that started a fresh fleet.
-    fn step_epoch(&mut self, epoch: usize, epoch_secs: f64) {
-        let end_epoch = epoch + 1;
-        if end_epoch <= self.start_epoch {
-            return; // not admitted yet
-        }
-        let mut local_epochs = end_epoch - self.start_epoch;
-        if let Some(stop) = self.stop_epoch {
-            let cap = stop.saturating_sub(self.start_epoch);
-            if cap == 0 {
-                return;
-            }
-            local_epochs = local_epochs.min(cap);
-        }
-        if local_epochs <= self.active_epochs {
-            return; // already stepped past its retirement barrier
-        }
-        self.active_epochs = local_epochs;
-        let epoch_end = SimTime::from_secs(epoch_secs * local_epochs as f64);
-        let service = self.service.as_ref();
-        step_until(
-            &self.engine,
-            service,
-            &mut self.state,
-            &mut self.controller,
-            epoch_end,
-        );
-        if let Some((controller, state)) = &mut self.fixed {
-            step_until(&self.engine, service, state, controller, epoch_end);
-        }
-        if let Some((controller, state)) = &mut self.rightscale {
-            step_until(&self.engine, service, state, controller, epoch_end);
-        }
-    }
-
-    /// Whether the tenant retires at the barrier ending global epoch `epoch`.
-    fn retires_at(&self, epoch: usize) -> bool {
-        let end_epoch = epoch + 1;
-        end_epoch > self.start_epoch
-            && (self.state.is_done() || self.stop_epoch.is_some_and(|stop| end_epoch >= stop))
     }
 }
 
@@ -227,9 +155,20 @@ impl FleetEngine {
     }
 
     /// Runs the fleet against a caller-provided repository (cold or
-    /// snapshot-loaded). Keep a clone of the `Arc` to call
-    /// [`SharedSignatureRepository::save_snapshot`] afterwards.
+    /// snapshot-loaded) over the configured transport. Keep a clone of the
+    /// `Arc` to call [`SharedSignatureRepository::save_snapshot`] afterwards.
     pub fn run_on(&self, shared: Arc<SharedSignatureRepository>) -> FleetReport {
+        self.run_on_with(shared, self.config.transport.backend().as_ref())
+    }
+
+    /// [`run_on`](Self::run_on) over an explicit transport — the extension
+    /// point for consistency models beyond the built-in pair: implement
+    /// [`CommitTransport`] and hand it in here.
+    pub fn run_on_with(
+        &self,
+        shared: Arc<SharedSignatureRepository>,
+        transport: &dyn CommitTransport,
+    ) -> FleetReport {
         let warm_start = !shared.is_empty();
         let epoch_secs = self.scenario.epoch.as_secs();
         // A warm-started fleet resumes the global clock where the snapshot
@@ -237,12 +176,12 @@ impl FleetEngine {
         // them TTL expiry, carry over restarts instead of resetting to zero.
         // Cold repositories have a zero clock, so nothing changes for them.
         let origin_secs = shared.clock().as_secs();
-        let to_epochs = |secs: f64| (secs / epoch_secs).ceil() as usize;
-        let mut runs: Vec<Option<TenantRun>> = Vec::with_capacity(self.scenario.tenants.len());
-        let mut outboxes: Vec<Option<Outbox>> = Vec::with_capacity(self.scenario.tenants.len());
+        let windows = self.scenario.epoch_windows();
+        let epochs = windows.iter().map(|w| w.end).max().unwrap_or(0);
+        let mut runs: Vec<TenantRun> = Vec::with_capacity(self.scenario.tenants.len());
 
-        for spec in &self.scenario.tenants {
-            let engine = SimulationEngine::new(spec.run_config(self.scenario.tick));
+        for (spec, window) in self.scenario.tenants.iter().zip(&windows) {
+            let engine = crate::engine::SimulationEngine::new(spec.run_config(self.scenario.tick));
             let space = engine.config().space.clone();
             let dv_config = DejaVuConfig::builder()
                 .learning_hours(self.config.learning_hours)
@@ -251,7 +190,6 @@ impl FleetEngine {
             let mut controller =
                 DejaVuController::new(dv_config, spec.service.build(), space.clone())
                     .with_name(format!("dejavu-{}", spec.name));
-            let start_epoch = to_epochs(spec.start.as_secs());
             let outbox = match self.config.sharing {
                 SharingMode::Shared => {
                     // The view maps this tenant's local clock onto the global
@@ -263,7 +201,7 @@ impl FleetEngine {
                         spec.id,
                         spec.namespace(),
                         dejavu_simcore::SimDuration::from_secs(
-                            origin_secs + epoch_secs * start_epoch as f64,
+                            origin_secs + epoch_secs * window.start as f64,
                         ),
                     );
                     controller = controller.with_store(Box::new(view));
@@ -282,124 +220,36 @@ impl FleetEngine {
                     engine.begin(),
                 )
             });
-            let stop_epoch = spec
-                .stop
-                .map(|stop| to_epochs(stop.as_secs()).max(start_epoch));
-            runs.push(Some(TenantRun {
+            runs.push(TenantRun {
                 engine,
                 service: spec.service.build(),
                 controller,
                 state,
                 fixed,
                 rightscale,
-                start_epoch,
-                stop_epoch,
+                start_epoch: window.start,
+                stop_epoch: window.stop,
+                end_epoch: window.end,
                 first_reuse_epoch: None,
                 active_epochs: 0,
-            }));
-            outboxes.push(outbox);
+                retired: false,
+                outbox,
+            });
         }
 
-        // Fleet horizon: every tenant's window, in epochs.
-        let epochs = runs
-            .iter()
-            .zip(&self.scenario.tenants)
-            .map(|(run, spec)| {
-                let run = run.as_ref().expect("all runs live before the loop");
-                let trace_epochs = to_epochs(spec.trace.duration().as_secs());
-                match run.stop_epoch {
-                    Some(stop) => stop.min(run.start_epoch + trace_epochs),
-                    None => run.start_epoch + trace_epochs,
-                }
-            })
-            .max()
-            .unwrap_or(0);
         let workers = self.worker_count(runs.len());
-        let mut cross_tenant_hits = vec![0u64; runs.len()];
-        let mut outcomes: Vec<Option<TenantOutcome>> = (0..runs.len()).map(|_| None).collect();
-        let mut hit_rate_curve = Vec::with_capacity(epochs);
-
-        for epoch in 0..epochs {
-            let chunk_size = runs.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                for chunk in runs.chunks_mut(chunk_size) {
-                    scope.spawn(move || {
-                        for run in chunk.iter_mut().flatten() {
-                            run.step_epoch(epoch, epoch_secs);
-                        }
-                    });
-                }
-            });
-            // Epoch barrier: publish buffered writes in tenant order, then age
-            // out stale entries. This is the only place the shared store
-            // changes, which is what keeps fleet runs deterministic. The whole
-            // epoch's operations go through one batched commit — each shard's
-            // write lock is taken once per barrier, not once per operation —
-            // while the per-shard commit sequence stays in tenant order.
-            let mut ops: Vec<PendingOp> = Vec::new();
-            let mut op_tenants: Vec<usize> = Vec::new();
-            for (tenant, outbox) in outboxes.iter().enumerate() {
-                let Some(outbox) = outbox else { continue };
-                let drained = std::mem::take(&mut *outbox.lock().expect("tenant outbox poisoned"));
-                op_tenants.resize(op_tenants.len() + drained.len(), tenant);
-                ops.extend(drained);
-            }
-            let applied = shared.apply_batch(&ops);
-            for ((op, tenant), applied) in ops.iter().zip(&op_tenants).zip(applied) {
-                // A hit only counts if the store still holds the entry at
-                // commit time (an earlier publish in this barrier can have
-                // re-anchored the namespace), keeping the engine-side and
-                // store-side cross-tenant counters consistent.
-                if applied && matches!(op, PendingOp::RecordHit { .. }) {
-                    cross_tenant_hits[*tenant] += 1;
-                }
-            }
-            shared.evict_stale(SimTime::from_secs(
-                origin_secs + epoch_secs * (epoch + 1) as f64,
-            ));
-
-            // Convergence bookkeeping, then barrier-aligned retirement.
-            let mut hits = 0u64;
-            let mut misses = 0u64;
-            for (i, slot) in runs.iter_mut().enumerate() {
-                let Some(run) = slot else {
-                    if let Some(outcome) = &outcomes[i] {
-                        hits += outcome.stats.repository.hits;
-                        misses += outcome.stats.repository.misses;
-                    }
-                    continue;
-                };
-                let stats = run.controller.stats();
-                hits += stats.repository.hits;
-                misses += stats.repository.misses;
-                if run.first_reuse_epoch.is_none()
-                    && epoch + 1 > run.start_epoch
-                    && stats.fleet_reuses > 0
-                {
-                    run.first_reuse_epoch = Some(epoch + 1 - run.start_epoch);
-                }
-                if run.retires_at(epoch) {
-                    let run = slot.take().expect("checked above");
-                    outcomes[i] = Some(self.finalize(i, run, cross_tenant_hits[i]));
-                }
-            }
-            hit_rate_curve.push(if hits + misses == 0 {
-                0.0
-            } else {
-                hits as f64 / (hits + misses) as f64
-            });
-        }
-
-        // Finalize any tenant still in flight (e.g. a zero-epoch fleet).
-        for (i, slot) in runs.iter_mut().enumerate() {
-            if let Some(run) = slot.take() {
-                outcomes[i] = Some(self.finalize(i, run, cross_tenant_hits[i]));
-            }
-        }
-        let tenants: Vec<TenantOutcome> = outcomes
-            .into_iter()
-            .map(|o| o.expect("every tenant finalized"))
-            .collect();
+        let outcome = {
+            let mut harness = FleetHarness {
+                runs: &mut runs,
+                shared: &shared,
+                epochs,
+                epoch_secs,
+                origin_secs,
+                workers,
+            };
+            transport.drive(&mut harness)
+        };
+        let tenants = self.finish(runs, &outcome.cross_tenant_hits);
 
         let shared_repo =
             (self.config.sharing == SharingMode::Shared).then(|| SharedRepoSnapshot {
@@ -416,8 +266,58 @@ impl FleetEngine {
             warm_start,
             tenants,
             shared_repo,
-            hit_rate_curve,
+            hit_rate_curve: outcome.hit_rate_curve,
+            transport: outcome.summary,
         }
+    }
+
+    /// Finalizes every driven tenant run into its outcome record. On
+    /// multi-worker configurations the per-tenant finalization (settling-time
+    /// extraction, cost metering) fans out across worker threads; outcomes
+    /// are reassembled **by tenant index**, so the report order — and every
+    /// value in it — is identical to a serial finalization pass.
+    fn finish(&self, runs: Vec<TenantRun>, cross_tenant_hits: &[u64]) -> Vec<TenantOutcome> {
+        let tenant_count = runs.len();
+        let workers = self.worker_count(tenant_count);
+        if workers <= 1 || tenant_count <= 1 {
+            return runs
+                .into_iter()
+                .enumerate()
+                .map(|(i, run)| self.finalize(i, run, cross_tenant_hits[i]))
+                .collect();
+        }
+        let chunk_size = tenant_count.div_ceil(workers);
+        let mut rest: Vec<(usize, TenantRun)> = runs.into_iter().enumerate().collect();
+        let mut chunks: Vec<Vec<(usize, TenantRun)>> = Vec::new();
+        while !rest.is_empty() {
+            let tail = rest.split_off(chunk_size.min(rest.len()));
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        let finalized: Vec<Vec<(usize, TenantOutcome)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(i, run)| (i, self.finalize(i, run, cross_tenant_hits[i])))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("finalization worker panicked"))
+                .collect()
+        });
+        let mut outcomes: Vec<Option<TenantOutcome>> = (0..tenant_count).map(|_| None).collect();
+        for (i, outcome) in finalized.into_iter().flatten() {
+            outcomes[i] = Some(outcome);
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every tenant finalized"))
+            .collect()
     }
 
     /// Turns a finished (or retired) tenant run into its outcome record.
@@ -538,6 +438,14 @@ mod tests {
         assert!(isolated.shared_repo.is_none());
         assert!(!shared.warm_start);
         assert_eq!(shared.hit_rate_curve.len(), shared.epochs);
+        assert_eq!(shared.transport.name, "bsp");
+        // A barrier fleet's views are always perfectly fresh, and it records
+        // one observation per tenant-epoch actually stepped.
+        assert_eq!(shared.transport.view_staleness.max(), 0);
+        assert_eq!(
+            shared.transport.view_staleness.total(),
+            (6 * shared.epochs) as u64
+        );
     }
 
     #[test]
@@ -685,5 +593,47 @@ mod tests {
         assert!(warm.total_fleet_reuses() > 0);
         // The repository kept evolving and can be persisted again.
         assert!(warm_repo.save_snapshot().len() >= snapshot.len());
+    }
+
+    #[test]
+    fn bounded_staleness_zero_matches_the_barrier_on_a_tiny_fleet() {
+        let bsp = FleetEngine::new(tiny_scenario(3), FleetConfig::default()).run();
+        let async0 = FleetEngine::new(
+            tiny_scenario(3),
+            FleetConfig {
+                transport: TransportConfig::BoundedStaleness { staleness: 0 },
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(async0.transport.name, "async(staleness=0)");
+        assert_eq!(async0.hit_rate_curve, bsp.hit_rate_curve);
+        for (a, b) in bsp.tenants.iter().zip(&async0.tenants) {
+            assert_eq!(a.dejavu.total_cost, b.dejavu.total_cost);
+            assert_eq!(a.stats.tunings, b.stats.tunings);
+            assert_eq!(a.cross_tenant_hits, b.cross_tenant_hits);
+        }
+        assert_eq!(async0.transport.view_staleness.max(), 0);
+    }
+
+    #[test]
+    fn bounded_staleness_respects_its_bound_and_reports_telemetry() {
+        let k = 2;
+        let report = FleetEngine::new(
+            tiny_scenario(4),
+            FleetConfig {
+                transport: TransportConfig::BoundedStaleness { staleness: k },
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(report.transport.view_staleness.max() <= k);
+        assert_eq!(
+            report.transport.view_staleness.total(),
+            (4 * report.epochs) as u64
+        );
+        assert!(report.transport.reuse_staleness.max() <= k);
+        assert_eq!(report.hit_rate_curve.len(), report.epochs);
+        assert!(report.total_fleet_reuses() > 0);
     }
 }

@@ -14,15 +14,21 @@
 //!   not by tenant-local class id, with per-shard statistics, TTL eviction
 //!   and cross-tenant hit accounting.
 //! * [`tenant_view`] — the `AllocationStore` adapter a tenant's controller
-//!   uses: immediate local overlay, epoch-buffered publishes.
+//!   uses: immediate local overlay, transport-buffered publishes.
+//! * [`transport`] — the pluggable commit-transport layer: the
+//!   [`CommitTransport`] trait with the lock-step [`BspBarrier`] backend
+//!   (bit-deterministic for any worker count) and the free-running
+//!   [`BoundedStaleness`] backend (per-tenant threads, views at most `K`
+//!   epochs stale, `K = 0` bit-matching the barrier).
 //! * [`scenario`] — fleet descriptions: diurnal Cassandra fleets, spike
-//!   storms, sine sweeps, interference-heavy co-location, SPECweb contingents.
-//! * [`fleet_engine`] — the bulk-synchronous parallel driver: worker threads
-//!   step tenants within an epoch; the epoch barrier commits buffered writes
-//!   in tenant order, making every fleet run bit-deterministic regardless of
-//!   thread count.
+//!   storms, sine sweeps, interference-heavy co-location, SPECweb
+//!   contingents — plus each tenant's barrier-aligned [`EpochWindow`].
+//! * [`fleet_engine`] — prepares tenants (admission windows, clock offsets,
+//!   outboxes), hands them to the configured transport, and finalizes the
+//!   driven runs (in parallel on multi-worker configs) into the report.
 //! * [`report`] — fleet-wide aggregation (SLO violations, cost vs. baselines,
-//!   cold-start tunings avoided, hit rates, shard balance).
+//!   cold-start tunings avoided, hit rates, shard balance, observed
+//!   staleness).
 //!
 //! # Example
 //!
@@ -45,15 +51,22 @@ pub mod scenario;
 pub mod shared_repo;
 pub mod snapshot;
 pub mod tenant_view;
+pub mod transport;
 
 pub use engine::{RunConfig, RunResult, RunState, SimulationEngine};
 pub use fleet_engine::{FleetConfig, FleetEngine, SharingMode};
 pub use report::{FleetReport, SharedRepoSnapshot, TenantOutcome};
 pub use scenario::{
-    churn_fleet, standard_fleet, Scenario, ScenarioBuilder, ServiceSpec, SpaceKind, TenantSpec,
+    churn_fleet, standard_fleet, EpochWindow, Scenario, ScenarioBuilder, ServiceSpec, SpaceKind,
+    TenantSpec,
 };
 pub use shared_repo::{
-    namespace_for, PendingOp, ShardStats, SharedRepoConfig, SharedSignatureRepository, TenantId,
+    namespace_for, PendingOp, ResolveMemo, ShardStats, SharedRepoConfig, SharedSignatureRepository,
+    TenantId,
 };
 pub use snapshot::{RepoSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use tenant_view::TenantRepoView;
+pub use transport::{
+    BoundedStaleness, BspBarrier, CommitTransport, FleetContext, FleetHarness, Outbox,
+    StalenessHistogram, TenantHandle, TransportConfig, TransportOutcome, TransportSummary,
+};

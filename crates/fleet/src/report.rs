@@ -3,6 +3,7 @@
 use crate::engine::RunResult;
 use crate::fleet_engine::SharingMode;
 use crate::shared_repo::{ShardStats, TenantId};
+use crate::transport::TransportSummary;
 use dejavu_core::DejaVuStats;
 
 /// Snapshot of the shared repository at the end of a run.
@@ -67,6 +68,9 @@ pub struct FleetReport {
     /// Fleet-wide cumulative repository hit rate after each epoch barrier —
     /// the convergence curve warm starts bend upward.
     pub hit_rate_curve: Vec<f64>,
+    /// Which commit transport drove the run, plus its observed-staleness and
+    /// reuse-latency telemetry (all-zero histograms under the BSP barrier).
+    pub transport: TransportSummary,
 }
 
 impl FleetReport {
@@ -191,6 +195,21 @@ impl FleetReport {
                 if self.warm_start { "warm" } else { "cold" }
             ),
         );
+        // The barrier transport is the byte-stable default; only non-BSP
+        // runs announce their transport and staleness telemetry.
+        if self.transport.name != "bsp" {
+            push(
+                &mut out,
+                format!(
+                    "  transport                : {} (view staleness mean {:.2} / max {}; reuse staleness mean {:.2} / max {})",
+                    self.transport.name,
+                    self.transport.view_staleness.mean(),
+                    self.transport.view_staleness.max(),
+                    self.transport.reuse_staleness.mean(),
+                    self.transport.reuse_staleness.max(),
+                ),
+            );
+        }
         if let Some(mean) = self.mean_epochs_to_first_reuse() {
             push(
                 &mut out,
@@ -296,6 +315,7 @@ mod tests {
             tenants: Vec::new(),
             shared_repo: None,
             hit_rate_curve: Vec::new(),
+            transport: TransportSummary::bsp(),
         }
     }
 
@@ -311,5 +331,16 @@ mod tests {
         assert_eq!(r.tenants_with_fleet_reuse(), 0);
         assert!(r.render().contains("tenants: 0"));
         assert!(r.render().contains("cold"));
+    }
+
+    #[test]
+    fn only_non_bsp_reports_announce_their_transport() {
+        let mut r = empty_report(SharingMode::Shared);
+        assert!(!r.render().contains("transport"));
+        r.transport.name = "async(staleness=2)".into();
+        r.transport.view_staleness.record(1);
+        let text = r.render();
+        assert!(text.contains("transport"));
+        assert!(text.contains("async(staleness=2)"));
     }
 }

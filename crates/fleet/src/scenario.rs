@@ -152,6 +152,52 @@ pub struct Scenario {
     pub epoch: SimDuration,
 }
 
+/// One tenant's nominal tenancy window in whole epochs, derived from its
+/// start/stop times and trace duration. Admission and retirement are
+/// epoch-aligned, so these windows are what every commit transport schedules
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochWindow {
+    /// First global epoch in which the tenant steps (its join barrier).
+    pub start: usize,
+    /// Global epoch count at whose barrier the tenant retires, if it leaves
+    /// before its trace runs out.
+    pub stop: Option<usize>,
+    /// Nominal end of the window (exclusive): `min(stop, start + trace
+    /// epochs)`.
+    pub end: usize,
+}
+
+impl Scenario {
+    /// Every tenant's [`EpochWindow`], in tenant order.
+    pub fn epoch_windows(&self) -> Vec<EpochWindow> {
+        let epoch_secs = self.epoch.as_secs();
+        let to_epochs = |secs: f64| (secs / epoch_secs).ceil() as usize;
+        self.tenants
+            .iter()
+            .map(|spec| {
+                let start = to_epochs(spec.start.as_secs());
+                let stop = spec.stop.map(|stop| to_epochs(stop.as_secs()).max(start));
+                let trace_epochs = to_epochs(spec.trace.duration().as_secs());
+                let end = match stop {
+                    Some(stop) => stop.min(start + trace_epochs),
+                    None => start + trace_epochs,
+                };
+                EpochWindow { start, stop, end }
+            })
+            .collect()
+    }
+
+    /// The fleet horizon: the epoch count covering every tenant's window.
+    pub fn horizon_epochs(&self) -> usize {
+        self.epoch_windows()
+            .iter()
+            .map(|w| w.end)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// SplitMix64 — derives stable per-tenant seeds from the scenario seed.
 fn mix_seed(base: u64, salt: u64) -> u64 {
     let mut z = base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -494,6 +540,43 @@ mod tests {
         assert_eq!(s.tenants[3].start.as_hours(), 3.0);
         assert_eq!(s.tenants[0].stop.unwrap().as_hours(), 30.0);
         assert!(s.tenants[3].stop.is_none());
+    }
+
+    #[test]
+    fn epoch_windows_are_barrier_aligned() {
+        let s = ScenarioBuilder::new("win", 1, 2)
+            .diurnal_fleet(3)
+            .arrive_at(1, SimDuration::from_hours(5.5))
+            .depart_at(2, SimDuration::from_hours(30.0))
+            .build();
+        let w = s.epoch_windows();
+        assert_eq!(
+            w[0],
+            EpochWindow {
+                start: 0,
+                stop: None,
+                end: 48
+            }
+        );
+        // A mid-epoch arrival is admitted at the next barrier; the trace
+        // still runs in full, shifted.
+        assert_eq!(
+            w[1],
+            EpochWindow {
+                start: 6,
+                stop: None,
+                end: 54
+            }
+        );
+        assert_eq!(
+            w[2],
+            EpochWindow {
+                start: 0,
+                stop: Some(30),
+                end: 30
+            }
+        );
+        assert_eq!(s.horizon_epochs(), 54);
     }
 
     #[test]

@@ -32,11 +32,17 @@
 //!   readers never serialize behind each other. Stale entries found by a
 //!   lookup are counted as misses but left in place — eviction is deferred to
 //!   the epoch TTL sweep ([`SharedSignatureRepository::evict_stale`]).
-//! * **Batched commits.** The epoch barrier applies a whole epoch's buffered
-//!   operations through [`SharedSignatureRepository::apply_batch`], which
-//!   groups them by shard and takes each shard's write lock once per epoch
-//!   instead of once per operation, while preserving the deterministic
+//! * **Batched commits.** The commit path is **transport-driven**: whichever
+//!   [`crate::transport`] backend coordinates the fleet applies an epoch's
+//!   buffered operations through [`SharedSignatureRepository::apply_batch`],
+//!   which groups them by shard and takes each shard's write lock once per
+//!   epoch instead of once per operation, while preserving the deterministic
 //!   tenant-order commit sequence within every shard.
+//! * **Memoized resolution.** Controllers peek the same class-medoid
+//!   signatures tick after tick; [`ResolveMemo`] caches their anchor
+//!   resolutions and revalidates against only the anchors created since —
+//!   provably bit-identical to resolving from scratch, because anchors only
+//!   accrete and newer anchors lose distance ties.
 //! * **Flat storage.** Entries live in a key-sorted
 //!   [`FlatMap`](dejavu_core::FlatMap) (one contiguous vector per namespace)
 //!   and anchor centroids in one flat `f64` slab per namespace, so a lookup
@@ -466,6 +472,47 @@ impl AnchorSet {
         self.resolve_inner(signature, tolerance)
     }
 
+    /// [`resolve_with_distance`](Self::resolve_with_distance) through a
+    /// caller-held [`ResolveMemo`]: a cached resolution is revalidated
+    /// against only the anchors created since it was recorded
+    /// ([`resolve_since`](Self::resolve_since)), which provably returns the
+    /// same `(distance, id)` as a full resolution — anchors only accrete,
+    /// and a newer (higher-id) anchor displaces a witnessed best only when
+    /// strictly closer, exactly the epoch-commit witness rule.
+    fn resolve_memoized(
+        &self,
+        signature: &[f64],
+        tolerance: f64,
+        memo: &mut ResolveMemo,
+    ) -> Option<(f64, u32)> {
+        match memo.find(signature) {
+            Some(slot) => {
+                let entry = &mut memo.entries[slot];
+                if entry.seen_anchors != self.count {
+                    let since = self.resolve_since(signature, tolerance, entry.seen_anchors);
+                    entry.resolved = match (entry.resolved, since) {
+                        (Some((d_old, a_old)), Some((d_new, a_new))) => {
+                            if d_new < d_old {
+                                Some((d_new, a_new))
+                            } else {
+                                Some((d_old, a_old))
+                            }
+                        }
+                        (None, since) => since,
+                        (resolved, None) => resolved,
+                    };
+                    entry.seen_anchors = self.count;
+                }
+                entry.resolved
+            }
+            None => {
+                let resolved = self.resolve_with_distance(signature, tolerance);
+                memo.insert(signature, self.count, resolved);
+                resolved
+            }
+        }
+    }
+
     /// Nearest anchor among those with ids ≥ `from_id` (the delta since a
     /// witnessed resolution), with the same tolerance and tie-break rules.
     fn resolve_since(&self, signature: &[f64], tolerance: f64, from_id: u32) -> Option<(f64, u32)> {
@@ -811,6 +858,87 @@ impl AnchorSet {
         }
         set.rebuild();
         Ok(set)
+    }
+}
+
+/// Memoized signatures kept per [`ResolveMemo`]; class-medoid sets are
+/// small, and a bounded memo keeps the replacement policy deterministic.
+const MEMO_CAPACITY: usize = 32;
+
+/// Memo of anchor resolutions for signatures that recur lookup after lookup
+/// (a tenant's class medoids). Correctness rests on the same two invariants
+/// the epoch-commit witness check uses: anchors only **accrete** (ids are
+/// never removed or renumbered), and a newer anchor displaces a witnessed
+/// resolution only when it is **strictly closer** (equal distances tie-break
+/// toward the lower, i.e. older, id). A result recorded against
+/// `seen_anchors` anchors therefore stays exact after revalidating just the
+/// anchors created since — bit-identical to a full resolution
+/// (property-tested in `tests/properties.rs`).
+///
+/// A memo is bound to one namespace (handing it a different namespace
+/// clears it) and must only be used against one repository.
+#[derive(Debug, Default)]
+pub struct ResolveMemo {
+    /// The namespace the memo is bound to; rebinding clears it.
+    namespace: Option<u64>,
+    entries: Vec<MemoEntry>,
+    /// Deterministic round-robin replacement cursor.
+    cursor: usize,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    signature: Vec<f64>,
+    /// Anchor count of the namespace when `resolved` was last validated.
+    seen_anchors: u32,
+    /// The witnessed resolution: `(distance, anchor id)`; `None` is a
+    /// (still-cacheable) miss.
+    resolved: Option<(f64, u32)>,
+}
+
+impl ResolveMemo {
+    /// Binds the memo to `namespace`, clearing it when rebound.
+    fn bind(&mut self, namespace: u64) {
+        if self.namespace != Some(namespace) {
+            self.entries.clear();
+            self.cursor = 0;
+            self.namespace = Some(namespace);
+        }
+    }
+
+    /// Finds the entry whose signature is bit-identical to `signature`.
+    fn find(&self, signature: &[f64]) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.signature.len() == signature.len()
+                && e.signature
+                    .iter()
+                    .zip(signature)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        })
+    }
+
+    fn insert(&mut self, signature: &[f64], seen_anchors: u32, resolved: Option<(f64, u32)>) {
+        let entry = MemoEntry {
+            signature: signature.to_vec(),
+            seen_anchors,
+            resolved,
+        };
+        if self.entries.len() < MEMO_CAPACITY {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.cursor] = entry;
+            self.cursor = (self.cursor + 1) % MEMO_CAPACITY;
+        }
+    }
+
+    /// Memoized signatures currently held (diagnostic surface).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memo holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -1161,9 +1289,24 @@ impl SharedSignatureRepository {
             .read()
             .expect("shared repository shard poisoned");
         let ns = state.namespaces.get(&namespace)?;
-        let (distance, anchor) = ns
+        let resolution = ns
             .anchors
             .resolve_with_distance(signature, self.config.match_tolerance)?;
+        self.peek_entry(ns, resolution, interference_bucket, now, exclude_owner)
+    }
+
+    /// Shared tail of both peek paths: entry lookup, staleness and
+    /// owner-exclusion filtering, snapshot + witness construction for an
+    /// already-resolved `(distance, anchor)`. One implementation keeps the
+    /// cached and uncached peeks semantically identical by construction.
+    fn peek_entry(
+        &self,
+        ns: &NamespaceState,
+        (distance, anchor): (f64, u32),
+        interference_bucket: u32,
+        now: SimTime,
+        exclude_owner: Option<TenantId>,
+    ) -> Option<(SharedEntry, (u32, u32, f64))> {
         let entry = ns.entries.get(&EntryKey {
             anchor,
             interference_bucket,
@@ -1175,6 +1318,32 @@ impl SharedSignatureRepository {
             return None;
         }
         Some((entry.snapshot(), (anchor, ns.anchors.count, distance)))
+    }
+
+    /// [`peek_resolved`](Self::peek_resolved) with the anchor resolution
+    /// served through a caller-held [`ResolveMemo`] — the hot path for
+    /// controllers that peek the same class-medoid signatures tick after
+    /// tick. Answers (and witnesses) are bit-identical to the uncached path;
+    /// only the work of re-deriving them is skipped.
+    pub fn peek_resolved_cached(
+        &self,
+        namespace: u64,
+        signature: &[f64],
+        interference_bucket: u32,
+        now: SimTime,
+        exclude_owner: Option<TenantId>,
+        memo: &mut ResolveMemo,
+    ) -> Option<(SharedEntry, (u32, u32, f64))> {
+        memo.bind(namespace);
+        let state = self.shards[self.shard_index(namespace)]
+            .state
+            .read()
+            .expect("shared repository shard poisoned");
+        let ns = state.namespaces.get(&namespace)?;
+        let resolution =
+            ns.anchors
+                .resolve_memoized(signature, self.config.match_tolerance, memo)?;
+        self.peek_entry(ns, resolution, interference_bucket, now, exclude_owner)
     }
 
     /// Resolves `signature` to its anchor id within `namespace`, if any
@@ -1525,6 +1694,18 @@ impl SharedSignatureRepository {
     /// produce byte-identical snapshots.
     pub fn save_snapshot(&self) -> String {
         crate::snapshot::encode(&self.to_snapshot())
+    }
+
+    /// [`save_snapshot`](Self::save_snapshot) with compaction: entries that
+    /// never served a lookup are dropped before serializing
+    /// ([`crate::snapshot::RepoSnapshot::compact`]), trimming the dead
+    /// weight a long-lived fleet cache accretes from one-off workloads.
+    /// Anchors survive compaction (restore requires dense anchor ids, and
+    /// recurring workloads re-publish under them), as do all statistics.
+    pub fn save_snapshot_compact(&self) -> String {
+        let mut snapshot = self.to_snapshot();
+        snapshot.compact();
+        crate::snapshot::encode(&snapshot)
     }
 
     /// Loads a repository from snapshot text produced by

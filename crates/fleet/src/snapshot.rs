@@ -181,6 +181,24 @@ pub struct RepoSnapshot {
     pub shard_stats: Vec<ShardStats>,
 }
 
+impl RepoSnapshot {
+    /// Compacts the snapshot in place: drops every entry that never served a
+    /// lookup (`hits == 0`), the dead weight a long-lived fleet cache
+    /// accretes from one-off workloads. Anchors are kept even when their
+    /// last entry goes — restore requires dense anchor ids, and a warm
+    /// workload may re-publish under an existing anchor. Returns how many
+    /// entries were dropped.
+    pub fn compact(&mut self) -> usize {
+        let mut dropped = 0;
+        for ns in &mut self.namespaces {
+            let before = ns.entries.len();
+            ns.entries.retain(|e| e.hits > 0);
+            dropped += before - ns.entries.len();
+        }
+        dropped
+    }
+}
+
 /// Encodes an `f64` as its IEEE-754 bit pattern (`fb` + 16 hex digits):
 /// bit-exact and byte-deterministic, unlike decimal formatting.
 fn write_f64(out: &mut String, v: f64) {

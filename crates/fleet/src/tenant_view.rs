@@ -9,10 +9,11 @@
 //!   classic `SignatureRepository` (which is what makes a single-tenant fleet
 //!   bit-match a stand-alone run);
 //! * an **outbox** of [`PendingOp`]s — publishes and cross-tenant hit records
-//!   buffered during an epoch and applied by the fleet engine at the epoch
-//!   barrier, in tenant order. Mid-epoch the shared store is therefore
-//!   read-only ([`SharedSignatureRepository::peek`]), which is what makes the
-//!   whole fleet deterministic no matter how worker threads interleave.
+//!   buffered during an epoch and drained by the configured
+//!   [`crate::transport`] backend (the BSP barrier in tenant order at every
+//!   epoch barrier; the bounded-staleness committer per tenant-epoch). The
+//!   view only ever *buffers*; when and under what consistency the
+//!   operations commit is entirely the transport's business.
 //!
 //! A lookup that misses the overlay falls back to the shared store, excluding
 //! entries this tenant owns (its own knowledge lives in the overlay; after a
@@ -29,7 +30,8 @@
 //! [`clock offset`](TenantRepoView::new_with_offset) when publishing or
 //! consulting the shared store and keeps the local overlay in local time.
 
-use crate::shared_repo::{PendingOp, SharedSignatureRepository, TenantId};
+use crate::shared_repo::{PendingOp, ResolveMemo, SharedSignatureRepository, TenantId};
+use crate::transport::Outbox;
 use dejavu_cloud::ResourceAllocation;
 use dejavu_core::repository::{
     AllocationStore, RepositoryEntry, RepositoryKey, RepositoryStats, StoreContext,
@@ -37,10 +39,6 @@ use dejavu_core::repository::{
 use dejavu_core::FlatMap;
 use dejavu_simcore::{SimDuration, SimTime};
 use std::sync::{Arc, Mutex};
-
-/// Shared handle to a tenant's buffered operations; the fleet engine drains it
-/// at every epoch barrier.
-pub type Outbox = Arc<Mutex<Vec<PendingOp>>>;
 
 /// A tenant's view of the fleet-shared signature repository.
 #[derive(Debug)]
@@ -54,6 +52,10 @@ pub struct TenantRepoView {
     clock_offset: SimDuration,
     local: FlatMap<RepositoryKey, RepositoryEntry>,
     stats: RepositoryStats,
+    /// Anchor resolutions for the class-medoid signatures this tenant looks
+    /// up tick after tick — provably bit-identical to resolving from scratch
+    /// (anchors only accrete; see [`ResolveMemo`]).
+    memo: ResolveMemo,
     outbox: Outbox,
 }
 
@@ -86,6 +88,7 @@ impl TenantRepoView {
                 clock_offset,
                 local: FlatMap::new(),
                 stats: RepositoryStats::default(),
+                memo: ResolveMemo::default(),
                 outbox: Arc::clone(&outbox),
             },
             outbox,
@@ -156,12 +159,13 @@ impl AllocationStore for TenantRepoView {
             self.stats.misses += 1;
             return None;
         };
-        match self.shared.peek_resolved(
+        match self.shared.peek_resolved_cached(
             self.namespace,
             sig.values(),
             ctx.key.interference_bucket,
             self.to_global(ctx.now),
             Some(self.tenant),
+            &mut self.memo,
         ) {
             Some((shared_entry, resolved)) => {
                 self.stats.hits += 1;

@@ -1,0 +1,869 @@
+//! The commit-transport layer: **how** tenant-buffered repository operations
+//! reach the shared store, and what consistency tenants observe while they
+//! run.
+//!
+//! The fleet engine used to hard-code one coordination strategy — the
+//! bulk-synchronous epoch barrier — inside its run loop. This module turns
+//! that strategy into a pluggable [`CommitTransport`]:
+//!
+//! * [`BspBarrier`] is the classic engine, verbatim: worker threads step
+//!   disjoint tenant chunks through an epoch, the barrier drains every
+//!   outbox in tenant order, commits one batch per shard, then runs the TTL
+//!   sweep. Mid-epoch the store is frozen, so runs are **bit-deterministic**
+//!   for any worker count.
+//! * [`BoundedStaleness`] frees tenants onto their own threads: a tenant may
+//!   run up to `K` epochs ahead of the fleet-wide commit frontier, so fast
+//!   tenants never wait at a barrier for slow ones. Each tenant's view of the
+//!   shared repository is **at most `K` epochs stale** (enforced by blocking
+//!   on the frontier, measured in [`TransportOutcome`]'s staleness
+//!   histograms). With `K = 0` a tenant may not enter an epoch until every
+//!   prior epoch is fully committed — no tenant can observe or miss anything
+//!   a BSP run would not — so the output provably **bit-matches**
+//!   [`BspBarrier`] (property-tested in `tests/properties.rs`). With `K > 0`
+//!   the store changes underneath running tenants, trading the bitwise
+//!   reproducibility of results for pipeline parallelism; the commit
+//!   *sequence* itself stays deterministic (epoch by epoch, tenant order
+//!   within each epoch).
+//!
+//! Epoch reports travel over the vendored mini mpsc channel
+//! (`crossbeam-channel`), so swapping in a real channel or a tokio runtime
+//! later is a transport-local change. New consistency models (e.g. per-shard
+//! frontiers, quorum commits) are one [`CommitTransport`] impl away — the
+//! engine only prepares tenants and consumes the [`TransportOutcome`].
+
+use crate::engine::{RunState, SimulationEngine};
+use crate::shared_repo::{PendingOp, SharedSignatureRepository};
+use dejavu_baselines::{FixedMax, RightScale};
+use dejavu_cloud::ProvisioningController;
+use dejavu_core::DejaVuController;
+use dejavu_services::ServiceModel;
+use dejavu_simcore::SimTime;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared handle to a tenant's buffered operations; the transport drains it
+/// at every epoch boundary of that tenant.
+pub type Outbox = Arc<Mutex<Vec<PendingOp>>>;
+
+/// One tenant's complete in-flight simulation plus its tenancy window in
+/// epochs. Built by the fleet engine, stepped by a transport through a
+/// [`TenantHandle`], finalized by the engine.
+pub(crate) struct TenantRun {
+    pub(crate) engine: SimulationEngine,
+    pub(crate) service: Box<dyn ServiceModel>,
+    pub(crate) controller: DejaVuController,
+    pub(crate) state: RunState,
+    pub(crate) fixed: Option<(FixedMax, RunState)>,
+    pub(crate) rightscale: Option<(RightScale, RunState)>,
+    /// First global epoch in which the tenant steps (its join barrier).
+    pub(crate) start_epoch: usize,
+    /// Global epoch count at whose barrier the tenant retires, if it leaves.
+    pub(crate) stop_epoch: Option<usize>,
+    /// Nominal end of the tenancy window: `min(stop, start + trace epochs)`.
+    pub(crate) end_epoch: usize,
+    /// Epochs since join at which the first `FleetReuse` fired (1-based).
+    pub(crate) first_reuse_epoch: Option<usize>,
+    /// Epochs this tenant has actually been stepped through.
+    pub(crate) active_epochs: usize,
+    /// Set at the barrier that retires the tenant; freezes all stepping.
+    pub(crate) retired: bool,
+    /// The tenant's buffered shared-store operations (None when isolated).
+    pub(crate) outbox: Option<Outbox>,
+}
+
+/// Steps one run up to (excluding) `epoch_end`.
+fn step_until(
+    engine: &SimulationEngine,
+    service: &dyn ServiceModel,
+    state: &mut RunState,
+    controller: &mut dyn ProvisioningController,
+    epoch_end: SimTime,
+) {
+    while let Some(t) = state.next_tick_time() {
+        if t.as_secs() >= epoch_end.as_secs() {
+            break;
+        }
+        engine.step(state, service, controller);
+    }
+}
+
+impl TenantRun {
+    /// Steps every in-flight run of this tenant up to the barrier ending
+    /// global epoch `epoch` (0-based), honouring the tenancy window. Times
+    /// handed to the tenant are **local** (zero at its join barrier), so a
+    /// late joiner steps exactly like a tenant that started a fresh fleet.
+    fn step_epoch(&mut self, epoch: usize, epoch_secs: f64) {
+        if self.retired {
+            return;
+        }
+        let end_epoch = epoch + 1;
+        if end_epoch <= self.start_epoch {
+            return; // not admitted yet
+        }
+        let mut local_epochs = end_epoch - self.start_epoch;
+        if let Some(stop) = self.stop_epoch {
+            let cap = stop.saturating_sub(self.start_epoch);
+            if cap == 0 {
+                return;
+            }
+            local_epochs = local_epochs.min(cap);
+        }
+        if local_epochs <= self.active_epochs {
+            return; // already stepped past its retirement barrier
+        }
+        self.active_epochs = local_epochs;
+        let epoch_end = SimTime::from_secs(epoch_secs * local_epochs as f64);
+        let service = self.service.as_ref();
+        step_until(
+            &self.engine,
+            service,
+            &mut self.state,
+            &mut self.controller,
+            epoch_end,
+        );
+        if let Some((controller, state)) = &mut self.fixed {
+            step_until(&self.engine, service, state, controller, epoch_end);
+        }
+        if let Some((controller, state)) = &mut self.rightscale {
+            step_until(&self.engine, service, state, controller, epoch_end);
+        }
+    }
+
+    /// Whether the tenant retires at the barrier ending global epoch `epoch`.
+    fn retires_at(&self, epoch: usize) -> bool {
+        let end_epoch = epoch + 1;
+        end_epoch > self.start_epoch
+            && (self.state.is_done() || self.stop_epoch.is_some_and(|stop| end_epoch >= stop))
+    }
+}
+
+/// A transport's per-tenant handle: the only surface through which a backend
+/// steps a tenant, drains its outbox and keeps its convergence bookkeeping.
+/// `Send`, so backends can move tenants onto worker threads.
+pub struct TenantHandle<'a> {
+    index: usize,
+    run: &'a mut TenantRun,
+}
+
+impl TenantHandle<'_> {
+    /// The tenant's position in the scenario (also its commit order).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// First global epoch in which the tenant steps.
+    pub fn start_epoch(&self) -> usize {
+        self.run.start_epoch
+    }
+
+    /// Nominal end of the tenancy window (exclusive global epoch).
+    pub fn end_epoch(&self) -> usize {
+        self.run.end_epoch
+    }
+
+    /// Whether the tenant has been retired by a previous barrier.
+    pub fn retired(&self) -> bool {
+        self.run.retired
+    }
+
+    /// Steps the tenant (and its ride-along baselines) through global epoch
+    /// `epoch`. A retired or not-yet-admitted tenant is a no-op.
+    pub fn step_epoch(&mut self, epoch: usize, ctx: &FleetContext<'_>) {
+        self.run.step_epoch(epoch, ctx.epoch_secs);
+    }
+
+    /// Takes every operation the tenant buffered since the last drain.
+    pub fn drain_outbox(&mut self) -> Vec<PendingOp> {
+        match &self.run.outbox {
+            Some(outbox) => std::mem::take(&mut *outbox.lock().expect("tenant outbox poisoned")),
+            None => Vec::new(),
+        }
+    }
+
+    /// The tenant's cumulative repository `(hits, misses)`.
+    pub fn repo_stats(&self) -> (u64, u64) {
+        let stats = self.run.controller.stats();
+        (stats.repository.hits, stats.repository.misses)
+    }
+
+    /// Records the epoch of the tenant's first `FleetReuse`, if it just
+    /// happened — the newcomer-convergence metric.
+    pub fn observe_reuse(&mut self, epoch: usize) {
+        if self.run.first_reuse_epoch.is_none()
+            && epoch + 1 > self.run.start_epoch
+            && self.run.controller.stats().fleet_reuses > 0
+        {
+            self.run.first_reuse_epoch = Some(epoch + 1 - self.run.start_epoch);
+        }
+    }
+
+    /// Whether the tenant retires at the barrier ending `epoch`.
+    pub fn retires_at(&self, epoch: usize) -> bool {
+        self.run.retires_at(epoch)
+    }
+
+    /// Retires the tenant: all subsequent stepping becomes a no-op and its
+    /// bookkeeping freezes, exactly as when the barrier engine dropped
+    /// retired tenants from its run set.
+    pub fn retire(&mut self) {
+        self.run.retired = true;
+    }
+}
+
+/// The shared, thread-safe side of a fleet run a transport commits through.
+#[derive(Clone, Copy)]
+pub struct FleetContext<'a> {
+    shared: &'a SharedSignatureRepository,
+    epochs: usize,
+    epoch_secs: f64,
+    origin_secs: f64,
+    workers: usize,
+}
+
+impl FleetContext<'_> {
+    /// The fleet horizon in epochs.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Length of one epoch in simulated seconds.
+    pub fn epoch_secs(&self) -> f64 {
+        self.epoch_secs
+    }
+
+    /// Worker threads the engine was configured with (advisory: a transport
+    /// may use its own threading model).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies one epoch's operations (in the given order) through the
+    /// shared repository's batched commit path — one write lock per touched
+    /// shard. Returns one applied-flag per operation.
+    pub fn commit(&self, ops: &[PendingOp]) -> Vec<bool> {
+        self.shared.apply_batch(ops)
+    }
+
+    /// Runs the TTL sweep for the barrier ending global epoch `epoch`.
+    pub fn sweep(&self, epoch: usize) {
+        self.shared.evict_stale(SimTime::from_secs(
+            self.origin_secs + self.epoch_secs * (epoch + 1) as f64,
+        ));
+    }
+}
+
+/// Everything a transport needs to drive one fleet run: the tenants and the
+/// shared-store context. Built by the fleet engine.
+pub struct FleetHarness<'a> {
+    pub(crate) runs: &'a mut [TenantRun],
+    pub(crate) shared: &'a SharedSignatureRepository,
+    pub(crate) epochs: usize,
+    pub(crate) epoch_secs: f64,
+    pub(crate) origin_secs: f64,
+    pub(crate) workers: usize,
+}
+
+impl FleetHarness<'_> {
+    /// Splits the harness into the shared context and one handle per tenant,
+    /// so a backend can distribute tenants across threads.
+    pub fn split(&mut self) -> (FleetContext<'_>, Vec<TenantHandle<'_>>) {
+        let ctx = FleetContext {
+            shared: self.shared,
+            epochs: self.epochs,
+            epoch_secs: self.epoch_secs,
+            origin_secs: self.origin_secs,
+            workers: self.workers,
+        };
+        let handles = self
+            .runs
+            .iter_mut()
+            .enumerate()
+            .map(|(index, run)| TenantHandle { index, run })
+            .collect();
+        (ctx, handles)
+    }
+}
+
+/// Histogram over observed staleness values (in epochs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StalenessHistogram {
+    counts: Vec<u64>,
+}
+
+impl StalenessHistogram {
+    /// Records one observation of `staleness` epochs.
+    pub fn record(&mut self, staleness: usize) {
+        if self.counts.len() <= staleness {
+            self.counts.resize(staleness + 1, 0);
+        }
+        self.counts[staleness] += 1;
+    }
+
+    /// Observation counts, indexed by staleness in epochs.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The largest staleness ever observed (0 when empty).
+    pub fn max(&self) -> usize {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+
+    /// Mean observed staleness (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| s as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+}
+
+/// What a transport reports about its own behaviour: which backend ran, how
+/// stale tenant views were, and how stale the views serving fleet reuses
+/// were. Carried into [`crate::FleetReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportSummary {
+    /// Backend label (`"bsp"`, `"async(staleness=K)"`, …).
+    pub name: String,
+    /// Observed view staleness, one observation per tenant-epoch actually
+    /// stepped: how many epochs the commit frontier trailed the tenant when
+    /// it entered the epoch. All-zero under [`BspBarrier`].
+    pub view_staleness: StalenessHistogram,
+    /// Reuse latency: for every committed cross-tenant hit, the view
+    /// staleness of the epoch that produced it — how fresh the shared
+    /// knowledge serving reuses actually was.
+    pub reuse_staleness: StalenessHistogram,
+}
+
+impl TransportSummary {
+    /// The summary of a barrier run that never left epoch lock-step (also the
+    /// placeholder for hand-built reports).
+    pub fn bsp() -> Self {
+        TransportSummary {
+            name: "bsp".to_string(),
+            view_staleness: StalenessHistogram::default(),
+            reuse_staleness: StalenessHistogram::default(),
+        }
+    }
+}
+
+/// Everything a transport hands back to the engine after driving a fleet.
+#[derive(Debug, Clone)]
+pub struct TransportOutcome {
+    /// Transport self-telemetry (label + staleness histograms).
+    pub summary: TransportSummary,
+    /// Fleet-wide cumulative repository hit rate after each epoch.
+    pub hit_rate_curve: Vec<f64>,
+    /// Per-tenant committed cross-tenant hits, in tenant order.
+    pub cross_tenant_hits: Vec<u64>,
+}
+
+impl TransportOutcome {
+    fn new(name: String, tenants: usize) -> Self {
+        TransportOutcome {
+            summary: TransportSummary {
+                name,
+                view_staleness: StalenessHistogram::default(),
+                reuse_staleness: StalenessHistogram::default(),
+            },
+            hit_rate_curve: Vec::new(),
+            cross_tenant_hits: vec![0; tenants],
+        }
+    }
+}
+
+/// A commit transport: the strategy that schedules tenant stepping and moves
+/// buffered operations into the shared repository.
+///
+/// Implementations must commit each epoch's operations **in tenant order**
+/// (ties in the scenario's commit sequence are what keep shard-level results
+/// reproducible) and run the TTL sweep once per epoch; beyond that they are
+/// free to choose any consistency model between tenants and the store.
+pub trait CommitTransport: Send + Sync {
+    /// Label recorded in reports and benchmarks.
+    fn name(&self) -> String;
+
+    /// Drives every tenant from its join barrier to its retirement,
+    /// committing outboxes along the way.
+    fn drive(&self, harness: &mut FleetHarness<'_>) -> TransportOutcome;
+}
+
+/// Which transport a fleet run uses (the cloneable configuration surface;
+/// [`TransportConfig::backend`] materializes the backend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportConfig {
+    /// The lock-step BSP epoch barrier: bit-deterministic for any worker
+    /// count. The default.
+    #[default]
+    Bsp,
+    /// Free-running tenant threads observing the shared repository at most
+    /// `staleness` epochs stale. `staleness = 0` bit-matches
+    /// [`TransportConfig::Bsp`]; larger values trade bitwise result
+    /// reproducibility for pipeline parallelism.
+    BoundedStaleness {
+        /// Maximum number of epochs a tenant's view may trail the commit
+        /// frontier.
+        staleness: usize,
+    },
+}
+
+impl TransportConfig {
+    /// Materializes the configured backend.
+    pub fn backend(self) -> Box<dyn CommitTransport> {
+        match self {
+            TransportConfig::Bsp => Box::new(BspBarrier),
+            TransportConfig::BoundedStaleness { staleness } => {
+                Box::new(BoundedStaleness { staleness })
+            }
+        }
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+/// Commits one epoch's operations and accounts applied cross-tenant hits.
+/// `op_tenants[i]`/`op_staleness[i]` describe which tenant buffered `ops[i]`
+/// and how stale its view was during that epoch.
+fn commit_epoch(
+    ctx: &FleetContext<'_>,
+    ops: &[PendingOp],
+    op_tenants: &[usize],
+    op_staleness: &[usize],
+    out: &mut TransportOutcome,
+) {
+    if ops.is_empty() {
+        return;
+    }
+    let applied = ctx.commit(ops);
+    for (((op, &tenant), &staleness), applied) in
+        ops.iter().zip(op_tenants).zip(op_staleness).zip(applied)
+    {
+        // A hit only counts if the store still held the entry at commit time
+        // (an earlier publish in the same barrier can have re-anchored the
+        // namespace), keeping the engine-side and store-side cross-tenant
+        // counters consistent.
+        if applied && matches!(op, PendingOp::RecordHit { .. }) {
+            out.cross_tenant_hits[tenant] += 1;
+            out.summary.reuse_staleness.record(staleness);
+        }
+    }
+}
+
+/// The classic bulk-synchronous barrier transport.
+///
+/// Within an epoch each worker thread steps a disjoint chunk of tenants,
+/// reading the shared repository through read-only, epoch-frozen snapshots
+/// while buffering writes in per-tenant outboxes. At the epoch barrier the
+/// outboxes are drained **in tenant order**, applied through one batched
+/// commit per shard, and the TTL sweep runs. Mid-epoch the shared store never
+/// changes and commits have a fixed order, so the fleet result is a pure
+/// function of the scenario — it does not depend on thread count or OS
+/// scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BspBarrier;
+
+impl CommitTransport for BspBarrier {
+    fn name(&self) -> String {
+        "bsp".to_string()
+    }
+
+    fn drive(&self, harness: &mut FleetHarness<'_>) -> TransportOutcome {
+        let (ctx, mut handles) = harness.split();
+        let mut out = TransportOutcome::new(self.name(), handles.len());
+        let chunk_size = handles.len().div_ceil(ctx.workers.max(1)).max(1);
+        for epoch in 0..ctx.epochs {
+            std::thread::scope(|scope| {
+                for chunk in handles.chunks_mut(chunk_size) {
+                    scope.spawn(move || {
+                        for handle in chunk {
+                            handle.step_epoch(epoch, &ctx);
+                        }
+                    });
+                }
+            });
+            // Epoch barrier: publish buffered writes in tenant order, then
+            // age out stale entries. This is the only place the shared store
+            // changes under this transport.
+            let mut ops: Vec<PendingOp> = Vec::new();
+            let mut op_tenants: Vec<usize> = Vec::new();
+            for handle in &mut handles {
+                let drained = handle.drain_outbox();
+                op_tenants.resize(op_tenants.len() + drained.len(), handle.index());
+                ops.extend(drained);
+            }
+            let op_staleness = vec![0usize; ops.len()];
+            commit_epoch(&ctx, &ops, &op_tenants, &op_staleness, &mut out);
+            ctx.sweep(epoch);
+
+            // Convergence bookkeeping, then barrier-aligned retirement.
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for handle in &mut handles {
+                let (h, m) = handle.repo_stats();
+                hits += h;
+                misses += m;
+                if !handle.retired() {
+                    // Mirror the bounded-staleness tenant loop exactly: one
+                    // observation per epoch inside the tenancy window (a
+                    // zero-length window — start == stop — steps nothing
+                    // and records nothing).
+                    if epoch >= handle.start_epoch() && epoch < handle.end_epoch() {
+                        out.summary.view_staleness.record(0);
+                    }
+                    handle.observe_reuse(epoch);
+                    if handle.retires_at(epoch) {
+                        handle.retire();
+                    }
+                }
+            }
+            out.hit_rate_curve.push(hit_rate(hits, misses));
+        }
+        out
+    }
+}
+
+/// The fleet-wide commit frontier: how many epochs have been fully committed.
+/// Tenant threads block on it to honour the staleness bound; the committer
+/// advances it after each epoch's commit + sweep. The frontier can be
+/// **poisoned** when the committer unwinds: blocked tenants must wake up and
+/// die rather than sleep forever, so the original panic — not a deadlock —
+/// reaches the caller.
+#[derive(Default)]
+struct Frontier {
+    /// `(committed epochs, poisoned)`.
+    state: Mutex<(usize, bool)>,
+    advanced: Condvar,
+}
+
+impl Frontier {
+    /// Blocks until entering `epoch` would leave the caller at most `bound`
+    /// epochs ahead of the committed frontier; returns the observed staleness
+    /// (how many epochs the frontier trailed the caller at admission).
+    /// Panics if the frontier was poisoned while waiting.
+    fn wait_within(&self, epoch: usize, bound: usize) -> usize {
+        let mut state = self.state.lock().expect("frontier poisoned");
+        loop {
+            assert!(!state.1, "transport committer unwound; tenant aborting");
+            if epoch <= state.0 + bound {
+                return epoch.saturating_sub(state.0);
+            }
+            state = self.advanced.wait(state).expect("frontier poisoned");
+        }
+    }
+
+    fn advance(&self, committed_epochs: usize) {
+        self.state.lock().expect("frontier poisoned").0 = committed_epochs;
+        self.advanced.notify_all();
+    }
+
+    /// Marks the frontier dead and wakes every waiter (see [`PoisonOnDrop`]).
+    fn poison(&self) {
+        self.state.lock().expect("frontier poisoned").1 = true;
+        self.advanced.notify_all();
+    }
+}
+
+/// Poisons the frontier if dropped while armed — the committer holds one so
+/// that its own unwind (a lost report, a panic surfaced by a tenant) releases
+/// every tenant blocked in [`Frontier::wait_within`] before `thread::scope`
+/// starts joining; without it, a committer panic would deadlock the scope.
+struct PoisonOnDrop<'a> {
+    frontier: &'a Frontier,
+    armed: bool,
+}
+
+impl Drop for PoisonOnDrop<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.frontier.poison();
+        }
+    }
+}
+
+/// One tenant's end-of-epoch report to the committer.
+struct EpochReport {
+    tenant: usize,
+    epoch: usize,
+    /// Frontier lag observed when the tenant entered the epoch.
+    staleness: usize,
+    ops: Vec<PendingOp>,
+    /// Cumulative repository stats after this epoch.
+    hits: u64,
+    misses: u64,
+    /// This is the tenant's final report (retirement or window end).
+    last: bool,
+    /// The tenant thread unwound mid-epoch (sent from its drop guard): the
+    /// committer must poison the frontier and re-panic instead of waiting
+    /// forever for reports that will never come.
+    aborted: bool,
+}
+
+/// Sends an `aborted` report if a tenant thread unwinds before completing its
+/// window, so the committer learns about the death instead of deadlocking on
+/// the missing epoch reports; `disarm` marks a clean exit.
+struct AbortOnDrop<'a> {
+    tx: &'a crossbeam_channel::Sender<EpochReport>,
+    tenant: usize,
+    armed: bool,
+}
+
+impl AbortOnDrop<'_> {
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for AbortOnDrop<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            // A failed send means the committer is already gone; nothing to
+            // notify.
+            let _ = self.tx.send(EpochReport {
+                tenant: self.tenant,
+                epoch: 0,
+                staleness: 0,
+                ops: Vec::new(),
+                hits: 0,
+                misses: 0,
+                last: true,
+                aborted: true,
+            });
+        }
+    }
+}
+
+/// The asynchronous bounded-staleness transport.
+///
+/// Every tenant runs on its own thread, free to advance up to
+/// [`staleness`](Self::staleness) epochs beyond the fleet-wide commit
+/// frontier; a committer thread assembles each epoch's reports (arriving over
+/// the vendored mini mpsc channel), applies them in tenant order, runs the
+/// TTL sweep and advances the frontier. Views are therefore never more than
+/// `staleness` epochs stale, and with `staleness = 0` the schedule collapses
+/// to the BSP barrier: no tenant may enter an epoch before every prior epoch
+/// committed, so the store is frozen while anyone reads it and the run
+/// bit-matches [`BspBarrier`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedStaleness {
+    /// Maximum number of epochs a tenant's view may trail its own position.
+    pub staleness: usize,
+}
+
+impl CommitTransport for BoundedStaleness {
+    fn name(&self) -> String {
+        format!("async(staleness={})", self.staleness)
+    }
+
+    fn drive(&self, harness: &mut FleetHarness<'_>) -> TransportOutcome {
+        let (ctx, handles) = harness.split();
+        let tenant_count = handles.len();
+        let mut out = TransportOutcome::new(self.name(), tenant_count);
+        if ctx.epochs == 0 || tenant_count == 0 {
+            return out;
+        }
+        let windows: Vec<(usize, usize)> = handles
+            .iter()
+            .map(|h| (h.start_epoch(), h.end_epoch()))
+            .collect();
+        // How many tenants must report each epoch before it can commit,
+        // from the nominal tenancy windows; adjusted when a tenant's `last`
+        // report arrives earlier than its nominal end.
+        let mut expected = vec![0usize; ctx.epochs];
+        for &(start, end) in &windows {
+            for slot in &mut expected[start..end.min(ctx.epochs)] {
+                *slot += 1;
+            }
+        }
+        let bound = self.staleness;
+        let frontier = Frontier::default();
+        let (tx, rx) = crossbeam_channel::unbounded::<EpochReport>();
+        std::thread::scope(|scope| {
+            for mut handle in handles {
+                let tx = tx.clone();
+                let frontier = &frontier;
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    // If this thread unwinds (a poisoned outbox, a panicking
+                    // service model), the guard tells the committer, which
+                    // poisons the frontier and re-panics — the failure
+                    // surfaces instead of deadlocking the whole fleet.
+                    let mut guard = AbortOnDrop {
+                        tx: &tx,
+                        tenant: handle.index(),
+                        armed: true,
+                    };
+                    let (start, end) = (handle.start_epoch(), handle.end_epoch());
+                    for epoch in start..end {
+                        let staleness = frontier.wait_within(epoch, bound);
+                        handle.step_epoch(epoch, ctx);
+                        handle.observe_reuse(epoch);
+                        let ops = handle.drain_outbox();
+                        let retiring = handle.retires_at(epoch);
+                        if retiring {
+                            handle.retire();
+                        }
+                        let (hits, misses) = handle.repo_stats();
+                        let last = retiring || epoch + 1 == end;
+                        let report = EpochReport {
+                            tenant: handle.index(),
+                            epoch,
+                            staleness,
+                            ops,
+                            hits,
+                            misses,
+                            last,
+                            aborted: false,
+                        };
+                        if tx.send(report).is_err() || last {
+                            break;
+                        }
+                    }
+                    guard.disarm();
+                });
+            }
+            drop(tx);
+
+            // The committer: collect each epoch's reports, commit them in
+            // tenant order, sweep, advance the frontier. If it unwinds for
+            // any reason, the guard poisons the frontier first, so blocked
+            // tenant threads die (and the scope joins) instead of sleeping
+            // forever under a panic.
+            let mut poison_guard = PoisonOnDrop {
+                frontier: &frontier,
+                armed: true,
+            };
+            let mut pending: Vec<Vec<EpochReport>> = (0..ctx.epochs).map(|_| Vec::new()).collect();
+            let mut received = vec![0usize; ctx.epochs];
+            let mut cached: Vec<(u64, u64)> = vec![(0, 0); tenant_count];
+            let mut next = 0usize;
+            while next < ctx.epochs {
+                if received[next] < expected[next] {
+                    let Ok(report) = rx.recv() else {
+                        panic!(
+                            "async transport lost epoch reports ({} of {} epochs committed)",
+                            next, ctx.epochs
+                        );
+                    };
+                    assert!(
+                        !report.aborted,
+                        "tenant {} panicked mid-run; aborting the fleet",
+                        report.tenant
+                    );
+                    if report.last {
+                        // The tenant retired before its nominal window end:
+                        // later epochs no longer wait for it.
+                        let nominal_end = windows[report.tenant].1.min(ctx.epochs);
+                        for slot in &mut expected[report.epoch + 1..nominal_end] {
+                            *slot -= 1;
+                        }
+                    }
+                    received[report.epoch] += 1;
+                    pending[report.epoch].push(report);
+                    continue;
+                }
+                let mut batch = std::mem::take(&mut pending[next]);
+                batch.sort_by_key(|r| r.tenant);
+                let mut ops: Vec<PendingOp> = Vec::new();
+                let mut op_tenants: Vec<usize> = Vec::new();
+                let mut op_staleness: Vec<usize> = Vec::new();
+                for report in &mut batch {
+                    let drained = std::mem::take(&mut report.ops);
+                    op_tenants.resize(op_tenants.len() + drained.len(), report.tenant);
+                    op_staleness.resize(op_staleness.len() + drained.len(), report.staleness);
+                    ops.extend(drained);
+                }
+                commit_epoch(&ctx, &ops, &op_tenants, &op_staleness, &mut out);
+                ctx.sweep(next);
+                for report in &batch {
+                    cached[report.tenant] = (report.hits, report.misses);
+                    out.summary.view_staleness.record(report.staleness);
+                }
+                let hits: u64 = cached.iter().map(|&(h, _)| h).sum();
+                let misses: u64 = cached.iter().map(|&(_, m)| m).sum();
+                out.hit_rate_curve.push(hit_rate(hits, misses));
+                next += 1;
+                // Advancing after the sweep keeps `staleness = 0` exact: no
+                // tenant enters the next epoch while the store still moves.
+                frontier.advance(next);
+            }
+            poison_guard.armed = false;
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staleness_histogram_summarizes() {
+        let mut h = StalenessHistogram::default();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(0);
+        h.record(0);
+        h.record(2);
+        assert_eq!(h.counts(), &[2, 0, 1]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.max(), 2);
+        assert!((h.mean() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transport_config_materializes_named_backends() {
+        assert_eq!(TransportConfig::default(), TransportConfig::Bsp);
+        assert_eq!(TransportConfig::Bsp.backend().name(), "bsp");
+        assert_eq!(
+            TransportConfig::BoundedStaleness { staleness: 3 }
+                .backend()
+                .name(),
+            "async(staleness=3)"
+        );
+    }
+
+    #[test]
+    fn poisoned_frontier_wakes_and_kills_waiters() {
+        let frontier = Frontier::default();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| frontier.wait_within(5, 0));
+            frontier.poison();
+            assert!(
+                waiter.join().is_err(),
+                "a poisoned frontier must panic its waiters, not strand them"
+            );
+        });
+    }
+
+    #[test]
+    fn frontier_blocks_until_within_bound() {
+        let frontier = Frontier::default();
+        assert_eq!(frontier.wait_within(0, 0), 0);
+        frontier.advance(2);
+        assert_eq!(frontier.wait_within(3, 1), 1);
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| frontier.wait_within(5, 1));
+            // The waiter needs the frontier at 4; release it.
+            frontier.advance(4);
+            assert_eq!(t.join().expect("waiter"), 1);
+        });
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline mini-channel stand-in for the `crossbeam-channel` API surface.
+//!
+//! The workspace builds hermetically (no registry access), so this crate
+//! provides the small mpsc subset `dejavu-fleet`'s async commit transport
+//! needs — `unbounded`/`bounded` channels with cloneable senders, blocking
+//! `recv`, and sender-drop disconnection — implemented over a
+//! `Mutex<VecDeque>` + `Condvar` pair. It mirrors the real crate's names and
+//! result types, so swapping the genuine dependency in is a manifest change
+//! only. A `Mutex`-guarded queue is plenty here: the transport sends one
+//! message per tenant per epoch, far below contention territory.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every [`Receiver`] is gone.
+/// Carries the unsent message back to the caller, like the real crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// [`Sender`] has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty, but senders still exist.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    /// Bounded channels only: senders may hold at most this many queued
+    /// messages before blocking.
+    capacity: Option<usize>,
+    /// Signalled when a message arrives or the last sender disconnects.
+    not_empty: Condvar,
+    /// Signalled when a message leaves a full bounded channel (or the last
+    /// receiver disconnects, releasing blocked senders).
+    not_full: Condvar,
+}
+
+/// The sending half of a channel. Cloneable: the transport hands one to every
+/// tenant worker thread.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a channel of unlimited capacity: `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a channel holding at most `capacity` queued messages: `send`
+/// blocks while the channel is full. A zero capacity is rounded up to one
+/// (this stand-in has no rendezvous mode).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(capacity.max(1)))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `message`, blocking while a bounded channel is full. Fails —
+    /// returning the message — once every receiver is gone.
+    pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(message));
+            }
+            match self.inner.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self.inner.not_full.wait(state).expect("channel poisoned");
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(message);
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake receivers so a blocked `recv` observes the disconnect.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty. Fails
+    /// once the channel is empty and every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(message) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(message);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.inner.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Dequeues the next message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        if let Some(message) = state.queue.pop_front() {
+            drop(state);
+            self.inner.not_full.notify_one();
+            return Ok(message);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// A blocking iterator over received messages, ending at disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        state.receivers -= 1;
+        let last = state.receivers == 0;
+        drop(state);
+        if last {
+            // Wake senders blocked on a full bounded channel so their `send`
+            // observes the disconnect instead of sleeping forever.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking message iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_one_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn many_producers_one_consumer_loses_nothing() {
+        let (tx, rx) = unbounded();
+        let threads = 8;
+        let per_thread = 500;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        tx.send(t * per_thread + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..threads * per_thread).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn bounded_channel_blocks_and_drains() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        std::thread::scope(|scope| {
+            let tx = tx.clone();
+            scope.spawn(move || tx.send(3).unwrap());
+            // The consumer frees a slot; the blocked producer completes.
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        });
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn send_fails_once_the_receiver_is_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn try_recv_reports_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}
