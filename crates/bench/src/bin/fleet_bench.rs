@@ -3,9 +3,11 @@
 //! Runs the standard mixed fleet end to end (shared and isolated repository
 //! modes), the BSP-vs-async commit-transport comparison (same fleet under
 //! the lock-step barrier and under bounded staleness, with a `k = 0`
-//! bit-match check), and a shared-repository lookup microbenchmark, then
-//! emits `BENCH_fleet.json` so every perf PR leaves comparable numbers
-//! behind.
+//! bit-match check), the work-stealing thread-cap sweep (the 1000-tenant
+//! fleet on pools of 1/2/4 workers vs the barrier and vs one thread per
+//! tenant, with its own `k = 0` bit-match check), and a shared-repository
+//! lookup microbenchmark, then emits `BENCH_fleet.json` so every perf PR
+//! leaves comparable numbers behind.
 //!
 //! ```text
 //! cargo run --release -p dejavu-bench --bin fleet-bench            # full: 200 and 1000 tenants
@@ -239,6 +241,83 @@ fn transport_compare(tenants: usize, days: usize, staleness: usize) -> Transport
     }
 }
 
+/// The work-stealing thread-cap sweep: the same fleet under the barrier,
+/// under one-thread-per-tenant bounded staleness, and under the
+/// work-stealing pool at several thread caps — the configuration meant for
+/// 1000+-tenant fleets on small hosts, where one thread per tenant loses to
+/// the barrier. Also verifies that `staleness = 0` on the pool bit-matches
+/// the barrier, so the recorded throughput is attributable to scheduling
+/// alone.
+struct WorkStealingMeasurement {
+    tenants: usize,
+    days: usize,
+    staleness: usize,
+    bsp_epochs_per_sec: f64,
+    async_epochs_per_sec: f64,
+    /// `(thread cap, epochs/s)` per sweep point.
+    caps: Vec<(usize, f64)>,
+    /// Pool epochs/s (best cap) over one-thread-per-tenant epochs/s.
+    speedup_vs_async: f64,
+    steal0_bit_match: bool,
+}
+
+fn work_stealing_sweep(
+    tenants: usize,
+    days: usize,
+    staleness: usize,
+    caps: &[usize],
+) -> WorkStealingMeasurement {
+    let run = |transport: TransportConfig| {
+        let engine = FleetEngine::new(
+            standard_fleet(tenants, days, 11),
+            FleetConfig {
+                transport,
+                ..Default::default()
+            },
+        );
+        let start = Instant::now();
+        let report = engine.run();
+        (report, start.elapsed().as_secs_f64())
+    };
+    let (bsp_report, bsp_secs) = run(TransportConfig::Bsp);
+    let (_, async_secs) = run(TransportConfig::BoundedStaleness { staleness });
+    let mut cap_rates = Vec::new();
+    for &threads in caps {
+        let (report, secs) = run(TransportConfig::WorkStealing { threads, staleness });
+        cap_rates.push((threads, report.epochs as f64 / secs.max(1e-12)));
+    }
+    let (steal0_report, _) = run(TransportConfig::WorkStealing {
+        threads: *caps.last().unwrap_or(&2),
+        staleness: 0,
+    });
+    let steal0_bit_match = steal0_report.hit_rate_curve == bsp_report.hit_rate_curve
+        && bsp_report
+            .tenants
+            .iter()
+            .zip(&steal0_report.tenants)
+            .all(|(a, b)| {
+                a.dejavu.total_cost == b.dejavu.total_cost
+                    && a.stats.tunings == b.stats.tunings
+                    && a.cross_tenant_hits == b.cross_tenant_hits
+            });
+    let epochs = bsp_report.epochs as f64;
+    let async_epochs_per_sec = epochs / async_secs.max(1e-12);
+    let best = cap_rates
+        .iter()
+        .map(|&(_, rate)| rate)
+        .fold(0.0f64, f64::max);
+    WorkStealingMeasurement {
+        tenants,
+        days,
+        staleness,
+        bsp_epochs_per_sec: epochs / bsp_secs.max(1e-12),
+        async_epochs_per_sec,
+        caps: cap_rates,
+        speedup_vs_async: best / async_epochs_per_sec.max(1e-12),
+        steal0_bit_match,
+    }
+}
+
 /// A 30-metric signature for anchor `a`, shaped like the profiler's output:
 /// magnitudes spread over decades, distinct anchors well beyond the match
 /// tolerance.
@@ -424,6 +503,28 @@ fn main() {
         transport.async0_bit_match,
     );
 
+    let steal = if args.quick {
+        work_stealing_sweep(40, 1, 1, &[2])
+    } else {
+        work_stealing_sweep(1000, 1, 1, &[1, 2, 4])
+    };
+    let caps_text: Vec<String> = steal
+        .caps
+        .iter()
+        .map(|(threads, rate)| format!("{threads}T {rate:.2}"))
+        .collect();
+    eprintln!(
+        "work-stealing {:>4} tenants x {} day(s) (k={}): bsp {:>7.2} epochs/s vs async {:>7.2} vs steal [{}] ({:.2}x over async; k=0 bit-match {})",
+        steal.tenants,
+        steal.days,
+        steal.staleness,
+        steal.bsp_epochs_per_sec,
+        steal.async_epochs_per_sec,
+        caps_text.join(", "),
+        steal.speedup_vs_async,
+        steal.steal0_bit_match,
+    );
+
     let lookups = lookup_microbench(anchors, samples);
     for (name, m) in &lookups {
         eprintln!(
@@ -491,6 +592,23 @@ fn main() {
         transport.view_staleness_mean,
         transport.view_staleness_max,
         transport.async0_bit_match,
+    );
+    let caps_json: Vec<String> = steal
+        .caps
+        .iter()
+        .map(|(threads, rate)| format!("{{\"threads\": {threads}, \"epochs_per_sec\": {rate:.2}}}"))
+        .collect();
+    let _ = writeln!(
+        run,
+        "      \"work_stealing\": {{\"tenants\": {}, \"days\": {}, \"staleness\": {}, \"bsp_epochs_per_sec\": {:.2}, \"async_epochs_per_sec\": {:.2}, \"caps\": [{}], \"speedup_vs_async\": {:.3}, \"steal0_bit_match\": {}}},",
+        steal.tenants,
+        steal.days,
+        steal.staleness,
+        steal.bsp_epochs_per_sec,
+        steal.async_epochs_per_sec,
+        caps_json.join(", "),
+        steal.speedup_vs_async,
+        steal.steal0_bit_match,
     );
     run.push_str("      \"lookups\": [\n");
     for (i, (name, m)) in lookups.iter().enumerate() {

@@ -16,6 +16,8 @@
 //! cargo run -p dejavu-experiments --release -- fleet --tenants 40 --churn
 //! # free-running tenants, views at most 2 epochs stale:
 //! cargo run -p dejavu-experiments --release -- fleet --transport async --staleness 2
+//! # the same consistency on a 4-thread work-stealing pool (1000+-tenant scale):
+//! cargo run -p dejavu-experiments --release -- fleet --transport steal --threads 4 --staleness 1
 //! # drop never-hit entries when persisting:
 //! cargo run -p dejavu-experiments --release -- fleet --snapshot-out fleet.snap --snapshot-compact
 //! ```
@@ -23,8 +25,11 @@
 //! With `--snapshot-in` the report carries the newcomer-convergence numbers
 //! (mean epochs to the first `FleetReuse`) that show a warm-started tenant
 //! skipping the learning phase the DejaVu paper sets out to amortize. With
-//! `--transport async` the report additionally carries the observed-staleness
-//! telemetry of the bounded-staleness transport.
+//! `--transport async` or `--transport steal` the report additionally
+//! carries the observed-staleness telemetry of the asynchronous transports.
+//! The `--transport` name goes through the typed
+//! [`TransportConfig::parse`], so an unknown backend is a clear error
+//! listing the valid choices rather than a panic.
 
 use crate::report::{pct, Report};
 use dejavu_fleet::{
@@ -311,6 +316,31 @@ mod tests {
         assert!(text.contains("view staleness"));
         // The BSP report stays free of transport telemetry lines.
         assert!(!bsp.report().into_text().contains("view staleness"));
+    }
+
+    #[test]
+    fn work_stealing_transport_runs_on_a_capped_pool_and_reports_staleness() {
+        let fig = run_opts(&FleetOptions {
+            seed: 3,
+            tenants: 6,
+            days: 1,
+            transport: TransportConfig::WorkStealing {
+                threads: 2,
+                staleness: 1,
+            },
+            ..Default::default()
+        })
+        .expect("steal run");
+        assert_eq!(fig.shared.transport.name, "steal(threads=2,staleness=1)");
+        assert!(fig.shared.transport.view_staleness.max() <= 1);
+        assert!(fig.report().into_text().contains("view staleness"));
+    }
+
+    #[test]
+    fn unknown_transport_names_parse_to_a_helpful_error() {
+        let err = TransportConfig::parse("tokio", 4, 1).expect_err("unknown backend");
+        assert!(err.contains("'tokio'"), "{err}");
+        assert!(err.contains("'steal'"), "{err}");
     }
 
     #[test]

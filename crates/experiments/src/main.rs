@@ -6,6 +6,7 @@
 //! cargo run -p dejavu-experiments --release -- fleet --tenants 40 --snapshot-out fleet.snap
 //! cargo run -p dejavu-experiments --release -- fleet --tenants 8 --snapshot-in fleet.snap --churn
 //! cargo run -p dejavu-experiments --release -- fleet --transport async --staleness 2
+//! cargo run -p dejavu-experiments --release -- fleet --transport steal --threads 4 --staleness 1
 //! ```
 
 use dejavu_fleet::TransportConfig;
@@ -21,10 +22,14 @@ fn main() {
         baselines: true,
         ..Default::default()
     };
-    // `--transport async` defaults to 1 epoch of staleness; `--staleness`
-    // overrides it (0 bit-matches the BSP barrier).
-    let mut transport_async = false;
+    // `--transport async|steal` defaults to 1 epoch of staleness;
+    // `--staleness` overrides it (0 bit-matches the BSP barrier) and
+    // `--threads` caps the work-stealing pool. The name itself goes through
+    // the typed `TransportConfig::parse`, so an unknown backend is a clear
+    // error listing the valid choices.
+    let mut transport_name: Option<String> = None;
     let mut staleness = 1usize;
+    let mut threads = 4usize;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -41,14 +46,10 @@ fn main() {
                 fleet_opts.days = v.parse().unwrap_or(3);
             }
         } else if arg == "--transport" {
-            match it.next().map(String::as_str) {
-                Some("bsp") => transport_async = false,
-                Some("async") => transport_async = true,
-                other => {
-                    eprintln!(
-                        "--transport needs 'bsp' or 'async' (got {})",
-                        other.unwrap_or("nothing")
-                    );
+            match it.next() {
+                Some(v) => transport_name = Some(v.clone()),
+                None => {
+                    eprintln!("--transport needs a backend name ('bsp', 'async' or 'steal')");
                     std::process::exit(2);
                 }
             }
@@ -57,6 +58,14 @@ fn main() {
                 Some(k) => staleness = k,
                 None => {
                     eprintln!("--staleness needs an epoch count");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--threads" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive worker count");
                     std::process::exit(2);
                 }
             }
@@ -84,8 +93,14 @@ fn main() {
         }
     }
     fleet_opts.seed = seed;
-    if transport_async {
-        fleet_opts.transport = TransportConfig::BoundedStaleness { staleness };
+    if let Some(name) = &transport_name {
+        match TransportConfig::parse(name, threads, staleness) {
+            Ok(transport) => fleet_opts.transport = transport,
+            Err(message) => {
+                eprintln!("--transport: {message}");
+                std::process::exit(2);
+            }
+        }
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = vec![

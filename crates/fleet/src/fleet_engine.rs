@@ -16,9 +16,14 @@
 //!   Mid-epoch the shared store never changes, so the fleet result is a pure
 //!   function of the scenario — independent of thread count or OS scheduling.
 //! * [`TransportConfig::BoundedStaleness`] — free-running tenant threads
-//!   whose views trail the commit frontier by at most `K` epochs. `K = 0`
-//!   bit-matches the barrier; `K > 0` trades bitwise result reproducibility
-//!   for pipeline parallelism.
+//!   whose views trail their shard's commit frontier by at most `K` epochs.
+//!   `K = 0` bit-matches the barrier; `K > 0` trades bitwise result
+//!   reproducibility for pipeline parallelism.
+//! * [`TransportConfig::WorkStealing`] — the same consistency model on a
+//!   fixed pool of worker threads pulling per-epoch tenant tasks from a
+//!   shared deque: 1000+-tenant fleets without 1000 threads. Results are
+//!   invariant to the thread cap; `K = 0` bit-matches the barrier (fuzzed
+//!   across scenarios in `tests/differential.rs`).
 //!
 //! # Elastic tenancy
 //!
@@ -73,7 +78,8 @@ pub struct FleetConfig {
     pub sharing: SharingMode,
     /// Worker threads for the barrier transport and tenant finalization;
     /// 0 means "one per available core". The bounded-staleness transport
-    /// runs one thread per tenant regardless.
+    /// runs one thread per tenant regardless, and the work-stealing
+    /// transport sizes its pool from its own `threads` field.
     pub workers: usize,
     /// Shared-repository sharding/TTL configuration.
     pub repo: SharedRepoConfig,
@@ -182,6 +188,7 @@ impl FleetEngine {
 
         for (spec, window) in self.scenario.tenants.iter().zip(&windows) {
             let engine = crate::engine::SimulationEngine::new(spec.run_config(self.scenario.tick));
+            let namespace = spec.namespace();
             let space = engine.config().space.clone();
             let dv_config = DejaVuConfig::builder()
                 .learning_hours(self.config.learning_hours)
@@ -199,7 +206,7 @@ impl FleetEngine {
                     let (view, outbox) = TenantRepoView::new_with_offset(
                         Arc::clone(&shared),
                         spec.id,
-                        spec.namespace(),
+                        namespace,
                         dejavu_simcore::SimDuration::from_secs(
                             origin_secs + epoch_secs * window.start as f64,
                         ),
@@ -233,6 +240,7 @@ impl FleetEngine {
                 first_reuse_epoch: None,
                 active_epochs: 0,
                 retired: false,
+                namespace,
                 outbox,
             });
         }
@@ -614,6 +622,68 @@ mod tests {
             assert_eq!(a.cross_tenant_hits, b.cross_tenant_hits);
         }
         assert_eq!(async0.transport.view_staleness.max(), 0);
+    }
+
+    #[test]
+    fn work_stealing_zero_staleness_matches_the_barrier_at_any_thread_cap() {
+        let bsp = FleetEngine::new(tiny_scenario(4), FleetConfig::default()).run();
+        for threads in [1, 3, 8] {
+            let steal = FleetEngine::new(
+                tiny_scenario(4),
+                FleetConfig {
+                    transport: TransportConfig::WorkStealing {
+                        threads,
+                        staleness: 0,
+                    },
+                    ..Default::default()
+                },
+            )
+            .run();
+            assert_eq!(
+                steal.transport.name,
+                format!("steal(threads={threads},staleness=0)")
+            );
+            assert_eq!(
+                steal.hit_rate_curve, bsp.hit_rate_curve,
+                "{threads} threads"
+            );
+            for (a, b) in bsp.tenants.iter().zip(&steal.tenants) {
+                assert_eq!(
+                    a.dejavu.total_cost, b.dejavu.total_cost,
+                    "{threads} threads"
+                );
+                assert_eq!(a.stats.tunings, b.stats.tunings, "{threads} threads");
+                assert_eq!(
+                    a.cross_tenant_hits, b.cross_tenant_hits,
+                    "{threads} threads"
+                );
+            }
+            assert_eq!(steal.transport.view_staleness.max(), 0);
+        }
+    }
+
+    #[test]
+    fn work_stealing_respects_its_bound_on_a_capped_pool() {
+        let k = 2;
+        let report = FleetEngine::new(
+            tiny_scenario(5),
+            FleetConfig {
+                transport: TransportConfig::WorkStealing {
+                    threads: 2,
+                    staleness: k,
+                },
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(report.transport.view_staleness.max() <= k);
+        assert_eq!(
+            report.transport.view_staleness.total(),
+            (5 * report.epochs) as u64
+        );
+        assert!(report.transport.reuse_staleness.max() <= k);
+        assert_eq!(report.hit_rate_curve.len(), report.epochs);
+        assert!(report.total_fleet_reuses() > 0);
     }
 
     #[test]

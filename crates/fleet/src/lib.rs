@@ -17,9 +17,11 @@
 //!   uses: immediate local overlay, transport-buffered publishes.
 //! * [`transport`] — the pluggable commit-transport layer: the
 //!   [`CommitTransport`] trait with the lock-step [`BspBarrier`] backend
-//!   (bit-deterministic for any worker count) and the free-running
-//!   [`BoundedStaleness`] backend (per-tenant threads, views at most `K`
-//!   epochs stale, `K = 0` bit-matching the barrier).
+//!   (bit-deterministic for any worker count), the free-running
+//!   [`BoundedStaleness`] backend (per-tenant threads) and the
+//!   [`WorkStealing`] pool (a fixed thread cap over a shared deque) — the
+//!   asynchronous pair sharing per-shard commit frontiers, views at most
+//!   `K` epochs stale, `K = 0` bit-matching the barrier at any thread cap.
 //! * [`scenario`] — fleet descriptions: diurnal Cassandra fleets, spike
 //!   storms, sine sweeps, interference-heavy co-location, SPECweb
 //!   contingents — plus each tenant's barrier-aligned [`EpochWindow`].
@@ -69,4 +71,5 @@ pub use tenant_view::TenantRepoView;
 pub use transport::{
     BoundedStaleness, BspBarrier, CommitTransport, FleetContext, FleetHarness, Outbox,
     StalenessHistogram, TenantHandle, TransportConfig, TransportOutcome, TransportSummary,
+    WorkStealing,
 };

@@ -1498,22 +1498,39 @@ impl SharedSignatureRepository {
     pub fn evict_stale(&self, now: SimTime) -> u64 {
         self.advance_clock(now);
         let Some(ttl) = self.config.ttl else { return 0 };
-        let mut evicted = 0;
-        for shard in &self.shards {
-            let mut state = shard
-                .state
-                .write()
-                .expect("shared repository shard poisoned");
-            let mut shard_evicted = 0u64;
-            for ns in state.namespaces.values_mut() {
-                let before = ns.entries.len();
-                ns.entries
-                    .retain(|_, e| now.saturating_since(e.tuned_at).as_secs() <= ttl.as_secs());
-                shard_evicted += (before - ns.entries.len()) as u64;
-            }
-            shard.counters.evictions.fetch_add(shard_evicted, Relaxed);
-            evicted += shard_evicted;
+        self.shards
+            .iter()
+            .map(|shard| Self::sweep_shard(shard, ttl, now))
+            .sum()
+    }
+
+    /// [`evict_stale`](Self::evict_stale) for a single shard: the hook the
+    /// per-shard commit frontiers use, so a shard whose epoch batch committed
+    /// ahead of the rest of the fleet is swept **at its own frontier's
+    /// timestamp** instead of at the (earlier) fleet-wide epoch — otherwise a
+    /// buffered cross-tenant hit committing in the shard's next epoch could
+    /// land on an entry the fleet-wide sweep should already have reclaimed,
+    /// resurrecting it in the statistics. Entries in other shards are
+    /// untouched.
+    pub fn evict_stale_shard(&self, shard: usize, now: SimTime) -> u64 {
+        self.advance_clock(now);
+        let Some(ttl) = self.config.ttl else { return 0 };
+        Self::sweep_shard(&self.shards[shard], ttl, now)
+    }
+
+    fn sweep_shard(shard: &Shard, ttl: SimDuration, now: SimTime) -> u64 {
+        let mut state = shard
+            .state
+            .write()
+            .expect("shared repository shard poisoned");
+        let mut evicted = 0u64;
+        for ns in state.namespaces.values_mut() {
+            let before = ns.entries.len();
+            ns.entries
+                .retain(|_, e| now.saturating_since(e.tuned_at).as_secs() <= ttl.as_secs());
+            evicted += (before - ns.entries.len()) as u64;
         }
+        shard.counters.evictions.fetch_add(evicted, Relaxed);
         evicted
     }
 
@@ -1847,6 +1864,47 @@ mod tests {
         assert_eq!(r.evict_stale(SimTime::from_hours(25.0)), 1);
         assert_eq!(r.stats().evictions, 1);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn per_shard_sweep_touches_only_its_shard() {
+        let r = SharedSignatureRepository::new(SharedRepoConfig {
+            ttl: Some(SimDuration::from_hours(24.0)),
+            ..Default::default()
+        });
+        // Find two namespaces routed to different shards.
+        let ns_a = 0u64;
+        let ns_b = (1..64u64)
+            .find(|&ns| r.shard_index(ns) != r.shard_index(ns_a))
+            .expect("distinct shards exist");
+        let sig = [10.0, 10.0];
+        r.insert(
+            0,
+            ns_a,
+            &sig,
+            0,
+            ResourceAllocation::large(2),
+            SimTime::ZERO,
+        );
+        r.insert(
+            0,
+            ns_b,
+            &sig,
+            0,
+            ResourceAllocation::large(2),
+            SimTime::ZERO,
+        );
+        let late = SimTime::from_hours(30.0);
+        // Sweeping shard A at hour 30 reclaims only A's entry.
+        assert_eq!(r.evict_stale_shard(r.shard_index(ns_a), late), 1);
+        assert_eq!(r.len(), 1);
+        assert!(r.peek(ns_b, &sig, 0, SimTime::ZERO, None).is_some());
+        assert_eq!(r.stats().evictions, 1);
+        // The whole-repo sweep then reclaims the rest; the per-shard and
+        // fleet-wide paths account evictions through the same counters.
+        assert_eq!(r.evict_stale(late), 1);
+        assert!(r.is_empty());
+        assert_eq!(r.stats().evictions, 2);
     }
 
     #[test]

@@ -12,32 +12,51 @@
 //!   sweep. Mid-epoch the store is frozen, so runs are **bit-deterministic**
 //!   for any worker count.
 //! * [`BoundedStaleness`] frees tenants onto their own threads: a tenant may
-//!   run up to `K` epochs ahead of the fleet-wide commit frontier, so fast
-//!   tenants never wait at a barrier for slow ones. Each tenant's view of the
-//!   shared repository is **at most `K` epochs stale** (enforced by blocking
-//!   on the frontier, measured in [`TransportOutcome`]'s staleness
-//!   histograms). With `K = 0` a tenant may not enter an epoch until every
-//!   prior epoch is fully committed — no tenant can observe or miss anything
-//!   a BSP run would not — so the output provably **bit-matches**
-//!   [`BspBarrier`] (property-tested in `tests/properties.rs`). With `K > 0`
-//!   the store changes underneath running tenants, trading the bitwise
-//!   reproducibility of results for pipeline parallelism; the commit
-//!   *sequence* itself stays deterministic (epoch by epoch, tenant order
-//!   within each epoch).
+//!   run up to `K` epochs ahead of the commit frontier **of its own shard**,
+//!   so fast tenants never wait at a barrier for slow ones. Each tenant's
+//!   view of the shared repository is **at most `K` epochs stale** (enforced
+//!   by blocking on the frontier, measured in [`TransportOutcome`]'s
+//!   staleness histograms). With `K = 0` a tenant may not enter an epoch
+//!   until every prior epoch its shard can observe is fully committed — no
+//!   tenant can observe or miss anything a BSP run would not — so the output
+//!   provably **bit-matches** [`BspBarrier`] (property-tested in
+//!   `tests/properties.rs` and fuzzed across scenarios in
+//!   `tests/differential.rs`). With `K > 0` the store changes underneath
+//!   running tenants, trading the bitwise reproducibility of results for
+//!   pipeline parallelism; the commit *sequence* itself stays deterministic
+//!   (per shard: epoch by epoch, tenant order within each epoch).
+//! * [`WorkStealing`] caps the thread count below one-per-tenant: a fixed
+//!   pool of workers pulls per-epoch tenant tasks from a shared deque (the
+//!   vendored mini `crossbeam-deque`), so a 1000-tenant fleet runs on a
+//!   handful of threads instead of a thousand. Consistency is identical to
+//!   [`BoundedStaleness`] — same per-shard frontiers, same staleness bound,
+//!   same committer — and because tenant stepping, commit order and sweep
+//!   times are all independent of which worker executes what, the results
+//!   are **invariant to the thread cap** (and `K = 0` bit-matches BSP).
+//!
+//! Both asynchronous backends share one committer with **per-shard commit
+//! frontiers**: a tenant only ever reads and writes the shard its namespace
+//! routes to, so a `(shard, epoch)` batch commits — and that shard's TTL
+//! sweep runs, at that epoch's timestamp — as soon as all of the epoch's
+//! reports *touching the shard* are in, instead of waiting for the whole
+//! fleet's slowest shard. On skewed scenarios that shrinks commit latency
+//! without weakening any bound a tenant can observe.
 //!
 //! Epoch reports travel over the vendored mini mpsc channel
 //! (`crossbeam-channel`), so swapping in a real channel or a tokio runtime
-//! later is a transport-local change. New consistency models (e.g. per-shard
-//! frontiers, quorum commits) are one [`CommitTransport`] impl away — the
-//! engine only prepares tenants and consumes the [`TransportOutcome`].
+//! later is a transport-local change. New consistency models (e.g. quorum
+//! commits) are one [`CommitTransport`] impl away — the engine only prepares
+//! tenants and consumes the [`TransportOutcome`].
 
 use crate::engine::{RunState, SimulationEngine};
 use crate::shared_repo::{PendingOp, SharedSignatureRepository};
+use crossbeam_deque::{Injector, Stealer, Worker};
 use dejavu_baselines::{FixedMax, RightScale};
 use dejavu_cloud::ProvisioningController;
 use dejavu_core::DejaVuController;
 use dejavu_services::ServiceModel;
 use dejavu_simcore::SimTime;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Shared handle to a tenant's buffered operations; the transport drains it
@@ -66,6 +85,10 @@ pub(crate) struct TenantRun {
     pub(crate) active_epochs: usize,
     /// Set at the barrier that retires the tenant; freezes all stepping.
     pub(crate) retired: bool,
+    /// The namespace the tenant reads and publishes under. Fixed for the
+    /// whole run, so every operation the tenant buffers routes to one shard —
+    /// the invariant the per-shard commit frontiers rest on.
+    pub(crate) namespace: u64,
     /// The tenant's buffered shared-store operations (None when isolated).
     pub(crate) outbox: Option<Outbox>,
 }
@@ -165,6 +188,14 @@ impl TenantHandle<'_> {
         self.run.retired
     }
 
+    /// The namespace the tenant reads and publishes under. Every operation
+    /// the tenant buffers touches this namespace — and therefore exactly one
+    /// shard — which is what lets a transport commit per-shard batches
+    /// without changing anything any tenant can observe.
+    pub fn namespace(&self) -> u64 {
+        self.run.namespace
+    }
+
     /// Steps the tenant (and its ride-along baselines) through global epoch
     /// `epoch`. A retired or not-yet-admitted tenant is a no-op.
     pub fn step_epoch(&mut self, epoch: usize, ctx: &FleetContext<'_>) {
@@ -248,6 +279,28 @@ impl FleetContext<'_> {
         self.shared.evict_stale(SimTime::from_secs(
             self.origin_secs + self.epoch_secs * (epoch + 1) as f64,
         ));
+    }
+
+    /// Number of lock-striped shards in the shared repository.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shard_count()
+    }
+
+    /// The shard `namespace` routes to.
+    pub fn shard_of(&self, namespace: u64) -> usize {
+        self.shared.shard_index(namespace)
+    }
+
+    /// Runs the TTL sweep of a single shard for the barrier ending global
+    /// epoch `epoch` — the frontier-aware sweep of the per-shard committer:
+    /// a shard whose batch commits ahead of the fleet is swept at **its own**
+    /// epoch's timestamp, so a deferred-stale entry BSP would have reclaimed
+    /// can never resurface in a later commit of that shard.
+    pub fn sweep_shard(&self, shard: usize, epoch: usize) {
+        self.shared.evict_stale_shard(
+            shard,
+            SimTime::from_secs(self.origin_secs + self.epoch_secs * (epoch + 1) as f64),
+        );
     }
 }
 
@@ -412,8 +465,20 @@ pub enum TransportConfig {
     /// [`TransportConfig::Bsp`]; larger values trade bitwise result
     /// reproducibility for pipeline parallelism.
     BoundedStaleness {
-        /// Maximum number of epochs a tenant's view may trail the commit
-        /// frontier.
+        /// Maximum number of epochs a tenant's view may trail its shard's
+        /// commit frontier.
+        staleness: usize,
+    },
+    /// A fixed pool of `threads` workers pulls per-epoch tenant tasks from a
+    /// shared work-stealing deque — the bounded-staleness consistency model
+    /// without one thread per tenant, so 1000+-tenant fleets run on small
+    /// hosts. Results are invariant to the thread cap; `staleness = 0`
+    /// bit-matches [`TransportConfig::Bsp`].
+    WorkStealing {
+        /// Worker threads in the pool (clamped to `1..=tenants`).
+        threads: usize,
+        /// Maximum number of epochs a tenant's view may trail its shard's
+        /// commit frontier.
         staleness: usize,
     },
 }
@@ -426,6 +491,29 @@ impl TransportConfig {
             TransportConfig::BoundedStaleness { staleness } => {
                 Box::new(BoundedStaleness { staleness })
             }
+            TransportConfig::WorkStealing { threads, staleness } => {
+                Box::new(WorkStealing { threads, staleness })
+            }
+        }
+    }
+
+    /// Parses a CLI transport choice (the `fleet` experiment's
+    /// `--transport`) into a configuration — the typed front door, so an
+    /// unknown backend name is a proper error listing the valid choices
+    /// instead of a panic, and extending the backend set cannot leave a
+    /// stale catch-all match arm behind. `threads` and `staleness` carry
+    /// the values of `--threads` / `--staleness`; backends that do not use
+    /// them ignore them.
+    pub fn parse(backend: &str, threads: usize, staleness: usize) -> Result<Self, String> {
+        match backend {
+            "bsp" => Ok(TransportConfig::Bsp),
+            "async" => Ok(TransportConfig::BoundedStaleness { staleness }),
+            "steal" => Ok(TransportConfig::WorkStealing { threads, staleness }),
+            other => Err(format!(
+                "unknown transport '{other}': valid backends are 'bsp' (lock-step epoch \
+                 barrier), 'async' (bounded staleness, one thread per tenant; --staleness K) \
+                 and 'steal' (work-stealing pool; --threads N --staleness K)"
+            )),
         }
     }
 }
@@ -539,60 +627,179 @@ impl CommitTransport for BspBarrier {
     }
 }
 
-/// The fleet-wide commit frontier: how many epochs have been fully committed.
-/// Tenant threads block on it to honour the staleness bound; the committer
-/// advances it after each epoch's commit + sweep. The frontier can be
-/// **poisoned** when the committer unwinds: blocked tenants must wake up and
-/// die rather than sleep forever, so the original panic — not a deadlock —
-/// reaches the caller.
-#[derive(Default)]
-struct Frontier {
-    /// `(committed epochs, poisoned)`.
-    state: Mutex<(usize, bool)>,
+/// The per-shard commit frontiers: how many epochs each shard has fully
+/// committed (batch applied, TTL sweep run). A tenant only ever reads and
+/// writes the shard its namespace routes to, so its staleness bound is
+/// enforced against **that shard's** frontier rather than a fleet-wide one —
+/// a tenant behind a fast shard never waits for a slow shard it cannot
+/// observe.
+///
+/// Tenant threads of [`BoundedStaleness`] block in [`wait_within`]
+/// (woken by [`advance`]); the [`WorkStealing`] scheduler must never block a
+/// pool worker on a tenant's behalf, so it parks the tenant as data through
+/// [`enter_or_park`] and re-injects whatever [`advance`] releases. The
+/// frontiers can be **poisoned** when the committer unwinds: blocked tenants
+/// and pool workers must wake up and die rather than sleep forever, so the
+/// original panic — not a deadlock — reaches the caller.
+///
+/// [`wait_within`]: ShardFrontiers::wait_within
+/// [`advance`]: ShardFrontiers::advance
+/// [`enter_or_park`]: ShardFrontiers::enter_or_park
+struct ShardFrontiers {
+    /// Maximum number of epochs a tenant may lead its shard's frontier.
+    bound: usize,
+    state: Mutex<FrontierState>,
     advanced: Condvar,
 }
 
-impl Frontier {
-    /// Blocks until entering `epoch` would leave the caller at most `bound`
-    /// epochs ahead of the committed frontier; returns the observed staleness
-    /// (how many epochs the frontier trailed the caller at admission).
-    /// Panics if the frontier was poisoned while waiting.
-    fn wait_within(&self, epoch: usize, bound: usize) -> usize {
+struct FrontierState {
+    /// Per shard: the number of fully committed epochs.
+    committed: Vec<usize>,
+    /// Per shard: parked `(enter_epoch, tenant)` pairs awaiting `advance`.
+    parked: Vec<Vec<(usize, usize)>>,
+    poisoned: bool,
+}
+
+impl ShardFrontiers {
+    fn new(shards: usize, bound: usize) -> Self {
+        ShardFrontiers {
+            bound,
+            state: Mutex::new(FrontierState {
+                committed: vec![0; shards],
+                parked: vec![Vec::new(); shards],
+                poisoned: false,
+            }),
+            advanced: Condvar::new(),
+        }
+    }
+
+    /// Blocks until entering `epoch` would leave the caller at most the
+    /// staleness bound ahead of `shard`'s committed frontier; returns the
+    /// observed staleness (how many epochs the frontier trailed the caller
+    /// at admission). Panics if the frontiers were poisoned while waiting.
+    fn wait_within(&self, shard: usize, epoch: usize) -> usize {
         let mut state = self.state.lock().expect("frontier poisoned");
         loop {
-            assert!(!state.1, "transport committer unwound; tenant aborting");
-            if epoch <= state.0 + bound {
-                return epoch.saturating_sub(state.0);
+            assert!(
+                !state.poisoned,
+                "transport committer unwound; tenant aborting"
+            );
+            if epoch <= state.committed[shard] + self.bound {
+                return epoch.saturating_sub(state.committed[shard]);
             }
             state = self.advanced.wait(state).expect("frontier poisoned");
         }
     }
 
-    fn advance(&self, committed_epochs: usize) {
-        self.state.lock().expect("frontier poisoned").0 = committed_epochs;
+    /// Non-blocking admission for the work-stealing scheduler: returns the
+    /// observed staleness if the tenant may enter `epoch` now, otherwise
+    /// parks `(epoch, tenant)` — to be handed back by [`advance`] once the
+    /// shard catches up — and returns `None`. The caller must have returned
+    /// the tenant's task to its slot *before* calling, so a release that
+    /// races the answer finds the tenant where the next worker will look.
+    ///
+    /// [`advance`]: ShardFrontiers::advance
+    fn enter_or_park(&self, shard: usize, epoch: usize, tenant: usize) -> Option<usize> {
+        let mut state = self.state.lock().expect("frontier poisoned");
+        assert!(
+            !state.poisoned,
+            "transport committer unwound; worker aborting"
+        );
+        if epoch <= state.committed[shard] + self.bound {
+            Some(epoch.saturating_sub(state.committed[shard]))
+        } else {
+            state.parked[shard].push((epoch, tenant));
+            None
+        }
+    }
+
+    /// Advances `shard`'s frontier to `committed` epochs, wakes every
+    /// blocking waiter, and returns the parked tenants the new frontier
+    /// admits (for the caller to reschedule).
+    fn advance(&self, shard: usize, committed: usize) -> Vec<usize> {
+        let mut state = self.state.lock().expect("frontier poisoned");
+        state.committed[shard] = committed;
+        let bound = self.bound;
+        let parked = &mut state.parked[shard];
+        let mut released = Vec::new();
+        let mut i = 0;
+        while i < parked.len() {
+            if parked[i].0 <= committed + bound {
+                released.push(parked.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        drop(state);
+        self.advanced.notify_all();
+        released
+    }
+
+    /// Marks the frontiers dead and wakes every waiter (see
+    /// [`PoisonOnDrop`]).
+    fn poison(&self) {
+        self.state.lock().expect("frontier poisoned").poisoned = true;
         self.advanced.notify_all();
     }
 
-    /// Marks the frontier dead and wakes every waiter (see [`PoisonOnDrop`]).
-    fn poison(&self) {
-        self.state.lock().expect("frontier poisoned").1 = true;
-        self.advanced.notify_all();
+    fn poisoned(&self) -> bool {
+        // A waiter that panics while holding the guard poisons the std mutex
+        // itself; either way, the frontiers are dead.
+        match self.state.lock() {
+            Ok(state) => state.poisoned,
+            Err(_) => true,
+        }
     }
 }
 
-/// Poisons the frontier if dropped while armed — the committer holds one so
-/// that its own unwind (a lost report, a panic surfaced by a tenant) releases
-/// every tenant blocked in [`Frontier::wait_within`] before `thread::scope`
-/// starts joining; without it, a committer panic would deadlock the scope.
+/// Wakes idle work-stealing workers when tasks may have (re)appeared. A
+/// worker reads the generation **before** scanning the queues and only
+/// sleeps if the generation is still unchanged, so a task injected after an
+/// empty scan can never be missed: either the scan saw it, or the ring bumps
+/// the generation and the sleep returns immediately.
+#[derive(Default)]
+struct Doorbell {
+    generation: Mutex<u64>,
+    bell: Condvar,
+}
+
+impl Doorbell {
+    fn generation(&self) -> u64 {
+        *self.generation.lock().expect("doorbell poisoned")
+    }
+
+    fn ring(&self) {
+        *self.generation.lock().expect("doorbell poisoned") += 1;
+        self.bell.notify_all();
+    }
+
+    /// Sleeps until the generation moves past `seen`.
+    fn wait_beyond(&self, seen: u64) {
+        let mut generation = self.generation.lock().expect("doorbell poisoned");
+        while *generation == seen {
+            generation = self.bell.wait(generation).expect("doorbell poisoned");
+        }
+    }
+}
+
+/// Poisons the frontiers if dropped while armed — the committer holds one so
+/// that its own unwind (a lost report, a panic surfaced by a tenant)
+/// releases every tenant blocked in [`ShardFrontiers::wait_within`] and
+/// every idle pool worker (via the doorbell) before `thread::scope` starts
+/// joining; without it, a committer panic would deadlock the scope.
 struct PoisonOnDrop<'a> {
-    frontier: &'a Frontier,
+    frontiers: &'a ShardFrontiers,
+    doorbell: Option<&'a Doorbell>,
     armed: bool,
 }
 
 impl Drop for PoisonOnDrop<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.frontier.poison();
+            self.frontiers.poison();
+            if let Some(doorbell) = self.doorbell {
+                doorbell.ring();
+            }
         }
     }
 }
@@ -649,17 +856,141 @@ impl Drop for AbortOnDrop<'_> {
     }
 }
 
+/// The shared committer of the asynchronous transports, with **per-shard
+/// commit frontiers**: epoch reports arrive over the channel, and a
+/// `(shard, epoch)` batch commits — in tenant order, followed by the
+/// frontier-aware TTL sweep of exactly that shard at that epoch's timestamp
+/// — as soon as **all of the epoch's reports touching the shard** are in.
+/// A shard therefore never waits for the fleet's slowest shard, which is
+/// what shrinks commit latency on skewed scenarios; and because a tenant
+/// only ever observes its own shard, no consistency bound weakens.
+///
+/// Fleet-wide bookkeeping (the hit-rate curve) folds once **every** shard
+/// has passed an epoch, in epoch order, so it is identical to a whole-epoch
+/// committer's. Everything the committer does depends only on report
+/// contents and tenant order — never on arrival order across shards — so
+/// results are invariant to thread scheduling and to the worker cap.
+///
+/// `on_release` receives the tenants a frontier advance un-parked; the
+/// work-stealing scheduler re-injects them, the bounded-staleness transport
+/// (whose tenants block in [`ShardFrontiers::wait_within`] instead of
+/// parking) passes a no-op.
+fn run_committer(
+    ctx: &FleetContext<'_>,
+    rx: &crossbeam_channel::Receiver<EpochReport>,
+    windows: &[(usize, usize)],
+    tenant_shard: &[usize],
+    frontiers: &ShardFrontiers,
+    out: &mut TransportOutcome,
+    mut on_release: impl FnMut(Vec<usize>),
+) {
+    let epochs = ctx.epochs();
+    let shards = ctx.shard_count();
+    // How many tenants must report each (epoch, shard) before that shard's
+    // batch can commit, from the nominal tenancy windows; adjusted when a
+    // tenant's `last` report arrives earlier than its nominal end.
+    let mut expected = vec![vec![0usize; shards]; epochs];
+    for (tenant, &(start, end)) in windows.iter().enumerate() {
+        for slot in &mut expected[start.min(epochs)..end.min(epochs)] {
+            slot[tenant_shard[tenant]] += 1;
+        }
+    }
+    let mut received = vec![vec![0usize; shards]; epochs];
+    let mut pending: Vec<Vec<Vec<EpochReport>>> = (0..epochs)
+        .map(|_| (0..shards).map(|_| Vec::new()).collect())
+        .collect();
+    // Per-epoch cumulative tenant stats, folded into `cached` (and the
+    // hit-rate curve) once the whole epoch has committed across shards.
+    let mut epoch_stats: Vec<Vec<(usize, u64, u64)>> = vec![Vec::new(); epochs];
+    let mut cached: Vec<(u64, u64)> = vec![(0, 0); windows.len()];
+    // Per shard: the next epoch whose batch has not committed yet.
+    let mut shard_next = vec![0usize; shards];
+    let mut completed = 0usize;
+    // Shards whose readiness may have changed. Seeded with every shard:
+    // epochs expecting no reports from a shard (no tenant routes there, or
+    // everyone already retired) commit empty batches immediately — their TTL
+    // sweeps still run on schedule, exactly as the whole-fleet barrier's
+    // sweep would have covered them.
+    let mut work: Vec<usize> = (0..shards).collect();
+    loop {
+        // Drain the shard worklist: commit every ready (shard, epoch) batch.
+        while let Some(shard) = work.pop() {
+            while shard_next[shard] < epochs
+                && received[shard_next[shard]][shard] == expected[shard_next[shard]][shard]
+            {
+                let epoch = shard_next[shard];
+                let mut batch = std::mem::take(&mut pending[epoch][shard]);
+                batch.sort_by_key(|r| r.tenant);
+                let mut ops: Vec<PendingOp> = Vec::new();
+                let mut op_tenants: Vec<usize> = Vec::new();
+                let mut op_staleness: Vec<usize> = Vec::new();
+                for report in &mut batch {
+                    let drained = std::mem::take(&mut report.ops);
+                    op_tenants.resize(op_tenants.len() + drained.len(), report.tenant);
+                    op_staleness.resize(op_staleness.len() + drained.len(), report.staleness);
+                    ops.extend(drained);
+                }
+                commit_epoch(ctx, &ops, &op_tenants, &op_staleness, out);
+                ctx.sweep_shard(shard, epoch);
+                for report in &batch {
+                    epoch_stats[epoch].push((report.tenant, report.hits, report.misses));
+                    out.summary.view_staleness.record(report.staleness);
+                }
+                shard_next[shard] = epoch + 1;
+                // Advancing after the sweep keeps `staleness = 0` exact: no
+                // tenant enters its shard's next epoch while that shard
+                // still moves.
+                on_release(frontiers.advance(shard, epoch + 1));
+            }
+        }
+        // Fold fully committed epochs into the fleet-wide curve, in order.
+        while completed < epochs && shard_next.iter().all(|&next| next > completed) {
+            for &(tenant, hits, misses) in &epoch_stats[completed] {
+                cached[tenant] = (hits, misses);
+            }
+            let hits: u64 = cached.iter().map(|&(h, _)| h).sum();
+            let misses: u64 = cached.iter().map(|&(_, m)| m).sum();
+            out.hit_rate_curve.push(hit_rate(hits, misses));
+            completed += 1;
+        }
+        if completed >= epochs {
+            return;
+        }
+        let Ok(report) = rx.recv() else {
+            panic!("async transport lost epoch reports ({completed} of {epochs} epochs committed)");
+        };
+        assert!(
+            !report.aborted,
+            "tenant {} panicked mid-run; aborting the fleet",
+            report.tenant
+        );
+        let shard = tenant_shard[report.tenant];
+        if report.last {
+            // The tenant retired before its nominal window end: its shard's
+            // later epochs no longer wait for it.
+            let nominal_end = windows[report.tenant].1.min(epochs);
+            for slot in &mut expected[report.epoch + 1..nominal_end] {
+                slot[shard] -= 1;
+            }
+        }
+        received[report.epoch][shard] += 1;
+        pending[report.epoch][shard].push(report);
+        work.push(shard);
+    }
+}
+
 /// The asynchronous bounded-staleness transport.
 ///
 /// Every tenant runs on its own thread, free to advance up to
-/// [`staleness`](Self::staleness) epochs beyond the fleet-wide commit
-/// frontier; a committer thread assembles each epoch's reports (arriving over
-/// the vendored mini mpsc channel), applies them in tenant order, runs the
-/// TTL sweep and advances the frontier. Views are therefore never more than
-/// `staleness` epochs stale, and with `staleness = 0` the schedule collapses
-/// to the BSP barrier: no tenant may enter an epoch before every prior epoch
-/// committed, so the store is frozen while anyone reads it and the run
-/// bit-matches [`BspBarrier`].
+/// [`staleness`](Self::staleness) epochs beyond **its shard's** commit
+/// frontier; the committer ([`run_committer`]) assembles each shard's epoch
+/// reports (arriving over the vendored mini mpsc channel), applies them in
+/// tenant order, runs that shard's TTL sweep and advances its frontier.
+/// Views are therefore never more than `staleness` epochs stale, and with
+/// `staleness = 0` the schedule collapses to the BSP barrier per shard: no
+/// tenant may enter an epoch before every prior epoch of the only shard it
+/// can observe committed, so the store is frozen while anyone reads it and
+/// the run bit-matches [`BspBarrier`].
 #[derive(Debug, Clone, Copy)]
 pub struct BoundedStaleness {
     /// Maximum number of epochs a tenant's view may trail its own position.
@@ -675,34 +1006,29 @@ impl CommitTransport for BoundedStaleness {
         let (ctx, handles) = harness.split();
         let tenant_count = handles.len();
         let mut out = TransportOutcome::new(self.name(), tenant_count);
-        if ctx.epochs == 0 || tenant_count == 0 {
+        if ctx.epochs() == 0 || tenant_count == 0 {
             return out;
         }
         let windows: Vec<(usize, usize)> = handles
             .iter()
             .map(|h| (h.start_epoch(), h.end_epoch()))
             .collect();
-        // How many tenants must report each epoch before it can commit,
-        // from the nominal tenancy windows; adjusted when a tenant's `last`
-        // report arrives earlier than its nominal end.
-        let mut expected = vec![0usize; ctx.epochs];
-        for &(start, end) in &windows {
-            for slot in &mut expected[start..end.min(ctx.epochs)] {
-                *slot += 1;
-            }
-        }
-        let bound = self.staleness;
-        let frontier = Frontier::default();
+        let tenant_shard: Vec<usize> = handles
+            .iter()
+            .map(|h| ctx.shard_of(h.namespace()))
+            .collect();
+        let frontiers = ShardFrontiers::new(ctx.shard_count(), self.staleness);
         let (tx, rx) = crossbeam_channel::unbounded::<EpochReport>();
         std::thread::scope(|scope| {
             for mut handle in handles {
                 let tx = tx.clone();
-                let frontier = &frontier;
+                let frontiers = &frontiers;
                 let ctx = &ctx;
+                let shard = tenant_shard[handle.index()];
                 scope.spawn(move || {
                     // If this thread unwinds (a poisoned outbox, a panicking
                     // service model), the guard tells the committer, which
-                    // poisons the frontier and re-panics — the failure
+                    // poisons the frontiers and re-panics — the failure
                     // surfaces instead of deadlocking the whole fleet.
                     let mut guard = AbortOnDrop {
                         tx: &tx,
@@ -711,7 +1037,7 @@ impl CommitTransport for BoundedStaleness {
                     };
                     let (start, end) = (handle.start_epoch(), handle.end_epoch());
                     for epoch in start..end {
-                        let staleness = frontier.wait_within(epoch, bound);
+                        let staleness = frontiers.wait_within(shard, epoch);
                         handle.step_epoch(epoch, ctx);
                         handle.observe_reuse(epoch);
                         let ops = handle.drain_outbox();
@@ -740,69 +1066,286 @@ impl CommitTransport for BoundedStaleness {
             }
             drop(tx);
 
-            // The committer: collect each epoch's reports, commit them in
-            // tenant order, sweep, advance the frontier. If it unwinds for
-            // any reason, the guard poisons the frontier first, so blocked
-            // tenant threads die (and the scope joins) instead of sleeping
-            // forever under a panic.
+            // If the committer unwinds for any reason, the guard poisons the
+            // frontiers first, so blocked tenant threads die (and the scope
+            // joins) instead of sleeping forever under a panic.
             let mut poison_guard = PoisonOnDrop {
-                frontier: &frontier,
+                frontiers: &frontiers,
+                doorbell: None,
                 armed: true,
             };
-            let mut pending: Vec<Vec<EpochReport>> = (0..ctx.epochs).map(|_| Vec::new()).collect();
-            let mut received = vec![0usize; ctx.epochs];
-            let mut cached: Vec<(u64, u64)> = vec![(0, 0); tenant_count];
-            let mut next = 0usize;
-            while next < ctx.epochs {
-                if received[next] < expected[next] {
-                    let Ok(report) = rx.recv() else {
-                        panic!(
-                            "async transport lost epoch reports ({} of {} epochs committed)",
-                            next, ctx.epochs
-                        );
-                    };
-                    assert!(
-                        !report.aborted,
-                        "tenant {} panicked mid-run; aborting the fleet",
-                        report.tenant
-                    );
-                    if report.last {
-                        // The tenant retired before its nominal window end:
-                        // later epochs no longer wait for it.
-                        let nominal_end = windows[report.tenant].1.min(ctx.epochs);
-                        for slot in &mut expected[report.epoch + 1..nominal_end] {
-                            *slot -= 1;
-                        }
+            run_committer(
+                &ctx,
+                &rx,
+                &windows,
+                &tenant_shard,
+                &frontiers,
+                &mut out,
+                |_released| {},
+            );
+            poison_guard.armed = false;
+        });
+        out
+    }
+}
+
+/// One tenant's schedulable state under [`WorkStealing`]: its handle plus
+/// the next epoch it will step. Lives in the tenant's slot whenever the
+/// tenant is queued (injector or a worker deque) or parked on a frontier; a
+/// worker takes it out only to run one epoch.
+struct TenantTask<'a> {
+    handle: TenantHandle<'a>,
+    next_epoch: usize,
+}
+
+/// Everything a pool worker shares with its peers and the committer.
+struct StealPool<'a, 'h> {
+    ctx: &'a FleetContext<'h>,
+    frontiers: &'a ShardFrontiers,
+    doorbell: &'a Doorbell,
+    injector: &'a Injector<usize>,
+    stealers: &'a [Stealer<usize>],
+    slots: &'a [Mutex<Option<TenantTask<'h>>>],
+    windows: &'a [(usize, usize)],
+    tenant_shard: &'a [usize],
+    /// Tenants that have not sent their `last` report yet; the pool drains
+    /// when it reaches zero.
+    remaining: &'a AtomicUsize,
+}
+
+impl<'h> StealPool<'_, 'h> {
+    /// One worker's scheduling loop: pop the local deque, then steal from
+    /// the shared injector (batch) or a peer's deque; run the claimed
+    /// tenant's next epoch; sleep on the doorbell only when every queue was
+    /// observed empty at an unchanged doorbell generation.
+    fn run_worker(&self, local: &Worker<usize>, tx: &crossbeam_channel::Sender<EpochReport>) {
+        loop {
+            // Snapshot the doorbell before scanning: a task injected after an
+            // empty scan bumps the generation, so the sleep below returns
+            // immediately instead of missing the wakeup.
+            let heard = self.doorbell.generation();
+            assert!(
+                !self.frontiers.poisoned(),
+                "transport committer unwound; worker aborting"
+            );
+            let task = local.pop().or_else(|| {
+                self.injector
+                    .steal_batch_and_pop(local)
+                    .or_else(|| self.stealers.iter().map(|s| s.steal()).collect())
+                    .success()
+            });
+            match task {
+                Some(tenant) => self.run_tenant(tenant, local, tx),
+                None => {
+                    if self.remaining.load(Ordering::Acquire) == 0 {
+                        return;
                     }
-                    received[report.epoch] += 1;
-                    pending[report.epoch].push(report);
-                    continue;
+                    self.doorbell.wait_beyond(heard);
                 }
-                let mut batch = std::mem::take(&mut pending[next]);
-                batch.sort_by_key(|r| r.tenant);
-                let mut ops: Vec<PendingOp> = Vec::new();
-                let mut op_tenants: Vec<usize> = Vec::new();
-                let mut op_staleness: Vec<usize> = Vec::new();
-                for report in &mut batch {
-                    let drained = std::mem::take(&mut report.ops);
-                    op_tenants.resize(op_tenants.len() + drained.len(), report.tenant);
-                    op_staleness.resize(op_staleness.len() + drained.len(), report.staleness);
-                    ops.extend(drained);
-                }
-                commit_epoch(&ctx, &ops, &op_tenants, &op_staleness, &mut out);
-                ctx.sweep(next);
-                for report in &batch {
-                    cached[report.tenant] = (report.hits, report.misses);
-                    out.summary.view_staleness.record(report.staleness);
-                }
-                let hits: u64 = cached.iter().map(|&(h, _)| h).sum();
-                let misses: u64 = cached.iter().map(|&(_, m)| m).sum();
-                out.hit_rate_curve.push(hit_rate(hits, misses));
-                next += 1;
-                // Advancing after the sweep keeps `staleness = 0` exact: no
-                // tenant enters the next epoch while the store still moves.
-                frontier.advance(next);
             }
+        }
+    }
+
+    /// Steps one epoch of `tenant` (or parks it on its shard's frontier) and
+    /// reschedules the continuation through the local deque, where an idle
+    /// peer can steal it.
+    fn run_tenant(
+        &self,
+        tenant: usize,
+        local: &Worker<usize>,
+        tx: &crossbeam_channel::Sender<EpochReport>,
+    ) {
+        let mut task = self.slots[tenant]
+            .lock()
+            .expect("tenant slot poisoned")
+            .take()
+            .expect("tenant scheduled while not in its slot");
+        let shard = self.tenant_shard[tenant];
+        let epoch = task.next_epoch;
+        // Park point: the task must be back in its slot before asking the
+        // frontier, so a release racing the answer finds the tenant where
+        // the next worker will look for it.
+        *self.slots[tenant].lock().expect("tenant slot poisoned") = Some(task);
+        let Some(staleness) = self.frontiers.enter_or_park(shard, epoch, tenant) else {
+            return; // parked; the committer re-injects it on advance
+        };
+        task = self.slots[tenant]
+            .lock()
+            .expect("tenant slot poisoned")
+            .take()
+            .expect("admitted tenant missing from its slot");
+        // If this worker unwinds mid-epoch (a panicking service model), the
+        // guard tells the committer, which poisons the frontiers — the
+        // failure surfaces instead of deadlocking the pool.
+        let mut guard = AbortOnDrop {
+            tx,
+            tenant,
+            armed: true,
+        };
+        task.handle.step_epoch(epoch, self.ctx);
+        task.handle.observe_reuse(epoch);
+        let ops = task.handle.drain_outbox();
+        let retiring = task.handle.retires_at(epoch);
+        if retiring {
+            task.handle.retire();
+        }
+        let (hits, misses) = task.handle.repo_stats();
+        let last = retiring || epoch + 1 == self.windows[tenant].1;
+        let sent = tx
+            .send(EpochReport {
+                tenant,
+                epoch,
+                staleness,
+                ops,
+                hits,
+                misses,
+                last,
+                aborted: false,
+            })
+            .is_ok();
+        guard.disarm();
+        if last || !sent {
+            // The tenant is done (or the committer is gone — the poisoned
+            // frontiers panic this worker on its next loop). The final
+            // finisher rings the doorbell so idle peers notice the pool is
+            // drained and exit.
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.doorbell.ring();
+            }
+            return;
+        }
+        task.next_epoch = epoch + 1;
+        // Reschedule through the local deque: LIFO keeps the hot tenant on
+        // this worker when nobody is idle, while an idle peer steals it from
+        // the cold end.
+        *self.slots[tenant].lock().expect("tenant slot poisoned") = Some(task);
+        local.push(tenant);
+    }
+}
+
+/// The work-stealing transport: bounded-staleness consistency on a **fixed
+/// worker pool** instead of one thread per tenant.
+///
+/// [`threads`](Self::threads) workers pull per-epoch tenant tasks from a
+/// shared deque (the vendored mini `crossbeam-deque`: a global injector plus
+/// per-worker deques with stealers), so a 1000-tenant fleet runs on a
+/// handful of threads — the regime where one-thread-per-tenant loses to the
+/// barrier on small hosts. A tenant whose shard frontier is too far behind
+/// is **parked as data** (never blocking a pool worker) and re-injected by
+/// the committer when its shard catches up.
+///
+/// Consistency is exactly [`BoundedStaleness`]'s: same per-shard frontiers,
+/// same staleness bound, same committer ([`run_committer`]). Tenant stepping
+/// is sequential per tenant, commits are per shard in tenant order, and
+/// sweep times are fixed by the epoch grid — none of it depends on which
+/// worker executes what — so the results are **invariant to the thread
+/// cap**, and `staleness = 0` bit-matches [`BspBarrier`] (fuzzed across
+/// scenarios in `tests/differential.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkStealing {
+    /// Worker threads in the pool (clamped to `1..=tenants`).
+    pub threads: usize,
+    /// Maximum number of epochs a tenant's view may trail its shard's commit
+    /// frontier.
+    pub staleness: usize,
+}
+
+impl CommitTransport for WorkStealing {
+    fn name(&self) -> String {
+        format!(
+            "steal(threads={},staleness={})",
+            self.threads, self.staleness
+        )
+    }
+
+    fn drive(&self, harness: &mut FleetHarness<'_>) -> TransportOutcome {
+        let (ctx, handles) = harness.split();
+        let tenant_count = handles.len();
+        let mut out = TransportOutcome::new(self.name(), tenant_count);
+        if ctx.epochs() == 0 || tenant_count == 0 {
+            return out;
+        }
+        let windows: Vec<(usize, usize)> = handles
+            .iter()
+            .map(|h| (h.start_epoch(), h.end_epoch()))
+            .collect();
+        let tenant_shard: Vec<usize> = handles
+            .iter()
+            .map(|h| ctx.shard_of(h.namespace()))
+            .collect();
+        let threads = self.threads.clamp(1, tenant_count);
+        let frontiers = ShardFrontiers::new(ctx.shard_count(), self.staleness);
+        let injector = Injector::new();
+        let doorbell = Doorbell::default();
+        let mut active = 0usize;
+        let slots: Vec<Mutex<Option<TenantTask<'_>>>> = handles
+            .into_iter()
+            .map(|handle| {
+                let index = handle.index();
+                let (start, end) = windows[index];
+                // Zero-length windows never step and never report; everyone
+                // else starts queued at their join epoch.
+                let task = (start < end).then_some(TenantTask {
+                    handle,
+                    next_epoch: start,
+                });
+                if task.is_some() {
+                    active += 1;
+                    injector.push(index);
+                }
+                Mutex::new(task)
+            })
+            .collect();
+        let remaining = AtomicUsize::new(active);
+        let (tx, rx) = crossbeam_channel::unbounded::<EpochReport>();
+        let locals: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<usize>> = locals.iter().map(|w| w.stealer()).collect();
+        std::thread::scope(|scope| {
+            for local in locals {
+                let tx = tx.clone();
+                let pool = StealPool {
+                    ctx: &ctx,
+                    frontiers: &frontiers,
+                    doorbell: &doorbell,
+                    injector: &injector,
+                    stealers: &stealers,
+                    slots: &slots,
+                    windows: &windows,
+                    tenant_shard: &tenant_shard,
+                    remaining: &remaining,
+                };
+                scope.spawn(move || pool.run_worker(&local, &tx));
+            }
+            drop(tx);
+
+            // Committer on this thread; its unwind poisons the frontiers and
+            // rings the doorbell so both parked tenants and idle workers die
+            // instead of deadlocking the scope.
+            let mut poison_guard = PoisonOnDrop {
+                frontiers: &frontiers,
+                doorbell: Some(&doorbell),
+                armed: true,
+            };
+            run_committer(
+                &ctx,
+                &rx,
+                &windows,
+                &tenant_shard,
+                &frontiers,
+                &mut out,
+                |released| {
+                    // An empty release set means no tenant became runnable
+                    // (the frontier mutex orders park vs advance), so idle
+                    // workers have nothing to find — don't wake them.
+                    if released.is_empty() {
+                        return;
+                    }
+                    for tenant in released {
+                        injector.push(tenant);
+                    }
+                    doorbell.ring();
+                },
+            );
             poison_guard.armed = false;
         });
         out
@@ -838,32 +1381,100 @@ mod tests {
                 .name(),
             "async(staleness=3)"
         );
+        assert_eq!(
+            TransportConfig::WorkStealing {
+                threads: 4,
+                staleness: 1
+            }
+            .backend()
+            .name(),
+            "steal(threads=4,staleness=1)"
+        );
     }
 
     #[test]
-    fn poisoned_frontier_wakes_and_kills_waiters() {
-        let frontier = Frontier::default();
+    fn transport_parse_accepts_every_backend_and_rejects_the_rest() {
+        assert_eq!(
+            TransportConfig::parse("bsp", 4, 2),
+            Ok(TransportConfig::Bsp)
+        );
+        assert_eq!(
+            TransportConfig::parse("async", 4, 2),
+            Ok(TransportConfig::BoundedStaleness { staleness: 2 })
+        );
+        assert_eq!(
+            TransportConfig::parse("steal", 4, 2),
+            Ok(TransportConfig::WorkStealing {
+                threads: 4,
+                staleness: 2
+            })
+        );
+        let err = TransportConfig::parse("quorum", 4, 2).expect_err("unknown backend");
+        assert!(err.contains("'quorum'"), "{err}");
+        for valid in ["'bsp'", "'async'", "'steal'"] {
+            assert!(err.contains(valid), "{err} should list {valid}");
+        }
+    }
+
+    #[test]
+    fn poisoned_frontiers_wake_and_kill_waiters() {
+        let frontiers = ShardFrontiers::new(2, 0);
         std::thread::scope(|scope| {
-            let waiter = scope.spawn(|| frontier.wait_within(5, 0));
-            frontier.poison();
+            let waiter = scope.spawn(|| frontiers.wait_within(0, 5));
+            frontiers.poison();
             assert!(
                 waiter.join().is_err(),
-                "a poisoned frontier must panic its waiters, not strand them"
+                "poisoned frontiers must panic their waiters, not strand them"
             );
+        });
+        assert!(frontiers.poisoned());
+    }
+
+    #[test]
+    fn shard_frontiers_gate_per_shard() {
+        let frontiers = ShardFrontiers::new(2, 1);
+        assert_eq!(frontiers.wait_within(0, 0), 0);
+        frontiers.advance(0, 2);
+        assert_eq!(frontiers.wait_within(0, 3), 1);
+        // Shard 1's frontier is untouched by shard 0's advance.
+        assert_eq!(frontiers.wait_within(1, 1), 1);
+        std::thread::scope(|scope| {
+            let blocked = scope.spawn(|| frontiers.wait_within(1, 3));
+            // Advancing the *other* shard must not release it; advancing its
+            // own does.
+            frontiers.advance(0, 9);
+            frontiers.advance(1, 2);
+            assert_eq!(blocked.join().expect("waiter"), 1);
         });
     }
 
     #[test]
-    fn frontier_blocks_until_within_bound() {
-        let frontier = Frontier::default();
-        assert_eq!(frontier.wait_within(0, 0), 0);
-        frontier.advance(2);
-        assert_eq!(frontier.wait_within(3, 1), 1);
+    fn parked_tenants_release_only_when_their_shard_catches_up() {
+        let frontiers = ShardFrontiers::new(2, 0);
+        assert_eq!(frontiers.enter_or_park(0, 0, 7), Some(0));
+        // Too far ahead: parked instead of admitted.
+        assert_eq!(frontiers.enter_or_park(0, 2, 7), None);
+        assert_eq!(frontiers.enter_or_park(0, 1, 8), None);
+        // The other shard's advance releases nobody.
+        assert!(frontiers.advance(1, 5).is_empty());
+        // Advancing shard 0 to one committed epoch admits only tenant 8.
+        assert_eq!(frontiers.advance(0, 1), vec![8]);
+        assert_eq!(frontiers.advance(0, 2), vec![7]);
+        assert_eq!(frontiers.enter_or_park(0, 2, 7), Some(0));
+    }
+
+    #[test]
+    fn doorbell_never_misses_a_ring() {
+        let doorbell = Doorbell::default();
+        let heard = doorbell.generation();
+        doorbell.ring();
+        // A ring after the snapshot makes the wait return immediately.
+        doorbell.wait_beyond(heard);
+        let heard = doorbell.generation();
         std::thread::scope(|scope| {
-            let t = scope.spawn(|| frontier.wait_within(5, 1));
-            // The waiter needs the frontier at 4; release it.
-            frontier.advance(4);
-            assert_eq!(t.join().expect("waiter"), 1);
+            let sleeper = scope.spawn(|| doorbell.wait_beyond(heard));
+            doorbell.ring();
+            sleeper.join().expect("sleeper woke");
         });
     }
 }

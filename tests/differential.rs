@@ -1,0 +1,419 @@
+//! Cross-transport differential scenario fuzzer.
+//!
+//! The fleet now has three commit transports — the lock-step BSP barrier,
+//! the bounded-staleness one-thread-per-tenant backend, and the
+//! work-stealing pool — that all promise the same thing: at `staleness = 0`
+//! a run is **bit-identical** to the barrier, for any thread cap, on any
+//! scenario. The only way to trust that promise is the Anvil discipline:
+//! generate scenarios covering the whole configuration space (tenant counts,
+//! family mixes, churn windows, TTLs, shard counts, snapshot warm-starts),
+//! run every transport over each one, and check the invariant.
+//!
+//! The fuzzer here is seeded and deterministic (the same hand-rolled `cases`
+//! harness as `tests/properties.rs`): every failure reproduces exactly from
+//! its case index. `DEJAVU_PROPTEST_CASES` raises the per-property case
+//! count — the nightly CI job runs it at 256.
+//!
+//! Invariants pinned, per fuzzed scenario:
+//!
+//! * **K = 0 bit-match.** BSP, `BoundedStaleness(0)` and `WorkStealing` at
+//!   thread caps 1/2/4 produce byte-identical reports — every per-tenant
+//!   result, the hit-rate curve, and the shared repository's entry/anchor
+//!   counts and statistics (hits, misses, insertions, **evictions** — the
+//!   eviction equality is what pins the frontier-aware per-shard TTL sweep).
+//! * **Thread-cap invariance.** The work-stealing caps are compared to each
+//!   other, not just to BSP, so a cap-dependent divergence cannot hide
+//!   behind a loose reference.
+//! * **Staleness bound for K > 0.** View- and reuse-staleness histograms
+//!   never exceed the bound, one view observation is recorded per
+//!   tenant-epoch actually stepped, and the schedule-determined fields
+//!   (admission epoch, active epochs, horizon, curve length) still match the
+//!   barrier bit for bit even though `K > 0` results are allowed to drift.
+//! * **Warm starts.** All of the above also holds when every transport
+//!   resumes from the same snapshot of a seed fleet — including TTL expiry
+//!   of seeded entries in shards the fuzzed tenants never touch, which only
+//!   the per-shard sweep schedule keeps identical to the barrier's.
+
+use dejavu::fleet::{
+    FleetConfig, FleetEngine, FleetReport, Scenario, ScenarioBuilder, SharedRepoConfig,
+    SharedSignatureRepository, TransportConfig,
+};
+use dejavu::simcore::{SimDuration, SimRng};
+use std::sync::Arc;
+
+const D_SEED: u64 = 0xD1FF_0FF5_7EA1_CA5E;
+
+/// Runs `body` for `n` deterministic random cases (the `DEJAVU_PROPTEST_CASES`
+/// environment variable overrides `n`), labelling failures with the case
+/// index so they can be replayed.
+fn cases(n: u64, mut body: impl FnMut(&mut SimRng, u64)) {
+    let n = std::env::var("DEJAVU_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(n);
+    for case in 0..n {
+        let mut rng = SimRng::seed_from_u64(D_SEED ^ case);
+        body(&mut rng, case);
+    }
+}
+
+/// Generates a random fleet scenario: 3–7 tenants drawn from the scenario
+/// families (diurnal / spike / sine / interference / SPECweb mixes — i.e.
+/// several namespaces, hence several shards, with skewed tenant counts),
+/// random observation ticks, and random churn windows (staggered arrivals,
+/// a mid-run departure).
+fn fuzz_scenario(rng: &mut SimRng, case: u64) -> Scenario {
+    let days = 1 + rng.uniform_usize(2);
+    let tick = [600.0, 900.0, 1200.0][rng.uniform_usize(3)];
+    let mut builder = ScenarioBuilder::new(format!("fuzz-{case}"), D_SEED ^ (case << 8), days)
+        .tick(SimDuration::from_secs(tick));
+    let diurnal = 1 + rng.uniform_usize(3);
+    builder = builder.diurnal_fleet(diurnal);
+    let mut total = diurnal;
+    if rng.uniform01() < 0.5 {
+        let n = 1 + rng.uniform_usize(2);
+        builder = builder.sine_sweep(n);
+        total += n;
+    }
+    if rng.uniform01() < 0.35 {
+        let n = 1 + rng.uniform_usize(2);
+        builder = builder.spike_storm(n);
+        total += n;
+    }
+    if rng.uniform01() < 0.3 {
+        let n = 1 + rng.uniform_usize(2);
+        builder = builder.specweb_fleet(n);
+        total += n;
+    }
+    if rng.uniform01() < 0.25 {
+        builder = builder.interference_heavy(1);
+        total += 1;
+    }
+    // Churn: a random suffix of the fleet joins staggered…
+    if total >= 2 && rng.uniform01() < 0.6 {
+        let from = 1 + rng.uniform_usize(total - 1);
+        builder = builder.stagger_arrivals(
+            from,
+            SimDuration::from_hours(1.0 + rng.uniform(0.0, 10.0)),
+            SimDuration::from_hours(1.0 + rng.uniform(0.0, 4.0)),
+        );
+    }
+    // …and a random tenant leaves mid-run (possibly one that joined late —
+    // EpochWindow clamps the degenerate stop-before-start case).
+    if rng.uniform01() < 0.5 {
+        let tenant = rng.uniform_usize(total);
+        builder = builder.depart_at(
+            tenant,
+            SimDuration::from_hours(6.0 + rng.uniform(0.0, 18.0)),
+        );
+    }
+    builder.build()
+}
+
+/// Random repository configuration: shard counts from the degenerate 1 up
+/// to 16 (shard routing skew is what the per-shard frontiers react to) and
+/// a TTL short enough to expire entries mid-run about half the time.
+fn fuzz_repo(rng: &mut SimRng) -> SharedRepoConfig {
+    SharedRepoConfig {
+        shards: 1 + rng.uniform_usize(16),
+        ttl: (rng.uniform01() < 0.5).then(|| SimDuration::from_hours(rng.uniform(8.0, 36.0))),
+        ..Default::default()
+    }
+}
+
+fn run(scenario: &Scenario, repo: &SharedRepoConfig, transport: TransportConfig) -> FleetReport {
+    FleetEngine::new(
+        scenario.clone(),
+        FleetConfig {
+            repo: repo.clone(),
+            transport,
+            ..Default::default()
+        },
+    )
+    .run()
+}
+
+fn run_warm(
+    scenario: &Scenario,
+    repo: &SharedRepoConfig,
+    transport: TransportConfig,
+    snapshot: &str,
+) -> FleetReport {
+    let engine = FleetEngine::new(
+        scenario.clone(),
+        FleetConfig {
+            repo: repo.clone(),
+            transport,
+            ..Default::default()
+        },
+    );
+    let (report, _) = engine.run_warm(snapshot).expect("fuzzer snapshot loads");
+    report
+}
+
+/// The thread caps every fuzzed scenario is driven at.
+const THREAD_CAPS: [usize; 3] = [1, 2, 4];
+
+/// Asserts that two fleet reports describe bit-identical runs: every
+/// per-tenant result, the convergence bookkeeping, the hit-rate curve, and
+/// the shared repository's final state and statistics (the eviction counts
+/// are what pin the frontier-aware per-shard TTL sweep).
+fn assert_reports_bit_match(a: &FleetReport, b: &FleetReport, label: &str) {
+    assert_eq!(a.epochs, b.epochs, "{label}: epochs");
+    assert_eq!(a.warm_start, b.warm_start, "{label}: warm flag");
+    assert_eq!(a.hit_rate_curve, b.hit_rate_curve, "{label}: curve");
+    assert_eq!(a.tenants.len(), b.tenants.len(), "{label}: tenant count");
+    for (x, y) in a.tenants.iter().zip(&b.tenants) {
+        let t = &x.name;
+        assert_eq!(x.dejavu.total_cost, y.dejavu.total_cost, "{label} {t}");
+        assert_eq!(x.dejavu.reuse_cost, y.dejavu.reuse_cost, "{label} {t}");
+        assert_eq!(
+            x.dejavu.slo_violation_fraction, y.dejavu.slo_violation_fraction,
+            "{label} {t}"
+        );
+        assert_eq!(
+            x.dejavu.latency_ms.values(),
+            y.dejavu.latency_ms.values(),
+            "{label} {t}"
+        );
+        assert_eq!(
+            x.dejavu.instance_count.values(),
+            y.dejavu.instance_count.values(),
+            "{label} {t}"
+        );
+        assert_eq!(x.stats.tunings, y.stats.tunings, "{label} {t}");
+        assert_eq!(x.stats.fleet_reuses, y.stats.fleet_reuses, "{label} {t}");
+        assert_eq!(
+            x.stats.repository.hits, y.stats.repository.hits,
+            "{label} {t}"
+        );
+        assert_eq!(
+            x.stats.repository.misses, y.stats.repository.misses,
+            "{label} {t}"
+        );
+        assert_eq!(x.cross_tenant_hits, y.cross_tenant_hits, "{label} {t}");
+        assert_eq!(x.joined_epoch, y.joined_epoch, "{label} {t}");
+        assert_eq!(x.active_epochs, y.active_epochs, "{label} {t}");
+        assert_eq!(
+            x.first_fleet_reuse_epoch, y.first_fleet_reuse_epoch,
+            "{label} {t}"
+        );
+    }
+    let (ra, rb) = (a.shared_repo.as_ref(), b.shared_repo.as_ref());
+    assert_eq!(ra.is_some(), rb.is_some(), "{label}: repo snapshot");
+    if let (Some(ra), Some(rb)) = (ra, rb) {
+        assert_eq!(ra.entries, rb.entries, "{label}: repo entries");
+        assert_eq!(ra.anchors, rb.anchors, "{label}: repo anchors");
+        assert_eq!(ra.stats, rb.stats, "{label}: repo stats");
+        assert_eq!(ra.shard_stats, rb.shard_stats, "{label}: shard stats");
+    }
+}
+
+/// Every transport at `staleness = 0` — the barrier, one thread per tenant,
+/// and the work-stealing pool at each cap — produces a bit-identical run on
+/// every fuzzed scenario, and the staleness telemetry agrees exactly.
+fn assert_zero_staleness_family_matches(
+    bsp: &FleetReport,
+    scenario: &Scenario,
+    repo: &SharedRepoConfig,
+    runner: impl Fn(TransportConfig) -> FleetReport,
+    label: &str,
+) {
+    let _ = (scenario, repo);
+    let async0 = runner(TransportConfig::BoundedStaleness { staleness: 0 });
+    assert_reports_bit_match(bsp, &async0, &format!("{label} async0"));
+    assert_eq!(async0.transport.view_staleness.max(), 0, "{label} async0");
+    let mut steal_runs = Vec::new();
+    for threads in THREAD_CAPS {
+        let steal = runner(TransportConfig::WorkStealing {
+            threads,
+            staleness: 0,
+        });
+        assert_reports_bit_match(bsp, &steal, &format!("{label} steal{threads}T"));
+        assert_eq!(
+            steal.transport.view_staleness.max(),
+            0,
+            "{label} steal{threads}T"
+        );
+        assert_eq!(
+            steal.transport.view_staleness.total(),
+            async0.transport.view_staleness.total(),
+            "{label} steal{threads}T telemetry totals"
+        );
+        steal_runs.push((threads, steal));
+    }
+    // Thread-cap invariance checked pairwise, not just against the (already
+    // matching) reference — a cap-dependent divergence cannot hide.
+    for window in steal_runs.windows(2) {
+        let (ta, a) = &window[0];
+        let (tb, b) = &window[1];
+        assert_reports_bit_match(a, b, &format!("{label} steal {ta}T vs {tb}T"));
+    }
+}
+
+#[test]
+fn fuzzed_scenarios_bit_match_across_transports_at_zero_staleness() {
+    cases(6, |rng, case| {
+        let scenario = fuzz_scenario(rng, case);
+        let repo = fuzz_repo(rng);
+        let bsp = run(&scenario, &repo, TransportConfig::Bsp);
+        assert_eq!(bsp.epochs, scenario.horizon_epochs(), "case {case}");
+        assert_zero_staleness_family_matches(
+            &bsp,
+            &scenario,
+            &repo,
+            |transport| run(&scenario, &repo, transport),
+            &format!("case {case}"),
+        );
+    });
+}
+
+#[test]
+fn fuzzed_warm_starts_bit_match_across_transports_at_zero_staleness() {
+    cases(4, |rng, case| {
+        // A seed fleet tunes a repository (TTL always on, so seeded entries
+        // age out *during* the warm run — including in shards the fuzzed
+        // tenants never touch, whose sweeps only the per-shard frontier
+        // schedule keeps on time); every transport then resumes from the
+        // same snapshot.
+        let seed_repo = SharedRepoConfig {
+            shards: 1 + rng.uniform_usize(16),
+            ttl: Some(SimDuration::from_hours(rng.uniform(20.0, 40.0))),
+            ..Default::default()
+        };
+        let seed_scenario = ScenarioBuilder::new(format!("fuzz-seed-{case}"), 91 ^ case, 1)
+            .tick(SimDuration::from_secs(900.0))
+            .diurnal_fleet(2)
+            .specweb_fleet(1)
+            .build();
+        let seeding = FleetEngine::new(
+            seed_scenario,
+            FleetConfig {
+                repo: seed_repo.clone(),
+                ..Default::default()
+            },
+        );
+        let shared = Arc::new(SharedSignatureRepository::new(seed_repo.clone()));
+        seeding.run_on(Arc::clone(&shared));
+        let snapshot = shared.save_snapshot();
+
+        let scenario = fuzz_scenario(rng, case);
+        let bsp = run_warm(&scenario, &seed_repo, TransportConfig::Bsp, &snapshot);
+        assert!(bsp.warm_start, "case {case}: seed fleet left no entries");
+        assert_zero_staleness_family_matches(
+            &bsp,
+            &scenario,
+            &seed_repo,
+            |transport| run_warm(&scenario, &seed_repo, transport, &snapshot),
+            &format!("warm case {case}"),
+        );
+    });
+}
+
+#[test]
+fn staleness_bound_holds_and_schedule_fields_stay_deterministic_for_positive_k() {
+    cases(4, |rng, case| {
+        let scenario = fuzz_scenario(rng, case);
+        let repo = fuzz_repo(rng);
+        let k = 1 + rng.uniform_usize(3);
+        let bsp = run(&scenario, &repo, TransportConfig::Bsp);
+        let expected_views: u64 = bsp.tenants.iter().map(|t| t.active_epochs as u64).sum();
+        let mut runs = vec![run(
+            &scenario,
+            &repo,
+            TransportConfig::BoundedStaleness { staleness: k },
+        )];
+        for threads in [1, 3] {
+            runs.push(run(
+                &scenario,
+                &repo,
+                TransportConfig::WorkStealing {
+                    threads,
+                    staleness: k,
+                },
+            ));
+        }
+        for report in &runs {
+            let label = format!("case {case} k={k} {}", report.transport.name);
+            assert!(
+                report.transport.view_staleness.max() <= k,
+                "{label}: view staleness {} exceeded the bound",
+                report.transport.view_staleness.max()
+            );
+            assert!(
+                report.transport.reuse_staleness.max() <= k,
+                "{label}: reuse staleness {} exceeded the bound",
+                report.transport.reuse_staleness.max()
+            );
+            // K > 0 results may drift bitwise, but everything the epoch grid
+            // determines — admission, retirement, horizon, telemetry volume —
+            // must still match the barrier exactly.
+            assert_eq!(report.epochs, bsp.epochs, "{label}: horizon");
+            assert_eq!(
+                report.hit_rate_curve.len(),
+                bsp.epochs,
+                "{label}: curve length"
+            );
+            assert_eq!(
+                report.transport.view_staleness.total(),
+                expected_views,
+                "{label}: one view observation per stepped tenant-epoch"
+            );
+            for (x, y) in bsp.tenants.iter().zip(&report.tenants) {
+                assert_eq!(x.joined_epoch, y.joined_epoch, "{label} {}", x.name);
+                assert_eq!(x.active_epochs, y.active_epochs, "{label} {}", x.name);
+            }
+        }
+    });
+}
+
+/// Regression pin for the frontier-aware TTL sweep: with per-shard commit
+/// frontiers, a shard whose epoch batch commits ahead of the fleet must be
+/// swept at **its own** epoch's timestamp. Were the sweep still fleet-wide
+/// per whole epoch, a deferred-stale entry in a leading shard would survive
+/// into that shard's next commit, where a buffered `RecordHit` would land on
+/// it and diverge the hit/eviction statistics from the barrier's. The
+/// scenarios here force the failure shape: a short TTL (entries expire
+/// mid-run), skewed namespaces (a big diurnal family and a small SPECweb one
+/// in different shards, so frontiers genuinely decouple), and churn.
+#[test]
+fn frontier_aware_ttl_sweep_cannot_resurrect_deferred_stale_entries() {
+    cases(4, |rng, case| {
+        let days = 2;
+        let mut builder = ScenarioBuilder::new(format!("ttl-skew-{case}"), 7 ^ case, days)
+            .tick(SimDuration::from_secs(900.0))
+            .diurnal_fleet(3 + rng.uniform_usize(2))
+            .specweb_fleet(1);
+        if rng.uniform01() < 0.5 {
+            builder = builder.stagger_arrivals(
+                2,
+                SimDuration::from_hours(4.0),
+                SimDuration::from_hours(3.0),
+            );
+        }
+        let scenario = builder.build();
+        let repo = SharedRepoConfig {
+            shards: 1 + rng.uniform_usize(16),
+            ttl: Some(SimDuration::from_hours(rng.uniform(8.0, 16.0))),
+            ..Default::default()
+        };
+        let bsp = run(&scenario, &repo, TransportConfig::Bsp);
+        let evictions = bsp
+            .shared_repo
+            .as_ref()
+            .expect("shared run")
+            .stats
+            .evictions;
+        assert!(
+            evictions > 0,
+            "case {case}: the TTL never fired — the regression scenario is vacuous"
+        );
+        assert_zero_staleness_family_matches(
+            &bsp,
+            &scenario,
+            &repo,
+            |transport| run(&scenario, &repo, transport),
+            &format!("ttl case {case}"),
+        );
+    });
+}

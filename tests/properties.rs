@@ -544,6 +544,132 @@ fn shared_repo_snapshot_round_trip_is_bit_identical() {
     });
 }
 
+/// Snapshot **error paths** return the right typed error on arbitrary
+/// repositories — not just the hand-written samples in `snapshot.rs`'s unit
+/// tests. For every randomly built repository the property corrupts the
+/// serialized text four ways and checks the decoder's verdict:
+///
+/// * **Truncation** (dropping a random number of trailing lines, losing the
+///   `end` terminator) → `SnapshotError::Inconsistent` naming truncation;
+/// * **A wrong version line** → `SnapshotError::Version` carrying what was
+///   found;
+/// * **A shard-bound violation** (`config shards=` beyond `MAX_SHARDS`) →
+///   `SnapshotError::Inconsistent` naming the shard count;
+/// * **A corrupted IEEE hex float** (a random `fb…` token mangled) →
+///   `SnapshotError::Format` pointing at the exact line.
+#[test]
+fn snapshot_error_paths_return_typed_errors() {
+    use dejavu::fleet::snapshot::{decode, SnapshotError, MAX_SHARDS};
+
+    cases(16, |rng, case| {
+        let repo = SharedSignatureRepository::new(SharedRepoConfig {
+            shards: 1 + rng.uniform_usize(8),
+            ttl: (rng.uniform01() < 0.5).then(|| SimDuration::from_hours(24.0)),
+            match_tolerance: 0.1,
+        });
+        let n = 1 + rng.uniform_usize(20);
+        for i in 0..n {
+            let sig = vec![1000.0 * 1.5f64.powi(i as i32), rng.uniform(0.1, 1e4)];
+            repo.insert(
+                i % 3,
+                rng.uniform_usize(4) as u64,
+                &sig,
+                (i % 2) as u32,
+                ResourceAllocation::large(1 + (i % 9) as u32),
+                SimTime::from_hours(rng.uniform(0.0, 48.0)),
+            );
+        }
+        let text = repo.save_snapshot();
+        let lines: Vec<&str> = text.lines().collect();
+
+        // Truncation: drop 1..n trailing lines (always at least the `end`
+        // terminator), keeping the version and config lines intact.
+        let keep = 2 + rng.uniform_usize(lines.len() - 2);
+        let truncated: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+        match decode(&truncated) {
+            Err(SnapshotError::Inconsistent { message }) => {
+                assert!(message.contains("truncated"), "case {case}: {message}");
+            }
+            other => panic!("case {case}: truncation decoded to {other:?}"),
+        }
+
+        // Wrong version line: the error carries what was actually found.
+        let mangled_version = format!(
+            "dejavu-fleet-snapshot v999\n{}",
+            &text[lines[0].len() + 1..]
+        );
+        match decode(&mangled_version) {
+            Err(SnapshotError::Version { found }) => {
+                assert_eq!(found, "dejavu-fleet-snapshot v999", "case {case}");
+            }
+            other => panic!("case {case}: version mismatch decoded to {other:?}"),
+        }
+
+        // Shard-bound violation: a huge `config shards=` is rejected before
+        // any allocation, as an inconsistency naming the count.
+        let bound = MAX_SHARDS + 1 + rng.uniform_usize(1000);
+        let shard_bomb = text.replacen(
+            &format!("config shards={}", repo.shard_count()),
+            &format!("config shards={bound}"),
+            1,
+        );
+        match decode(&shard_bomb) {
+            Err(SnapshotError::Inconsistent { message }) => {
+                assert!(message.contains("shard count"), "case {case}: {message}");
+            }
+            other => panic!("case {case}: shard bomb decoded to {other:?}"),
+        }
+
+        // Corrupted IEEE hex float: pick a random data line holding an
+        // `fb<16 hex>` token and mangle the token; the error is a Format
+        // error pointing at exactly that line.
+        let float_lines: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .skip(2) // leave the config line to the dedicated checks above
+            .filter(|(_, l)| l.split_whitespace().any(|tok| tok.starts_with("fb")))
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(&line_idx) = float_lines.get(rng.uniform_usize(float_lines.len().max(1))) {
+            let victim = lines[line_idx];
+            let token = victim
+                .split_whitespace()
+                .find(|tok| tok.starts_with("fb") && tok.len() == 18)
+                .expect("a float token on the chosen line");
+            let corrupted_line = match rng.uniform_usize(3) {
+                0 => victim.replacen(token, "fbZZ", 1), // bad length + bad hex
+                1 => victim.replacen(token, &token[..17], 1), // 15 hex digits
+                _ => victim.replacen(token, &format!("fbx{}", &token[3..]), 1), // non-hex
+            };
+            let corrupted: String = lines
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    if i == line_idx {
+                        format!("{corrupted_line}\n")
+                    } else {
+                        format!("{l}\n")
+                    }
+                })
+                .collect();
+            match decode(&corrupted) {
+                Err(SnapshotError::Format { line, message }) => {
+                    assert_eq!(line, line_idx + 1, "case {case}: wrong line in {message}");
+                    assert!(
+                        message.contains("fb<16 hex digits>"),
+                        "case {case}: {message}"
+                    );
+                }
+                other => panic!("case {case}: corrupted float decoded to {other:?}"),
+            }
+        }
+
+        // The untouched text still decodes — the corruptions above, not some
+        // latent strictness, produced the errors.
+        assert!(decode(&text).is_ok(), "case {case}");
+    });
+}
+
 /// Elastic-tenancy determinism: a scenario with staggered joins and mid-run
 /// departures is bit-identical across 1, 2 and 8 worker threads.
 #[test]

@@ -1,0 +1,372 @@
+//! Offline mini work-stealing-deque stand-in for the `crossbeam-deque` API
+//! surface.
+//!
+//! The workspace builds hermetically (no registry access), so this crate
+//! provides the small subset `dejavu-fleet`'s work-stealing commit transport
+//! needs — a shared [`Injector`] queue, per-worker [`Worker`] deques with
+//! [`Stealer`] handles, and the three-valued [`Steal`] result — implemented
+//! over `Mutex<VecDeque>`s. It mirrors the real crate's names and semantics
+//! (FIFO injector, LIFO/FIFO worker flavours, steals always take the
+//! opposite end of a LIFO worker), so swapping the genuine dependency in is
+//! a manifest change only. A mutex-guarded queue is plenty here: the
+//! transport schedules one task per tenant-epoch, each worth milliseconds of
+//! simulation — far below contention territory, and this stand-in never
+//! returns [`Steal::Retry`] (the variant exists so call sites written
+//! against the real lock-free crate compile unchanged).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty at the time of stealing.
+    Empty,
+    /// One task was successfully stolen.
+    Success(T),
+    /// A concurrent operation interfered; the caller should retry. This
+    /// stand-in's mutex-serialized queues never produce it, but callers
+    /// written against the real lock-free crate handle it, so the variant —
+    /// and the combinators below — keep those call sites source-compatible.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Whether the queue was empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether a task was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Whether the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(task) => Some(task),
+            _ => None,
+        }
+    }
+
+    /// Returns this steal if it succeeded, otherwise tries `get_another`;
+    /// a [`Steal::Retry`] from either side survives an [`Steal::Empty`] so
+    /// the caller knows to come back.
+    pub fn or_else<F: FnOnce() -> Steal<T>>(self, get_another: F) -> Steal<T> {
+        match self {
+            Steal::Success(task) => Steal::Success(task),
+            Steal::Empty => get_another(),
+            Steal::Retry => match get_another() {
+                Steal::Success(task) => Steal::Success(task),
+                _ => Steal::Retry,
+            },
+        }
+    }
+}
+
+impl<T> FromIterator<Steal<T>> for Steal<T> {
+    /// Consumes steals until the first success; reports [`Steal::Retry`] if
+    /// any consumed attempt was a retry and none succeeded.
+    fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+        let mut retry = false;
+        for steal in iter {
+            match steal {
+                Steal::Success(task) => return Steal::Success(task),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// An injector queue: the FIFO entry point every worker can push to and
+/// steal from.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+    }
+
+    /// Steals the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("injector poisoned").pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks into `dest`, returning one of them — the real
+    /// crate's amortization API; this stand-in moves up to half the queue.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut queue = self.queue.lock().expect("injector poisoned");
+        let Some(task) = queue.pop_front() else {
+            return Steal::Empty;
+        };
+        let extra = queue.len().div_ceil(2).min(16);
+        let mut dest_queue = dest.inner.lock().expect("worker deque poisoned");
+        for _ in 0..extra {
+            match queue.pop_front() {
+                Some(t) => dest_queue.push_back(t),
+                None => break,
+            }
+        }
+        Steal::Success(task)
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("injector poisoned").is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("injector poisoned").len()
+    }
+}
+
+/// Pop order of a [`Worker`] deque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+/// A worker's local deque. The owner pushes and pops at one end; [`Stealer`]s
+/// take from the opposite end, so the owner and thieves rarely contend for
+/// the same tasks.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker deque (owner pops the oldest task).
+    pub fn new_fifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    /// Creates a LIFO worker deque (owner pops the most recent task).
+    pub fn new_lifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.inner
+            .lock()
+            .expect("worker deque poisoned")
+            .push_back(task);
+    }
+
+    /// Pops a task from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        let mut queue = self.inner.lock().expect("worker deque poisoned");
+        match self.flavor {
+            Flavor::Fifo => queue.pop_front(),
+            Flavor::Lifo => queue.pop_back(),
+        }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("worker deque poisoned").is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("worker deque poisoned").len()
+    }
+
+    /// A handle other workers use to steal from this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A thief's handle to another worker's deque; steals take the front (the
+/// end opposite a LIFO owner), so thieves drain the oldest work first.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals the task at the front of the deque.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .inner
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_front()
+        {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("worker deque poisoned").is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        for i in 0..5 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 5);
+        for i in 0..5 {
+            assert_eq!(inj.steal(), Steal::Success(i));
+        }
+        assert_eq!(inj.steal(), Steal::<i32>::Empty);
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn lifo_worker_pops_newest_and_thieves_steal_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1), "thieves take the old end");
+        assert_eq!(w.pop(), Some(3), "the owner takes the new end");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::<i32>::Empty);
+    }
+
+    #[test]
+    fn fifo_worker_pops_oldest() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn steal_batch_and_pop_moves_a_batch() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty(), "a batch rode along");
+        let batched = w.len();
+        assert_eq!(inj.len(), 10 - 1 - batched);
+        assert_eq!(w.pop(), Some(1), "batch preserves order");
+    }
+
+    #[test]
+    fn steal_combinators_compose() {
+        assert_eq!(
+            Steal::Empty.or_else(|| Steal::Success(7)),
+            Steal::Success(7)
+        );
+        assert_eq!(Steal::Success(1).or_else(|| Steal::Success(2)), {
+            Steal::Success(1)
+        });
+        assert!(Steal::<i32>::Retry.or_else(|| Steal::Empty).is_retry());
+        assert_eq!(Steal::<i32>::Empty.success(), None);
+        let first: Steal<i32> = vec![Steal::Empty, Steal::Success(4), Steal::Success(5)]
+            .into_iter()
+            .collect();
+        assert_eq!(first, Steal::Success(4));
+        let retry: Steal<i32> = vec![Steal::Empty, Steal::Retry].into_iter().collect();
+        assert!(retry.is_retry());
+        let empty: Steal<i32> = vec![Steal::Empty, Steal::Empty].into_iter().collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealing_loses_nothing() {
+        let inj = Injector::new();
+        let total = 1000usize;
+        for i in 0..total {
+            inj.push(i);
+        }
+        let workers: Vec<Worker<usize>> = (0..4).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<usize>> = workers.iter().map(|w| w.stealer()).collect();
+        let got = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in &workers {
+                let inj = &inj;
+                let stealers = &stealers;
+                let got = &got;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let task = w.pop().or_else(|| {
+                            inj.steal_batch_and_pop(w)
+                                .or_else(|| stealers.iter().map(|s| s.steal()).collect())
+                                .success()
+                        });
+                        match task {
+                            Some(t) => local.push(t),
+                            None if inj.is_empty() => break,
+                            None => {}
+                        }
+                    }
+                    got.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut got = got.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..total).collect::<Vec<_>>());
+    }
+}
