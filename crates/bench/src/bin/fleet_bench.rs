@@ -5,9 +5,12 @@
 //! the lock-step barrier and under bounded staleness, with a `k = 0`
 //! bit-match check), the work-stealing thread-cap sweep (the 1000-tenant
 //! fleet on pools of 1/2/4 workers vs the barrier and vs one thread per
-//! tenant, with its own `k = 0` bit-match check), and a shared-repository
-//! lookup microbenchmark, then emits `BENCH_fleet.json` so every perf PR
-//! leaves comparable numbers behind.
+//! tenant, with its own `k = 0` bit-match check), the flight-recorder
+//! overhead comparison (the same work-stealing fleet with the obs recorder
+//! off and on), and a shared-repository lookup microbenchmark, then emits
+//! `BENCH_fleet.json` so every perf PR leaves comparable numbers behind.
+//! Each recorded run is labelled with the git revision and the host's core
+//! count, so trajectory numbers from different machines stay attributable.
 //!
 //! ```text
 //! cargo run --release -p dejavu-bench --bin fleet-bench            # full: 200 and 1000 tenants
@@ -32,6 +35,7 @@ use dejavu_fleet::{
     standard_fleet, FleetConfig, FleetEngine, SharedRepoConfig, SharedSignatureRepository,
     SharingMode, TransportConfig,
 };
+use dejavu_obs::Recorder;
 use dejavu_simcore::SimTime;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -318,6 +322,65 @@ fn work_stealing_sweep(
     }
 }
 
+/// The flight-recorder overhead comparison: the same work-stealing fleet
+/// with the obs recorder disabled and enabled. The disabled path compiles to
+/// null checks, so `overhead_pct` should sit well inside the CI gate's
+/// existing 30% lookup-regression headroom; the enabled run also yields the
+/// recorder's own telemetry (peek latency quantiles, park/steal counts,
+/// event volume) for the trajectory file.
+struct ObsMeasurement {
+    tenants: usize,
+    days: usize,
+    off_epochs_per_sec: f64,
+    on_epochs_per_sec: f64,
+    /// `(off/on - 1) * 100`: positive when recording costs throughput.
+    overhead_pct: f64,
+    peek_p50_ns: u64,
+    peek_p90_ns: u64,
+    peek_p99_ns: u64,
+    parks: u64,
+    steals: u64,
+    events: u64,
+}
+
+fn obs_compare(tenants: usize, days: usize) -> ObsMeasurement {
+    let run = |recorder: Recorder| {
+        let engine = FleetEngine::new(
+            standard_fleet(tenants, days, 11),
+            FleetConfig {
+                transport: TransportConfig::WorkStealing {
+                    threads: 4,
+                    staleness: 1,
+                },
+                recorder: recorder.clone(),
+                ..Default::default()
+            },
+        );
+        let start = Instant::now();
+        let report = engine.run();
+        (
+            report.epochs as f64 / start.elapsed().as_secs_f64().max(1e-12),
+            recorder,
+        )
+    };
+    let (off_epochs_per_sec, _) = run(Recorder::disabled());
+    let (on_epochs_per_sec, recorder) = run(Recorder::enabled());
+    let metrics = recorder.metrics().expect("enabled recorder has metrics");
+    ObsMeasurement {
+        tenants,
+        days,
+        off_epochs_per_sec,
+        on_epochs_per_sec,
+        overhead_pct: (off_epochs_per_sec / on_epochs_per_sec.max(1e-12) - 1.0) * 100.0,
+        peek_p50_ns: metrics.peek_ns.p50(),
+        peek_p90_ns: metrics.peek_ns.p90(),
+        peek_p99_ns: metrics.peek_ns.p99(),
+        parks: metrics.parks.get(),
+        steals: metrics.steals.get(),
+        events: recorder.events().len() as u64 + recorder.dropped_events(),
+    }
+}
+
 /// A 30-metric signature for anchor `a`, shaped like the profiler's output:
 /// magnitudes spread over decades, distinct anchors well beyond the match
 /// tolerance.
@@ -525,6 +588,26 @@ fn main() {
         steal.steal0_bit_match,
     );
 
+    let obs = if args.quick {
+        obs_compare(40, 1)
+    } else {
+        obs_compare(200, 1)
+    };
+    eprintln!(
+        "observability {:>4} tenants x {} day(s): off {:>7.2} epochs/s vs on {:>7.2} ({:+.1}% overhead; peek p50/p90/p99 {}/{}/{} ns; {} parks, {} steals, {} events)",
+        obs.tenants,
+        obs.days,
+        obs.off_epochs_per_sec,
+        obs.on_epochs_per_sec,
+        obs.overhead_pct,
+        obs.peek_p50_ns,
+        obs.peek_p90_ns,
+        obs.peek_p99_ns,
+        obs.parks,
+        obs.steals,
+        obs.events,
+    );
+
     let lookups = lookup_microbench(anchors, samples);
     for (name, m) in &lookups {
         eprintln!(
@@ -543,13 +626,29 @@ fn main() {
     // The label is spliced into hand-rolled JSON: escape the two characters
     // that would break the string literal.
     let label = args.label.replace('\\', "\\\\").replace('"', "\\\"");
+    // Attribution labels: the git revision this run measured and the host's
+    // core count, so trajectory numbers from different checkouts/machines
+    // stay comparable. Outside a git checkout the revision reads "unknown".
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|rev| !rev.is_empty() && rev.chars().all(|c| c.is_ascii_hexdigit()))
+        .unwrap_or_else(|| "unknown".to_string());
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut run = String::new();
     let _ = write!(
         run,
-        "    {{\n      \"label\": \"{}\",\n      \"mode\": \"{}\",\n      \"workers\": {},\n      \"shared_lookup_hit_per_sec\": {:.0},\n      \"fleets\": [\n",
+        "    {{\n      \"label\": \"{}\",\n      \"mode\": \"{}\",\n      \"git_rev\": \"{}\",\n      \"host_cores\": {},\n      \"workers\": {},\n      \"shared_lookup_hit_per_sec\": {:.0},\n      \"fleets\": [\n",
         label,
         if args.quick { "quick" } else { "full" },
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        git_rev,
+        host_cores,
+        host_cores,
         shared_hit_per_sec,
     );
     for (i, m) in fleets.iter().enumerate() {
@@ -609,6 +708,21 @@ fn main() {
         caps_json.join(", "),
         steal.speedup_vs_async,
         steal.steal0_bit_match,
+    );
+    let _ = writeln!(
+        run,
+        "      \"observability\": {{\"tenants\": {}, \"days\": {}, \"off_epochs_per_sec\": {:.2}, \"on_epochs_per_sec\": {:.2}, \"overhead_pct\": {:.2}, \"peek_p50_ns\": {}, \"peek_p90_ns\": {}, \"peek_p99_ns\": {}, \"parks\": {}, \"steals\": {}, \"events\": {}}},",
+        obs.tenants,
+        obs.days,
+        obs.off_epochs_per_sec,
+        obs.on_epochs_per_sec,
+        obs.overhead_pct,
+        obs.peek_p50_ns,
+        obs.peek_p90_ns,
+        obs.peek_p99_ns,
+        obs.parks,
+        obs.steals,
+        obs.events,
     );
     run.push_str("      \"lookups\": [\n");
     for (i, (name, m)) in lookups.iter().enumerate() {

@@ -20,6 +20,8 @@
 //! cargo run -p dejavu-experiments --release -- fleet --transport steal --threads 4 --staleness 1
 //! # drop never-hit entries when persisting:
 //! cargo run -p dejavu-experiments --release -- fleet --snapshot-out fleet.snap --snapshot-compact
+//! # flight recorder: lookup latency quantiles, frontier lag, park/steal rates:
+//! cargo run -p dejavu-experiments --release -- fleet --obs --obs-out fleet-obs.json
 //! ```
 //!
 //! With `--snapshot-in` the report carries the newcomer-convergence numbers
@@ -36,6 +38,7 @@ use dejavu_fleet::{
     churn_fleet, standard_fleet, FleetConfig, FleetEngine, FleetReport, SharedSignatureRepository,
     SharingMode, TransportConfig,
 };
+use dejavu_obs::{Event, ObsReport, Recorder};
 use std::sync::Arc;
 
 /// Options of one `fleet` experiment invocation.
@@ -59,6 +62,14 @@ pub struct FleetOptions {
     pub snapshot_compact: bool,
     /// The commit transport driving both fleets (BSP barrier by default).
     pub transport: TransportConfig,
+    /// Enable the fleet flight recorder on the shared fleet and append its
+    /// report to the experiment output. Off by default: the disabled
+    /// recorder's probes compile to null checks, and results are
+    /// bit-identical either way.
+    pub obs: bool,
+    /// Write the flight-recorder report as canonical JSON to this file
+    /// (implies nothing about `obs`; the CLI sets both).
+    pub obs_out: Option<String>,
 }
 
 /// Result of the fleet comparison.
@@ -68,6 +79,8 @@ pub struct FleetFigure {
     pub shared: FleetReport,
     /// The same fleet with isolated per-tenant repositories.
     pub isolated: FleetReport,
+    /// The shared fleet's flight-recorder report, when `--obs` ran.
+    pub obs: Option<ObsReport>,
 }
 
 impl FleetFigure {
@@ -163,6 +176,10 @@ impl FleetFigure {
         }
         r.line("");
         r.line(self.shared.render());
+        if let Some(obs) = &self.obs {
+            r.line("");
+            r.line(obs.render());
+        }
         r
     }
 }
@@ -181,15 +198,30 @@ pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::
         transport: opts.transport,
         ..Default::default()
     };
+    // One recorder instruments the shared fleet (store + transport + engine
+    // probes all aggregate into it); the isolated comparison fleet stays
+    // unrecorded so the report describes exactly one run.
+    let recorder = if opts.obs {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
 
-    let engine = FleetEngine::new(
-        scenario.clone(),
-        config(SharingMode::Shared, opts.baselines),
-    );
-    let repo = Arc::new(match &opts.snapshot_in {
-        Some(path) => SharedSignatureRepository::load_snapshot(&std::fs::read_to_string(path)?)?,
+    let mut shared_config = config(SharingMode::Shared, opts.baselines);
+    shared_config.recorder = recorder.clone();
+    let engine = FleetEngine::new(scenario.clone(), shared_config);
+    let repo = match &opts.snapshot_in {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            let loaded = SharedSignatureRepository::load_snapshot(&text)?;
+            recorder.event(|| Event::SnapshotLoad {
+                bytes: text.len() as u64,
+            });
+            loaded
+        }
         None => SharedSignatureRepository::new(engine.config().repo.clone()),
-    });
+    };
+    let repo = Arc::new(repo.with_recorder(recorder.clone()));
     let shared = engine.run_on(Arc::clone(&repo));
     if let Some(path) = &opts.snapshot_out {
         let text = if opts.snapshot_compact {
@@ -200,10 +232,28 @@ pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::
         std::fs::write(path, text)?;
     }
 
+    // Fold the store's per-shard hit/miss/evict counters into the obs report
+    // alongside the recorder's own metrics.
+    let obs = recorder.report().map(|mut report| {
+        for (shard, stats) in repo.shard_stats().iter().enumerate() {
+            report.push_counter(&format!("shard{shard}.hits"), stats.hits);
+            report.push_counter(&format!("shard{shard}.misses"), stats.misses);
+            report.push_counter(&format!("shard{shard}.evictions"), stats.evictions);
+        }
+        report
+    });
+    if let (Some(path), Some(report)) = (&opts.obs_out, &obs) {
+        std::fs::write(path, report.render_json())?;
+    }
+
     // The baselines ignore the repository, so their runs are identical in both
     // fleets; only the shared fleet pays for them.
     let isolated = FleetEngine::new(scenario, config(SharingMode::Isolated, false)).run();
-    Ok(FleetFigure { shared, isolated })
+    Ok(FleetFigure {
+        shared,
+        isolated,
+        obs,
+    })
 }
 
 /// Runs the fleet comparison for `tenants` tenants over `days` days.

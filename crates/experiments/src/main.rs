@@ -7,6 +7,7 @@
 //! cargo run -p dejavu-experiments --release -- fleet --tenants 8 --snapshot-in fleet.snap --churn
 //! cargo run -p dejavu-experiments --release -- fleet --transport async --staleness 2
 //! cargo run -p dejavu-experiments --release -- fleet --transport steal --threads 4 --staleness 1
+//! cargo run -p dejavu-experiments --release -- fleet --obs --obs-out fleet-obs.json
 //! ```
 
 use dejavu_fleet::TransportConfig;
@@ -88,6 +89,18 @@ fn main() {
             }
         } else if arg == "--churn" {
             fleet_opts.churn = true;
+        } else if arg == "--obs" {
+            fleet_opts.obs = true;
+        } else if arg == "--obs-out" {
+            let path = match it.next() {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => {
+                    eprintln!("--obs-out needs a file path");
+                    std::process::exit(2);
+                }
+            };
+            fleet_opts.obs = true;
+            fleet_opts.obs_out = Some(path);
         } else {
             targets.push(arg.clone());
         }

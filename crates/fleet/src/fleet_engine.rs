@@ -59,6 +59,7 @@ use crate::tenant_view::TenantRepoView;
 use crate::transport::{CommitTransport, FleetHarness, TenantRun, TransportConfig};
 use dejavu_baselines::{FixedMax, RightScale, RightScaleConfig};
 use dejavu_core::{DejaVuConfig, DejaVuController};
+use dejavu_obs::{Event, Recorder};
 use std::sync::Arc;
 
 /// Whether tenants share one repository or each keep their own.
@@ -90,6 +91,15 @@ pub struct FleetConfig {
     pub run_baselines: bool,
     /// The commit transport coordinating tenants and the shared store.
     pub transport: TransportConfig,
+    /// The fleet flight recorder. Disabled by default — every probe folds to
+    /// a null check, and an enabled recorder never feeds back into the
+    /// simulation, so results are bit-identical either way. [`FleetEngine::run`]
+    /// and [`FleetEngine::run_warm`] attach it to the repository they build;
+    /// callers of [`FleetEngine::run_on`] attach a clone to their own
+    /// repository via
+    /// [`SharedSignatureRepository::with_recorder`] if they want store-level
+    /// probes too (clones share storage).
+    pub recorder: Recorder,
 }
 
 impl Default for FleetConfig {
@@ -101,6 +111,7 @@ impl Default for FleetConfig {
             learning_hours: 24,
             run_baselines: false,
             transport: TransportConfig::Bsp,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -141,9 +152,10 @@ impl FleetEngine {
 
     /// Runs the fleet to completion against a fresh, cold repository.
     pub fn run(&self) -> FleetReport {
-        self.run_on(Arc::new(SharedSignatureRepository::new(
-            self.config.repo.clone(),
-        )))
+        self.run_on(Arc::new(
+            SharedSignatureRepository::new(self.config.repo.clone())
+                .with_recorder(self.config.recorder.clone()),
+        ))
     }
 
     /// Loads `snapshot` (see [`crate::snapshot`]) and runs the fleet against
@@ -155,7 +167,13 @@ impl FleetEngine {
         &self,
         snapshot: &str,
     ) -> Result<(FleetReport, Arc<SharedSignatureRepository>), SnapshotError> {
-        let shared = Arc::new(SharedSignatureRepository::load_snapshot(snapshot)?);
+        let shared = Arc::new(
+            SharedSignatureRepository::load_snapshot(snapshot)?
+                .with_recorder(self.config.recorder.clone()),
+        );
+        self.config.recorder.event(|| Event::SnapshotLoad {
+            bytes: snapshot.len() as u64,
+        });
         let report = self.run_on(Arc::clone(&shared));
         Ok((report, shared))
     }
@@ -254,10 +272,16 @@ impl FleetEngine {
                 epoch_secs,
                 origin_secs,
                 workers,
+                recorder: &self.config.recorder,
             };
             transport.drive(&mut harness)
         };
+        let finalize_started = self.config.recorder.start();
         let tenants = self.finish(runs, &outcome.cross_tenant_hits);
+        if let Some(started) = finalize_started {
+            let elapsed = started.elapsed().as_nanos() as u64;
+            self.config.recorder.with(|m| m.finalize_ns.set(elapsed));
+        }
 
         let shared_repo =
             (self.config.sharing == SharingMode::Shared).then(|| SharedRepoSnapshot {

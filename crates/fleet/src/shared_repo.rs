@@ -55,6 +55,7 @@
 
 use dejavu_cloud::{AllocationSpace, ResourceAllocation};
 use dejavu_core::FlatMap;
+use dejavu_obs::{Counter, Event, Recorder};
 use dejavu_simcore::{SimDuration, SimTime};
 use dejavu_traces::{RequestMix, ServiceKind};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -163,29 +164,39 @@ impl ShardStats {
     }
 }
 
-/// Per-shard counters, advanced with relaxed atomics so the read path never
-/// needs the shard write lock. Snapshots are only taken at epoch barriers or
-/// after a run, when no concurrent updates are in flight, so totals are exact.
+/// Per-shard counters, advanced with relaxed atomics (the shared
+/// [`dejavu_obs::Counter`] primitive) so the read path never needs the shard
+/// write lock. Snapshots are only taken at epoch barriers or after a run,
+/// when no concurrent updates are in flight, so totals are exact.
 #[derive(Debug, Default)]
 struct ShardCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    cross_tenant_hits: AtomicU64,
-    anchors_created: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+    cross_tenant_hits: Counter,
+    anchors_created: Counter,
 }
 
 impl ShardCounters {
     fn snapshot(&self) -> ShardStats {
         ShardStats {
-            hits: self.hits.load(Relaxed),
-            misses: self.misses.load(Relaxed),
-            insertions: self.insertions.load(Relaxed),
-            evictions: self.evictions.load(Relaxed),
-            cross_tenant_hits: self.cross_tenant_hits.load(Relaxed),
-            anchors_created: self.anchors_created.load(Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
+            cross_tenant_hits: self.cross_tenant_hits.get(),
+            anchors_created: self.anchors_created.get(),
         }
+    }
+
+    fn restore(&self, stats: &ShardStats) {
+        self.hits.set(stats.hits);
+        self.misses.set(stats.misses);
+        self.insertions.set(stats.insertions);
+        self.evictions.set(stats.evictions);
+        self.cross_tenant_hits.set(stats.cross_tenant_hits);
+        self.anchors_created.set(stats.anchors_created);
     }
 }
 
@@ -462,14 +473,22 @@ impl AnchorSet {
 
     /// Nearest anchor within `tolerance`, or `None`. Ties break toward the
     /// lowest anchor id, so resolution is deterministic.
-    fn resolve(&self, signature: &[f64], tolerance: f64) -> Option<u32> {
-        self.resolve_with_distance(signature, tolerance)
+    fn resolve(&self, signature: &[f64], tolerance: f64, probes: &mut u64) -> Option<u32> {
+        self.resolve_with_distance(signature, tolerance, probes)
             .map(|(_, id)| id)
     }
 
-    /// [`resolve`](Self::resolve) returning `(distance, id)`.
-    fn resolve_with_distance(&self, signature: &[f64], tolerance: f64) -> Option<(f64, u32)> {
-        self.resolve_inner(signature, tolerance)
+    /// [`resolve`](Self::resolve) returning `(distance, id)`. `probes`
+    /// accumulates the ball-tree visit count: exact distance checks
+    /// performed (slab slots and misfits examined) — the flight recorder's
+    /// per-resolve work measure.
+    fn resolve_with_distance(
+        &self,
+        signature: &[f64],
+        tolerance: f64,
+        probes: &mut u64,
+    ) -> Option<(f64, u32)> {
+        self.resolve_inner(signature, tolerance, probes)
     }
 
     /// [`resolve_with_distance`](Self::resolve_with_distance) through a
@@ -484,12 +503,14 @@ impl AnchorSet {
         signature: &[f64],
         tolerance: f64,
         memo: &mut ResolveMemo,
+        probes: &mut u64,
     ) -> Option<(f64, u32)> {
         match memo.find(signature) {
             Some(slot) => {
                 let entry = &mut memo.entries[slot];
                 if entry.seen_anchors != self.count {
-                    let since = self.resolve_since(signature, tolerance, entry.seen_anchors);
+                    let since =
+                        self.resolve_since(signature, tolerance, entry.seen_anchors, probes);
                     entry.resolved = match (entry.resolved, since) {
                         (Some((d_old, a_old)), Some((d_new, a_new))) => {
                             if d_new < d_old {
@@ -506,7 +527,7 @@ impl AnchorSet {
                 entry.resolved
             }
             None => {
-                let resolved = self.resolve_with_distance(signature, tolerance);
+                let resolved = self.resolve_with_distance(signature, tolerance, probes);
                 memo.insert(signature, self.count, resolved);
                 resolved
             }
@@ -515,15 +536,21 @@ impl AnchorSet {
 
     /// Nearest anchor among those with ids ≥ `from_id` (the delta since a
     /// witnessed resolution), with the same tolerance and tie-break rules.
-    fn resolve_since(&self, signature: &[f64], tolerance: f64, from_id: u32) -> Option<(f64, u32)> {
+    fn resolve_since(
+        &self,
+        signature: &[f64],
+        tolerance: f64,
+        from_id: u32,
+        probes: &mut u64,
+    ) -> Option<(f64, u32)> {
         let mut best: Option<(f64, u32)> = None;
         if self.dims > 0 && signature.len() == self.dims {
             let start = self.slab_ids.partition_point(|&id| id < from_id);
             for slot in start..self.slab_ids.len() {
-                self.consider_slot(slot, signature, None, tolerance, &mut best);
+                self.consider_slot(slot, signature, None, tolerance, &mut best, probes);
             }
         } else {
-            self.scan_misfits(signature, tolerance, from_id, &mut best);
+            self.scan_misfits(signature, tolerance, from_id, &mut best, probes);
         }
         best
     }
@@ -537,11 +564,13 @@ impl AnchorSet {
         tolerance: f64,
         from_id: u32,
         best: &mut Option<(f64, u32)>,
+        probes: &mut u64,
     ) {
         for (id, values) in &self.misfits {
             if *id < from_id {
                 continue;
             }
+            *probes += 1;
             let limit = best.map_or(tolerance, |(d, _)| d.min(tolerance));
             if let Some(d) = normalized_distance_within(values, signature, limit) {
                 if best.is_none_or(|(bd, bid)| d < bd || (d == bd && *id < bid)) {
@@ -558,6 +587,7 @@ impl AnchorSet {
     /// division-free φ-distance test (a necessary condition for matching
     /// within the current bound) screens the candidate first, so the
     /// division-heavy exact distance runs only on probable matches.
+    #[allow(clippy::too_many_arguments)]
     fn consider_slot(
         &self,
         slot: usize,
@@ -565,7 +595,9 @@ impl AnchorSet {
         q_phi: Option<(&[f64], &mut (f64, f64))>,
         tolerance: f64,
         best: &mut Option<(f64, u32)>,
+        probes: &mut u64,
     ) {
+        *probes += 1;
         let id = self.slab_ids[slot];
         let at = slot * self.dims;
         let limit = best.map_or(tolerance, |(d, _)| d.min(tolerance));
@@ -628,6 +660,7 @@ impl AnchorSet {
         tolerance: f64,
         best: &mut Option<(f64, u32)>,
         thresh_cache: &mut (f64, f64),
+        probes: &mut u64,
     ) {
         let node = self.nodes[ni as usize];
         let limit = best.map_or(tolerance, |(d, _)| d.min(tolerance));
@@ -646,6 +679,7 @@ impl AnchorSet {
                     Some((q_phi, &mut *thresh_cache)),
                     tolerance,
                     best,
+                    probes,
                 );
             }
             return;
@@ -667,6 +701,7 @@ impl AnchorSet {
                 tolerance,
                 best,
                 thresh_cache,
+                probes,
             );
             self.descend(
                 node.right,
@@ -676,6 +711,7 @@ impl AnchorSet {
                 tolerance,
                 best,
                 thresh_cache,
+                probes,
             );
         } else {
             self.descend(
@@ -686,6 +722,7 @@ impl AnchorSet {
                 tolerance,
                 best,
                 thresh_cache,
+                probes,
             );
             self.descend(
                 node.left,
@@ -695,11 +732,17 @@ impl AnchorSet {
                 tolerance,
                 best,
                 thresh_cache,
+                probes,
             );
         }
     }
 
-    fn resolve_inner(&self, signature: &[f64], tolerance: f64) -> Option<(f64, u32)> {
+    fn resolve_inner(
+        &self,
+        signature: &[f64],
+        tolerance: f64,
+        probes: &mut u64,
+    ) -> Option<(f64, u32)> {
         let mut best: Option<(f64, u32)> = None;
         if self.dims > 0 && signature.len() == self.dims {
             if self.radius_bound > 0.0 && !self.nodes.is_empty() {
@@ -734,6 +777,7 @@ impl AnchorSet {
                     tolerance,
                     &mut best,
                     &mut thresh_cache,
+                    probes,
                 );
                 // Anchors added since the last rebuild: linear tail, checked
                 // with the (by now tight) best-so-far bound.
@@ -744,16 +788,17 @@ impl AnchorSet {
                         Some((q_phi, &mut thresh_cache)),
                         tolerance,
                         &mut best,
+                        probes,
                     );
                 }
             } else {
                 for slot in 0..self.slab_ids.len() {
-                    self.consider_slot(slot, signature, None, tolerance, &mut best);
+                    self.consider_slot(slot, signature, None, tolerance, &mut best, probes);
                 }
             }
             // Misfits have a different length, so they can never match here.
         } else {
-            self.scan_misfits(signature, tolerance, 0, &mut best);
+            self.scan_misfits(signature, tolerance, 0, &mut best, probes);
         }
         best
     }
@@ -950,7 +995,7 @@ struct NamespaceState {
 
 impl NamespaceState {
     fn resolve_or_create(&mut self, signature: &[f64], tolerance: f64, created: &mut u64) -> u32 {
-        if let Some(id) = self.anchors.resolve(signature, tolerance) {
+        if let Some(id) = self.anchors.resolve(signature, tolerance, &mut 0) {
             return id;
         }
         *created += 1;
@@ -1045,6 +1090,11 @@ pub struct SharedSignatureRepository {
     /// numeric max). Persisted as the snapshot clock: a warm start resumes
     /// the fleet clock here instead of resetting entry ages to zero.
     clock: AtomicU64,
+    /// The flight recorder the repository's hot paths record into
+    /// (lookup/peek/publish latency, ball-tree visits, memo hit rate).
+    /// Disabled by default: probes fold to a null check and never influence
+    /// results, so runs are bit-identical with obs on or off.
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for SharedSignatureRepository {
@@ -1064,7 +1114,23 @@ impl SharedSignatureRepository {
             shards: (0..shards).map(|_| Shard::default()).collect(),
             config,
             clock: AtomicU64::new(0.0f64.to_bits()),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a flight recorder to the repository's instrumented hot
+    /// paths. Call before sharing the repository (it consumes `self`);
+    /// clones of one recorder share storage, so the same handle can also be
+    /// given to the fleet engine via `FleetConfig::recorder`.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The recorder attached via [`Self::with_recorder`] (disabled by
+    /// default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Advances the repository's clock high-water mark to at least `now`.
@@ -1127,6 +1193,7 @@ impl SharedSignatureRepository {
         tuned_at: SimTime,
     ) {
         self.advance_clock(tuned_at);
+        let started = self.recorder.start();
         let shard = &self.shards[self.shard_index(namespace)];
         let mut state = shard
             .state
@@ -1143,6 +1210,7 @@ impl SharedSignatureRepository {
             allocation,
             tuned_at,
         );
+        self.recorder.observe(started, |m| &m.publish_ns);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1193,8 +1261,8 @@ impl SharedSignatureRepository {
                 );
             }
         }
-        counters.insertions.fetch_add(1, Relaxed);
-        counters.anchors_created.fetch_add(created, Relaxed);
+        counters.insertions.inc();
+        counters.anchors_created.add(created);
     }
 
     /// Looks up the entry matching `signature` × `interference_bucket`,
@@ -1210,6 +1278,8 @@ impl SharedSignatureRepository {
         interference_bucket: u32,
         now: SimTime,
     ) -> Option<SharedEntry> {
+        let started = self.recorder.start();
+        let mut probes = 0u64;
         let shard = &self.shards[self.shard_index(namespace)];
         let state = shard
             .state
@@ -1220,7 +1290,7 @@ impl SharedSignatureRepository {
             .get(&namespace)
             .and_then(|ns| {
                 ns.anchors
-                    .resolve(signature, self.config.match_tolerance)
+                    .resolve(signature, self.config.match_tolerance, &mut probes)
                     .map(|anchor| (ns, anchor))
             })
             .and_then(|(ns, anchor)| {
@@ -1229,22 +1299,24 @@ impl SharedSignatureRepository {
                     interference_bucket,
                 })
             });
+        self.recorder.observe(started, |m| &m.lookup_ns);
+        self.recorder.with(|m| m.tree_visits.record(probes));
         let Some(entry) = entry else {
-            shard.counters.misses.fetch_add(1, Relaxed);
+            shard.counters.misses.inc();
             return None;
         };
         if self.is_stale(entry.tuned_at, now) {
             // Count the miss; eviction is the TTL sweep's job.
-            shard.counters.misses.fetch_add(1, Relaxed);
+            shard.counters.misses.inc();
             return None;
         }
         let hits = entry.hits.fetch_add(1, Relaxed) + 1;
-        shard.counters.hits.fetch_add(1, Relaxed);
+        shard.counters.hits.inc();
         let mut snapshot = entry.snapshot();
         snapshot.hits = hits;
         if entry.owner != tenant {
             snapshot.cross_tenant_hits = entry.cross_tenant_hits.fetch_add(1, Relaxed) + 1;
-            shard.counters.cross_tenant_hits.fetch_add(1, Relaxed);
+            shard.counters.cross_tenant_hits.inc();
         }
         Some(snapshot)
     }
@@ -1284,15 +1356,20 @@ impl SharedSignatureRepository {
         now: SimTime,
         exclude_owner: Option<TenantId>,
     ) -> Option<(SharedEntry, (u32, u32, f64))> {
+        let started = self.recorder.start();
+        let mut probes = 0u64;
         let state = self.shards[self.shard_index(namespace)]
             .state
             .read()
             .expect("shared repository shard poisoned");
-        let ns = state.namespaces.get(&namespace)?;
-        let resolution = ns
-            .anchors
-            .resolve_with_distance(signature, self.config.match_tolerance)?;
-        self.peek_entry(ns, resolution, interference_bucket, now, exclude_owner)
+        let ns = state.namespaces.get(&namespace);
+        let resolution = ns.and_then(|ns| {
+            ns.anchors
+                .resolve_with_distance(signature, self.config.match_tolerance, &mut probes)
+        });
+        self.recorder.observe(started, |m| &m.peek_ns);
+        self.recorder.with(|m| m.tree_visits.record(probes));
+        self.peek_entry(ns?, resolution?, interference_bucket, now, exclude_owner)
     }
 
     /// Shared tail of both peek paths: entry lookup, staleness and
@@ -1335,15 +1412,29 @@ impl SharedSignatureRepository {
         memo: &mut ResolveMemo,
     ) -> Option<(SharedEntry, (u32, u32, f64))> {
         memo.bind(namespace);
+        let started = self.recorder.start();
+        // The memo-hit probe re-runs the (≤ 32-entry) memo scan, but only
+        // with obs enabled — the disabled path never touches it.
+        self.recorder.with(|m| {
+            if memo.find(signature).is_some() {
+                m.memo_hits.inc();
+            } else {
+                m.memo_misses.inc();
+            }
+        });
+        let mut probes = 0u64;
         let state = self.shards[self.shard_index(namespace)]
             .state
             .read()
             .expect("shared repository shard poisoned");
-        let ns = state.namespaces.get(&namespace)?;
-        let resolution =
+        let ns = state.namespaces.get(&namespace);
+        let resolution = ns.and_then(|ns| {
             ns.anchors
-                .resolve_memoized(signature, self.config.match_tolerance, memo)?;
-        self.peek_entry(ns, resolution, interference_bucket, now, exclude_owner)
+                .resolve_memoized(signature, self.config.match_tolerance, memo, &mut probes)
+        });
+        self.recorder.observe(started, |m| &m.peek_ns);
+        self.recorder.with(|m| m.tree_visits.record(probes));
+        self.peek_entry(ns?, resolution?, interference_bucket, now, exclude_owner)
     }
 
     /// Resolves `signature` to its anchor id within `namespace`, if any
@@ -1356,11 +1447,11 @@ impl SharedSignatureRepository {
             .state
             .read()
             .expect("shared repository shard poisoned");
-        state
-            .namespaces
-            .get(&namespace)?
-            .anchors
-            .resolve(signature, self.config.match_tolerance)
+        state.namespaces.get(&namespace)?.anchors.resolve(
+            signature,
+            self.config.match_tolerance,
+            &mut 0,
+        )
     }
 
     /// Applies a buffered operation (epoch-barrier commit path). Returns true
@@ -1372,12 +1463,17 @@ impl SharedSignatureRepository {
         if let PendingOp::Publish { tuned_at, .. } = op {
             self.advance_clock(*tuned_at);
         }
+        let started = matches!(op, PendingOp::Publish { .. })
+            .then(|| self.recorder.start())
+            .flatten();
         let shard = &self.shards[self.shard_index(op.namespace())];
         let mut state = shard
             .state
             .write()
             .expect("shared repository shard poisoned");
-        Self::apply_locked(&mut state, &shard.counters, &self.config, op)
+        let applied = Self::apply_locked(&mut state, &shard.counters, &self.config, op);
+        self.recorder.observe(started, |m| &m.publish_ns);
+        applied
     }
 
     /// Applies a whole epoch's buffered operations, grouped so each shard's
@@ -1404,7 +1500,11 @@ impl SharedSignatureRepository {
                 .write()
                 .expect("shared repository shard poisoned");
             for i in indices {
+                let started = matches!(ops[i], PendingOp::Publish { .. })
+                    .then(|| self.recorder.start())
+                    .flatten();
                 applied[i] = Self::apply_locked(&mut state, &shard.counters, &self.config, &ops[i]);
+                self.recorder.observe(started, |m| &m.publish_ns);
             }
         }
         applied
@@ -1454,15 +1554,19 @@ impl SharedSignatureRepository {
                 // created since the peek — check just that delta.
                 let anchor = match resolved {
                     Some((anchor, count, distance)) => {
-                        match ns
-                            .anchors
-                            .resolve_since(signature, config.match_tolerance, *count)
-                        {
+                        match ns.anchors.resolve_since(
+                            signature,
+                            config.match_tolerance,
+                            *count,
+                            &mut 0,
+                        ) {
                             Some((d_new, a_new)) if d_new < *distance => Some(a_new),
                             _ => Some(*anchor),
                         }
                     }
-                    None => ns.anchors.resolve(signature, config.match_tolerance),
+                    None => ns
+                        .anchors
+                        .resolve(signature, config.match_tolerance, &mut 0),
                 };
                 let Some(anchor) = anchor else {
                     return false;
@@ -1474,15 +1578,15 @@ impl SharedSignatureRepository {
                     return false;
                 };
                 entry.hits.fetch_add(1, Relaxed);
-                counters.hits.fetch_add(1, Relaxed);
+                counters.hits.inc();
                 if entry.owner != *tenant {
                     entry.cross_tenant_hits.fetch_add(1, Relaxed);
-                    counters.cross_tenant_hits.fetch_add(1, Relaxed);
+                    counters.cross_tenant_hits.inc();
                 }
                 true
             }
             PendingOp::RecordMiss { .. } => {
-                counters.misses.fetch_add(1, Relaxed);
+                counters.misses.inc();
                 true
             }
         }
@@ -1530,7 +1634,7 @@ impl SharedSignatureRepository {
                 .retain(|_, e| now.saturating_since(e.tuned_at).as_secs() <= ttl.as_secs());
             evicted += (before - ns.entries.len()) as u64;
         }
-        shard.counters.evictions.fetch_add(evicted, Relaxed);
+        shard.counters.evictions.add(evicted);
         evicted
     }
 
@@ -1690,18 +1794,7 @@ impl SharedSignatureRepository {
             }
         }
         for (shard, stats) in repo.shards.iter().zip(&snapshot.shard_stats) {
-            shard.counters.hits.store(stats.hits, Relaxed);
-            shard.counters.misses.store(stats.misses, Relaxed);
-            shard.counters.insertions.store(stats.insertions, Relaxed);
-            shard.counters.evictions.store(stats.evictions, Relaxed);
-            shard
-                .counters
-                .cross_tenant_hits
-                .store(stats.cross_tenant_hits, Relaxed);
-            shard
-                .counters
-                .anchors_created
-                .store(stats.anchors_created, Relaxed);
+            shard.counters.restore(stats);
         }
         Ok(repo)
     }
@@ -1710,7 +1803,11 @@ impl SharedSignatureRepository {
     /// (see [`crate::snapshot`]). Deterministic: identical repository states
     /// produce byte-identical snapshots.
     pub fn save_snapshot(&self) -> String {
-        crate::snapshot::encode(&self.to_snapshot())
+        let text = crate::snapshot::encode(&self.to_snapshot());
+        self.recorder.event(|| Event::SnapshotSave {
+            bytes: text.len() as u64,
+        });
+        text
     }
 
     /// [`save_snapshot`](Self::save_snapshot) with compaction: entries that
@@ -1722,7 +1819,11 @@ impl SharedSignatureRepository {
     pub fn save_snapshot_compact(&self) -> String {
         let mut snapshot = self.to_snapshot();
         snapshot.compact();
-        crate::snapshot::encode(&snapshot)
+        let text = crate::snapshot::encode(&snapshot);
+        self.recorder.event(|| Event::SnapshotSave {
+            bytes: text.len() as u64,
+        });
+        text
     }
 
     /// Loads a repository from snapshot text produced by

@@ -54,6 +54,7 @@ use crossbeam_deque::{Injector, Stealer, Worker};
 use dejavu_baselines::{FixedMax, RightScale};
 use dejavu_cloud::ProvisioningController;
 use dejavu_core::DejaVuController;
+use dejavu_obs::{Event, Recorder};
 use dejavu_services::ServiceModel;
 use dejavu_simcore::SimTime;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -248,6 +249,7 @@ pub struct FleetContext<'a> {
     epoch_secs: f64,
     origin_secs: f64,
     workers: usize,
+    recorder: &'a Recorder,
 }
 
 impl FleetContext<'_> {
@@ -267,6 +269,13 @@ impl FleetContext<'_> {
         self.workers
     }
 
+    /// The fleet flight recorder (disabled by default — every probe on a
+    /// disabled recorder folds to a null check, so transports can instrument
+    /// unconditionally).
+    pub fn recorder(&self) -> &Recorder {
+        self.recorder
+    }
+
     /// Applies one epoch's operations (in the given order) through the
     /// shared repository's batched commit path — one write lock per touched
     /// shard. Returns one applied-flag per operation.
@@ -275,10 +284,11 @@ impl FleetContext<'_> {
     }
 
     /// Runs the TTL sweep for the barrier ending global epoch `epoch`.
-    pub fn sweep(&self, epoch: usize) {
+    /// Returns the number of entries reclaimed.
+    pub fn sweep(&self, epoch: usize) -> u64 {
         self.shared.evict_stale(SimTime::from_secs(
             self.origin_secs + self.epoch_secs * (epoch + 1) as f64,
-        ));
+        ))
     }
 
     /// Number of lock-striped shards in the shared repository.
@@ -296,11 +306,12 @@ impl FleetContext<'_> {
     /// a shard whose batch commits ahead of the fleet is swept at **its own**
     /// epoch's timestamp, so a deferred-stale entry BSP would have reclaimed
     /// can never resurface in a later commit of that shard.
-    pub fn sweep_shard(&self, shard: usize, epoch: usize) {
+    /// Returns the number of entries reclaimed.
+    pub fn sweep_shard(&self, shard: usize, epoch: usize) -> u64 {
         self.shared.evict_stale_shard(
             shard,
             SimTime::from_secs(self.origin_secs + self.epoch_secs * (epoch + 1) as f64),
-        );
+        )
     }
 }
 
@@ -313,6 +324,7 @@ pub struct FleetHarness<'a> {
     pub(crate) epoch_secs: f64,
     pub(crate) origin_secs: f64,
     pub(crate) workers: usize,
+    pub(crate) recorder: &'a Recorder,
 }
 
 impl FleetHarness<'_> {
@@ -325,6 +337,7 @@ impl FleetHarness<'_> {
             epoch_secs: self.epoch_secs,
             origin_secs: self.origin_secs,
             workers: self.workers,
+            recorder: self.recorder,
         };
         let handles = self
             .runs
@@ -337,50 +350,12 @@ impl FleetHarness<'_> {
 }
 
 /// Histogram over observed staleness values (in epochs).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct StalenessHistogram {
-    counts: Vec<u64>,
-}
-
-impl StalenessHistogram {
-    /// Records one observation of `staleness` epochs.
-    pub fn record(&mut self, staleness: usize) {
-        if self.counts.len() <= staleness {
-            self.counts.resize(staleness + 1, 0);
-        }
-        self.counts[staleness] += 1;
-    }
-
-    /// Observation counts, indexed by staleness in epochs.
-    pub fn counts(&self) -> &[u64] {
-        &self.counts
-    }
-
-    /// Total observations.
-    pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// The largest staleness ever observed (0 when empty).
-    pub fn max(&self) -> usize {
-        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
-    }
-
-    /// Mean observed staleness (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        let total = self.total();
-        if total == 0 {
-            return 0.0;
-        }
-        let weighted: u64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(s, &c)| s as u64 * c)
-            .sum();
-        weighted as f64 / total as f64
-    }
-}
+///
+/// An alias of the shared exact-count histogram from `dejavu-obs` — the
+/// hand-rolled implementation that used to live here migrated into the
+/// flight-recorder crate so the transport layer and the obs report agree on
+/// one set of summary semantics (`counts`/`total`/`max`/`mean`).
+pub use dejavu_obs::ExactHistogram as StalenessHistogram;
 
 /// What a transport reports about its own behaviour: which backend ran, how
 /// stale tenant views were, and how stale the views serving fleet reuses
@@ -539,7 +514,11 @@ fn commit_epoch(
     if ops.is_empty() {
         return;
     }
+    let recorder = ctx.recorder();
+    let started = recorder.start();
     let applied = ctx.commit(ops);
+    recorder.observe(started, |m| &m.commit_batch_ns);
+    recorder.with(|m| m.commit_batch_ops.record(ops.len() as u64));
     for (((op, &tenant), &staleness), applied) in
         ops.iter().zip(op_tenants).zip(op_staleness).zip(applied)
     {
@@ -576,7 +555,12 @@ impl CommitTransport for BspBarrier {
         let (ctx, mut handles) = harness.split();
         let mut out = TransportOutcome::new(self.name(), handles.len());
         let chunk_size = handles.len().div_ceil(ctx.workers.max(1)).max(1);
+        let recorder = ctx.recorder();
         for epoch in 0..ctx.epochs {
+            recorder.event(|| Event::EpochBegin {
+                epoch: epoch as u64,
+            });
+            let epoch_started = recorder.start();
             std::thread::scope(|scope| {
                 for chunk in handles.chunks_mut(chunk_size) {
                     scope.spawn(move || {
@@ -598,7 +582,8 @@ impl CommitTransport for BspBarrier {
             }
             let op_staleness = vec![0usize; ops.len()];
             commit_epoch(&ctx, &ops, &op_tenants, &op_staleness, &mut out);
-            ctx.sweep(epoch);
+            let reclaimed = ctx.sweep(epoch);
+            recorder.with(|m| m.sweep_reclaimed.add(reclaimed));
 
             // Convergence bookkeeping, then barrier-aligned retirement.
             let mut hits = 0u64;
@@ -622,6 +607,10 @@ impl CommitTransport for BspBarrier {
                 }
             }
             out.hit_rate_curve.push(hit_rate(hits, misses));
+            recorder.observe(epoch_started, |m| &m.epoch_ns);
+            recorder.event(|| Event::EpochCommit {
+                epoch: epoch as u64,
+            });
         }
         out
     }
@@ -884,6 +873,7 @@ fn run_committer(
     out: &mut TransportOutcome,
     mut on_release: impl FnMut(Vec<usize>),
 ) {
+    let recorder = ctx.recorder();
     let epochs = ctx.epochs();
     let shards = ctx.shard_count();
     // How many tenants must report each (epoch, shard) before that shard's
@@ -906,6 +896,9 @@ fn run_committer(
     // Per shard: the next epoch whose batch has not committed yet.
     let mut shard_next = vec![0usize; shards];
     let mut completed = 0usize;
+    // Fold-to-fold wall time per fleet-wide epoch (the async analogue of the
+    // barrier's per-epoch wall clock).
+    let mut fold_started = recorder.start();
     // Shards whose readiness may have changed. Seeded with every shard:
     // epochs expecting no reports from a shard (no tenant routes there, or
     // everyone already retired) commit empty batches immediately — their TTL
@@ -931,12 +924,35 @@ fn run_committer(
                     ops.extend(drained);
                 }
                 commit_epoch(ctx, &ops, &op_tenants, &op_staleness, out);
-                ctx.sweep_shard(shard, epoch);
+                recorder.event(|| Event::ShardCommit {
+                    shard: shard as u64,
+                    epoch: epoch as u64,
+                    ops: ops.len() as u64,
+                });
+                let reclaimed = ctx.sweep_shard(shard, epoch);
+                recorder.with(|m| m.sweep_reclaimed.add(reclaimed));
+                recorder.event(|| Event::TtlSweep {
+                    shard: shard as u64,
+                    epoch: epoch as u64,
+                    reclaimed,
+                });
                 for report in &batch {
                     epoch_stats[epoch].push((report.tenant, report.hits, report.misses));
                     out.summary.view_staleness.record(report.staleness);
                 }
                 shard_next[shard] = epoch + 1;
+                if recorder.is_enabled() {
+                    // Frontier lag: how far this shard's frontier trails the
+                    // fleet's most advanced shard after this commit.
+                    let lead = shard_next.iter().copied().max().unwrap_or(0);
+                    let lag = (lead - shard_next[shard]) as u64;
+                    recorder.with(|m| m.shard_lag.observe(shard, lag));
+                    recorder.event(|| Event::FrontierAdvance {
+                        shard: shard as u64,
+                        epoch: epoch as u64,
+                        lag,
+                    });
+                }
                 // Advancing after the sweep keeps `staleness = 0` exact: no
                 // tenant enters its shard's next epoch while that shard
                 // still moves.
@@ -951,6 +967,11 @@ fn run_committer(
             let hits: u64 = cached.iter().map(|&(h, _)| h).sum();
             let misses: u64 = cached.iter().map(|&(_, m)| m).sum();
             out.hit_rate_curve.push(hit_rate(hits, misses));
+            recorder.observe(fold_started, |m| &m.epoch_ns);
+            fold_started = recorder.start();
+            recorder.event(|| Event::EpochCommit {
+                epoch: completed as u64,
+            });
             completed += 1;
         }
         if completed >= epochs {
@@ -1118,7 +1139,13 @@ impl<'h> StealPool<'_, 'h> {
     /// the shared injector (batch) or a peer's deque; run the claimed
     /// tenant's next epoch; sleep on the doorbell only when every queue was
     /// observed empty at an unchanged doorbell generation.
-    fn run_worker(&self, local: &Worker<usize>, tx: &crossbeam_channel::Sender<EpochReport>) {
+    fn run_worker(
+        &self,
+        worker: usize,
+        local: &Worker<usize>,
+        tx: &crossbeam_channel::Sender<EpochReport>,
+    ) {
+        let recorder = self.ctx.recorder();
         loop {
             // Snapshot the doorbell before scanning: a task injected after an
             // empty scan bumps the generation, so the sleep below returns
@@ -1128,19 +1155,35 @@ impl<'h> StealPool<'_, 'h> {
                 !self.frontiers.poisoned(),
                 "transport committer unwound; worker aborting"
             );
+            // A task that did not come off the local deque was stolen — from
+            // the shared injector or a peer's cold end.
+            let mut stolen = false;
             let task = local.pop().or_else(|| {
+                stolen = true;
                 self.injector
                     .steal_batch_and_pop(local)
                     .or_else(|| self.stealers.iter().map(|s| s.steal()).collect())
                     .success()
             });
             match task {
-                Some(tenant) => self.run_tenant(tenant, local, tx),
+                Some(tenant) => {
+                    if stolen {
+                        recorder.with(|m| m.steals.inc());
+                        recorder.event(|| Event::WorkerSteal {
+                            worker: worker as u64,
+                        });
+                    }
+                    self.run_tenant(tenant, local, tx)
+                }
                 None => {
                     if self.remaining.load(Ordering::Acquire) == 0 {
                         return;
                     }
                     self.doorbell.wait_beyond(heard);
+                    recorder.with(|m| m.wakes.inc());
+                    recorder.event(|| Event::WorkerWake {
+                        worker: worker as u64,
+                    });
                 }
             }
         }
@@ -1167,7 +1210,14 @@ impl<'h> StealPool<'_, 'h> {
         // the next worker will look for it.
         *self.slots[tenant].lock().expect("tenant slot poisoned") = Some(task);
         let Some(staleness) = self.frontiers.enter_or_park(shard, epoch, tenant) else {
-            return; // parked; the committer re-injects it on advance
+            // Parked; the committer re-injects it on advance.
+            let recorder = self.ctx.recorder();
+            recorder.with(|m| m.parks.inc());
+            recorder.event(|| Event::WorkerPark {
+                tenant: tenant as u64,
+                epoch: epoch as u64,
+            });
+            return;
         };
         task = self.slots[tenant]
             .lock()
@@ -1301,7 +1351,7 @@ impl CommitTransport for WorkStealing {
         let locals: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_lifo()).collect();
         let stealers: Vec<Stealer<usize>> = locals.iter().map(|w| w.stealer()).collect();
         std::thread::scope(|scope| {
-            for local in locals {
+            for (worker, local) in locals.into_iter().enumerate() {
                 let tx = tx.clone();
                 let pool = StealPool {
                     ctx: &ctx,
@@ -1314,7 +1364,7 @@ impl CommitTransport for WorkStealing {
                     tenant_shard: &tenant_shard,
                     remaining: &remaining,
                 };
-                scope.spawn(move || pool.run_worker(&local, &tx));
+                scope.spawn(move || pool.run_worker(worker, &local, &tx));
             }
             drop(tx);
 

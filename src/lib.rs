@@ -12,6 +12,8 @@
 //! * [`traces`] — synthetic HotMail/Messenger-style traces and sine waves.
 //! * [`metrics`] — hardware-counter and xentop-style metric modelling.
 //! * [`ml`] — the from-scratch ML toolkit (k-means, C4.5-style trees, CFS…).
+//! * [`obs`] — the fleet flight recorder: lock-free metrics registry +
+//!   bounded event trace behind a zero-overhead [`obs::Recorder`] handle.
 //! * [`proxy`] — the duplicating proxy and clone-VM profiler.
 //! * [`baselines`] — Autopilot, RightScale-style, fixed and tuning baselines.
 //! * [`experiments`] — the per-figure/per-table experiment harnesses.
@@ -42,6 +44,7 @@ pub use dejavu_experiments as experiments;
 pub use dejavu_fleet as fleet;
 pub use dejavu_metrics as metrics;
 pub use dejavu_ml as ml;
+pub use dejavu_obs as obs;
 pub use dejavu_proxy as proxy;
 pub use dejavu_services as services;
 pub use dejavu_simcore as simcore;

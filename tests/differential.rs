@@ -33,12 +33,19 @@
 //!   resumes from the same snapshot of a seed fleet — including TTL expiry
 //!   of seeded entries in shards the fuzzed tenants never touch, which only
 //!   the per-shard sweep schedule keeps identical to the barrier's.
+//! * **Observability is invisible.** Running any transport with the fleet
+//!   flight recorder enabled produces the bit-identical report of the same
+//!   run with the recorder disabled — the probes only ever write obs state —
+//!   and the recorder's simulation-determined report subset is itself
+//!   deterministic for a fixed seed.
 
 use dejavu::fleet::{
     FleetConfig, FleetEngine, FleetReport, Scenario, ScenarioBuilder, SharedRepoConfig,
     SharedSignatureRepository, TransportConfig,
 };
+use dejavu::obs::Recorder;
 use dejavu::simcore::{SimDuration, SimRng};
+use std::cell::Cell;
 use std::sync::Arc;
 
 const D_SEED: u64 = 0xD1FF_0FF5_7EA1_CA5E;
@@ -416,4 +423,96 @@ fn frontier_aware_ttl_sweep_cannot_resurrect_deferred_stale_entries() {
             &format!("ttl case {case}"),
         );
     });
+}
+
+/// Runs a fleet with the flight recorder explicitly enabled or disabled on
+/// both the repository and the transport layer — the obs-invisibility
+/// fuzzing hook.
+fn run_with_obs(
+    scenario: &Scenario,
+    repo: &SharedRepoConfig,
+    transport: TransportConfig,
+    obs: bool,
+) -> (FleetReport, Recorder) {
+    let recorder = if obs {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let engine = FleetEngine::new(
+        scenario.clone(),
+        FleetConfig {
+            repo: repo.clone(),
+            transport,
+            recorder: recorder.clone(),
+            ..Default::default()
+        },
+    );
+    let report = engine.run_on(Arc::new(
+        SharedSignatureRepository::new(repo.clone()).with_recorder(recorder.clone()),
+    ));
+    (report, recorder)
+}
+
+/// The flight recorder never perturbs results: an obs-on run bit-matches the
+/// obs-off barrier reference for every transport at `staleness = 0`, on
+/// fuzzed scenarios, with the toggle itself randomized per family member so
+/// both recorder paths keep getting exercised across the whole matrix.
+#[test]
+fn obs_recording_is_invisible_to_results_across_transports() {
+    cases(4, |rng, case| {
+        let scenario = fuzz_scenario(rng, case);
+        let repo = fuzz_repo(rng);
+        let bsp = run(&scenario, &repo, TransportConfig::Bsp);
+        let (bsp_obs, recorder) = run_with_obs(&scenario, &repo, TransportConfig::Bsp, true);
+        assert_reports_bit_match(&bsp, &bsp_obs, &format!("obs case {case} bsp"));
+        let report = recorder.report().expect("enabled recorder reports");
+        assert!(
+            report.render().contains("epoch_commit"),
+            "obs case {case}: the enabled recorder saw no epochs"
+        );
+        // Deterministically alternate the toggle across the family members
+        // (async0, steal at each thread cap), seeded by the case index.
+        let draws = Cell::new(0u64);
+        assert_zero_staleness_family_matches(
+            &bsp,
+            &scenario,
+            &repo,
+            |transport| {
+                let i = draws.get();
+                draws.set(i + 1);
+                run_with_obs(&scenario, &repo, transport, (case + i).is_multiple_of(2)).0
+            },
+            &format!("obs case {case}"),
+        );
+    });
+}
+
+/// The simulation-determined subset of the obs report (`render_stable`) is
+/// bit-stable for a fixed seed under the BSP transport: two identical runs
+/// render identical stable reports, and the report actually has content.
+#[test]
+fn obs_stable_report_is_deterministic_for_a_fixed_seed() {
+    let scenario = ScenarioBuilder::new("obs-det", 11, 1)
+        .tick(SimDuration::from_secs(900.0))
+        .diurnal_fleet(3)
+        .specweb_fleet(1)
+        .build();
+    let repo = SharedRepoConfig {
+        ttl: Some(SimDuration::from_hours(12.0)),
+        ..Default::default()
+    };
+    let render = || {
+        let (_, recorder) = run_with_obs(&scenario, &repo, TransportConfig::Bsp, true);
+        recorder
+            .report()
+            .expect("enabled recorder reports")
+            .render_stable()
+    };
+    let first = render();
+    let second = render();
+    assert_eq!(first, second, "stable obs report drifted between runs");
+    assert!(first.contains("epoch_commit"), "{first}");
+    assert!(first.contains("tree_visits"), "{first}");
+    assert!(first.contains("peek_ns"), "{first}");
 }
