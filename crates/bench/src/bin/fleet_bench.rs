@@ -32,8 +32,8 @@
 use dejavu_cloud::ResourceAllocation;
 use dejavu_core::{RepositoryKey, SignatureRepository};
 use dejavu_fleet::{
-    standard_fleet, FleetConfig, FleetEngine, SharedRepoConfig, SharedSignatureRepository,
-    SharingMode, TransportConfig,
+    standard_fleet, FaultSpec, FleetConfig, FleetEngine, SharedRepoConfig,
+    SharedSignatureRepository, SharingMode, TransportConfig,
 };
 use dejavu_obs::Recorder;
 use dejavu_simcore::SimTime;
@@ -381,6 +381,93 @@ fn obs_compare(tenants: usize, days: usize) -> ObsMeasurement {
     }
 }
 
+/// The fault-injection recovery-cost comparison: the same bounded-staleness
+/// fleet clean and under an all-kinds deterministic fault schedule (tenant
+/// crashes with checkpoint replay, committer restarts, dropped/duplicated/
+/// reordered reports, shard losses). At `staleness = 0` recovery must be
+/// invisible — the faulty run bit-matches the clean one and reconverges in
+/// zero epochs — so the recorded overhead is the price of the fault model
+/// itself (delta capture, replay, re-assembly).
+struct FaultMeasurement {
+    tenants: usize,
+    days: usize,
+    spec: String,
+    clean_epochs_per_sec: f64,
+    faulty_epochs_per_sec: f64,
+    /// `(clean/faulty - 1) * 100`: positive when recovery costs throughput.
+    recovery_overhead_pct: f64,
+    injected: u64,
+    tenants_crashed: u64,
+    replayed_epochs: u64,
+    committer_restarts: u64,
+    shard_losses: u64,
+    checkpoints: u64,
+    /// Epochs after the last hit-rate-curve divergence from the clean run
+    /// (0 = the curves never diverged, i.e. instant reconvergence).
+    epochs_to_reconverge: usize,
+    bit_match: bool,
+}
+
+fn fault_compare(tenants: usize, days: usize) -> FaultMeasurement {
+    let run = |faults: Option<FaultSpec>| {
+        let engine = FleetEngine::new(
+            standard_fleet(tenants, days, 11),
+            FleetConfig {
+                transport: TransportConfig::BoundedStaleness { staleness: 0 },
+                faults,
+                checkpoint_every: 8,
+                ..Default::default()
+            },
+        );
+        let start = Instant::now();
+        let report = engine.run();
+        (report, start.elapsed().as_secs_f64())
+    };
+    let spec = FaultSpec::all(42);
+    let (clean_report, clean_secs) = run(None);
+    let (faulty_report, faulty_secs) = run(Some(spec));
+    let bit_match = faulty_report.hit_rate_curve == clean_report.hit_rate_curve
+        && clean_report
+            .tenants
+            .iter()
+            .zip(&faulty_report.tenants)
+            .all(|(a, b)| {
+                a.dejavu.total_cost == b.dejavu.total_cost
+                    && a.stats.tunings == b.stats.tunings
+                    && a.cross_tenant_hits == b.cross_tenant_hits
+            });
+    let epochs_to_reconverge = clean_report
+        .hit_rate_curve
+        .iter()
+        .zip(&faulty_report.hit_rate_curve)
+        .rposition(|(a, b)| a != b)
+        .map(|last| last + 1)
+        .unwrap_or(0);
+    let summary = faulty_report
+        .faults
+        .clone()
+        .expect("fault runs carry a summary");
+    let clean_epochs_per_sec = clean_report.epochs as f64 / clean_secs.max(1e-12);
+    let faulty_epochs_per_sec = faulty_report.epochs as f64 / faulty_secs.max(1e-12);
+    FaultMeasurement {
+        tenants,
+        days,
+        spec: spec.render(),
+        clean_epochs_per_sec,
+        faulty_epochs_per_sec,
+        recovery_overhead_pct: (clean_epochs_per_sec / faulty_epochs_per_sec.max(1e-12) - 1.0)
+            * 100.0,
+        injected: summary.injected,
+        tenants_crashed: summary.tenants_crashed,
+        replayed_epochs: summary.replayed_epochs,
+        committer_restarts: summary.committer_restarts,
+        shard_losses: summary.shard_losses,
+        checkpoints: summary.checkpoints,
+        epochs_to_reconverge,
+        bit_match,
+    }
+}
+
 /// A 30-metric signature for anchor `a`, shaped like the profiler's output:
 /// magnitudes spread over decades, distinct anchors well beyond the match
 /// tolerance.
@@ -608,6 +695,29 @@ fn main() {
         obs.events,
     );
 
+    let faults = if args.quick {
+        fault_compare(40, 1)
+    } else {
+        fault_compare(200, 1)
+    };
+    eprintln!(
+        "faults {:>4} tenants x {} day(s) (spec '{}'): clean {:>7.2} epochs/s vs faulty {:>7.2} ({:+.1}% recovery overhead; {} injected: {} crashes/{} replayed epochs, {} restarts, {} shard losses, {} checkpoints; reconverged after {} epochs; bit-match {})",
+        faults.tenants,
+        faults.days,
+        faults.spec,
+        faults.clean_epochs_per_sec,
+        faults.faulty_epochs_per_sec,
+        faults.recovery_overhead_pct,
+        faults.injected,
+        faults.tenants_crashed,
+        faults.replayed_epochs,
+        faults.committer_restarts,
+        faults.shard_losses,
+        faults.checkpoints,
+        faults.epochs_to_reconverge,
+        faults.bit_match,
+    );
+
     let lookups = lookup_microbench(anchors, samples);
     for (name, m) in &lookups {
         eprintln!(
@@ -723,6 +833,24 @@ fn main() {
         obs.parks,
         obs.steals,
         obs.events,
+    );
+    let _ = writeln!(
+        run,
+        "      \"faults\": {{\"tenants\": {}, \"days\": {}, \"spec\": \"{}\", \"clean_epochs_per_sec\": {:.2}, \"faulty_epochs_per_sec\": {:.2}, \"recovery_overhead_pct\": {:.2}, \"injected\": {}, \"tenants_crashed\": {}, \"replayed_epochs\": {}, \"committer_restarts\": {}, \"shard_losses\": {}, \"checkpoints\": {}, \"epochs_to_reconverge\": {}, \"bit_match\": {}}},",
+        faults.tenants,
+        faults.days,
+        faults.spec,
+        faults.clean_epochs_per_sec,
+        faults.faulty_epochs_per_sec,
+        faults.recovery_overhead_pct,
+        faults.injected,
+        faults.tenants_crashed,
+        faults.replayed_epochs,
+        faults.committer_restarts,
+        faults.shard_losses,
+        faults.checkpoints,
+        faults.epochs_to_reconverge,
+        faults.bit_match,
     );
     run.push_str("      \"lookups\": [\n");
     for (i, (name, m)) in lookups.iter().enumerate() {

@@ -201,6 +201,12 @@ impl DejaVuController {
         self.repository.as_ref()
     }
 
+    /// Mutable access to the backing store, for store-specific maintenance
+    /// (see [`AllocationStore::as_any_mut`]). Decision paths never need this.
+    pub fn store_mut(&mut self) -> &mut dyn AllocationStore {
+        self.repository.as_mut()
+    }
+
     /// The statistics gathered so far.
     pub fn stats(&self) -> &DejaVuStats {
         &self.stats

@@ -153,6 +153,14 @@ pub trait AllocationStore: Send {
 
     /// Snapshot of the visible `(key, entry)` pairs, in key order.
     fn entries(&self) -> Vec<(RepositoryKey, RepositoryEntry)>;
+
+    /// Opt-in downcast hook for store implementations that expose extra,
+    /// implementation-specific surface (e.g. fleet recovery re-pointing a
+    /// tenant view at a different shared repository). Stores with nothing to
+    /// expose keep the default `None`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 impl AllocationStore for SignatureRepository {

@@ -35,8 +35,8 @@
 
 use crate::report::{pct, Report};
 use dejavu_fleet::{
-    churn_fleet, standard_fleet, FleetConfig, FleetEngine, FleetReport, SharedSignatureRepository,
-    SharingMode, TransportConfig,
+    churn_fleet, standard_fleet, FaultSpec, FleetConfig, FleetEngine, FleetReport,
+    SharedSignatureRepository, SharingMode, TransportConfig,
 };
 use dejavu_obs::{Event, ObsReport, Recorder};
 use std::sync::Arc;
@@ -70,6 +70,14 @@ pub struct FleetOptions {
     /// Write the flight-recorder report as canonical JSON to this file
     /// (implies nothing about `obs`; the CLI sets both).
     pub obs_out: Option<String>,
+    /// Inject a deterministic fault schedule into the shared fleet
+    /// (`--faults SEED` or `--faults SEED:kind,...`). Requires an async
+    /// transport — the BSP barrier has no report path to fault.
+    pub faults: Option<FaultSpec>,
+    /// Compact the recovery delta chains every N commits per shard
+    /// (`--checkpoint-every N`; 0 keeps every delta). Only meaningful with
+    /// an async transport; recording itself is always on during fault runs.
+    pub checkpoint_every: usize,
 }
 
 /// Result of the fleet comparison.
@@ -117,6 +125,24 @@ impl FleetFigure {
                     self.shared.transport.reuse_staleness.mean(),
                     self.shared.transport.reuse_staleness.max(),
                     self.shared.transport.reuse_staleness.total(),
+                ),
+            );
+        }
+        if let Some(f) = &self.shared.faults {
+            r.kv(
+                "faults injected",
+                format!("{} under spec '{}'", f.injected, f.spec),
+            );
+            r.kv(
+                "recovery",
+                format!(
+                    "{} crashes replayed over {} epochs, {} committer restarts, \
+                     {} shard losses, {} checkpoints",
+                    f.tenants_crashed,
+                    f.replayed_epochs,
+                    f.committer_restarts,
+                    f.shard_losses,
+                    f.checkpoints
                 ),
             );
         }
@@ -187,6 +213,12 @@ impl FleetFigure {
 /// Runs the fleet comparison under `opts`. Reads/writes snapshot files when
 /// requested; IO or snapshot-format problems surface as errors.
 pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::Error>> {
+    // Fault schedules ride the asynchronous report path; reject the
+    // combination with the barrier up front, with the same typed error the
+    // CLI surfaces.
+    if let Some(spec) = &opts.faults {
+        opts.transport.check_faults(spec)?;
+    }
     let scenario = if opts.churn {
         churn_fleet(opts.tenants, opts.days, opts.seed, 24)
     } else {
@@ -209,6 +241,11 @@ pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::
 
     let mut shared_config = config(SharingMode::Shared, opts.baselines);
     shared_config.recorder = recorder.clone();
+    // Faults and checkpointing apply to the shared fleet only: the isolated
+    // comparison fleet is the clean reference the shared one is judged
+    // against.
+    shared_config.faults = opts.faults;
+    shared_config.checkpoint_every = opts.checkpoint_every;
     let engine = FleetEngine::new(scenario.clone(), shared_config);
     let repo = match &opts.snapshot_in {
         Some(path) => {
@@ -391,6 +428,93 @@ mod tests {
         let err = TransportConfig::parse("tokio", 4, 1).expect_err("unknown backend");
         assert!(err.contains("'tokio'"), "{err}");
         assert!(err.contains("'steal'"), "{err}");
+    }
+
+    #[test]
+    fn fault_injected_fleet_converges_and_reports_recovery() {
+        let base = FleetOptions {
+            seed: 3,
+            tenants: 6,
+            days: 1,
+            ..Default::default()
+        };
+        let clean = run_opts(&base).expect("fault-free run");
+        let faulty = run_opts(&FleetOptions {
+            transport: TransportConfig::BoundedStaleness { staleness: 0 },
+            faults: Some(FaultSpec::parse("42").expect("valid spec")),
+            checkpoint_every: 4,
+            ..base
+        })
+        .expect("fault run");
+        let summary = faulty.shared.faults.as_ref().expect("fault summary");
+        assert!(summary.injected > 0, "the schedule never fired");
+        // At staleness 0 recovery is invisible: the faulty fleet lands on
+        // the fault-free barrier's results.
+        assert_eq!(
+            faulty.shared.fleet_hit_rate(),
+            clean.shared.fleet_hit_rate()
+        );
+        assert_eq!(faulty.shared.total_cost(), clean.shared.total_cost());
+        assert_eq!(faulty.shared.hit_rate_curve, clean.shared.hit_rate_curve);
+        let text = faulty.report().into_text();
+        assert!(text.contains("faults injected"), "{text}");
+        assert!(text.contains("recovery"), "{text}");
+    }
+
+    #[test]
+    fn fault_specs_on_the_bsp_barrier_are_rejected() {
+        let err = run_opts(&FleetOptions {
+            seed: 3,
+            tenants: 2,
+            days: 1,
+            faults: Some(FaultSpec::parse("7:crash").expect("valid spec")),
+            ..Default::default()
+        })
+        .expect_err("bsp cannot inject faults");
+        let message = err.to_string();
+        assert!(message.contains("'bsp'"), "{message}");
+        assert!(message.contains("cannot inject faults"), "{message}");
+    }
+
+    #[test]
+    fn malformed_fault_specs_surface_each_typed_rejection() {
+        use dejavu_fleet::FaultSpecError;
+        // Empty spec.
+        let err = FaultSpec::parse("  ").expect_err("empty");
+        assert_eq!(err, FaultSpecError::Empty);
+        assert!(err.to_string().contains("'crash'"), "{err}");
+        // Unparsable seed.
+        let err = FaultSpec::parse("banana:crash").expect_err("bad seed");
+        assert_eq!(
+            err,
+            FaultSpecError::BadSeed {
+                token: "banana".to_string()
+            }
+        );
+        assert!(err.to_string().contains("banana"), "{err}");
+        // Unknown kind, listing the valid ones.
+        let err = FaultSpec::parse("7:flood").expect_err("unknown kind");
+        assert_eq!(
+            err,
+            FaultSpecError::UnknownKind {
+                kind: "flood".to_string()
+            }
+        );
+        let message = err.to_string();
+        for valid in [
+            "'crash'",
+            "'restart'",
+            "'drop'",
+            "'dup'",
+            "'reorder'",
+            "'shard-loss'",
+        ] {
+            assert!(message.contains(valid), "{message} should list {valid}");
+        }
+        // A kind list that lists nothing.
+        let err = FaultSpec::parse("7:,,").expect_err("no kinds");
+        assert_eq!(err, FaultSpecError::NoKinds);
+        assert!(err.to_string().contains("valid kinds"), "{err}");
     }
 
     #[test]

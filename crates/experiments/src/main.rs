@@ -8,9 +8,10 @@
 //! cargo run -p dejavu-experiments --release -- fleet --transport async --staleness 2
 //! cargo run -p dejavu-experiments --release -- fleet --transport steal --threads 4 --staleness 1
 //! cargo run -p dejavu-experiments --release -- fleet --obs --obs-out fleet-obs.json
+//! cargo run -p dejavu-experiments --release -- fleet --transport async --faults 42 --checkpoint-every 8
 //! ```
 
-use dejavu_fleet::TransportConfig;
+use dejavu_fleet::{FaultSpec, TransportConfig};
 use std::env;
 
 fn main() {
@@ -31,6 +32,10 @@ fn main() {
     let mut transport_name: Option<String> = None;
     let mut staleness = 1usize;
     let mut threads = 4usize;
+    // `--faults SEED[:kind,...]` goes through the typed `FaultSpec::parse`
+    // and is checked against the resolved transport: malformed specs and
+    // fault injection on the BSP barrier are clear errors, not panics.
+    let mut fault_spec: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -67,6 +72,25 @@ fn main() {
                 Some(n) if n > 0 => threads = n,
                 _ => {
                     eprintln!("--threads needs a positive worker count");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--faults" {
+            match it.next() {
+                Some(v) if !v.starts_with("--") => fault_spec = Some(v.clone()),
+                _ => {
+                    eprintln!(
+                        "--faults needs a schedule spec: \"SEED\" or \"SEED:kind,...\" \
+                         with kinds like 'crash', 'drop', 'shard-loss'"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--checkpoint-every" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => fleet_opts.checkpoint_every = n,
+                None => {
+                    eprintln!("--checkpoint-every needs a commit count (0 keeps every delta)");
                     std::process::exit(2);
                 }
             }
@@ -114,6 +138,20 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(spec) = &fault_spec {
+        let spec = match FaultSpec::parse(spec) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("--faults: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = fleet_opts.transport.check_faults(&spec) {
+            eprintln!("--faults: {e}");
+            std::process::exit(2);
+        }
+        fleet_opts.faults = Some(spec);
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = vec![

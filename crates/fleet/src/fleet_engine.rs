@@ -51,12 +51,13 @@
 //! per-tenant epochs-to-first-fleet-reuse and the fleet-wide hit-rate curve,
 //! which is how warm-start convergence is measured against cold starts.
 
+use crate::faults::{FaultInjector, FaultSpec};
 use crate::report::{FleetReport, SharedRepoSnapshot, TenantOutcome};
 use crate::scenario::Scenario;
 use crate::shared_repo::{SharedRepoConfig, SharedSignatureRepository};
 use crate::snapshot::SnapshotError;
 use crate::tenant_view::TenantRepoView;
-use crate::transport::{CommitTransport, FleetHarness, TenantRun, TransportConfig};
+use crate::transport::{CommitTransport, FleetHarness, RespawnFn, TenantRun, TransportConfig};
 use dejavu_baselines::{FixedMax, RightScale, RightScaleConfig};
 use dejavu_core::{DejaVuConfig, DejaVuController};
 use dejavu_obs::{Event, Recorder};
@@ -100,6 +101,15 @@ pub struct FleetConfig {
     /// [`SharedSignatureRepository::with_recorder`] if they want store-level
     /// probes too (clones share storage).
     pub recorder: Recorder,
+    /// Deterministic fault plan injected into the asynchronous transports
+    /// (`None` — the default — injects nothing and costs nothing). Requires
+    /// a shared-mode fleet on an async transport; see
+    /// [`TransportConfig::check_faults`].
+    pub faults: Option<FaultSpec>,
+    /// Delta-checkpoint chain compaction cadence for fault-injected (or
+    /// checkpoint-profiled) runs: fold the chain every N checkpoints per
+    /// shard. 0 (the default) retains the full chain.
+    pub checkpoint_every: usize,
 }
 
 impl Default for FleetConfig {
@@ -112,9 +122,16 @@ impl Default for FleetConfig {
             run_baselines: false,
             transport: TransportConfig::Bsp,
             recorder: Recorder::disabled(),
+            faults: None,
+            checkpoint_every: 0,
         }
     }
 }
+
+/// Test seam: a hook that sabotages prepared tenant runs before the
+/// transport drives them (e.g. poisoning an outbox to force a mid-epoch
+/// panic). Production runs never install one.
+type TamperFn = dyn Fn(&mut [TenantRun]);
 
 /// Runs a whole fleet deterministically.
 #[derive(Debug)]
@@ -193,6 +210,29 @@ impl FleetEngine {
         shared: Arc<SharedSignatureRepository>,
         transport: &dyn CommitTransport,
     ) -> FleetReport {
+        self.run_on_inner(shared, transport, None)
+    }
+
+    /// Test seam: runs the fleet but lets the caller tamper with the
+    /// prepared tenant runs first (e.g. poison an outbox so a tenant panics
+    /// mid-step — the fault the transports must survive by retiring the
+    /// tenant instead of aborting the fleet).
+    #[cfg(test)]
+    pub(crate) fn run_tampered(
+        &self,
+        shared: Arc<SharedSignatureRepository>,
+        transport: &dyn CommitTransport,
+        tamper: &TamperFn,
+    ) -> FleetReport {
+        self.run_on_inner(shared, transport, Some(tamper))
+    }
+
+    fn run_on_inner(
+        &self,
+        shared: Arc<SharedSignatureRepository>,
+        transport: &dyn CommitTransport,
+        tamper: Option<&TamperFn>,
+    ) -> FleetReport {
         let warm_start = !shared.is_empty();
         let epoch_secs = self.scenario.epoch.as_secs();
         // A warm-started fleet resumes the global clock where the snapshot
@@ -202,66 +242,26 @@ impl FleetEngine {
         let origin_secs = shared.clock().as_secs();
         let windows = self.scenario.epoch_windows();
         let epochs = windows.iter().map(|w| w.end).max().unwrap_or(0);
-        let mut runs: Vec<TenantRun> = Vec::with_capacity(self.scenario.tenants.len());
-
-        for (spec, window) in self.scenario.tenants.iter().zip(&windows) {
-            let engine = crate::engine::SimulationEngine::new(spec.run_config(self.scenario.tick));
-            let namespace = spec.namespace();
-            let space = engine.config().space.clone();
-            let dv_config = DejaVuConfig::builder()
-                .learning_hours(self.config.learning_hours)
-                .seed(spec.seed)
-                .build();
-            let mut controller =
-                DejaVuController::new(dv_config, spec.service.build(), space.clone())
-                    .with_name(format!("dejavu-{}", spec.name));
-            let outbox = match self.config.sharing {
-                SharingMode::Shared => {
-                    // The view maps this tenant's local clock onto the global
-                    // fleet clock (its join barrier), so shared-store
-                    // timestamps — and with them TTL staleness — stay
-                    // coherent across tenants that joined at different times.
-                    let (view, outbox) = TenantRepoView::new_with_offset(
-                        Arc::clone(&shared),
-                        spec.id,
-                        namespace,
-                        dejavu_simcore::SimDuration::from_secs(
-                            origin_secs + epoch_secs * window.start as f64,
-                        ),
-                    );
-                    controller = controller.with_store(Box::new(view));
-                    Some(outbox)
-                }
-                SharingMode::Isolated => None,
-            };
-            let state = engine.begin();
-            let fixed = self
-                .config
-                .run_baselines
-                .then(|| (FixedMax::new(&space), engine.begin()));
-            let rightscale = self.config.run_baselines.then(|| {
-                (
-                    RightScale::new(space.clone(), RightScaleConfig::default()),
-                    engine.begin(),
-                )
-            });
-            runs.push(TenantRun {
-                engine,
-                service: spec.service.build(),
-                controller,
-                state,
-                fixed,
-                rightscale,
-                start_epoch: window.start,
-                stop_epoch: window.stop,
-                end_epoch: window.end,
-                first_reuse_epoch: None,
-                active_epochs: 0,
-                retired: false,
-                namespace,
-                outbox,
-            });
+        let shared_view = (self.config.sharing == SharingMode::Shared).then_some(&shared);
+        let mut runs: Vec<TenantRun> = (0..self.scenario.tenants.len())
+            .map(|index| self.build_run(index, shared_view, origin_secs))
+            .collect();
+        if let Some(tamper) = tamper {
+            tamper(&mut runs);
         }
+
+        // The crash-recovery respawn hook: rebuilds tenant `index` from
+        // scratch, reading through `repo` (the recovery replay clone).
+        // Deterministic — the same spec, seed and clock offset as the
+        // original build above — so replaying the same epochs reproduces the
+        // pre-crash state bit for bit.
+        let respawn_closure = |index: usize, repo: Arc<SharedSignatureRepository>| -> TenantRun {
+            self.build_run(index, Some(&repo), origin_secs)
+        };
+        let respawn: Option<&RespawnFn<'_>> = match self.config.sharing {
+            SharingMode::Shared => Some(&respawn_closure),
+            SharingMode::Isolated => None,
+        };
 
         let workers = self.worker_count(runs.len());
         let outcome = {
@@ -273,11 +273,14 @@ impl FleetEngine {
                 origin_secs,
                 workers,
                 recorder: &self.config.recorder,
+                faults: FaultInjector::from_spec(self.config.faults),
+                checkpoint_every: self.config.checkpoint_every,
+                respawn,
             };
             transport.drive(&mut harness)
         };
         let finalize_started = self.config.recorder.start();
-        let tenants = self.finish(runs, &outcome.cross_tenant_hits);
+        let tenants = self.finish(runs, &outcome.cross_tenant_hits, &outcome.failed);
         if let Some(started) = finalize_started {
             let elapsed = started.elapsed().as_nanos() as u64;
             self.config.recorder.with(|m| m.finalize_ns.set(elapsed));
@@ -300,6 +303,79 @@ impl FleetEngine {
             shared_repo,
             hit_rate_curve: outcome.hit_rate_curve,
             transport: outcome.summary,
+            faults: outcome.faults,
+        }
+    }
+
+    /// Builds one tenant's complete in-flight run — engine, DejaVu
+    /// controller, baselines, tenancy window, repository view. Used both by
+    /// the initial prepare pass and by crash recovery (which rebuilds a
+    /// tenant against a private replay repository); everything here is a
+    /// pure function of the scenario and `origin_secs`, so a rebuilt tenant
+    /// replayed over the same epochs is bit-identical to the original.
+    pub(crate) fn build_run(
+        &self,
+        index: usize,
+        shared: Option<&Arc<SharedSignatureRepository>>,
+        origin_secs: f64,
+    ) -> TenantRun {
+        let epoch_secs = self.scenario.epoch.as_secs();
+        let window = self.scenario.epoch_windows()[index];
+        let spec = &self.scenario.tenants[index];
+        let engine = crate::engine::SimulationEngine::new(spec.run_config(self.scenario.tick));
+        let namespace = spec.namespace();
+        let space = engine.config().space.clone();
+        let dv_config = DejaVuConfig::builder()
+            .learning_hours(self.config.learning_hours)
+            .seed(spec.seed)
+            .build();
+        let mut controller = DejaVuController::new(dv_config, spec.service.build(), space.clone())
+            .with_name(format!("dejavu-{}", spec.name));
+        let outbox = match shared {
+            Some(shared) => {
+                // The view maps this tenant's local clock onto the global
+                // fleet clock (its join barrier), so shared-store
+                // timestamps — and with them TTL staleness — stay
+                // coherent across tenants that joined at different times.
+                let (view, outbox) = TenantRepoView::new_with_offset(
+                    Arc::clone(shared),
+                    spec.id,
+                    namespace,
+                    dejavu_simcore::SimDuration::from_secs(
+                        origin_secs + epoch_secs * window.start as f64,
+                    ),
+                );
+                controller = controller.with_store(Box::new(view));
+                Some(outbox)
+            }
+            None => None,
+        };
+        let state = engine.begin();
+        let fixed = self
+            .config
+            .run_baselines
+            .then(|| (FixedMax::new(&space), engine.begin()));
+        let rightscale = self.config.run_baselines.then(|| {
+            (
+                RightScale::new(space.clone(), RightScaleConfig::default()),
+                engine.begin(),
+            )
+        });
+        TenantRun {
+            engine,
+            service: spec.service.build(),
+            controller,
+            state,
+            fixed,
+            rightscale,
+            start_epoch: window.start,
+            stop_epoch: window.stop,
+            end_epoch: window.end,
+            first_reuse_epoch: None,
+            active_epochs: 0,
+            retired: false,
+            namespace,
+            outbox,
         }
     }
 
@@ -308,14 +384,19 @@ impl FleetEngine {
     /// extraction, cost metering) fans out across worker threads; outcomes
     /// are reassembled **by tenant index**, so the report order — and every
     /// value in it — is identical to a serial finalization pass.
-    fn finish(&self, runs: Vec<TenantRun>, cross_tenant_hits: &[u64]) -> Vec<TenantOutcome> {
+    fn finish(
+        &self,
+        runs: Vec<TenantRun>,
+        cross_tenant_hits: &[u64],
+        failed: &[Option<usize>],
+    ) -> Vec<TenantOutcome> {
         let tenant_count = runs.len();
         let workers = self.worker_count(tenant_count);
         if workers <= 1 || tenant_count <= 1 {
             return runs
                 .into_iter()
                 .enumerate()
-                .map(|(i, run)| self.finalize(i, run, cross_tenant_hits[i]))
+                .map(|(i, run)| self.finalize(i, run, cross_tenant_hits[i], failed[i]))
                 .collect();
         }
         let chunk_size = tenant_count.div_ceil(workers);
@@ -332,7 +413,9 @@ impl FleetEngine {
                     scope.spawn(move || {
                         chunk
                             .into_iter()
-                            .map(|(i, run)| (i, self.finalize(i, run, cross_tenant_hits[i])))
+                            .map(|(i, run)| {
+                                (i, self.finalize(i, run, cross_tenant_hits[i], failed[i]))
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -353,7 +436,13 @@ impl FleetEngine {
     }
 
     /// Turns a finished (or retired) tenant run into its outcome record.
-    fn finalize(&self, index: usize, run: TenantRun, cross_tenant_hits: u64) -> TenantOutcome {
+    fn finalize(
+        &self,
+        index: usize,
+        run: TenantRun,
+        cross_tenant_hits: u64,
+        failed_epoch: Option<usize>,
+    ) -> TenantOutcome {
         let TenantRun {
             engine,
             controller,
@@ -385,6 +474,7 @@ impl FleetEngine {
             joined_epoch: start_epoch,
             active_epochs,
             first_fleet_reuse_epoch: first_reuse_epoch,
+            failed_epoch,
             dejavu,
             fixed_max,
             rightscale,
@@ -496,6 +586,57 @@ mod tests {
             assert!(t.rightscale.is_some());
         }
         assert!(report.total_fixed_max_cost().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn a_panicking_tenant_is_retired_and_the_rest_finish() {
+        // Poisoning a tenant's outbox makes its first buffered publish panic
+        // mid-step. Every transport must catch the unwind, retire just that
+        // tenant (surfacing the epoch in the report), and let the survivors
+        // run to completion.
+        let poison = |runs: &mut [TenantRun]| {
+            let outbox = Arc::clone(runs[1].outbox.as_ref().expect("shared-mode outbox"));
+            std::thread::spawn(move || {
+                let _guard = outbox.lock().unwrap();
+                panic!("poison tenant 1's outbox");
+            })
+            .join()
+            .unwrap_err();
+        };
+        for transport in [
+            TransportConfig::Bsp,
+            TransportConfig::BoundedStaleness { staleness: 1 },
+            TransportConfig::WorkStealing {
+                threads: 2,
+                staleness: 0,
+            },
+        ] {
+            let engine = FleetEngine::new(tiny_scenario(3), FleetConfig::default());
+            let shared = Arc::new(SharedSignatureRepository::new(engine.config().repo.clone()));
+            let report = engine.run_tampered(shared, transport.backend().as_ref(), &poison);
+            let label = format!("{transport:?}");
+            assert_eq!(report.tenants_failed(), 1, "{label}");
+            assert!(
+                report.tenants[1].failed_epoch.is_some(),
+                "{label}: the poisoned tenant never failed"
+            );
+            for (i, t) in report.tenants.iter().enumerate() {
+                if i == 1 {
+                    continue;
+                }
+                assert_eq!(t.failed_epoch, None, "{label}: tenant {i}");
+                assert!(
+                    t.active_epochs == report.epochs,
+                    "{label}: survivor {i} stepped {} of {} epochs",
+                    t.active_epochs,
+                    report.epochs
+                );
+            }
+            assert!(
+                report.render().contains("tenants failed"),
+                "{label}: report hides the failure"
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod engine;
+pub mod faults;
 pub mod fleet_engine;
 pub mod report;
 pub mod scenario;
@@ -56,6 +57,7 @@ pub mod tenant_view;
 pub mod transport;
 
 pub use engine::{RunConfig, RunResult, RunState, SimulationEngine};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultSpecError};
 pub use fleet_engine::{FleetConfig, FleetEngine, SharingMode};
 pub use report::{FleetReport, SharedRepoSnapshot, TenantOutcome};
 pub use scenario::{
@@ -63,13 +65,16 @@ pub use scenario::{
     TenantSpec,
 };
 pub use shared_repo::{
-    namespace_for, PendingOp, ResolveMemo, ShardStats, SharedRepoConfig, SharedSignatureRepository,
-    TenantId,
+    namespace_for, shard_of_namespace, DeltaCursor, PendingOp, ResolveMemo, ShardStats,
+    SharedRepoConfig, SharedSignatureRepository, TenantId,
 };
-pub use snapshot::{RepoSnapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{
+    CheckpointStore, DeltaSnapshot, RepoSnapshot, SnapshotError, DELTA_SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION,
+};
 pub use tenant_view::TenantRepoView;
 pub use transport::{
-    BoundedStaleness, BspBarrier, CommitTransport, FleetContext, FleetHarness, Outbox,
-    StalenessHistogram, TenantHandle, TransportConfig, TransportOutcome, TransportSummary,
+    BoundedStaleness, BspBarrier, CommitTransport, FaultSummary, FleetContext, FleetHarness,
+    Outbox, StalenessHistogram, TenantHandle, TransportConfig, TransportOutcome, TransportSummary,
     WorkStealing,
 };

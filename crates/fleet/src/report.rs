@@ -3,7 +3,7 @@
 use crate::engine::RunResult;
 use crate::fleet_engine::SharingMode;
 use crate::shared_repo::{ShardStats, TenantId};
-use crate::transport::TransportSummary;
+use crate::transport::{FaultSummary, TransportSummary};
 use dejavu_core::DejaVuStats;
 
 /// Snapshot of the shared repository at the end of a run.
@@ -44,6 +44,10 @@ pub struct TenantOutcome {
     /// (1-based), if it ever reused a fleet entry. This is the newcomer
     /// convergence metric: warm-started fleets reach it in fewer epochs.
     pub first_fleet_reuse_epoch: Option<usize>,
+    /// Global epoch at which the tenant panicked and was retired by the
+    /// transport (the rest of the fleet finished without it). `None` for a
+    /// healthy tenant.
+    pub failed_epoch: Option<usize>,
     /// The always-full-capacity baseline, when baselines were enabled.
     pub fixed_max: Option<RunResult>,
     /// The RightScale-style baseline, when baselines were enabled.
@@ -71,6 +75,9 @@ pub struct FleetReport {
     /// Which commit transport drove the run, plus its observed-staleness and
     /// reuse-latency telemetry (all-zero histograms under the BSP barrier).
     pub transport: TransportSummary,
+    /// Fault-injection and recovery tallies, when the run injected faults or
+    /// profiled checkpointing; `None` for ordinary runs.
+    pub faults: Option<FaultSummary>,
 }
 
 impl FleetReport {
@@ -162,6 +169,14 @@ impl FleetReport {
             .count()
     }
 
+    /// Tenants that panicked mid-run and were retired by the transport.
+    pub fn tenants_failed(&self) -> usize {
+        self.tenants
+            .iter()
+            .filter(|t| t.failed_epoch.is_some())
+            .count()
+    }
+
     /// Mean reuse-phase adaptation time across tenants that adapted.
     pub fn mean_adaptation_secs(&self) -> f64 {
         let times: Vec<f64> = self
@@ -207,6 +222,47 @@ impl FleetReport {
                     self.transport.view_staleness.max(),
                     self.transport.reuse_staleness.mean(),
                     self.transport.reuse_staleness.max(),
+                ),
+            );
+        }
+        // The recovery section exists only on fault-injected (or
+        // checkpoint-profiled) runs, so ordinary reports stay byte-stable.
+        if let Some(faults) = &self.faults {
+            push(
+                &mut out,
+                format!(
+                    "  recovery                 : spec '{}', {} faults injected",
+                    faults.spec, faults.injected
+                ),
+            );
+            push(
+                &mut out,
+                format!(
+                    "    crashes {} (replayed {} epochs)  drops {}  dups {}  reorders {}",
+                    faults.tenants_crashed,
+                    faults.replayed_epochs,
+                    faults.reports_dropped,
+                    faults.reports_duplicated,
+                    faults.reports_reordered,
+                ),
+            );
+            push(
+                &mut out,
+                format!(
+                    "    committer restarts {}  shard losses {}  checkpoints {} ({} compactions)",
+                    faults.committer_restarts,
+                    faults.shard_losses,
+                    faults.checkpoints,
+                    faults.compactions,
+                ),
+            );
+        }
+        if self.tenants_failed() > 0 {
+            push(
+                &mut out,
+                format!(
+                    "  tenants failed           : {} (panicked and retired; survivors finished)",
+                    self.tenants_failed()
                 ),
             );
         }
@@ -316,6 +372,7 @@ mod tests {
             shared_repo: None,
             hit_rate_curve: Vec::new(),
             transport: TransportSummary::bsp(),
+            faults: None,
         }
     }
 
@@ -342,5 +399,63 @@ mod tests {
         let text = r.render();
         assert!(text.contains("transport"));
         assert!(text.contains("async(staleness=2)"));
+    }
+
+    #[test]
+    fn fault_runs_render_a_recovery_section() {
+        let mut r = empty_report(SharingMode::Shared);
+        assert!(!r.render().contains("recovery"));
+        r.faults = Some(FaultSummary {
+            spec: "7:crash,drop".into(),
+            injected: 3,
+            tenants_crashed: 1,
+            reports_dropped: 2,
+            replayed_epochs: 4,
+            checkpoints: 9,
+            ..FaultSummary::default()
+        });
+        let text = r.render();
+        assert!(text.contains("recovery"));
+        assert!(text.contains("7:crash,drop"));
+        assert!(text.contains("3 faults injected"));
+        assert!(text.contains("replayed 4 epochs"));
+    }
+
+    #[test]
+    fn failed_tenants_are_counted_and_rendered() {
+        use dejavu_simcore::{SimTime, TimeSeries};
+        let zero_run = RunResult {
+            name: "t0".into(),
+            controller: "c".into(),
+            load: TimeSeries::new("load"),
+            instance_count: TimeSeries::new("instances"),
+            capacity_units: TimeSeries::new("capacity"),
+            latency_ms: TimeSeries::new("latency"),
+            qos_percent: TimeSeries::new("qos"),
+            slo_violation_fraction: 0.0,
+            total_cost: 0.0,
+            reuse_cost: 0.0,
+            adaptations: Vec::new(),
+            settle_times_secs: Vec::new(),
+            end: SimTime::default(),
+        };
+        let mut r = empty_report(SharingMode::Shared);
+        assert_eq!(r.tenants_failed(), 0);
+        r.tenants.push(TenantOutcome {
+            id: 0,
+            name: "t0".into(),
+            namespace: 0,
+            dejavu: zero_run,
+            stats: DejaVuStats::default(),
+            cross_tenant_hits: 0,
+            joined_epoch: 0,
+            active_epochs: 2,
+            first_fleet_reuse_epoch: None,
+            failed_epoch: Some(2),
+            fixed_max: None,
+            rightscale: None,
+        });
+        assert_eq!(r.tenants_failed(), 1);
+        assert!(r.render().contains("tenants failed           : 1"));
     }
 }

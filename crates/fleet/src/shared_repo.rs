@@ -991,6 +991,11 @@ impl ResolveMemo {
 struct NamespaceState {
     anchors: AnchorSet,
     entries: FlatMap<EntryKey, StoredEntry>,
+    /// The shard's [`ShardState::mutation_clock`] value at this namespace's
+    /// last mutation. Incremental delta capture compares it against the
+    /// cursor's recorded value to decide whether the namespace changed since
+    /// the previous checkpoint. `0` means "never mutated since creation".
+    version: u64,
 }
 
 impl NamespaceState {
@@ -1006,6 +1011,12 @@ impl NamespaceState {
 #[derive(Debug, Default)]
 struct ShardState {
     namespaces: FlatMap<u64, NamespaceState>,
+    /// Monotone mutation stamp source for delta capture: bumped on every
+    /// namespace mutation under the write lock and **never reset** — not
+    /// even when a lost shard is wiped and re-seeded — so a namespace
+    /// version is unique per distinct state and a capture cursor can never
+    /// mistake a re-mutated namespace for an unchanged one (ABA).
+    mutation_clock: u64,
 }
 
 #[derive(Debug, Default)]
@@ -1079,6 +1090,30 @@ pub fn namespace_for(kind: ServiceKind, mix: RequestMix, space: &AllocationSpace
         }
     }
     h
+}
+
+/// Deterministic namespace → shard routing, as a pure function of the shard
+/// count. Shared with the snapshot layer so delta application can keep
+/// `RepoSnapshot::namespaces` in the same (shard, namespace id) order the
+/// encoder emits.
+pub fn shard_of_namespace(namespace: u64, shards: usize) -> usize {
+    // SplitMix64 finalizer: spreads consecutive namespace ids.
+    let mut z = namespace.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    (z % shards.max(1) as u64) as usize
+}
+
+/// Per-shard change cursor for incremental delta capture: remembers, per
+/// namespace, the mutation-clock stamp last checkpointed, so each
+/// [`SharedSignatureRepository::capture_shard_delta`] carries only the
+/// namespaces that actually changed since the previous capture. One cursor
+/// belongs to one shard of one repository; sharing it across shards would
+/// conflate their independent mutation clocks.
+#[derive(Debug, Default, Clone)]
+pub struct DeltaCursor {
+    seen: std::collections::HashMap<u64, u64>,
 }
 
 /// The fleet-shared, sharded signature repository.
@@ -1159,12 +1194,7 @@ impl SharedSignatureRepository {
     /// Deterministic shard routing: every key of `namespace` lives in the
     /// returned shard, so one lock covers anchor resolution plus the entry.
     pub fn shard_index(&self, namespace: u64) -> usize {
-        // SplitMix64 finalizer: spreads consecutive namespace ids.
-        let mut z = namespace.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z = z ^ (z >> 31);
-        (z % self.shards.len() as u64) as usize
+        shard_of_namespace(namespace, self.shards.len())
     }
 
     fn is_stale(&self, tuned_at: SimTime, now: SimTime) -> bool {
@@ -1226,9 +1256,12 @@ impl SharedSignatureRepository {
         tuned_at: SimTime,
     ) {
         let mut created = 0u64;
+        state.mutation_clock += 1;
+        let stamp = state.mutation_clock;
         let ns = state
             .namespaces
             .get_mut_or_insert_with(namespace, NamespaceState::default);
+        ns.version = stamp;
         let anchor = ns.resolve_or_create(signature, config.match_tolerance, &mut created);
         let key = EntryKey {
             anchor,
@@ -1545,7 +1578,9 @@ impl SharedSignatureRepository {
                 interference_bucket,
                 resolved,
             } => {
-                let Some(ns) = state.namespaces.get(namespace) else {
+                state.mutation_clock += 1;
+                let stamp = state.mutation_clock;
+                let Some(ns) = state.namespaces.get_mut(namespace) else {
                     return false;
                 };
                 // Reuse the peek-time resolution: anchors only accrete and
@@ -1583,6 +1618,9 @@ impl SharedSignatureRepository {
                     entry.cross_tenant_hits.fetch_add(1, Relaxed);
                     counters.cross_tenant_hits.inc();
                 }
+                // The hit counters live inside the namespace's entries, so a
+                // recorded hit is a namespace change for delta capture.
+                ns.version = stamp;
                 true
             }
             PendingOp::RecordMiss { .. } => {
@@ -1627,12 +1665,18 @@ impl SharedSignatureRepository {
             .state
             .write()
             .expect("shared repository shard poisoned");
+        let state = &mut *state;
         let mut evicted = 0u64;
         for ns in state.namespaces.values_mut() {
             let before = ns.entries.len();
             ns.entries
                 .retain(|_, e| now.saturating_since(e.tuned_at).as_secs() <= ttl.as_secs());
-            evicted += (before - ns.entries.len()) as u64;
+            let gone = (before - ns.entries.len()) as u64;
+            if gone > 0 {
+                state.mutation_clock += 1;
+                ns.version = state.mutation_clock;
+            }
+            evicted += gone;
         }
         shard.counters.evictions.add(evicted);
         evicted
@@ -1692,24 +1736,7 @@ impl SharedSignatureRepository {
                 .read()
                 .expect("shared repository shard poisoned");
             for (&ns_id, ns) in state.namespaces.iter() {
-                let entries = ns
-                    .entries
-                    .iter()
-                    .map(|(key, e)| crate::snapshot::EntrySnapshot {
-                        anchor: key.anchor,
-                        bucket: key.interference_bucket,
-                        allocation: e.allocation,
-                        tuned_at_secs: e.tuned_at.as_secs(),
-                        owner: e.owner,
-                        hits: e.hits.load(Relaxed),
-                        cross_tenant_hits: e.cross_tenant_hits.load(Relaxed),
-                    })
-                    .collect();
-                namespaces.push(crate::snapshot::NamespaceSnapshot {
-                    id: ns_id,
-                    anchors: ns.anchors.snapshot_anchors(),
-                    entries,
-                });
+                namespaces.push(Self::snapshot_namespace(ns_id, ns));
             }
         }
         crate::snapshot::RepoSnapshot {
@@ -1720,6 +1747,72 @@ impl SharedSignatureRepository {
             namespaces,
             shard_stats: self.shard_stats(),
         }
+    }
+
+    /// Plain-data image of one namespace (shared by the full snapshot and
+    /// the incremental delta capture).
+    fn snapshot_namespace(ns_id: u64, ns: &NamespaceState) -> crate::snapshot::NamespaceSnapshot {
+        let entries = ns
+            .entries
+            .iter()
+            .map(|(key, e)| crate::snapshot::EntrySnapshot {
+                anchor: key.anchor,
+                bucket: key.interference_bucket,
+                allocation: e.allocation,
+                tuned_at_secs: e.tuned_at.as_secs(),
+                owner: e.owner,
+                hits: e.hits.load(Relaxed),
+                cross_tenant_hits: e.cross_tenant_hits.load(Relaxed),
+            })
+            .collect();
+        crate::snapshot::NamespaceSnapshot {
+            id: ns_id,
+            anchors: ns.anchors.snapshot_anchors(),
+            entries,
+        }
+    }
+
+    /// Rebuilds one namespace's live state from its snapshot image (shared
+    /// by full restore, delta application and shard re-seeding).
+    fn namespace_state_from_snapshot(
+        ns_snap: &crate::snapshot::NamespaceSnapshot,
+        match_tolerance: f64,
+    ) -> Result<NamespaceState, crate::snapshot::SnapshotError> {
+        let inconsistent =
+            |message: String| crate::snapshot::SnapshotError::Inconsistent { message };
+        let anchors = AnchorSet::restore(&ns_snap.anchors, match_tolerance)
+            .map_err(|e| inconsistent(format!("namespace {}: {e}", ns_snap.id)))?;
+        let mut entries = FlatMap::new();
+        for e in &ns_snap.entries {
+            if e.anchor as usize >= ns_snap.anchors.len() {
+                return Err(inconsistent(format!(
+                    "namespace {}: entry references unknown anchor {}",
+                    ns_snap.id, e.anchor
+                )));
+            }
+            let key = EntryKey {
+                anchor: e.anchor,
+                interference_bucket: e.bucket,
+            };
+            let stored = StoredEntry {
+                allocation: e.allocation,
+                tuned_at: SimTime::from_secs(e.tuned_at_secs),
+                owner: e.owner,
+                hits: AtomicU64::new(e.hits),
+                cross_tenant_hits: AtomicU64::new(e.cross_tenant_hits),
+            };
+            if entries.insert(key, stored).is_some() {
+                return Err(inconsistent(format!(
+                    "namespace {}: duplicate entry {} × {}",
+                    ns_snap.id, e.anchor, e.bucket
+                )));
+            }
+        }
+        Ok(NamespaceState {
+            anchors,
+            entries,
+            version: 0,
+        })
     }
 
     /// Reconstructs a repository from a snapshot. The restored repository is
@@ -1753,42 +1846,13 @@ impl SharedSignatureRepository {
         });
         repo.advance_clock(SimTime::from_secs(snapshot.clock_secs));
         for ns_snap in &snapshot.namespaces {
-            let anchors = AnchorSet::restore(&ns_snap.anchors, snapshot.match_tolerance)
-                .map_err(|e| inconsistent(format!("namespace {}: {e}", ns_snap.id)))?;
-            let mut entries = FlatMap::new();
-            for e in &ns_snap.entries {
-                if e.anchor as usize >= ns_snap.anchors.len() {
-                    return Err(inconsistent(format!(
-                        "namespace {}: entry references unknown anchor {}",
-                        ns_snap.id, e.anchor
-                    )));
-                }
-                let key = EntryKey {
-                    anchor: e.anchor,
-                    interference_bucket: e.bucket,
-                };
-                let stored = StoredEntry {
-                    allocation: e.allocation,
-                    tuned_at: SimTime::from_secs(e.tuned_at_secs),
-                    owner: e.owner,
-                    hits: AtomicU64::new(e.hits),
-                    cross_tenant_hits: AtomicU64::new(e.cross_tenant_hits),
-                };
-                if entries.insert(key, stored).is_some() {
-                    return Err(inconsistent(format!(
-                        "namespace {}: duplicate entry {} × {}",
-                        ns_snap.id, e.anchor, e.bucket
-                    )));
-                }
-            }
+            let ns_state = Self::namespace_state_from_snapshot(ns_snap, snapshot.match_tolerance)?;
             let shard = &repo.shards[repo.shard_index(ns_snap.id)];
             let mut state = shard
                 .state
                 .write()
                 .expect("shared repository shard poisoned");
-            let prior = state
-                .namespaces
-                .insert(ns_snap.id, NamespaceState { anchors, entries });
+            let prior = state.namespaces.insert(ns_snap.id, ns_state);
             if prior.is_some() {
                 return Err(inconsistent(format!("duplicate namespace {}", ns_snap.id)));
             }
@@ -1830,6 +1894,151 @@ impl SharedSignatureRepository {
     /// [`save_snapshot`](Self::save_snapshot).
     pub fn load_snapshot(text: &str) -> Result<Self, crate::snapshot::SnapshotError> {
         Self::from_snapshot(&crate::snapshot::decode(text)?)
+    }
+
+    /// Primes a delta cursor to the shard's **current** state without
+    /// building a snapshot: the next [`capture_shard_delta`]
+    /// (Self::capture_shard_delta) will carry only changes made after this
+    /// call. Pair it with a full base snapshot taken at the same quiescent
+    /// point (e.g. run start), so base + deltas reproduce the live state.
+    pub fn prime_delta_cursor(&self, shard: usize, cursor: &mut DeltaCursor) {
+        let state = self.shards[shard]
+            .state
+            .read()
+            .expect("shared repository shard poisoned");
+        cursor.seen.clear();
+        for (&ns_id, ns) in state.namespaces.iter() {
+            cursor.seen.insert(ns_id, ns.version);
+        }
+    }
+
+    /// Captures an incremental checkpoint of one shard: full replacement
+    /// images of every namespace mutated since `cursor` was last updated,
+    /// plus the shard's statistics counters and the clock high-water mark.
+    /// Takes only the shard **read** lock — meant to run on the committer
+    /// thread right after the shard's epoch commit and TTL sweep, when no
+    /// writer can race it.
+    pub fn capture_shard_delta(
+        &self,
+        shard: usize,
+        epoch: usize,
+        cursor: &mut DeltaCursor,
+    ) -> crate::snapshot::DeltaSnapshot {
+        let state = self.shards[shard]
+            .state
+            .read()
+            .expect("shared repository shard poisoned");
+        let mut namespaces = Vec::new();
+        for (&ns_id, ns) in state.namespaces.iter() {
+            if cursor.seen.get(&ns_id) != Some(&ns.version) {
+                namespaces.push(Self::snapshot_namespace(ns_id, ns));
+                cursor.seen.insert(ns_id, ns.version);
+            }
+        }
+        crate::snapshot::DeltaSnapshot {
+            shard,
+            epoch,
+            clock_secs: self.clock().as_secs(),
+            namespaces,
+            shard_stats: self.shards[shard].counters.snapshot(),
+        }
+    }
+
+    /// Applies one delta to this repository: replaces the delta's namespaces
+    /// wholesale, restores the shard's statistics counters, and advances the
+    /// clock. The replay path uses this to advance a materialized repository
+    /// epoch by epoch; correctness mirrors [`crate::snapshot::apply_delta`],
+    /// but operates on live state under one shard write lock.
+    pub fn apply_shard_delta(
+        &self,
+        delta: &crate::snapshot::DeltaSnapshot,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        if delta.shard >= self.shards.len() {
+            return Err(crate::snapshot::SnapshotError::BaseMismatch {
+                message: format!(
+                    "delta shard {} out of range (repository has {} shards)",
+                    delta.shard,
+                    self.shards.len()
+                ),
+            });
+        }
+        let shard = &self.shards[delta.shard];
+        let mut state = shard
+            .state
+            .write()
+            .expect("shared repository shard poisoned");
+        let state = &mut *state;
+        for ns_snap in &delta.namespaces {
+            let routed = self.shard_index(ns_snap.id);
+            if routed != delta.shard {
+                return Err(crate::snapshot::SnapshotError::BaseMismatch {
+                    message: format!(
+                        "namespace {} routes to shard {routed}, not the delta's shard {}",
+                        ns_snap.id, delta.shard
+                    ),
+                });
+            }
+            let mut ns_state =
+                Self::namespace_state_from_snapshot(ns_snap, self.config.match_tolerance)?;
+            state.mutation_clock += 1;
+            ns_state.version = state.mutation_clock;
+            state.namespaces.insert(ns_snap.id, ns_state);
+        }
+        shard.counters.restore(&delta.shard_stats);
+        self.advance_clock(SimTime::from_secs(delta.clock_secs));
+        Ok(())
+    }
+
+    /// Wipes one shard and re-seeds it from a full snapshot — the warm
+    /// recovery path after shard-level repository loss. Only namespaces that
+    /// route to `shard` under this repository's shard count are restored;
+    /// the snapshot must have been taken with the same shard count
+    /// ([`crate::snapshot::SnapshotError::BaseMismatch`] otherwise). One
+    /// write lock covers the wipe and the rebuild, so concurrent readers
+    /// never observe a half-seeded shard. The shard's mutation clock
+    /// survives the wipe (see [`ShardState::mutation_clock`]).
+    pub fn restore_shard(
+        &self,
+        shard: usize,
+        snapshot: &crate::snapshot::RepoSnapshot,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        if snapshot.shards != self.shards.len() {
+            return Err(crate::snapshot::SnapshotError::BaseMismatch {
+                message: format!(
+                    "snapshot has {} shards, repository has {}",
+                    snapshot.shards,
+                    self.shards.len()
+                ),
+            });
+        }
+        if shard >= self.shards.len() {
+            return Err(crate::snapshot::SnapshotError::BaseMismatch {
+                message: format!(
+                    "shard {shard} out of range (repository has {} shards)",
+                    self.shards.len()
+                ),
+            });
+        }
+        let shard_ref = &self.shards[shard];
+        let mut state = shard_ref
+            .state
+            .write()
+            .expect("shared repository shard poisoned");
+        let state = &mut *state;
+        state.namespaces = FlatMap::new();
+        for ns_snap in &snapshot.namespaces {
+            if self.shard_index(ns_snap.id) != shard {
+                continue;
+            }
+            let mut ns_state =
+                Self::namespace_state_from_snapshot(ns_snap, self.config.match_tolerance)?;
+            state.mutation_clock += 1;
+            ns_state.version = state.mutation_clock;
+            state.namespaces.insert(ns_snap.id, ns_state);
+        }
+        shard_ref.counters.restore(&snapshot.shard_stats[shard]);
+        self.advance_clock(SimTime::from_secs(snapshot.clock_secs));
+        Ok(())
     }
 
     /// Aggregate statistics over every shard.
@@ -1924,6 +2133,142 @@ mod tests {
         let r = repo();
         assert!(r.apply(&PendingOp::RecordMiss { namespace: 9 }));
         assert_eq!(r.stats().misses, 1);
+    }
+
+    #[test]
+    fn delta_capture_tracks_only_changed_namespaces() {
+        let r = repo();
+        let sig = [100.0, 5.0, 0.3];
+        let shard = r.shard_index(7);
+        let mut cursor = DeltaCursor::default();
+        r.prime_delta_cursor(shard, &mut cursor);
+
+        r.insert(0, 7, &sig, 0, ResourceAllocation::large(4), SimTime::ZERO);
+        let delta = r.capture_shard_delta(shard, 0, &mut cursor);
+        assert_eq!(delta.namespaces.len(), 1, "the insert changed namespace 7");
+        assert_eq!(delta.namespaces[0].id, 7);
+
+        // Nothing changed since: the next capture is namespace-empty (it
+        // still carries stats and clock, which is what makes it cheap).
+        let quiet = r.capture_shard_delta(shard, 1, &mut cursor);
+        assert!(quiet.namespaces.is_empty(), "{:?}", quiet.namespaces);
+
+        // A committed hit mutates entry counters inside the namespace.
+        assert!(r.apply(&PendingOp::RecordHit {
+            tenant: 1,
+            namespace: 7,
+            signature: sig.to_vec(),
+            interference_bucket: 0,
+            resolved: None,
+        }));
+        let hit = r.capture_shard_delta(shard, 2, &mut cursor);
+        assert_eq!(hit.namespaces.len(), 1);
+        assert_eq!(hit.namespaces[0].entries[0].hits, 1);
+
+        // A miss moves only shard counters — no namespace change.
+        assert!(r.apply(&PendingOp::RecordMiss { namespace: 7 }));
+        let miss = r.capture_shard_delta(shard, 3, &mut cursor);
+        assert!(miss.namespaces.is_empty());
+        assert_eq!(miss.shard_stats.misses, 1);
+    }
+
+    #[test]
+    fn delta_chain_materializes_to_the_live_snapshot() {
+        let r = repo();
+        let shards = r.shard_count();
+        let base = r.to_snapshot();
+        let mut cursors: Vec<DeltaCursor> = vec![DeltaCursor::default(); shards];
+        for (shard, cursor) in cursors.iter_mut().enumerate() {
+            r.prime_delta_cursor(shard, cursor);
+        }
+
+        let mut deltas = Vec::new();
+        for epoch in 0..3usize {
+            for ns in [7u64, 9, 11] {
+                let sig = [100.0 + epoch as f64 + ns as f64, 5.0, 0.3];
+                r.insert(
+                    0,
+                    ns,
+                    &sig,
+                    (epoch % 2) as u32,
+                    ResourceAllocation::large(2 + epoch as u32),
+                    SimTime::from_hours(epoch as f64),
+                );
+            }
+            assert!(r.apply(&PendingOp::RecordMiss { namespace: 9 }));
+            for (shard, cursor) in cursors.iter_mut().enumerate() {
+                deltas.push(r.capture_shard_delta(shard, epoch, cursor));
+            }
+        }
+
+        let materialized =
+            crate::snapshot::apply_chain(Some(base), &deltas).expect("chain applies");
+        assert_eq!(materialized, r.to_snapshot());
+        // And the materialization round-trips the text formats bit-exactly.
+        let text = crate::snapshot::encode(&materialized);
+        assert_eq!(text, crate::snapshot::encode(&r.to_snapshot()));
+        for delta in &deltas {
+            let round =
+                crate::snapshot::decode_delta(&crate::snapshot::encode_delta(delta)).unwrap();
+            assert_eq!(&round, delta);
+        }
+    }
+
+    #[test]
+    fn apply_shard_delta_replays_a_follower_to_the_leader_state() {
+        let r = repo();
+        let sig = [100.0, 5.0, 0.3];
+        r.insert(0, 7, &sig, 0, ResourceAllocation::large(4), SimTime::ZERO);
+        let follower = SharedSignatureRepository::from_snapshot(&r.to_snapshot()).unwrap();
+
+        let shard = r.shard_index(7);
+        let mut cursor = DeltaCursor::default();
+        r.prime_delta_cursor(shard, &mut cursor);
+        r.insert(
+            1,
+            7,
+            &sig,
+            1,
+            ResourceAllocation::extra_large(2),
+            SimTime::from_hours(1.0),
+        );
+        let delta = r.capture_shard_delta(shard, 0, &mut cursor);
+        follower.apply_shard_delta(&delta).expect("applies");
+        assert_eq!(follower.to_snapshot(), r.to_snapshot());
+    }
+
+    #[test]
+    fn restore_shard_reseeds_a_wiped_shard_from_a_full_snapshot() {
+        let r = repo();
+        let sig = [100.0, 5.0, 0.3];
+        r.insert(0, 7, &sig, 0, ResourceAllocation::large(4), SimTime::ZERO);
+        r.insert(0, 9, &sig, 0, ResourceAllocation::large(2), SimTime::ZERO);
+        let golden = r.to_snapshot();
+
+        // "Lose" namespace 7's shard by re-seeding a stale image of it, then
+        // recover it from the golden snapshot.
+        let shard = r.shard_index(7);
+        let empty = SharedSignatureRepository::new(SharedRepoConfig::default());
+        r.restore_shard(shard, &empty.to_snapshot()).unwrap();
+        assert!(r.lookup(1, 7, &sig, 0, SimTime::ZERO).is_none());
+
+        // The wipe zeroed the shard's counters along with its namespaces;
+        // the golden restore brings both back.
+        r.restore_shard(shard, &golden).unwrap();
+        assert_eq!(r.to_snapshot(), golden);
+        assert!(r.lookup(1, 7, &sig, 0, SimTime::ZERO).is_some());
+
+        // A snapshot from a different shard layout is rejected.
+        let other = SharedSignatureRepository::new(SharedRepoConfig {
+            shards: 4,
+            ..Default::default()
+        });
+        match r.restore_shard(shard, &other.to_snapshot()) {
+            Err(crate::snapshot::SnapshotError::BaseMismatch { message }) => {
+                assert!(message.contains("shards"), "{message}");
+            }
+            other => panic!("expected a base-mismatch error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -50,6 +50,18 @@ use serde::{Deserialize, Serialize};
 /// The version string written to (and required of) every snapshot.
 pub const SNAPSHOT_VERSION: &str = "dejavu-fleet-snapshot v1";
 
+/// The version string written to (and required of) every **delta** snapshot.
+///
+/// A delta is the `v1.1` incremental companion of the `v1` full format: it
+/// carries the full replacement image of every namespace that changed on one
+/// shard during one committed epoch, plus that shard's statistics counters
+/// and the global clock high-water mark. Applying the epoch-ordered chain of
+/// deltas for a shard onto a `v1` base snapshot reproduces the repository
+/// state bit-exactly (namespaces are replaced wholesale, so there are no
+/// partial-merge ambiguities and no deletion records — namespaces never
+/// disappear, entries within one are replaced with the namespace).
+pub const DELTA_SNAPSHOT_VERSION: &str = "dejavu-fleet-snapshot v1.1 delta";
+
 /// Upper bound on the shard count a snapshot may declare. Real repositories
 /// use a handful of lock stripes (default 16); the bound exists so a corrupt
 /// or hostile `config shards=…` line is rejected with a typed error instead
@@ -68,6 +80,7 @@ const _: () = {
         serde_shaped::<NamespaceSnapshot>();
         serde_shaped::<AnchorSnapshot>();
         serde_shaped::<EntrySnapshot>();
+        serde_shaped::<DeltaSnapshot>();
     }
 };
 
@@ -92,6 +105,29 @@ pub enum SnapshotError {
         /// What went wrong.
         message: String,
     },
+    /// A delta chain was applied with no base snapshot. Deltas only carry the
+    /// namespaces that *changed*; without the full base image the unchanged
+    /// namespaces are unrecoverable, so this is always an error.
+    MissingBase,
+    /// A delta arrived out of epoch order for its shard. Chains must be
+    /// applied in strictly consecutive epoch order — skipping an epoch would
+    /// silently lose its changes, and replaying backwards would resurrect
+    /// overwritten state.
+    DeltaOrder {
+        /// The shard whose chain broke order.
+        shard: usize,
+        /// The epoch the chain expected next.
+        expected_epoch: usize,
+        /// The epoch the delta actually carried.
+        found_epoch: usize,
+    },
+    /// The delta does not belong to the base it was applied to (shard index
+    /// out of range, or a namespace routed to a different shard — i.e. the
+    /// base was taken with a different shard count).
+    BaseMismatch {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -108,6 +144,27 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::Inconsistent { message } => {
                 write!(f, "inconsistent snapshot: {message}")
+            }
+            SnapshotError::MissingBase => {
+                write!(
+                    f,
+                    "delta chain has no base snapshot (deltas only carry changed \
+                     namespaces; a full base is required)"
+                )
+            }
+            SnapshotError::DeltaOrder {
+                shard,
+                expected_epoch,
+                found_epoch,
+            } => {
+                write!(
+                    f,
+                    "delta chain for shard {shard} is out of order: expected epoch \
+                     {expected_epoch}, found {found_epoch}"
+                )
+            }
+            SnapshotError::BaseMismatch { message } => {
+                write!(f, "delta does not match its base snapshot: {message}")
             }
         }
     }
@@ -181,6 +238,31 @@ pub struct RepoSnapshot {
     pub shard_stats: Vec<ShardStats>,
 }
 
+/// One incremental checkpoint: everything that changed on one shard during
+/// one committed epoch.
+///
+/// Changed namespaces are carried as **full replacement images** (the same
+/// [`NamespaceSnapshot`] records the full format uses), so applying a delta
+/// is a wholesale swap — no merge logic, no deletion records, and bit-exact
+/// by construction. The shard's statistics counters travel with it because
+/// they advance on every commit and sweep of the shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaSnapshot {
+    /// The shard the delta belongs to.
+    pub shard: usize,
+    /// The epoch whose commit (and trailing TTL sweep) the delta captures;
+    /// the delta moves the shard from "commits < epoch" to
+    /// "commits ≤ epoch".
+    pub epoch: usize,
+    /// The global fleet clock high-water mark when the delta was captured.
+    pub clock_secs: f64,
+    /// Full replacement images of every namespace that changed this epoch,
+    /// in namespace-id order.
+    pub namespaces: Vec<NamespaceSnapshot>,
+    /// The shard's statistics counters after the commit.
+    pub shard_stats: ShardStats,
+}
+
 impl RepoSnapshot {
     /// Compacts the snapshot in place: drops every entry that never served a
     /// lookup (`hits == 0`), the dead weight a long-lived fleet cache
@@ -231,40 +313,75 @@ pub fn encode(snapshot: &RepoSnapshot) -> String {
     write_f64(&mut out, snapshot.clock_secs);
     out.push('\n');
     for ns in &snapshot.namespaces {
-        out.push_str(&format!("namespace {}\n", ns.id));
-        for anchor in &ns.anchors {
-            out.push_str(&format!("anchor {}", anchor.id));
-            for &v in &anchor.values {
-                out.push(' ');
-                write_f64(&mut out, v);
-            }
-            out.push('\n');
-        }
-        for e in &ns.entries {
-            let ty = match e.allocation.instance_type() {
-                InstanceType::Large => 'L',
-                InstanceType::ExtraLarge => 'X',
-            };
-            out.push_str(&format!(
-                "entry {} {} {} {} ",
-                e.anchor,
-                e.bucket,
-                ty,
-                e.allocation.count()
-            ));
-            write_f64(&mut out, e.tuned_at_secs);
-            out.push_str(&format!(
-                " {} {} {}\n",
-                e.owner, e.hits, e.cross_tenant_hits
-            ));
-        }
+        encode_namespace(&mut out, ns);
     }
     for (idx, s) in snapshot.shard_stats.iter().enumerate() {
+        out.push_str(&format!("shard {idx} "));
+        write_stats_fields(&mut out, s);
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Writes one namespace block (shared between the full and delta encoders).
+fn encode_namespace(out: &mut String, ns: &NamespaceSnapshot) {
+    out.push_str(&format!("namespace {}\n", ns.id));
+    for anchor in &ns.anchors {
+        out.push_str(&format!("anchor {}", anchor.id));
+        for &v in &anchor.values {
+            out.push(' ');
+            write_f64(out, v);
+        }
+        out.push('\n');
+    }
+    for e in &ns.entries {
+        let ty = match e.allocation.instance_type() {
+            InstanceType::Large => 'L',
+            InstanceType::ExtraLarge => 'X',
+        };
         out.push_str(&format!(
-            "shard {idx} {} {} {} {} {} {}\n",
-            s.hits, s.misses, s.insertions, s.evictions, s.cross_tenant_hits, s.anchors_created
+            "entry {} {} {} {} ",
+            e.anchor,
+            e.bucket,
+            ty,
+            e.allocation.count()
+        ));
+        write_f64(out, e.tuned_at_secs);
+        out.push_str(&format!(
+            " {} {} {}\n",
+            e.owner, e.hits, e.cross_tenant_hits
         ));
     }
+}
+
+/// Writes the six statistics counters in the order every stats-bearing
+/// record uses (`shard` in the full format, `stats` in the delta format).
+fn write_stats_fields(out: &mut String, s: &ShardStats) {
+    out.push_str(&format!(
+        "{} {} {} {} {} {}",
+        s.hits, s.misses, s.insertions, s.evictions, s.cross_tenant_hits, s.anchors_created
+    ));
+}
+
+/// Serializes a delta to the versioned `v1.1` text format. Output is
+/// byte-deterministic, like [`encode`].
+pub fn encode_delta(delta: &DeltaSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(DELTA_SNAPSHOT_VERSION);
+    out.push('\n');
+    out.push_str(&format!(
+        "delta shard={} epoch={} clock=",
+        delta.shard, delta.epoch
+    ));
+    write_f64(&mut out, delta.clock_secs);
+    out.push('\n');
+    for ns in &delta.namespaces {
+        encode_namespace(&mut out, ns);
+    }
+    out.push_str("stats ");
+    write_stats_fields(&mut out, &delta.shard_stats);
+    out.push('\n');
     out.push_str("end\n");
     out
 }
@@ -288,6 +405,88 @@ fn parse_float(tok: &str, line: usize, what: &str) -> Result<f64, SnapshotError>
             format!("bad {what} {tok:?} (expected fb<16 hex digits>)"),
         )
     })
+}
+
+/// Parses an `anchor <id> <values…>` record (head token already consumed).
+fn parse_anchor(
+    toks: &mut std::str::SplitWhitespace,
+    line_no: usize,
+) -> Result<AnchorSnapshot, SnapshotError> {
+    let id = parse_int::<u32>(
+        toks.next()
+            .ok_or_else(|| format_err(line_no, "anchor needs an id"))?,
+        line_no,
+        "anchor id",
+    )?;
+    let values = toks
+        .map(|t| parse_float(t, line_no, "anchor value"))
+        .collect::<Result<Vec<f64>, _>>()?;
+    Ok(AnchorSnapshot { id, values })
+}
+
+/// Parses an `entry …` record (head token already consumed).
+fn parse_entry(
+    toks: &mut std::str::SplitWhitespace,
+    line_no: usize,
+) -> Result<EntrySnapshot, SnapshotError> {
+    let mut next = |what: &str| {
+        toks.next()
+            .ok_or_else(|| format_err(line_no, format!("entry is missing {what}")))
+    };
+    let anchor = parse_int::<u32>(next("anchor")?, line_no, "entry anchor")?;
+    let bucket = parse_int::<u32>(next("bucket")?, line_no, "entry bucket")?;
+    let ty = match next("instance type")? {
+        "L" => InstanceType::Large,
+        "X" => InstanceType::ExtraLarge,
+        other => return Err(format_err(line_no, format!("bad instance type {other:?}"))),
+    };
+    let count = parse_int::<u32>(next("count")?, line_no, "entry count")?;
+    let tuned_at_secs = parse_float(next("tuned_at")?, line_no, "tuned_at")?;
+    let owner = parse_int::<usize>(next("owner")?, line_no, "entry owner")?;
+    let hits = parse_int::<u64>(next("hits")?, line_no, "entry hits")?;
+    let cross = parse_int::<u64>(next("cross hits")?, line_no, "entry cross hits")?;
+    if toks.next().is_some() {
+        return Err(format_err(line_no, "trailing tokens after entry"));
+    }
+    let allocation = ResourceAllocation::new(ty, count)
+        .map_err(|e| format_err(line_no, format!("bad allocation: {e}")))?;
+    Ok(EntrySnapshot {
+        anchor,
+        bucket,
+        allocation,
+        tuned_at_secs,
+        owner,
+        hits,
+        cross_tenant_hits: cross,
+    })
+}
+
+/// Parses the six statistics counters of a `shard`/`stats` record and
+/// rejects trailing tokens. `record` names the record kind in errors.
+fn parse_stats_fields(
+    toks: &mut std::str::SplitWhitespace,
+    line_no: usize,
+    record: &str,
+) -> Result<ShardStats, SnapshotError> {
+    let mut next = |what: &str| {
+        toks.next()
+            .ok_or_else(|| format_err(line_no, format!("{record} is missing {what}")))
+    };
+    let stats = ShardStats {
+        hits: parse_int(next("hits")?, line_no, "shard hits")?,
+        misses: parse_int(next("misses")?, line_no, "shard misses")?,
+        insertions: parse_int(next("insertions")?, line_no, "shard insertions")?,
+        evictions: parse_int(next("evictions")?, line_no, "shard evictions")?,
+        cross_tenant_hits: parse_int(next("cross")?, line_no, "shard cross hits")?,
+        anchors_created: parse_int(next("anchors")?, line_no, "shard anchors")?,
+    };
+    if toks.next().is_some() {
+        return Err(format_err(
+            line_no,
+            format!("trailing tokens after {record}"),
+        ));
+    }
+    Ok(stats)
 }
 
 /// Parses the versioned text format back into a [`RepoSnapshot`].
@@ -375,72 +574,22 @@ pub fn decode(text: &str) -> Result<RepoSnapshot, SnapshotError> {
                 if !ns.entries.is_empty() {
                     return Err(format_err(line_no, "anchor after entries in a namespace"));
                 }
-                let id = parse_int::<u32>(
-                    toks.next()
-                        .ok_or_else(|| format_err(line_no, "anchor needs an id"))?,
-                    line_no,
-                    "anchor id",
-                )?;
-                let values = toks
-                    .map(|t| parse_float(t, line_no, "anchor value"))
-                    .collect::<Result<Vec<f64>, _>>()?;
-                ns.anchors.push(AnchorSnapshot { id, values });
+                ns.anchors.push(parse_anchor(&mut toks, line_no)?);
             }
             "entry" => {
                 let ns = namespaces
                     .last_mut()
                     .ok_or_else(|| format_err(line_no, "entry before any namespace"))?;
-                let mut next = |what: &str| {
-                    toks.next()
-                        .ok_or_else(|| format_err(line_no, format!("entry is missing {what}")))
-                };
-                let anchor = parse_int::<u32>(next("anchor")?, line_no, "entry anchor")?;
-                let bucket = parse_int::<u32>(next("bucket")?, line_no, "entry bucket")?;
-                let ty = match next("instance type")? {
-                    "L" => InstanceType::Large,
-                    "X" => InstanceType::ExtraLarge,
-                    other => {
-                        return Err(format_err(line_no, format!("bad instance type {other:?}")))
-                    }
-                };
-                let count = parse_int::<u32>(next("count")?, line_no, "entry count")?;
-                let tuned_at_secs = parse_float(next("tuned_at")?, line_no, "tuned_at")?;
-                let owner = parse_int::<usize>(next("owner")?, line_no, "entry owner")?;
-                let hits = parse_int::<u64>(next("hits")?, line_no, "entry hits")?;
-                let cross = parse_int::<u64>(next("cross hits")?, line_no, "entry cross hits")?;
-                if toks.next().is_some() {
-                    return Err(format_err(line_no, "trailing tokens after entry"));
-                }
-                let allocation = ResourceAllocation::new(ty, count)
-                    .map_err(|e| format_err(line_no, format!("bad allocation: {e}")))?;
-                ns.entries.push(EntrySnapshot {
-                    anchor,
-                    bucket,
-                    allocation,
-                    tuned_at_secs,
-                    owner,
-                    hits,
-                    cross_tenant_hits: cross,
-                });
+                ns.entries.push(parse_entry(&mut toks, line_no)?);
             }
             "shard" => {
-                let mut next = |what: &str| {
+                let idx = parse_int::<usize>(
                     toks.next()
-                        .ok_or_else(|| format_err(line_no, format!("shard is missing {what}")))
-                };
-                let idx = parse_int::<usize>(next("index")?, line_no, "shard index")?;
-                let stats = ShardStats {
-                    hits: parse_int(next("hits")?, line_no, "shard hits")?,
-                    misses: parse_int(next("misses")?, line_no, "shard misses")?,
-                    insertions: parse_int(next("insertions")?, line_no, "shard insertions")?,
-                    evictions: parse_int(next("evictions")?, line_no, "shard evictions")?,
-                    cross_tenant_hits: parse_int(next("cross")?, line_no, "shard cross hits")?,
-                    anchors_created: parse_int(next("anchors")?, line_no, "shard anchors")?,
-                };
-                if toks.next().is_some() {
-                    return Err(format_err(line_no, "trailing tokens after shard"));
-                }
-                shard_stats.push((idx, stats));
+                        .ok_or_else(|| format_err(line_no, "shard is missing index"))?,
+                    line_no,
+                    "shard index",
+                )?;
+                shard_stats.push((idx, parse_stats_fields(&mut toks, line_no, "shard")?));
             }
             "end" => {
                 ended = true;
@@ -495,6 +644,421 @@ pub fn decode(text: &str) -> Result<RepoSnapshot, SnapshotError> {
         namespaces,
         shard_stats: stats,
     })
+}
+
+/// Parses the `v1.1` delta text format back into a [`DeltaSnapshot`].
+///
+/// Feeding a full `v1` snapshot (or any other version) here is rejected with
+/// [`SnapshotError::Version`], and vice versa for [`decode`] — a chain whose
+/// base and deltas disagree on format version can never be silently applied.
+pub fn decode_delta(text: &str) -> Result<DeltaSnapshot, SnapshotError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (_, version) = lines.next().ok_or_else(|| SnapshotError::Version {
+        found: String::new(),
+    })?;
+    if version != DELTA_SNAPSHOT_VERSION {
+        return Err(SnapshotError::Version {
+            found: version.to_string(),
+        });
+    }
+
+    let (header_no, header) = lines
+        .next()
+        .ok_or_else(|| format_err(2, "missing delta header line"))?;
+    let mut shard = None;
+    let mut epoch = None;
+    let mut clock_secs = None;
+    let mut fields = header.split_whitespace();
+    if fields.next() != Some("delta") {
+        return Err(format_err(header_no, "expected `delta ...`"));
+    }
+    for field in fields {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format_err(header_no, format!("bad delta field {field:?}")))?;
+        match key {
+            "shard" => shard = Some(parse_int::<usize>(value, header_no, "delta shard")?),
+            "epoch" => epoch = Some(parse_int::<usize>(value, header_no, "delta epoch")?),
+            "clock" => clock_secs = Some(parse_float(value, header_no, "delta clock")?),
+            other => {
+                return Err(format_err(
+                    header_no,
+                    format!("unknown delta key {other:?}"),
+                ))
+            }
+        }
+    }
+    let shard = shard.ok_or_else(|| format_err(header_no, "delta is missing `shard`"))?;
+    let epoch = epoch.ok_or_else(|| format_err(header_no, "delta is missing `epoch`"))?;
+    let clock_secs = clock_secs.ok_or_else(|| format_err(header_no, "delta is missing `clock`"))?;
+
+    let mut namespaces: Vec<NamespaceSnapshot> = Vec::new();
+    let mut shard_stats: Option<ShardStats> = None;
+    let mut ended = false;
+    for (line_no, line) in &mut lines {
+        let mut toks = line.split_whitespace();
+        let Some(head) = toks.next() else {
+            return Err(format_err(line_no, "blank line"));
+        };
+        match head {
+            "namespace" => {
+                let id = parse_int::<u64>(
+                    toks.next()
+                        .ok_or_else(|| format_err(line_no, "namespace needs an id"))?,
+                    line_no,
+                    "namespace id",
+                )?;
+                if toks.next().is_some() {
+                    return Err(format_err(line_no, "trailing tokens after namespace id"));
+                }
+                namespaces.push(NamespaceSnapshot {
+                    id,
+                    anchors: Vec::new(),
+                    entries: Vec::new(),
+                });
+            }
+            "anchor" => {
+                let ns = namespaces
+                    .last_mut()
+                    .ok_or_else(|| format_err(line_no, "anchor before any namespace"))?;
+                if !ns.entries.is_empty() {
+                    return Err(format_err(line_no, "anchor after entries in a namespace"));
+                }
+                ns.anchors.push(parse_anchor(&mut toks, line_no)?);
+            }
+            "entry" => {
+                let ns = namespaces
+                    .last_mut()
+                    .ok_or_else(|| format_err(line_no, "entry before any namespace"))?;
+                ns.entries.push(parse_entry(&mut toks, line_no)?);
+            }
+            "stats" => {
+                if shard_stats.is_some() {
+                    return Err(format_err(line_no, "duplicate stats record"));
+                }
+                shard_stats = Some(parse_stats_fields(&mut toks, line_no, "stats")?);
+            }
+            "end" => {
+                ended = true;
+                break;
+            }
+            other => return Err(format_err(line_no, format!("unknown record {other:?}"))),
+        }
+    }
+    if !ended {
+        return Err(SnapshotError::Inconsistent {
+            message: "delta is truncated (no `end` line)".into(),
+        });
+    }
+    if let Some((line_no, _)) = lines.next() {
+        return Err(format_err(line_no, "data after `end`"));
+    }
+    let shard_stats = shard_stats.ok_or_else(|| SnapshotError::Inconsistent {
+        message: "delta is missing its `stats` record".into(),
+    })?;
+    Ok(DeltaSnapshot {
+        shard,
+        epoch,
+        clock_secs,
+        namespaces,
+        shard_stats,
+    })
+}
+
+/// Applies one delta onto a base snapshot in place: replaces (or inserts)
+/// every namespace the delta carries, overwrites the shard's statistics, and
+/// advances the clock high-water mark. Namespace placement preserves the
+/// encoder's (shard, namespace id) order, so a materialized snapshot is
+/// byte-identical to one taken from a live repository in the same state.
+///
+/// Epoch ordering is *not* checked here — that is the chain's job
+/// ([`apply_chain`]) — but shard routing is: a delta whose namespaces do not
+/// route to its declared shard under the base's shard count was taken from a
+/// differently-configured repository and is rejected with
+/// [`SnapshotError::BaseMismatch`].
+pub fn apply_delta(base: &mut RepoSnapshot, delta: &DeltaSnapshot) -> Result<(), SnapshotError> {
+    if delta.shard >= base.shards {
+        return Err(SnapshotError::BaseMismatch {
+            message: format!(
+                "delta shard {} out of range (base has {} shards)",
+                delta.shard, base.shards
+            ),
+        });
+    }
+    let shard_of = |ns: u64| crate::shared_repo::shard_of_namespace(ns, base.shards);
+    for ns in &delta.namespaces {
+        let routed = shard_of(ns.id);
+        if routed != delta.shard {
+            return Err(SnapshotError::BaseMismatch {
+                message: format!(
+                    "namespace {} routes to shard {routed}, not the delta's shard {} \
+                     (base taken with a different shard count?)",
+                    ns.id, delta.shard
+                ),
+            });
+        }
+        let key = (routed, ns.id);
+        match base
+            .namespaces
+            .binary_search_by_key(&key, |existing| (shard_of(existing.id), existing.id))
+        {
+            Ok(at) => base.namespaces[at] = ns.clone(),
+            Err(at) => base.namespaces.insert(at, ns.clone()),
+        }
+    }
+    base.shard_stats[delta.shard] = delta.shard_stats;
+    if delta.clock_secs > base.clock_secs {
+        base.clock_secs = delta.clock_secs;
+    }
+    Ok(())
+}
+
+/// Applies an epoch-ordered chain of deltas onto its base snapshot and
+/// returns the materialized state.
+///
+/// * `base = None` models a lost (or never-written) base checkpoint:
+///   unrecoverable, because deltas only carry *changed* namespaces —
+///   [`SnapshotError::MissingBase`].
+/// * Per shard, deltas must arrive in strictly consecutive epoch order; the
+///   first delta seen for a shard anchors its chain (the base may already
+///   fold earlier epochs in, via compaction). A gap or a replay is
+///   [`SnapshotError::DeltaOrder`].
+pub fn apply_chain(
+    base: Option<RepoSnapshot>,
+    deltas: &[DeltaSnapshot],
+) -> Result<RepoSnapshot, SnapshotError> {
+    let mut snapshot = base.ok_or(SnapshotError::MissingBase)?;
+    let mut next_epoch: Vec<Option<usize>> = vec![None; snapshot.shards];
+    for delta in deltas {
+        if delta.shard >= snapshot.shards {
+            return Err(SnapshotError::BaseMismatch {
+                message: format!(
+                    "delta shard {} out of range (base has {} shards)",
+                    delta.shard, snapshot.shards
+                ),
+            });
+        }
+        if let Some(expected) = next_epoch[delta.shard] {
+            if delta.epoch != expected {
+                return Err(SnapshotError::DeltaOrder {
+                    shard: delta.shard,
+                    expected_epoch: expected,
+                    found_epoch: delta.epoch,
+                });
+            }
+        }
+        apply_delta(&mut snapshot, delta)?;
+        next_epoch[delta.shard] = Some(delta.epoch + 1);
+    }
+    Ok(snapshot)
+}
+
+/// The recovery substrate of the fault-tolerant transports: one base
+/// snapshot plus a per-shard chain of epoch deltas, with bounded-length
+/// compaction.
+///
+/// The committer [`record`](CheckpointStore::record)s one delta per
+/// `(shard, epoch)` commit; recovery [`materialize`](CheckpointStore::materialize)s
+/// the repository image at any retained epoch frontier (crash replay, shard
+/// re-seed). Chains are kept short by folding deltas into a per-shard
+/// *folded* image every `checkpoint_every` records — but never past the
+/// shard's [`floor`](CheckpointStore::set_floor): the oldest epoch a pending
+/// recovery may still need to replay from. A floor of `usize::MAX` (the
+/// default) lets compaction fold everything.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    base: RepoSnapshot,
+    chains: Vec<ShardChain>,
+    checkpoint_every: usize,
+    checkpoints: u64,
+    compactions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ShardChain {
+    /// The base with epochs `0..folded_epochs` of this shard folded in
+    /// (`None` until the first compaction: read through to the shared base).
+    folded: Option<RepoSnapshot>,
+    folded_epochs: usize,
+    /// Deltas for epochs `folded_epochs..folded_epochs + deltas.len()`,
+    /// strictly consecutive.
+    deltas: Vec<DeltaSnapshot>,
+    /// Compaction never folds epochs `>= floor`.
+    floor: usize,
+}
+
+impl CheckpointStore {
+    /// A store over `base` (the quiescent run-start image), compacting each
+    /// shard's chain whenever it exceeds `checkpoint_every` deltas
+    /// (`0` = never compact).
+    pub fn new(base: RepoSnapshot, checkpoint_every: usize) -> Self {
+        let shards = base.shards;
+        CheckpointStore {
+            base,
+            chains: (0..shards)
+                .map(|_| ShardChain {
+                    folded: None,
+                    folded_epochs: 0,
+                    deltas: Vec::new(),
+                    floor: usize::MAX,
+                })
+                .collect(),
+            checkpoint_every,
+            checkpoints: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Declares that epochs `>= epoch` of `shard` must stay individually
+    /// replayable (a pending tenant recovery may need them); compaction will
+    /// not fold past it. Raising the floor re-enables compaction of the
+    /// backlog at the next [`record`](CheckpointStore::record).
+    pub fn set_floor(&mut self, shard: usize, epoch: usize) {
+        if let Some(chain) = self.chains.get_mut(shard) {
+            chain.floor = epoch;
+        }
+    }
+
+    /// Appends one captured delta to its shard's chain. Deltas must arrive
+    /// in strictly consecutive epoch order per shard (the committer's commit
+    /// order guarantees it).
+    pub fn record(&mut self, delta: DeltaSnapshot) -> Result<(), SnapshotError> {
+        if delta.shard >= self.chains.len() {
+            return Err(SnapshotError::BaseMismatch {
+                message: format!(
+                    "delta shard {} out of range (store has {} shards)",
+                    delta.shard,
+                    self.chains.len()
+                ),
+            });
+        }
+        let shard = delta.shard;
+        let expected = {
+            let chain = &self.chains[shard];
+            chain.folded_epochs + chain.deltas.len()
+        };
+        if delta.epoch != expected {
+            return Err(SnapshotError::DeltaOrder {
+                shard,
+                expected_epoch: expected,
+                found_epoch: delta.epoch,
+            });
+        }
+        self.chains[shard].deltas.push(delta);
+        self.checkpoints += 1;
+        self.compact(shard)
+    }
+
+    /// Folds the compactable prefix of `shard`'s chain into its folded image
+    /// when the chain has outgrown the cadence.
+    fn compact(&mut self, shard: usize) -> Result<(), SnapshotError> {
+        if self.checkpoint_every == 0 {
+            return Ok(());
+        }
+        let chain = &mut self.chains[shard];
+        if chain.deltas.len() < self.checkpoint_every {
+            return Ok(());
+        }
+        let compactable = chain
+            .floor
+            .saturating_sub(chain.folded_epochs)
+            .min(chain.deltas.len());
+        if compactable == 0 {
+            return Ok(());
+        }
+        let mut folded = chain.folded.take().unwrap_or_else(|| self.base.clone());
+        for delta in chain.deltas.drain(..compactable) {
+            apply_delta(&mut folded, &delta)?;
+            chain.folded_epochs += 1;
+        }
+        chain.folded = Some(folded);
+        self.compactions += 1;
+        Ok(())
+    }
+
+    /// Materializes the repository image of `shard` after `upto` committed
+    /// epochs (`upto = 0` is the base). Other shards carry whatever the
+    /// folded image holds for them — callers re-seeding or replaying one
+    /// shard never read the rest.
+    pub fn materialize(&self, shard: usize, upto: usize) -> Result<RepoSnapshot, SnapshotError> {
+        let chain = self.chains.get(shard).ok_or(SnapshotError::BaseMismatch {
+            message: format!(
+                "shard {shard} out of range (store has {} shards)",
+                self.chains.len()
+            ),
+        })?;
+        if upto < chain.folded_epochs {
+            return Err(SnapshotError::Inconsistent {
+                message: format!(
+                    "shard {shard} epoch {upto} was compacted away (folded through {})",
+                    chain.folded_epochs
+                ),
+            });
+        }
+        let keep = upto - chain.folded_epochs;
+        if keep > chain.deltas.len() {
+            return Err(SnapshotError::Inconsistent {
+                message: format!(
+                    "shard {shard} chain ends at epoch {}, cannot materialize {upto}",
+                    chain.folded_epochs + chain.deltas.len()
+                ),
+            });
+        }
+        let mut snapshot = chain.folded.clone().unwrap_or_else(|| self.base.clone());
+        for delta in &chain.deltas[..keep] {
+            apply_delta(&mut snapshot, delta)?;
+        }
+        Ok(snapshot)
+    }
+
+    /// The retained delta of `(shard, epoch)`, for epoch-by-epoch replay.
+    pub fn delta(&self, shard: usize, epoch: usize) -> Result<DeltaSnapshot, SnapshotError> {
+        let chain = self.chains.get(shard).ok_or(SnapshotError::BaseMismatch {
+            message: format!(
+                "shard {shard} out of range (store has {} shards)",
+                self.chains.len()
+            ),
+        })?;
+        if epoch < chain.folded_epochs {
+            return Err(SnapshotError::Inconsistent {
+                message: format!(
+                    "shard {shard} epoch {epoch} was compacted away (folded through {})",
+                    chain.folded_epochs
+                ),
+            });
+        }
+        chain
+            .deltas
+            .get(epoch - chain.folded_epochs)
+            .cloned()
+            .ok_or(SnapshotError::Inconsistent {
+                message: format!("shard {shard} has no delta for epoch {epoch} yet"),
+            })
+    }
+
+    /// Deltas recorded so far (compacted ones included).
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Compaction passes run so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Un-compacted chain length of `shard`.
+    pub fn chain_len(&self, shard: usize) -> usize {
+        self.chains.get(shard).map_or(0, |c| c.deltas.len())
+    }
+
+    /// The exclusive end of `shard`'s recorded history: the highest epoch
+    /// count [`materialize`](CheckpointStore::materialize) can produce
+    /// (folded epochs plus the live chain).
+    pub fn chain_end(&self, shard: usize) -> usize {
+        self.chains
+            .get(shard)
+            .map_or(0, |c| c.folded_epochs + c.deltas.len())
+    }
 }
 
 #[cfg(test)]
@@ -621,6 +1185,291 @@ mod tests {
                 assert!(message.contains("instance type"), "{message}");
             }
             other => panic!("expected a format error, got {other:?}"),
+        }
+    }
+
+    /// A delta for `sample()`'s namespace 42, on the shard that namespace
+    /// actually routes to under 4 shards.
+    fn sample_delta(epoch: usize) -> DeltaSnapshot {
+        let shard = crate::shared_repo::shard_of_namespace(42, 4);
+        DeltaSnapshot {
+            shard,
+            epoch,
+            clock_secs: 9_000.0,
+            namespaces: vec![NamespaceSnapshot {
+                id: 42,
+                anchors: vec![AnchorSnapshot {
+                    id: 0,
+                    values: vec![10.0, -0.5, 0.0],
+                }],
+                entries: vec![EntrySnapshot {
+                    anchor: 0,
+                    bucket: 2,
+                    allocation: ResourceAllocation::large(5),
+                    tuned_at_secs: 8_000.0,
+                    owner: 3,
+                    hits: 20,
+                    cross_tenant_hits: 6,
+                }],
+            }],
+            shard_stats: ShardStats {
+                hits: 20,
+                misses: 1,
+                insertions: 2,
+                evictions: 1,
+                cross_tenant_hits: 6,
+                anchors_created: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn delta_encode_decode_round_trips_and_is_deterministic() {
+        let delta = sample_delta(7);
+        let text = encode_delta(&delta);
+        assert_eq!(text, encode_delta(&delta), "encoding must be deterministic");
+        assert!(text.starts_with(DELTA_SNAPSHOT_VERSION));
+        let back = decode_delta(&text).expect("decodes");
+        assert_eq!(back, delta);
+        assert_eq!(encode_delta(&back), text, "re-encoding is byte-identical");
+    }
+
+    #[test]
+    fn full_and_delta_formats_reject_each_other() {
+        // A v1 full snapshot is not a delta…
+        match decode_delta(&encode(&sample())) {
+            Err(SnapshotError::Version { found }) => {
+                assert_eq!(found, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected a version error, got {other:?}"),
+        }
+        // …and a v1.1 delta is not a full snapshot.
+        match decode(&encode_delta(&sample_delta(0))) {
+            Err(SnapshotError::Version { found }) => {
+                assert_eq!(found, DELTA_SNAPSHOT_VERSION);
+            }
+            other => panic!("expected a version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_deltas_are_rejected() {
+        let text = encode_delta(&sample_delta(3));
+        let truncated = text.trim_end_matches("end\n");
+        match decode_delta(truncated) {
+            Err(SnapshotError::Inconsistent { message }) => {
+                assert!(message.contains("truncated"), "{message}");
+            }
+            other => panic!("expected an inconsistency error, got {other:?}"),
+        }
+        // Dropping the stats record truncates the chain's counter state even
+        // when `end` survives.
+        let no_stats: String = text
+            .lines()
+            .filter(|l| !l.starts_with("stats "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        match decode_delta(&no_stats) {
+            Err(SnapshotError::Inconsistent { message }) => {
+                assert!(message.contains("stats"), "{message}");
+            }
+            other => panic!("expected an inconsistency error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chains_without_a_base_are_rejected() {
+        assert!(matches!(
+            apply_chain(None, &[sample_delta(0)]),
+            Err(SnapshotError::MissingBase)
+        ));
+    }
+
+    #[test]
+    fn out_of_order_deltas_are_rejected() {
+        let base = sample();
+        // Skipping an epoch…
+        match apply_chain(Some(base.clone()), &[sample_delta(3), sample_delta(5)]) {
+            Err(SnapshotError::DeltaOrder {
+                expected_epoch,
+                found_epoch,
+                ..
+            }) => {
+                assert_eq!((expected_epoch, found_epoch), (4, 5));
+            }
+            other => panic!("expected a delta-order error, got {other:?}"),
+        }
+        // …and replaying backwards are both order violations.
+        match apply_chain(Some(base), &[sample_delta(3), sample_delta(2)]) {
+            Err(SnapshotError::DeltaOrder {
+                expected_epoch,
+                found_epoch,
+                ..
+            }) => {
+                assert_eq!((expected_epoch, found_epoch), (4, 2));
+            }
+            other => panic!("expected a delta-order error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deltas_from_a_different_shard_layout_are_rejected() {
+        // Out-of-range shard index.
+        let mut wild = sample_delta(0);
+        wild.shard = 99;
+        match apply_chain(Some(sample()), &[wild]) {
+            Err(SnapshotError::BaseMismatch { message }) => {
+                assert!(message.contains("out of range"), "{message}");
+            }
+            other => panic!("expected a base-mismatch error, got {other:?}"),
+        }
+        // Right range, wrong routing: the namespace does not live on the
+        // declared shard under the base's shard count.
+        let mut misrouted = sample_delta(0);
+        misrouted.shard = (misrouted.shard + 1) % 4;
+        match apply_chain(Some(sample()), &[misrouted]) {
+            Err(SnapshotError::BaseMismatch { message }) => {
+                assert!(message.contains("routes to shard"), "{message}");
+            }
+            other => panic!("expected a base-mismatch error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn applying_a_chain_replaces_namespaces_and_advances_the_clock() {
+        let base = sample();
+        let delta = sample_delta(0);
+        let out = apply_chain(Some(base.clone()), std::slice::from_ref(&delta)).expect("applies");
+        assert_eq!(out.namespaces.len(), 1, "replacement, not duplication");
+        assert_eq!(out.namespaces[0], delta.namespaces[0]);
+        assert_eq!(out.shard_stats[delta.shard], delta.shard_stats);
+        assert_eq!(out.clock_secs, 9_000.0, "clock advanced to the delta's");
+        // A second namespace unknown to the base is inserted, keeping the
+        // encoder's (shard, id) order — materialized and live snapshots stay
+        // byte-comparable.
+        let mut insert = sample_delta(1);
+        let new_id = (0..u64::MAX)
+            .find(|&id| id != 42 && crate::shared_repo::shard_of_namespace(id, 4) == insert.shard)
+            .expect("some id routes to the same shard");
+        insert.namespaces[0].id = new_id;
+        let grown = apply_chain(Some(out), &[insert]).expect("applies");
+        assert_eq!(grown.namespaces.len(), 2);
+        assert_eq!(encode(&grown), encode(&decode(&encode(&grown)).unwrap()));
+    }
+
+    /// A delta for `sample()`'s shard carrying a per-epoch distinguishable
+    /// entry, so materializations at different frontiers differ.
+    fn chain_delta(epoch: usize) -> DeltaSnapshot {
+        let mut delta = sample_delta(epoch);
+        delta.namespaces[0].entries[0].hits = 100 + epoch as u64;
+        delta.clock_secs = 9_000.0 + epoch as f64;
+        delta
+    }
+
+    #[test]
+    fn checkpoint_store_materializes_every_retained_frontier() {
+        let base = sample();
+        let shard = chain_delta(0).shard;
+        let mut store = CheckpointStore::new(base.clone(), 0);
+        for epoch in 0..4 {
+            store.record(chain_delta(epoch)).expect("records");
+        }
+        assert_eq!(store.checkpoints(), 4);
+        assert_eq!(store.compactions(), 0, "cadence 0 never compacts");
+        // Frontier 0 is the untouched base; frontier e reflects delta e-1.
+        assert_eq!(encode(&store.materialize(shard, 0).unwrap()), encode(&base));
+        for upto in 1..=4 {
+            let image = store.materialize(shard, upto).expect("materializes");
+            assert_eq!(image.namespaces[0].entries[0].hits, 100 + upto as u64 - 1);
+            let by_chain = apply_chain(
+                Some(base.clone()),
+                &(0..upto).map(chain_delta).collect::<Vec<_>>(),
+            )
+            .expect("chain applies");
+            assert_eq!(encode(&image), encode(&by_chain));
+        }
+        // Individual deltas stay retrievable for epoch-by-epoch replay.
+        assert_eq!(store.delta(shard, 2).unwrap(), chain_delta(2));
+    }
+
+    #[test]
+    fn checkpoint_store_compaction_folds_but_preserves_materializations() {
+        let shard = chain_delta(0).shard;
+        let mut uncompacted = CheckpointStore::new(sample(), 0);
+        let mut compacted = CheckpointStore::new(sample(), 2);
+        for epoch in 0..7 {
+            uncompacted.record(chain_delta(epoch)).expect("records");
+            compacted.record(chain_delta(epoch)).expect("records");
+        }
+        assert!(compacted.compactions() > 0, "cadence 2 folds");
+        assert!(compacted.chain_len(shard) < uncompacted.chain_len(shard));
+        // The visible frontier is identical wherever both still retain it.
+        let image = compacted.materialize(shard, 7).expect("materializes");
+        assert_eq!(
+            encode(&image),
+            encode(&uncompacted.materialize(shard, 7).unwrap())
+        );
+        // Folded-away frontiers are a typed error, not silent corruption.
+        match compacted.materialize(shard, 0) {
+            Err(SnapshotError::Inconsistent { message }) => {
+                assert!(message.contains("compacted away"), "{message}");
+            }
+            other => panic!("expected an inconsistent error, got {other:?}"),
+        }
+        match compacted.delta(shard, 0) {
+            Err(SnapshotError::Inconsistent { message }) => {
+                assert!(message.contains("compacted away"), "{message}");
+            }
+            other => panic!("expected an inconsistent error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_store_floors_pin_replayable_epochs() {
+        let shard = chain_delta(0).shard;
+        let mut store = CheckpointStore::new(sample(), 2);
+        store.set_floor(shard, 1);
+        for epoch in 0..6 {
+            store.record(chain_delta(epoch)).expect("records");
+        }
+        // Only epoch 0 may fold; everything from the floor up stays
+        // individually replayable.
+        for epoch in 1..6 {
+            assert_eq!(store.delta(shard, epoch).unwrap(), chain_delta(epoch));
+            store.materialize(shard, epoch).expect("materializes");
+        }
+        // Raising the floor re-enables compaction of the backlog.
+        store.set_floor(shard, usize::MAX);
+        store.record(chain_delta(6)).expect("records");
+        assert!(store.chain_len(shard) < 6);
+        store.materialize(shard, 7).expect("tip still materializes");
+    }
+
+    #[test]
+    fn checkpoint_store_rejects_gaps_and_unknown_shards() {
+        let mut store = CheckpointStore::new(sample(), 0);
+        store.record(chain_delta(0)).expect("records");
+        match store.record(chain_delta(2)) {
+            Err(SnapshotError::DeltaOrder {
+                expected_epoch,
+                found_epoch,
+                ..
+            }) => assert_eq!((expected_epoch, found_epoch), (1, 2)),
+            other => panic!("expected a delta-order error, got {other:?}"),
+        }
+        let mut wild = chain_delta(1);
+        wild.shard = 99;
+        match store.record(wild) {
+            Err(SnapshotError::BaseMismatch { message }) => {
+                assert!(message.contains("out of range"), "{message}");
+            }
+            other => panic!("expected a base-mismatch error, got {other:?}"),
+        }
+        match store.materialize(0, 5) {
+            Err(SnapshotError::Inconsistent { message }) => {
+                assert!(message.contains("chain ends"), "{message}");
+            }
+            other => panic!("expected an inconsistent error, got {other:?}"),
         }
     }
 }

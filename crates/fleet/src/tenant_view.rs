@@ -119,6 +119,19 @@ impl TenantRepoView {
     fn push_op(&self, op: PendingOp) {
         self.outbox.lock().expect("tenant outbox poisoned").push(op);
     }
+
+    /// Re-points this view at a different shared repository, keeping the
+    /// local overlay, stats, memo and outbox.
+    ///
+    /// Crash recovery replays a tenant against a private repository clone
+    /// materialized from the checkpoint chain, then retargets the caught-up
+    /// view at the live fleet store. The memo survives the switch because
+    /// recovery guarantees the two repositories hold bit-identical anchor
+    /// state for this namespace at the switch point (anchors only accrete, so
+    /// memoized resolutions stay exact).
+    pub fn retarget(&mut self, shared: Arc<SharedSignatureRepository>) {
+        self.shared = shared;
+    }
 }
 
 impl AllocationStore for TenantRepoView {
@@ -217,6 +230,10 @@ impl AllocationStore for TenantRepoView {
 
     fn entries(&self) -> Vec<(RepositoryKey, RepositoryEntry)> {
         self.local.iter().map(|(k, e)| (*k, *e)).collect()
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -49,7 +49,10 @@
 //! tenants and consumes the [`TransportOutcome`].
 
 use crate::engine::{RunState, SimulationEngine};
-use crate::shared_repo::{PendingOp, SharedSignatureRepository};
+use crate::faults::{FaultInjector, FaultKind, FaultSpec, FaultSpecError};
+use crate::shared_repo::{DeltaCursor, PendingOp, SharedSignatureRepository};
+use crate::snapshot::{CheckpointStore, DeltaSnapshot};
+use crate::tenant_view::TenantRepoView;
 use crossbeam_deque::{Injector, Stealer, Worker};
 use dejavu_baselines::{FixedMax, RightScale};
 use dejavu_cloud::ProvisioningController;
@@ -57,7 +60,9 @@ use dejavu_core::DejaVuController;
 use dejavu_obs::{Event, Recorder};
 use dejavu_services::ServiceModel;
 use dejavu_simcore::SimTime;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Shared handle to a tenant's buffered operations; the transport drains it
@@ -211,6 +216,17 @@ impl TenantHandle<'_> {
         }
     }
 
+    /// Discards whatever a failed tenant buffered — tolerating an outbox
+    /// lock poisoned by the panic itself — so a partial epoch never commits.
+    pub fn discard_outbox(&mut self) {
+        if let Some(outbox) = &self.run.outbox {
+            match outbox.lock() {
+                Ok(mut ops) => ops.clear(),
+                Err(poisoned) => poisoned.into_inner().clear(),
+            }
+        }
+    }
+
     /// The tenant's cumulative repository `(hits, misses)`.
     pub fn repo_stats(&self) -> (u64, u64) {
         let stats = self.run.controller.stats();
@@ -239,17 +255,37 @@ impl TenantHandle<'_> {
     pub fn retire(&mut self) {
         self.run.retired = true;
     }
+
+    /// Swaps in a freshly respawned run — the crash-recovery path: the old
+    /// in-memory state is "lost" with the crash, and the replacement (already
+    /// replayed up to the crash epoch) takes over the tenant's slot.
+    pub(crate) fn replace(&mut self, run: TenantRun) {
+        *self.run = run;
+    }
 }
+
+/// The respawn hook of crash recovery: builds a fresh [`TenantRun`] for the
+/// given tenant index, reading through the given repository (the private
+/// replay clone during recovery). Provided by the fleet engine for
+/// shared-mode runs.
+pub(crate) type RespawnFn<'a> =
+    dyn Fn(usize, Arc<SharedSignatureRepository>) -> TenantRun + Sync + 'a;
 
 /// The shared, thread-safe side of a fleet run a transport commits through.
 #[derive(Clone, Copy)]
 pub struct FleetContext<'a> {
-    shared: &'a SharedSignatureRepository,
+    shared: &'a Arc<SharedSignatureRepository>,
     epochs: usize,
     epoch_secs: f64,
     origin_secs: f64,
     workers: usize,
     recorder: &'a Recorder,
+    /// The seeded fault injector (the always-benign no-op by default).
+    faults: FaultInjector,
+    /// Delta-chain compaction cadence (0 = retain the full chain).
+    checkpoint_every: usize,
+    /// Crash-recovery respawn hook; `None` when tenants are isolated.
+    respawn: Option<&'a RespawnFn<'a>>,
 }
 
 impl FleetContext<'_> {
@@ -319,12 +355,15 @@ impl FleetContext<'_> {
 /// shared-store context. Built by the fleet engine.
 pub struct FleetHarness<'a> {
     pub(crate) runs: &'a mut [TenantRun],
-    pub(crate) shared: &'a SharedSignatureRepository,
+    pub(crate) shared: &'a Arc<SharedSignatureRepository>,
     pub(crate) epochs: usize,
     pub(crate) epoch_secs: f64,
     pub(crate) origin_secs: f64,
     pub(crate) workers: usize,
     pub(crate) recorder: &'a Recorder,
+    pub(crate) faults: FaultInjector,
+    pub(crate) checkpoint_every: usize,
+    pub(crate) respawn: Option<&'a RespawnFn<'a>>,
 }
 
 impl FleetHarness<'_> {
@@ -338,6 +377,9 @@ impl FleetHarness<'_> {
             origin_secs: self.origin_secs,
             workers: self.workers,
             recorder: self.recorder,
+            faults: self.faults,
+            checkpoint_every: self.checkpoint_every,
+            respawn: self.respawn,
         };
         let handles = self
             .runs
@@ -386,6 +428,38 @@ impl TransportSummary {
     }
 }
 
+/// What a fault-injected (or checkpointing) run did to itself and how much
+/// recovering cost — carried into [`crate::FleetReport`] and rendered as its
+/// "recovery" section. Counters are plain (non-recorder) tallies, so they are
+/// reported identically with observability on or off; they are a pure
+/// function of the fault plan and the scenario, hence deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSummary {
+    /// The rendered fault spec (`"SEED:kind,…"`), empty for
+    /// checkpoint-only runs.
+    pub spec: String,
+    /// Total faults injected, all kinds.
+    pub injected: u64,
+    /// Tenants crashed (and recovered) mid-epoch.
+    pub tenants_crashed: u64,
+    /// Epoch reports dropped in flight (then retransmitted).
+    pub reports_dropped: u64,
+    /// Epoch reports delivered twice.
+    pub reports_duplicated: u64,
+    /// Epoch reports delayed past later arrivals.
+    pub reports_reordered: u64,
+    /// Committer restarts (volatile assembly state lost and re-assembled).
+    pub committer_restarts: u64,
+    /// Shards wiped and warm re-seeded from their delta chains.
+    pub shard_losses: u64,
+    /// Epochs deterministically replayed by crashed tenants.
+    pub replayed_epochs: u64,
+    /// Delta checkpoints captured at commit boundaries.
+    pub checkpoints: u64,
+    /// Delta-chain compaction passes.
+    pub compactions: u64,
+}
+
 /// Everything a transport hands back to the engine after driving a fleet.
 #[derive(Debug, Clone)]
 pub struct TransportOutcome {
@@ -395,6 +469,13 @@ pub struct TransportOutcome {
     pub hit_rate_curve: Vec<f64>,
     /// Per-tenant committed cross-tenant hits, in tenant order.
     pub cross_tenant_hits: Vec<u64>,
+    /// Per tenant: the epoch at which it panicked (and was retired so the
+    /// rest of the fleet could finish), in tenant order. All `None` on a
+    /// healthy run.
+    pub failed: Vec<Option<usize>>,
+    /// Fault-injection and recovery tallies; `None` when neither faults nor
+    /// checkpointing were configured.
+    pub faults: Option<FaultSummary>,
 }
 
 impl TransportOutcome {
@@ -407,7 +488,109 @@ impl TransportOutcome {
             },
             hit_rate_curve: Vec::new(),
             cross_tenant_hits: vec![0; tenants],
+            failed: vec![None; tenants],
+            faults: None,
         }
+    }
+}
+
+/// Lock-free fault/recovery tallies, incremented from tenant threads, pool
+/// workers and the committer alike; folded into the [`FaultSummary`] once
+/// the drive finishes.
+#[derive(Default)]
+struct FaultTallies {
+    injected: AtomicU64,
+    tenants_crashed: AtomicU64,
+    reports_dropped: AtomicU64,
+    reports_duplicated: AtomicU64,
+    reports_reordered: AtomicU64,
+    committer_restarts: AtomicU64,
+    shard_losses: AtomicU64,
+    replayed_epochs: AtomicU64,
+}
+
+impl FaultTallies {
+    /// Counts one injected fault of the given kind tally.
+    fn fault(&self, which: &AtomicU64) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        which.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The fault/recovery domain of one asynchronous drive: the seeded injector,
+/// the checkpoint store (run-start base snapshot plus per-shard delta
+/// chains), the respawn hook recovery rebuilds crashed tenants through, and
+/// the shared tallies. Built once per drive when fault injection or
+/// checkpointing is configured; absent (and costing nothing) otherwise.
+struct FaultDomain<'h> {
+    injector: FaultInjector,
+    store: Mutex<CheckpointStore>,
+    respawn: &'h RespawnFn<'h>,
+    shared_arc: &'h Arc<SharedSignatureRepository>,
+    tallies: FaultTallies,
+}
+
+/// Builds the fault domain of one async drive, or `None` when neither fault
+/// injection nor checkpointing is configured (or the fleet has no respawn
+/// path, i.e. isolated tenants).
+fn fault_domain<'h>(
+    ctx: &FleetContext<'h>,
+    windows: &[(usize, usize)],
+    tenant_shard: &[usize],
+) -> Option<FaultDomain<'h>> {
+    let injector = ctx.faults;
+    if !injector.enabled() && ctx.checkpoint_every == 0 {
+        return None;
+    }
+    let respawn = ctx.respawn?;
+    // The base image and the capture cursors (primed by the committer) both
+    // anchor at this quiescent point: nothing mutates the shared repository
+    // before the committer applies the first batch.
+    let mut store = CheckpointStore::new(ctx.shared.to_snapshot(), ctx.checkpoint_every);
+    // Compaction must never fold an epoch a planned crash still needs to
+    // replay from: pin each shard's floor at the earliest join epoch among
+    // its crash-scheduled tenants. (Raising floors dynamically once a crash
+    // has recovered is a roadmap follow-on.)
+    let mut floors = vec![usize::MAX; ctx.shard_count()];
+    for (tenant, &(start, end)) in windows.iter().enumerate() {
+        if injector.crash_epoch(tenant, start, end).is_some() {
+            let shard = tenant_shard[tenant];
+            floors[shard] = floors[shard].min(start);
+        }
+    }
+    for (shard, &floor) in floors.iter().enumerate() {
+        store.set_floor(shard, floor);
+    }
+    Some(FaultDomain {
+        injector,
+        store: Mutex::new(store),
+        respawn,
+        shared_arc: ctx.shared,
+        tallies: FaultTallies::default(),
+    })
+}
+
+/// Folds a finished drive's fault domain into the outcome's summary.
+fn summarize_faults(domain: FaultDomain<'_>) -> FaultSummary {
+    let FaultDomain {
+        injector,
+        store,
+        tallies,
+        ..
+    } = domain;
+    let store = store.into_inner().expect("checkpoint store poisoned");
+    FaultSummary {
+        spec: injector.spec().map(FaultSpec::render).unwrap_or_default(),
+        injected: tallies.injected.into_inner(),
+        tenants_crashed: tallies.tenants_crashed.into_inner(),
+        reports_dropped: tallies.reports_dropped.into_inner(),
+        reports_duplicated: tallies.reports_duplicated.into_inner(),
+        reports_reordered: tallies.reports_reordered.into_inner(),
+        committer_restarts: tallies.committer_restarts.into_inner(),
+        shard_losses: tallies.shard_losses.into_inner(),
+        replayed_epochs: tallies.replayed_epochs.into_inner(),
+        checkpoints: store.checkpoints(),
+        compactions: store.compactions(),
     }
 }
 
@@ -491,6 +674,22 @@ impl TransportConfig {
             )),
         }
     }
+
+    /// Whether this backend can host the given fault plan. The BSP barrier
+    /// has no report channel, no committer process and no frontier to
+    /// recover — fault injection is an asynchronous-transport concept — so
+    /// requesting faults under `bsp` is a configuration error, caught here
+    /// (typed) instead of silently injecting nothing.
+    pub fn check_faults(&self, _spec: &FaultSpec) -> Result<(), FaultSpecError> {
+        match self {
+            TransportConfig::Bsp => Err(FaultSpecError::BackendUnsupported {
+                backend: "bsp".to_string(),
+            }),
+            TransportConfig::BoundedStaleness { .. } | TransportConfig::WorkStealing { .. } => {
+                Ok(())
+            }
+        }
+    }
 }
 
 fn hit_rate(hits: u64, misses: u64) -> f64 {
@@ -561,21 +760,44 @@ impl CommitTransport for BspBarrier {
                 epoch: epoch as u64,
             });
             let epoch_started = recorder.start();
-            std::thread::scope(|scope| {
+            // A panicking tenant (service model or poisoned outbox) is
+            // caught on its worker, retired at this barrier and surfaced in
+            // the outcome — the rest of the fleet finishes its run.
+            let failed_now: Vec<usize> = std::thread::scope(|scope| {
+                let mut joins = Vec::new();
                 for chunk in handles.chunks_mut(chunk_size) {
-                    scope.spawn(move || {
+                    joins.push(scope.spawn(move || {
+                        let mut failed = Vec::new();
                         for handle in chunk {
-                            handle.step_epoch(epoch, &ctx);
+                            if catch_unwind(AssertUnwindSafe(|| handle.step_epoch(epoch, &ctx)))
+                                .is_err()
+                            {
+                                failed.push(handle.index());
+                            }
                         }
-                    });
+                        failed
+                    }));
                 }
+                joins
+                    .into_iter()
+                    .flat_map(|join| join.join().expect("barrier worker panicked"))
+                    .collect()
             });
+            for tenant in failed_now {
+                out.failed[tenant] = Some(epoch);
+                handles[tenant].retire();
+                // The partial epoch's publishes die with the tenant.
+                handles[tenant].discard_outbox();
+            }
             // Epoch barrier: publish buffered writes in tenant order, then
             // age out stale entries. This is the only place the shared store
             // changes under this transport.
             let mut ops: Vec<PendingOp> = Vec::new();
             let mut op_tenants: Vec<usize> = Vec::new();
             for handle in &mut handles {
+                if out.failed[handle.index()].is_some() {
+                    continue;
+                }
                 let drained = handle.drain_outbox();
                 op_tenants.resize(op_tenants.len() + drained.len(), handle.index());
                 ops.extend(drained);
@@ -793,7 +1015,10 @@ impl Drop for PoisonOnDrop<'_> {
     }
 }
 
-/// One tenant's end-of-epoch report to the committer.
+/// One tenant's end-of-epoch report to the committer. `Clone` so a
+/// restart-tolerant committer can retain delivered reports for re-assembly
+/// (and the fault injector can duplicate one in flight).
+#[derive(Clone)]
 struct EpochReport {
     tenant: usize,
     epoch: usize,
@@ -817,6 +1042,9 @@ struct EpochReport {
 struct AbortOnDrop<'a> {
     tx: &'a crossbeam_channel::Sender<EpochReport>,
     tenant: usize,
+    /// The epoch the tenant was in when it unwound — the committer stops
+    /// expecting reports from this epoch onwards.
+    epoch: usize,
     armed: bool,
 }
 
@@ -833,7 +1061,7 @@ impl Drop for AbortOnDrop<'_> {
             // notify.
             let _ = self.tx.send(EpochReport {
                 tenant: self.tenant,
-                epoch: 0,
+                epoch: self.epoch,
                 staleness: 0,
                 ops: Vec::new(),
                 hits: 0,
@@ -841,6 +1069,183 @@ impl Drop for AbortOnDrop<'_> {
                 last: true,
                 aborted: true,
             });
+        }
+    }
+}
+
+/// Why a delivered report is being held back by the fault injector.
+enum Held {
+    /// The original delivery was dropped; this copy is the retransmission.
+    Dropped,
+    /// A duplicate copy of a report that was also delivered normally.
+    Extra,
+    /// Delivery delayed past later arrivals (reordering), not lost.
+    Reordered,
+}
+
+/// The committer's faulty report channel: a deterministic message-loss layer
+/// between the mpsc receiver and the committer. Reports the injector marks
+/// as dropped or reordered are held back for a seeded number of subsequent
+/// deliveries (drops become retransmissions — the paper-world "resend on
+/// commit timeout" — so no information is ever truly lost); duplicated
+/// reports are delivered twice. The committer's idempotent admission makes
+/// all three shuffles invisible in the committed results.
+struct FaultyInbox<'a> {
+    rx: &'a crossbeam_channel::Receiver<EpochReport>,
+    injector: FaultInjector,
+    tallies: &'a FaultTallies,
+    recorder: &'a Recorder,
+    /// Held-back reports with their remaining-delivery countdowns.
+    delayed: Vec<(usize, Held, EpochReport)>,
+    /// Reports ready for the committer.
+    due: VecDeque<EpochReport>,
+    disconnected: bool,
+}
+
+impl<'a> FaultyInbox<'a> {
+    fn new(
+        rx: &'a crossbeam_channel::Receiver<EpochReport>,
+        injector: FaultInjector,
+        tallies: &'a FaultTallies,
+        recorder: &'a Recorder,
+    ) -> Self {
+        FaultyInbox {
+            rx,
+            injector,
+            tallies,
+            recorder,
+            delayed: Vec::new(),
+            due: VecDeque::new(),
+            disconnected: false,
+        }
+    }
+
+    /// Releases a held report to the committer, counting retransmissions.
+    fn release(&mut self, held: Held, report: EpochReport) {
+        if matches!(held, Held::Dropped | Held::Extra) {
+            self.recorder.with(|m| m.retransmits.inc());
+            self.recorder.event(|| Event::ReportRetransmit {
+                tenant: report.tenant as u64,
+                epoch: report.epoch as u64,
+            });
+        }
+        self.due.push_back(report);
+    }
+
+    /// One delivery elapsed: age every held report, releasing the expired.
+    fn tick(&mut self) {
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= 1 {
+                let (_, held, report) = self.delayed.swap_remove(i);
+                self.release(held, report);
+            } else {
+                self.delayed[i].0 -= 1;
+                i += 1;
+            }
+        }
+    }
+
+    /// Classifies one freshly received report: pass through, hold back, or
+    /// duplicate, as the seeded plan dictates.
+    fn admit(&mut self, report: EpochReport) {
+        self.tick();
+        if report.aborted {
+            // Abort notices bypass injection: the committer must learn about
+            // a dead tenant promptly no matter what the plan says.
+            self.due.push_back(report);
+            return;
+        }
+        let (tenant, epoch) = (report.tenant, report.epoch);
+        if let Some(delay) = self.injector.drop_delay(tenant, epoch) {
+            self.tallies.fault(&self.tallies.reports_dropped);
+            self.recorder.with(|m| m.faults_injected.inc());
+            self.delayed.push((delay, Held::Dropped, report));
+        } else if let Some(delay) = self.injector.reorder_delay(tenant, epoch) {
+            self.tallies.fault(&self.tallies.reports_reordered);
+            self.recorder.with(|m| m.faults_injected.inc());
+            self.delayed.push((delay, Held::Reordered, report));
+        } else {
+            if self.injector.duplicate(tenant, epoch) {
+                self.tallies.fault(&self.tallies.reports_duplicated);
+                self.recorder.with(|m| m.faults_injected.inc());
+                self.delayed.push((2, Held::Extra, report.clone()));
+            }
+            self.due.push_back(report);
+        }
+    }
+
+    /// Liveness valve: when the channel has gone quiet but reports are still
+    /// held back, force the earliest (by `(epoch, tenant)` — deterministic)
+    /// out, so a held report whose countdown is pinned on deliveries that
+    /// will never come cannot stall the fleet. Commit order is independent
+    /// of arrival order, so early release never changes results.
+    fn force_release_earliest(&mut self) {
+        let Some(earliest) = self
+            .delayed
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, _, r))| (r.epoch, r.tenant))
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let (_, held, report) = self.delayed.swap_remove(earliest);
+        self.release(held, report);
+    }
+
+    fn recv(&mut self) -> Option<EpochReport> {
+        use crossbeam_channel::TryRecvError;
+        loop {
+            if let Some(report) = self.due.pop_front() {
+                return Some(report);
+            }
+            if self.disconnected {
+                if self.delayed.is_empty() {
+                    return None;
+                }
+                // Every sender is gone: flush the held tail in
+                // deterministic order.
+                self.delayed
+                    .sort_by_key(|(_, _, r)| std::cmp::Reverse((r.epoch, r.tenant)));
+                while let Some((_, held, report)) = self.delayed.pop() {
+                    self.release(held, report);
+                }
+                continue;
+            }
+            match self.rx.try_recv() {
+                Ok(report) => self.admit(report),
+                Err(TryRecvError::Empty) => {
+                    if self.delayed.is_empty() {
+                        match self.rx.recv() {
+                            Ok(report) => self.admit(report),
+                            Err(_) => self.disconnected = true,
+                        }
+                    } else {
+                        // Senders may be blocked on a frontier that only a
+                        // held report can advance — release rather than
+                        // block on them.
+                        self.force_release_earliest();
+                    }
+                }
+                Err(TryRecvError::Disconnected) => self.disconnected = true,
+            }
+        }
+    }
+}
+
+/// The committer's report source: the raw channel, or the fault-injecting
+/// wrapper.
+enum Inbox<'a> {
+    Plain(&'a crossbeam_channel::Receiver<EpochReport>),
+    Faulty(FaultyInbox<'a>),
+}
+
+impl Inbox<'_> {
+    fn recv(&mut self) -> Option<EpochReport> {
+        match self {
+            Inbox::Plain(rx) => rx.recv().ok(),
+            Inbox::Faulty(inbox) => inbox.recv(),
         }
     }
 }
@@ -864,55 +1269,236 @@ impl Drop for AbortOnDrop<'_> {
 /// work-stealing scheduler re-injects them, the bounded-staleness transport
 /// (whose tenants block in [`ShardFrontiers::wait_within`] instead of
 /// parking) passes a no-op.
-fn run_committer(
-    ctx: &FleetContext<'_>,
-    rx: &crossbeam_channel::Receiver<EpochReport>,
-    windows: &[(usize, usize)],
-    tenant_shard: &[usize],
-    frontiers: &ShardFrontiers,
-    out: &mut TransportOutcome,
-    mut on_release: impl FnMut(Vec<usize>),
-) {
-    let recorder = ctx.recorder();
-    let epochs = ctx.epochs();
-    let shards = ctx.shard_count();
-    // How many tenants must report each (epoch, shard) before that shard's
-    // batch can commit, from the nominal tenancy windows; adjusted when a
-    // tenant's `last` report arrives earlier than its nominal end.
-    let mut expected = vec![vec![0usize; shards]; epochs];
-    for (tenant, &(start, end)) in windows.iter().enumerate() {
-        for slot in &mut expected[start.min(epochs)..end.min(epochs)] {
-            slot[tenant_shard[tenant]] += 1;
+///
+/// Under a fault domain the committer additionally (a) captures one delta
+/// checkpoint per `(shard, epoch)` commit into the [`CheckpointStore`],
+/// (b) admits reports **idempotently** (each `(tenant, epoch)` counts once,
+/// so duplicated or reordered deliveries are safe by construction),
+/// (c) survives its own injected **restarts** — all volatile assembly state
+/// is rebuilt from first principles plus the retained already-delivered
+/// reports, exactly what a failover committer would re-assemble from
+/// re-sent reports — and (d) wipes and warm re-seeds a shard from its delta
+/// chain on an injected shard loss.
+struct Committer<'a, 'h> {
+    ctx: &'a FleetContext<'h>,
+    windows: &'a [(usize, usize)],
+    tenant_shard: &'a [usize],
+    frontiers: &'a ShardFrontiers,
+    domain: Option<&'a FaultDomain<'h>>,
+    epochs: usize,
+    /// How many tenants the nominal tenancy windows promise each
+    /// `(epoch, shard)` — the pristine ledger restarts rebuild from.
+    nominal: Vec<Vec<usize>>,
+    /// `nominal` adjusted for early retirements and tenant deaths: how many
+    /// reports each `(epoch, shard)` still waits for before committing.
+    expected: Vec<Vec<usize>>,
+    received: Vec<Vec<usize>>,
+    pending: Vec<Vec<Vec<EpochReport>>>,
+    /// Per-epoch cumulative tenant stats, folded into `cached` (and the
+    /// hit-rate curve) once the whole epoch has committed across shards.
+    epoch_stats: Vec<Vec<(usize, u64, u64)>>,
+    cached: Vec<(u64, u64)>,
+    /// Per shard: the next epoch whose batch has not committed yet. This is
+    /// the committer's only *durable* state — everything else is rebuilt on
+    /// an injected restart.
+    shard_next: Vec<usize>,
+    completed: usize,
+    /// Per tenant: the epoch of its early `last` report, if any — the guard
+    /// that keeps the expected-count adjustment idempotent under duplicated
+    /// deliveries and restart re-admission.
+    early_last: Vec<Option<usize>>,
+    /// Per tenant: the epoch at which it aborted (panicked), if any.
+    failed: Vec<Option<usize>>,
+    /// Per `(tenant, epoch)`: whether a report was already admitted — the
+    /// sequence-number dedup that makes commit idempotent.
+    enqueued: Vec<Vec<bool>>,
+    /// Uncommitted delivered reports, kept only when committer restarts are
+    /// being injected: the re-sent-report pool a failover re-assembles from.
+    retained: Vec<EpochReport>,
+    /// Per-shard change cursors for delta capture (empty without a domain).
+    cursors: Vec<DeltaCursor>,
+    /// Shards whose readiness may have changed. Seeded with every shard:
+    /// epochs expecting no reports from a shard (no tenant routes there, or
+    /// everyone already retired) commit empty batches immediately — their
+    /// TTL sweeps still run on schedule, exactly as the whole-fleet
+    /// barrier's sweep would have covered them.
+    work: Vec<usize>,
+}
+
+impl<'a, 'h> Committer<'a, 'h> {
+    fn new(
+        ctx: &'a FleetContext<'h>,
+        windows: &'a [(usize, usize)],
+        tenant_shard: &'a [usize],
+        frontiers: &'a ShardFrontiers,
+        domain: Option<&'a FaultDomain<'h>>,
+    ) -> Self {
+        let epochs = ctx.epochs();
+        let shards = ctx.shard_count();
+        let mut nominal = vec![vec![0usize; shards]; epochs];
+        for (tenant, &(start, end)) in windows.iter().enumerate() {
+            for slot in &mut nominal[start.min(epochs)..end.min(epochs)] {
+                slot[tenant_shard[tenant]] += 1;
+            }
+        }
+        // The cursors anchor at the same quiescent point as the store's base
+        // image: nothing has committed yet, so the first captured delta
+        // covers exactly the first commit.
+        let cursors = if domain.is_some() {
+            (0..shards)
+                .map(|shard| {
+                    let mut cursor = DeltaCursor::default();
+                    ctx.shared.prime_delta_cursor(shard, &mut cursor);
+                    cursor
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Committer {
+            ctx,
+            windows,
+            tenant_shard,
+            frontiers,
+            domain,
+            epochs,
+            expected: nominal.clone(),
+            nominal,
+            received: vec![vec![0usize; shards]; epochs],
+            pending: (0..epochs)
+                .map(|_| (0..shards).map(|_| Vec::new()).collect())
+                .collect(),
+            epoch_stats: vec![Vec::new(); epochs],
+            cached: vec![(0, 0); windows.len()],
+            shard_next: vec![0usize; shards],
+            completed: 0,
+            early_last: vec![None; windows.len()],
+            failed: vec![None; windows.len()],
+            enqueued: vec![vec![false; epochs]; windows.len()],
+            retained: Vec::new(),
+            cursors,
+            work: (0..shards).collect(),
         }
     }
-    let mut received = vec![vec![0usize; shards]; epochs];
-    let mut pending: Vec<Vec<Vec<EpochReport>>> = (0..epochs)
-        .map(|_| (0..shards).map(|_| Vec::new()).collect())
-        .collect();
-    // Per-epoch cumulative tenant stats, folded into `cached` (and the
-    // hit-rate curve) once the whole epoch has committed across shards.
-    let mut epoch_stats: Vec<Vec<(usize, u64, u64)>> = vec![Vec::new(); epochs];
-    let mut cached: Vec<(u64, u64)> = vec![(0, 0); windows.len()];
-    // Per shard: the next epoch whose batch has not committed yet.
-    let mut shard_next = vec![0usize; shards];
-    let mut completed = 0usize;
-    // Fold-to-fold wall time per fleet-wide epoch (the async analogue of the
-    // barrier's per-epoch wall clock).
-    let mut fold_started = recorder.start();
-    // Shards whose readiness may have changed. Seeded with every shard:
-    // epochs expecting no reports from a shard (no tenant routes there, or
-    // everyone already retired) commit empty batches immediately — their TTL
-    // sweeps still run on schedule, exactly as the whole-fleet barrier's
-    // sweep would have covered them.
-    let mut work: Vec<usize> = (0..shards).collect();
-    loop {
-        // Drain the shard worklist: commit every ready (shard, epoch) batch.
-        while let Some(shard) = work.pop() {
-            while shard_next[shard] < epochs
-                && received[shard_next[shard]][shard] == expected[shard_next[shard]][shard]
+
+    /// Whether delivered reports must be retained for restart re-assembly.
+    fn retains(&self) -> bool {
+        self.domain.is_some_and(|d| {
+            d.injector
+                .spec()
+                .is_some_and(|s| s.enables(FaultKind::CommitterRestart))
+        })
+    }
+
+    fn run(
+        mut self,
+        mut inbox: Inbox<'_>,
+        out: &mut TransportOutcome,
+        on_release: &mut dyn FnMut(Vec<usize>),
+    ) {
+        let recorder = self.ctx.recorder();
+        // Fold-to-fold wall time per fleet-wide epoch (the async analogue of
+        // the barrier's per-epoch wall clock).
+        let mut fold_started = recorder.start();
+        loop {
+            self.commit_ready(out, on_release);
+            // Fold fully committed epochs into the fleet-wide curve, in
+            // order.
+            while self.completed < self.epochs
+                && self.shard_next.iter().all(|&next| next > self.completed)
             {
-                let epoch = shard_next[shard];
-                let mut batch = std::mem::take(&mut pending[epoch][shard]);
+                let folded = self.completed;
+                for (tenant, hits, misses) in std::mem::take(&mut self.epoch_stats[folded]) {
+                    self.cached[tenant] = (hits, misses);
+                }
+                let hits: u64 = self.cached.iter().map(|&(h, _)| h).sum();
+                let misses: u64 = self.cached.iter().map(|&(_, m)| m).sum();
+                out.hit_rate_curve.push(hit_rate(hits, misses));
+                recorder.observe(fold_started, |m| &m.epoch_ns);
+                fold_started = recorder.start();
+                recorder.event(|| Event::EpochCommit {
+                    epoch: folded as u64,
+                });
+                self.completed += 1;
+                if let Some(domain) = self.domain {
+                    if domain.injector.committer_restart(folded) {
+                        self.restart(folded, domain, out);
+                    }
+                }
+            }
+            if self.completed >= self.epochs {
+                return;
+            }
+            if !self.work.is_empty() {
+                // A restart re-admitted reports; drain them before blocking
+                // on the channel (which may already be empty and closed).
+                continue;
+            }
+            let Some(report) = inbox.recv() else {
+                panic!(
+                    "async transport lost epoch reports ({} of {} epochs committed)",
+                    self.completed, self.epochs
+                );
+            };
+            self.admit(report, out);
+        }
+    }
+
+    /// Admits one delivered report: dedups by `(tenant, epoch)` (the
+    /// idempotence that makes duplicated and reordered deliveries safe),
+    /// handles abort notices by releasing the dead tenant's future slots,
+    /// and queues the report for its shard's commit.
+    fn admit(&mut self, report: EpochReport, out: &mut TransportOutcome) {
+        let tenant = report.tenant;
+        let shard = self.tenant_shard[tenant];
+        let nominal_end = self.windows[tenant].1.min(self.epochs);
+        if report.aborted {
+            if self.failed[tenant].is_none() && self.early_last[tenant].is_none() {
+                self.failed[tenant] = Some(report.epoch);
+                out.failed[tenant] = Some(report.epoch);
+                // The dead tenant reported every epoch before the abort, so
+                // its shard stops waiting for it from the abort epoch on.
+                let lo = report.epoch.max(self.windows[tenant].0).min(nominal_end);
+                for slot in &mut self.expected[lo..nominal_end] {
+                    slot[shard] -= 1;
+                }
+                self.work.push(shard);
+            }
+            return;
+        }
+        if report.epoch >= self.epochs || self.enqueued[tenant][report.epoch] {
+            return; // duplicate delivery: already admitted once
+        }
+        self.enqueued[tenant][report.epoch] = true;
+        if report.last && self.early_last[tenant].is_none() {
+            // The tenant retired before its nominal window end: its shard's
+            // later epochs no longer wait for it.
+            self.early_last[tenant] = Some(report.epoch);
+            let lo = (report.epoch + 1).min(nominal_end);
+            for slot in &mut self.expected[lo..nominal_end] {
+                slot[shard] -= 1;
+            }
+        }
+        if self.retains() {
+            self.retained.push(report.clone());
+        }
+        self.received[report.epoch][shard] += 1;
+        self.pending[report.epoch][shard].push(report);
+        self.work.push(shard);
+    }
+
+    /// Drains the shard worklist: commits every ready `(shard, epoch)`
+    /// batch, in tenant order within the batch, sweeps the shard, captures
+    /// its delta checkpoint, and advances its frontier.
+    fn commit_ready(&mut self, out: &mut TransportOutcome, on_release: &mut dyn FnMut(Vec<usize>)) {
+        let recorder = self.ctx.recorder();
+        while let Some(shard) = self.work.pop() {
+            while self.shard_next[shard] < self.epochs
+                && self.received[self.shard_next[shard]][shard]
+                    == self.expected[self.shard_next[shard]][shard]
+            {
+                let epoch = self.shard_next[shard];
+                let mut batch = std::mem::take(&mut self.pending[epoch][shard]);
                 batch.sort_by_key(|r| r.tenant);
                 let mut ops: Vec<PendingOp> = Vec::new();
                 let mut op_tenants: Vec<usize> = Vec::new();
@@ -923,13 +1509,13 @@ fn run_committer(
                     op_staleness.resize(op_staleness.len() + drained.len(), report.staleness);
                     ops.extend(drained);
                 }
-                commit_epoch(ctx, &ops, &op_tenants, &op_staleness, out);
+                commit_epoch(self.ctx, &ops, &op_tenants, &op_staleness, out);
                 recorder.event(|| Event::ShardCommit {
                     shard: shard as u64,
                     epoch: epoch as u64,
                     ops: ops.len() as u64,
                 });
-                let reclaimed = ctx.sweep_shard(shard, epoch);
+                let reclaimed = self.ctx.sweep_shard(shard, epoch);
                 recorder.with(|m| m.sweep_reclaimed.add(reclaimed));
                 recorder.event(|| Event::TtlSweep {
                     shard: shard as u64,
@@ -937,15 +1523,63 @@ fn run_committer(
                     reclaimed,
                 });
                 for report in &batch {
-                    epoch_stats[epoch].push((report.tenant, report.hits, report.misses));
+                    self.epoch_stats[epoch].push((report.tenant, report.hits, report.misses));
                     out.summary.view_staleness.record(report.staleness);
                 }
-                shard_next[shard] = epoch + 1;
+                self.shard_next[shard] = epoch + 1;
+                if !self.retained.is_empty() {
+                    // Committed reports are durable; only uncommitted ones
+                    // need re-assembly after a restart.
+                    let tenant_shard = self.tenant_shard;
+                    self.retained
+                        .retain(|r| !(r.epoch == epoch && tenant_shard[r.tenant] == shard));
+                }
+                if let Some(domain) = self.domain {
+                    // Checkpoint at the commit boundary: the delta captures
+                    // exactly this commit (batch + sweep), because tenants
+                    // never mutate the shared store and no other commit of
+                    // this shard can run concurrently.
+                    let delta =
+                        self.ctx
+                            .shared
+                            .capture_shard_delta(shard, epoch, &mut self.cursors[shard]);
+                    recorder.with(|m| m.checkpoints.inc());
+                    recorder.event(|| Event::CheckpointSave {
+                        shard: shard as u64,
+                        epoch: epoch as u64,
+                        namespaces: delta.namespaces.len() as u64,
+                    });
+                    domain
+                        .store
+                        .lock()
+                        .expect("checkpoint store poisoned")
+                        .record(delta)
+                        .expect("commit order is chain order");
+                    if domain.injector.shard_loss(shard, epoch) {
+                        // Shard-level repository loss: wipe the shard and
+                        // warm re-seed it from the delta chain — before the
+                        // frontier advances, so no tenant can observe the
+                        // gap.
+                        domain.tallies.fault(&domain.tallies.shard_losses);
+                        recorder.with(|m| m.faults_injected.inc());
+                        let image = domain
+                            .store
+                            .lock()
+                            .expect("checkpoint store poisoned")
+                            .materialize(shard, epoch + 1)
+                            .expect("the delta chain always reaches its own head");
+                        self.ctx
+                            .shared
+                            .restore_shard(shard, &image)
+                            .expect("checkpoint images restore cleanly");
+                        recorder.with(|m| m.recoveries.inc());
+                    }
+                }
                 if recorder.is_enabled() {
                     // Frontier lag: how far this shard's frontier trails the
                     // fleet's most advanced shard after this commit.
-                    let lead = shard_next.iter().copied().max().unwrap_or(0);
-                    let lag = (lead - shard_next[shard]) as u64;
+                    let lead = self.shard_next.iter().copied().max().unwrap_or(0);
+                    let lag = (lead - self.shard_next[shard]) as u64;
                     recorder.with(|m| m.shard_lag.observe(shard, lag));
                     recorder.event(|| Event::FrontierAdvance {
                         shard: shard as u64,
@@ -956,48 +1590,165 @@ fn run_committer(
                 // Advancing after the sweep keeps `staleness = 0` exact: no
                 // tenant enters its shard's next epoch while that shard
                 // still moves.
-                on_release(frontiers.advance(shard, epoch + 1));
+                on_release(self.frontiers.advance(shard, epoch + 1));
             }
         }
-        // Fold fully committed epochs into the fleet-wide curve, in order.
-        while completed < epochs && shard_next.iter().all(|&next| next > completed) {
-            for &(tenant, hits, misses) in &epoch_stats[completed] {
-                cached[tenant] = (hits, misses);
-            }
-            let hits: u64 = cached.iter().map(|&(h, _)| h).sum();
-            let misses: u64 = cached.iter().map(|&(_, m)| m).sum();
-            out.hit_rate_curve.push(hit_rate(hits, misses));
-            recorder.observe(fold_started, |m| &m.epoch_ns);
-            fold_started = recorder.start();
-            recorder.event(|| Event::EpochCommit {
-                epoch: completed as u64,
-            });
-            completed += 1;
-        }
-        if completed >= epochs {
-            return;
-        }
-        let Ok(report) = rx.recv() else {
-            panic!("async transport lost epoch reports ({completed} of {epochs} epochs committed)");
-        };
-        assert!(
-            !report.aborted,
-            "tenant {} panicked mid-run; aborting the fleet",
-            report.tenant
-        );
-        let shard = tenant_shard[report.tenant];
-        if report.last {
-            // The tenant retired before its nominal window end: its shard's
-            // later epochs no longer wait for it.
-            let nominal_end = windows[report.tenant].1.min(epochs);
-            for slot in &mut expected[report.epoch + 1..nominal_end] {
-                slot[shard] -= 1;
-            }
-        }
-        received[report.epoch][shard] += 1;
-        pending[report.epoch][shard].push(report);
-        work.push(shard);
     }
+
+    /// An injected committer crash-and-failover: every piece of volatile
+    /// assembly state (expected counts, received counts, pending batches,
+    /// dedup bits) is discarded and rebuilt from the nominal windows, the
+    /// durable per-shard frontiers, the early-retirement/death ledgers, and
+    /// the retained (conceptually re-sent) reports. Committed state — the
+    /// shared store, the checkpoint chains, `shard_next` — survives, exactly
+    /// as a real failover inherits the durable log but not the assembler's
+    /// memory.
+    fn restart(&mut self, epoch: usize, domain: &FaultDomain<'_>, out: &mut TransportOutcome) {
+        let recorder = self.ctx.recorder();
+        domain.tallies.fault(&domain.tallies.committer_restarts);
+        recorder.with(|m| {
+            m.faults_injected.inc();
+            m.committer_restarts.inc();
+        });
+        recorder.event(|| Event::CommitterRestart {
+            epoch: epoch as u64,
+        });
+        let shards = self.shard_next.len();
+        for shard in 0..shards {
+            for e in self.shard_next[shard]..self.epochs {
+                self.received[e][shard] = 0;
+                self.pending[e][shard].clear();
+                self.expected[e][shard] = self.nominal[e][shard];
+            }
+        }
+        for tenant in 0..self.windows.len() {
+            let shard = self.tenant_shard[tenant];
+            let nominal_end = self.windows[tenant].1.min(self.epochs);
+            if let Some(last) = self.early_last[tenant] {
+                let lo = (last + 1).min(nominal_end);
+                for e in lo..nominal_end {
+                    if e >= self.shard_next[shard] {
+                        self.expected[e][shard] -= 1;
+                    }
+                }
+            }
+            if let Some(failed) = self.failed[tenant] {
+                let lo = failed.max(self.windows[tenant].0).min(nominal_end);
+                for e in lo..nominal_end {
+                    if e >= self.shard_next[shard] {
+                        self.expected[e][shard] -= 1;
+                    }
+                }
+            }
+            for e in self.shard_next[shard]..self.epochs {
+                self.enqueued[tenant][e] = false;
+            }
+        }
+        // Re-assemble from the retained pool — the reports tenants would
+        // re-send to a failover committer. `admit` re-retains each one, so a
+        // second restart can re-assemble again.
+        for report in std::mem::take(&mut self.retained) {
+            self.admit(report, out);
+        }
+        self.work.extend(0..shards);
+    }
+}
+
+/// Crashes a tenant mid-epoch and rebuilds it from the checkpoint chain: the
+/// tenant's in-memory state is lost with the crash, so recovery materializes
+/// its shard's image at the tenant's join epoch, replays every epoch up to
+/// the crash **deterministically** against a private clone advanced delta by
+/// delta (each replayed epoch reads exactly the repository state its
+/// original execution read — under `staleness = 0` this makes recovery
+/// bit-exact), then switches the rebuilt tenant's view back to the live
+/// shared repository. Replayed publishes are discarded: they were already
+/// committed the first time round, and the idempotent committer would drop
+/// re-sent ones anyway.
+///
+/// With `staleness > 0` tail deltas the committer has not captured yet may
+/// be missing; replay then reads a slightly older image — still within the
+/// transport's staleness bound, so no consistency guarantee weakens.
+///
+/// Returns the number of epochs replayed.
+fn crash_and_recover(
+    ctx: &FleetContext<'_>,
+    domain: &FaultDomain<'_>,
+    handle: &mut TenantHandle<'_>,
+    epoch: usize,
+) -> u64 {
+    let recorder = ctx.recorder();
+    let tenant = handle.index();
+    domain.tallies.fault(&domain.tallies.tenants_crashed);
+    recorder.with(|m| m.faults_injected.inc());
+    recorder.event(|| Event::TenantCrash {
+        tenant: tenant as u64,
+        epoch: epoch as u64,
+    });
+    let start = handle.start_epoch();
+    let shard = ctx.shard_of(handle.namespace());
+    let (base, deltas) = {
+        let store = domain.store.lock().expect("checkpoint store poisoned");
+        // With `staleness > 0` a free-running tenant can crash before the
+        // committer has committed (hence checkpointed) epochs up to its own
+        // window start; replay then begins from the newest image the chain
+        // can produce — still within the staleness bound. Under K = 0 the
+        // frontier gate keeps the chain complete through the crash epoch,
+        // so the clamp is a no-op and replay stays bit-exact.
+        let base_epoch = start.min(store.chain_end(shard));
+        let base = store
+            .materialize(shard, base_epoch)
+            .expect("compaction floors pin every crash-scheduled tenancy window");
+        let deltas: Vec<Option<DeltaSnapshot>> =
+            (start..epoch).map(|e| store.delta(shard, e).ok()).collect();
+        (base, deltas)
+    };
+    let replay_repo = Arc::new(
+        SharedSignatureRepository::from_snapshot(&base)
+            .expect("checkpoint images are valid snapshots"),
+    );
+    let mut run = (domain.respawn)(tenant, Arc::clone(&replay_repo));
+    let mut replayed = 0u64;
+    for (e, delta) in (start..epoch).zip(deltas) {
+        run.step_epoch(e, ctx.epoch_secs);
+        if run.first_reuse_epoch.is_none()
+            && e + 1 > run.start_epoch
+            && run.controller.stats().fleet_reuses > 0
+        {
+            run.first_reuse_epoch = Some(e + 1 - run.start_epoch);
+        }
+        if let Some(outbox) = &run.outbox {
+            // Replayed publishes were already committed the first time.
+            outbox.lock().expect("tenant outbox poisoned").clear();
+        }
+        if let Some(delta) = delta {
+            replay_repo
+                .apply_shard_delta(&delta)
+                .expect("replay follows the chain in epoch order");
+        }
+        replayed += 1;
+        recorder.with(|m| m.replayed_epochs.inc());
+    }
+    domain
+        .tallies
+        .replayed_epochs
+        .fetch_add(replayed, Ordering::Relaxed);
+    // Switch the rebuilt tenant from its private replay clone to the live
+    // shared repository; recovery guarantees the anchor state it resolved
+    // against matches what the live store holds (exactly, under K = 0).
+    run.controller
+        .store_mut()
+        .as_any_mut()
+        .and_then(|any| any.downcast_mut::<TenantRepoView>())
+        .expect("shared-mode tenants read through a TenantRepoView")
+        .retarget(Arc::clone(domain.shared_arc));
+    handle.replace(run);
+    recorder.with(|m| m.recoveries.inc());
+    recorder.event(|| Event::TenantRecover {
+        tenant: tenant as u64,
+        epoch: epoch as u64,
+        replayed,
+    });
+    replayed
 }
 
 /// The asynchronous bounded-staleness transport.
@@ -1039,6 +1790,8 @@ impl CommitTransport for BoundedStaleness {
             .map(|h| ctx.shard_of(h.namespace()))
             .collect();
         let frontiers = ShardFrontiers::new(ctx.shard_count(), self.staleness);
+        let domain = fault_domain(&ctx, &windows, &tenant_shard);
+        let domain_ref = domain.as_ref();
         let (tx, rx) = crossbeam_channel::unbounded::<EpochReport>();
         std::thread::scope(|scope| {
             for mut handle in handles {
@@ -1047,21 +1800,48 @@ impl CommitTransport for BoundedStaleness {
                 let ctx = &ctx;
                 let shard = tenant_shard[handle.index()];
                 scope.spawn(move || {
-                    // If this thread unwinds (a poisoned outbox, a panicking
-                    // service model), the guard tells the committer, which
-                    // poisons the frontiers and re-panics — the failure
-                    // surfaces instead of deadlocking the whole fleet.
+                    // If this thread unwinds (a poisoned frontier during
+                    // shutdown), the guard tells the committer, which
+                    // releases the tenant's future slots — the failure is
+                    // contained instead of deadlocking the whole fleet.
+                    let (start, end) = (handle.start_epoch(), handle.end_epoch());
                     let mut guard = AbortOnDrop {
                         tx: &tx,
                         tenant: handle.index(),
+                        epoch: start,
                         armed: true,
                     };
-                    let (start, end) = (handle.start_epoch(), handle.end_epoch());
+                    let crash_epoch =
+                        domain_ref.and_then(|d| d.injector.crash_epoch(handle.index(), start, end));
+                    let mut crashed = false;
                     for epoch in start..end {
+                        guard.epoch = epoch;
                         let staleness = frontiers.wait_within(shard, epoch);
-                        handle.step_epoch(epoch, ctx);
-                        handle.observe_reuse(epoch);
-                        let ops = handle.drain_outbox();
+                        // The whole epoch body runs under `catch_unwind`: a
+                        // panicking service model (or a poisoned outbox)
+                        // kills this tenant, not the fleet — the drop guard
+                        // reports the abort and the committer retires it.
+                        let stepped = catch_unwind(AssertUnwindSafe(|| {
+                            if !crashed && crash_epoch == Some(epoch) {
+                                crashed = true;
+                                // The doomed attempt: mid-epoch work that
+                                // dies with the crash, publishes and all.
+                                handle.step_epoch(epoch, ctx);
+                                let _ = handle.drain_outbox();
+                                crash_and_recover(
+                                    ctx,
+                                    domain_ref.expect("crash faults imply a fault domain"),
+                                    &mut handle,
+                                    epoch,
+                                );
+                            }
+                            handle.step_epoch(epoch, ctx);
+                            handle.observe_reuse(epoch);
+                            handle.drain_outbox()
+                        }));
+                        let Ok(ops) = stepped else {
+                            return; // the drop guard reports the abort
+                        };
                         let retiring = handle.retires_at(epoch);
                         if retiring {
                             handle.retire();
@@ -1081,6 +1861,7 @@ impl CommitTransport for BoundedStaleness {
                         if tx.send(report).is_err() || last {
                             break;
                         }
+                        guard.epoch = epoch + 1;
                     }
                     guard.disarm();
                 });
@@ -1095,17 +1876,25 @@ impl CommitTransport for BoundedStaleness {
                 doorbell: None,
                 armed: true,
             };
-            run_committer(
-                &ctx,
-                &rx,
-                &windows,
-                &tenant_shard,
-                &frontiers,
+            let inbox = match domain_ref {
+                Some(domain) if domain.injector.enabled() => Inbox::Faulty(FaultyInbox::new(
+                    &rx,
+                    domain.injector,
+                    &domain.tallies,
+                    ctx.recorder(),
+                )),
+                _ => Inbox::Plain(&rx),
+            };
+            Committer::new(&ctx, &windows, &tenant_shard, &frontiers, domain_ref).run(
+                inbox,
                 &mut out,
-                |_released| {},
+                &mut |_released| {},
             );
             poison_guard.armed = false;
         });
+        if let Some(domain) = domain {
+            out.faults = Some(summarize_faults(domain));
+        }
         out
     }
 }
@@ -1117,6 +1906,9 @@ impl CommitTransport for BoundedStaleness {
 struct TenantTask<'a> {
     handle: TenantHandle<'a>,
     next_epoch: usize,
+    /// Whether this tenant's scheduled crash already fired (the re-executed
+    /// crash epoch must not re-trigger it).
+    crashed: bool,
 }
 
 /// Everything a pool worker shares with its peers and the committer.
@@ -1132,6 +1924,8 @@ struct StealPool<'a, 'h> {
     /// Tenants that have not sent their `last` report yet; the pool drains
     /// when it reaches zero.
     remaining: &'a AtomicUsize,
+    /// The drive's fault/recovery domain, when configured.
+    domain: Option<&'a FaultDomain<'h>>,
 }
 
 impl<'h> StealPool<'_, 'h> {
@@ -1224,17 +2018,44 @@ impl<'h> StealPool<'_, 'h> {
             .expect("tenant slot poisoned")
             .take()
             .expect("admitted tenant missing from its slot");
-        // If this worker unwinds mid-epoch (a panicking service model), the
-        // guard tells the committer, which poisons the frontiers — the
-        // failure surfaces instead of deadlocking the pool.
+        // A panicking tenant (service model or poisoned outbox) must kill
+        // only itself, never the pool: the epoch body runs under
+        // `catch_unwind`, the guard reports the abort to the committer
+        // (which retires the tenant and releases its slots), and this
+        // worker — not the dead tenant — keeps the drain accounting right.
         let mut guard = AbortOnDrop {
             tx,
             tenant,
+            epoch,
             armed: true,
         };
-        task.handle.step_epoch(epoch, self.ctx);
-        task.handle.observe_reuse(epoch);
-        let ops = task.handle.drain_outbox();
+        let stepped = catch_unwind(AssertUnwindSafe(|| {
+            if !task.crashed {
+                if let Some(domain) = self.domain {
+                    let (start, end) = self.windows[tenant];
+                    if domain.injector.crash_epoch(tenant, start, end) == Some(epoch) {
+                        task.crashed = true;
+                        // The doomed attempt: mid-epoch work that dies with
+                        // the crash, publishes and all.
+                        task.handle.step_epoch(epoch, self.ctx);
+                        let _ = task.handle.drain_outbox();
+                        crash_and_recover(self.ctx, domain, &mut task.handle, epoch);
+                    }
+                }
+            }
+            task.handle.step_epoch(epoch, self.ctx);
+            task.handle.observe_reuse(epoch);
+            task.handle.drain_outbox()
+        }));
+        let Ok(ops) = stepped else {
+            // Send the abort notice now, then retire this tenant from the
+            // pool's drain accounting so idle workers can still exit.
+            drop(guard);
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.doorbell.ring();
+            }
+            return;
+        };
         let retiring = task.handle.retires_at(epoch);
         if retiring {
             task.handle.retire();
@@ -1325,6 +2146,8 @@ impl CommitTransport for WorkStealing {
             .collect();
         let threads = self.threads.clamp(1, tenant_count);
         let frontiers = ShardFrontiers::new(ctx.shard_count(), self.staleness);
+        let domain = fault_domain(&ctx, &windows, &tenant_shard);
+        let domain_ref = domain.as_ref();
         let injector = Injector::new();
         let doorbell = Doorbell::default();
         let mut active = 0usize;
@@ -1338,6 +2161,7 @@ impl CommitTransport for WorkStealing {
                 let task = (start < end).then_some(TenantTask {
                     handle,
                     next_epoch: start,
+                    crashed: false,
                 });
                 if task.is_some() {
                     active += 1;
@@ -1363,6 +2187,7 @@ impl CommitTransport for WorkStealing {
                     windows: &windows,
                     tenant_shard: &tenant_shard,
                     remaining: &remaining,
+                    domain: domain_ref,
                 };
                 scope.spawn(move || pool.run_worker(worker, &local, &tx));
             }
@@ -1376,14 +2201,19 @@ impl CommitTransport for WorkStealing {
                 doorbell: Some(&doorbell),
                 armed: true,
             };
-            run_committer(
-                &ctx,
-                &rx,
-                &windows,
-                &tenant_shard,
-                &frontiers,
+            let inbox = match domain_ref {
+                Some(domain) if domain.injector.enabled() => Inbox::Faulty(FaultyInbox::new(
+                    &rx,
+                    domain.injector,
+                    &domain.tallies,
+                    ctx.recorder(),
+                )),
+                _ => Inbox::Plain(&rx),
+            };
+            Committer::new(&ctx, &windows, &tenant_shard, &frontiers, domain_ref).run(
+                inbox,
                 &mut out,
-                |released| {
+                &mut |released| {
                     // An empty release set means no tenant became runnable
                     // (the frontier mutex orders park vs advance), so idle
                     // workers have nothing to find — don't wake them.
@@ -1398,6 +2228,9 @@ impl CommitTransport for WorkStealing {
             );
             poison_guard.armed = false;
         });
+        if let Some(domain) = domain {
+            out.faults = Some(summarize_faults(domain));
+        }
         out
     }
 }
@@ -1464,6 +2297,29 @@ mod tests {
         for valid in ["'bsp'", "'async'", "'steal'"] {
             assert!(err.contains(valid), "{err} should list {valid}");
         }
+    }
+
+    #[test]
+    fn fault_injection_is_rejected_on_bsp_and_accepted_on_async_backends() {
+        let spec = FaultSpec::parse("7:crash,drop").expect("valid spec");
+        assert_eq!(
+            TransportConfig::Bsp.check_faults(&spec),
+            Err(FaultSpecError::BackendUnsupported {
+                backend: "bsp".to_string()
+            })
+        );
+        assert_eq!(
+            TransportConfig::BoundedStaleness { staleness: 0 }.check_faults(&spec),
+            Ok(())
+        );
+        assert_eq!(
+            TransportConfig::WorkStealing {
+                threads: 2,
+                staleness: 1
+            }
+            .check_faults(&spec),
+            Ok(())
+        );
     }
 
     #[test]

@@ -370,6 +370,21 @@ pub struct Metrics {
     pub epoch_ns: LogHistogram,
     /// Wall time of the final parallel tenant finalization (ns).
     pub finalize_ns: Gauge,
+
+    // --- fault injection & recovery ---
+    /// Faults injected by the fault plan, all kinds combined.
+    pub faults_injected: Counter,
+    /// Recoveries completed: tenant restarts, committer restarts and shard
+    /// re-seeds that brought the fleet back to a converging state.
+    pub recoveries: Counter,
+    /// Epochs deterministically replayed while restarting crashed tenants.
+    pub replayed_epochs: Counter,
+    /// Epoch reports re-delivered after a drop fault or committer restart.
+    pub retransmits: Counter,
+    /// Committer kill/restart cycles.
+    pub committer_restarts: Counter,
+    /// Incremental delta checkpoints captured at commit boundaries.
+    pub checkpoints: Counter,
 }
 
 const DEFAULT_EVENT_CAPACITY: usize = 4096;
@@ -445,6 +460,46 @@ pub enum Event {
         /// Serialized size in bytes.
         bytes: u64,
     },
+    /// A tenant crashed mid-epoch (injected or organic panic).
+    TenantCrash {
+        /// Tenant index.
+        tenant: u64,
+        /// The epoch the tenant was computing when it crashed.
+        epoch: u64,
+    },
+    /// A crashed tenant was restarted from its checkpoint and replayed back
+    /// to the crash epoch.
+    TenantRecover {
+        /// Tenant index.
+        tenant: u64,
+        /// The epoch the tenant resumed at.
+        epoch: u64,
+        /// Epochs deterministically replayed from the checkpoint.
+        replayed: u64,
+    },
+    /// The committer was killed and restarted; retained un-acked reports
+    /// were re-delivered to rebuild its volatile assembly state.
+    CommitterRestart {
+        /// The epoch frontier low-water mark at restart time.
+        epoch: u64,
+    },
+    /// An epoch report was re-delivered (after a drop fault or a committer
+    /// restart).
+    ReportRetransmit {
+        /// Tenant index.
+        tenant: u64,
+        /// Epoch the report covers.
+        epoch: u64,
+    },
+    /// An incremental delta checkpoint was captured at a commit boundary.
+    CheckpointSave {
+        /// Shard index.
+        shard: u64,
+        /// Epoch the delta covers.
+        epoch: u64,
+        /// Namespaces the delta carries (changed since the last capture).
+        namespaces: u64,
+    },
 }
 
 impl Event {
@@ -461,6 +516,11 @@ impl Event {
             Event::WorkerWake { .. } => "worker_wake",
             Event::SnapshotSave { .. } => "snapshot_save",
             Event::SnapshotLoad { .. } => "snapshot_load",
+            Event::TenantCrash { .. } => "tenant_crash",
+            Event::TenantRecover { .. } => "tenant_recover",
+            Event::CommitterRestart { .. } => "committer_restart",
+            Event::ReportRetransmit { .. } => "report_retransmit",
+            Event::CheckpointSave { .. } => "checkpoint_save",
         }
     }
 
@@ -487,6 +547,23 @@ impl Event {
             Event::WorkerWake { worker } => format!("worker_wake worker={worker}"),
             Event::SnapshotSave { bytes } => format!("snapshot_save bytes={bytes}"),
             Event::SnapshotLoad { bytes } => format!("snapshot_load bytes={bytes}"),
+            Event::TenantCrash { tenant, epoch } => {
+                format!("tenant_crash tenant={tenant} epoch={epoch}")
+            }
+            Event::TenantRecover {
+                tenant,
+                epoch,
+                replayed,
+            } => format!("tenant_recover tenant={tenant} epoch={epoch} replayed={replayed}"),
+            Event::CommitterRestart { epoch } => format!("committer_restart epoch={epoch}"),
+            Event::ReportRetransmit { tenant, epoch } => {
+                format!("report_retransmit tenant={tenant} epoch={epoch}")
+            }
+            Event::CheckpointSave {
+                shard,
+                epoch,
+                namespaces,
+            } => format!("checkpoint_save shard={shard} epoch={epoch} namespaces={namespaces}"),
         }
     }
 }

@@ -73,7 +73,9 @@ pub struct ObsReport {
 /// Counters whose values depend on thread scheduling, not the simulation.
 const SCHEDULING_COUNTERS: [&str; 3] = ["parks", "steals", "wakes"];
 
-/// Event kinds whose counts are simulation-determined under BSP.
+/// Event kinds whose counts are simulation-determined under BSP. Fault and
+/// recovery kinds are excluded: they only occur on the async transports,
+/// where the stable rendering makes no bit-stability promise.
 const STABLE_EVENT_KINDS: [&str; 6] = [
     "epoch_begin",
     "epoch_commit",
@@ -86,9 +88,18 @@ const STABLE_EVENT_KINDS: [&str; 6] = [
 impl ObsReport {
     pub(crate) fn build(metrics: &Metrics, events: Vec<Event>, dropped: u64) -> Self {
         let counters = vec![
+            ("checkpoints".to_string(), metrics.checkpoints.get()),
+            (
+                "committer_restarts".to_string(),
+                metrics.committer_restarts.get(),
+            ),
+            ("faults_injected".to_string(), metrics.faults_injected.get()),
             ("memo_hits".to_string(), metrics.memo_hits.get()),
             ("memo_misses".to_string(), metrics.memo_misses.get()),
             ("parks".to_string(), metrics.parks.get()),
+            ("recoveries".to_string(), metrics.recoveries.get()),
+            ("replayed_epochs".to_string(), metrics.replayed_epochs.get()),
+            ("retransmits".to_string(), metrics.retransmits.get()),
             ("steals".to_string(), metrics.steals.get()),
             ("sweep_reclaimed".to_string(), metrics.sweep_reclaimed.get()),
             ("wakes".to_string(), metrics.wakes.get()),
