@@ -22,6 +22,9 @@
 //! cargo run -p dejavu-experiments --release -- fleet --snapshot-out fleet.snap --snapshot-compact
 //! # flight recorder: lookup latency quantiles, frontier lag, park/steal rates:
 //! cargo run -p dejavu-experiments --release -- fleet --obs --obs-out fleet-obs.json
+//! # drive the shared fleet against a dejavu-serve daemon over the wire:
+//! cargo run -p dejavu-serve --release -- --listen 127.0.0.1:7117 &
+//! cargo run -p dejavu-experiments --release -- fleet --repo remote:127.0.0.1:7117
 //! ```
 //!
 //! With `--snapshot-in` the report carries the newcomer-convergence numbers
@@ -36,9 +39,10 @@
 use crate::report::{pct, Report};
 use dejavu_fleet::{
     churn_fleet, standard_fleet, FaultSpec, FleetConfig, FleetEngine, FleetReport,
-    SharedSignatureRepository, SharingMode, TransportConfig,
+    RepositoryClient, ShardStats, SharedSignatureRepository, SharingMode, TransportConfig,
 };
 use dejavu_obs::{Event, ObsReport, Recorder};
+use dejavu_serve::RemoteRepository;
 use std::sync::Arc;
 
 /// Options of one `fleet` experiment invocation.
@@ -78,6 +82,12 @@ pub struct FleetOptions {
     /// (`--checkpoint-every N`; 0 keeps every delta). Only meaningful with
     /// an async transport; recording itself is always on during fault runs.
     pub checkpoint_every: usize,
+    /// Drive the shared fleet against a `dejavu-serve` daemon at this TCP
+    /// address instead of an in-process repository (`--repo
+    /// remote[:ADDR]`). At staleness 0 the report is bit-identical to the
+    /// local run; snapshot files and fault injection live with the serving
+    /// process, so requesting them here is an error.
+    pub repo_remote: Option<String>,
 }
 
 /// Result of the fleet comparison.
@@ -247,32 +257,59 @@ pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::
     shared_config.faults = opts.faults;
     shared_config.checkpoint_every = opts.checkpoint_every;
     let engine = FleetEngine::new(scenario.clone(), shared_config);
-    let repo = match &opts.snapshot_in {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)?;
-            let loaded = SharedSignatureRepository::load_snapshot(&text)?;
-            recorder.event(|| Event::SnapshotLoad {
-                bytes: text.len() as u64,
-            });
-            loaded
+    let (shared, shard_stats): (FleetReport, Vec<ShardStats>) = match &opts.repo_remote {
+        Some(addr) => {
+            // Snapshot files and fault schedules belong to the process that
+            // owns the repository; over the wire they would silently no-op,
+            // so reject them loudly instead.
+            if opts.snapshot_in.is_some() || opts.snapshot_out.is_some() {
+                return Err("--repo remote cannot read or write snapshot files; \
+                     snapshot on the serving side (dejavu-serve --snapshot-in)"
+                    .into());
+            }
+            if opts.faults.is_some() {
+                return Err("--repo remote cannot inject faults: crash recovery is the \
+                     serving process's business, not its clients'"
+                    .into());
+            }
+            let client: Arc<dyn RepositoryClient> =
+                Arc::new(RemoteRepository::connect_tcp(addr, 0)?);
+            let shared = engine.run_on_client(Arc::clone(&client));
+            let shard_stats = client.shard_stats();
+            (shared, shard_stats)
         }
-        None => SharedSignatureRepository::new(engine.config().repo.clone()),
+        None => {
+            let repo = match &opts.snapshot_in {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)?;
+                    let loaded = SharedSignatureRepository::load_snapshot(&text)?;
+                    recorder.event(|| Event::SnapshotLoad {
+                        bytes: text.len() as u64,
+                    });
+                    loaded
+                }
+                None => SharedSignatureRepository::new(engine.config().repo.clone()),
+            };
+            let repo = Arc::new(repo.with_recorder(recorder.clone()));
+            let shared = engine.run_on(Arc::clone(&repo));
+            if let Some(path) = &opts.snapshot_out {
+                let text = if opts.snapshot_compact {
+                    repo.save_snapshot_compact()
+                } else {
+                    repo.save_snapshot()
+                };
+                std::fs::write(path, text)?;
+            }
+            let shard_stats = repo.shard_stats();
+            (shared, shard_stats)
+        }
     };
-    let repo = Arc::new(repo.with_recorder(recorder.clone()));
-    let shared = engine.run_on(Arc::clone(&repo));
-    if let Some(path) = &opts.snapshot_out {
-        let text = if opts.snapshot_compact {
-            repo.save_snapshot_compact()
-        } else {
-            repo.save_snapshot()
-        };
-        std::fs::write(path, text)?;
-    }
 
     // Fold the store's per-shard hit/miss/evict counters into the obs report
-    // alongside the recorder's own metrics.
+    // alongside the recorder's own metrics (fetched over the wire for remote
+    // runs — the statistics live with the serving process).
     let obs = recorder.report().map(|mut report| {
-        for (shard, stats) in repo.shard_stats().iter().enumerate() {
+        for (shard, stats) in shard_stats.iter().enumerate() {
             report.push_counter(&format!("shard{shard}.hits"), stats.hits);
             report.push_counter(&format!("shard{shard}.misses"), stats.misses);
             report.push_counter(&format!("shard{shard}.evictions"), stats.evictions);
@@ -566,6 +603,54 @@ mod tests {
         assert!(warm.shared.warm_start);
         std::fs::remove_file(&full_path).ok();
         std::fs::remove_file(&compact_path).ok();
+    }
+
+    #[test]
+    fn remote_repo_runs_bit_match_local_runs_and_reject_local_only_options() {
+        use dejavu_fleet::SharedRepoConfig;
+        let base = FleetOptions {
+            seed: 3,
+            tenants: 6,
+            days: 1,
+            ..Default::default()
+        };
+        let local = run_opts(&base).expect("local run");
+
+        let handle = dejavu_serve::serve_tcp(
+            Arc::new(SharedSignatureRepository::new(SharedRepoConfig::default())),
+            "127.0.0.1:0",
+            dejavu_serve::ServeConfig::default(),
+        )
+        .expect("server binds");
+        let addr = handle.tcp_addr().expect("tcp server").to_string();
+        let remote = run_opts(&FleetOptions {
+            repo_remote: Some(addr.clone()),
+            ..base.clone()
+        })
+        .expect("remote run");
+        assert_eq!(
+            format!("{:?}", local.shared),
+            format!("{:?}", remote.shared),
+            "the wire run diverged from the in-process run"
+        );
+
+        // Local-only options are rejected loudly, not silently no-oped.
+        let err = run_opts(&FleetOptions {
+            repo_remote: Some(addr.clone()),
+            snapshot_out: Some("unused.snap".into()),
+            ..base.clone()
+        })
+        .expect_err("snapshots over the wire");
+        assert!(err.to_string().contains("serving side"), "{err}");
+        let err = run_opts(&FleetOptions {
+            repo_remote: Some(addr),
+            transport: TransportConfig::BoundedStaleness { staleness: 0 },
+            faults: Some(FaultSpec::parse("42").expect("valid spec")),
+            ..base
+        })
+        .expect_err("faults over the wire");
+        assert!(err.to_string().contains("serving process"), "{err}");
+        handle.stop();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! cargo run -p dejavu-experiments --release -- fleet --transport steal --threads 4 --staleness 1
 //! cargo run -p dejavu-experiments --release -- fleet --obs --obs-out fleet-obs.json
 //! cargo run -p dejavu-experiments --release -- fleet --transport async --faults 42 --checkpoint-every 8
+//! cargo run -p dejavu-experiments --release -- fleet --repo remote:127.0.0.1:7117
 //! ```
 
 use dejavu_fleet::{FaultSpec, TransportConfig};
@@ -110,6 +111,20 @@ fn main() {
                 fleet_opts.snapshot_in = Some(path);
             } else {
                 fleet_opts.snapshot_out = Some(path);
+            }
+        } else if arg == "--repo" {
+            // `--repo local` (the default), `--repo remote` (the daemon's
+            // default port) or `--repo remote:HOST:PORT`.
+            match it.next().map(String::as_str) {
+                Some("local") => fleet_opts.repo_remote = None,
+                Some("remote") => fleet_opts.repo_remote = Some("127.0.0.1:7117".to_string()),
+                Some(v) if v.starts_with("remote:") => {
+                    fleet_opts.repo_remote = Some(v["remote:".len()..].to_string());
+                }
+                _ => {
+                    eprintln!("--repo needs 'local', 'remote' or 'remote:HOST:PORT'");
+                    std::process::exit(2);
+                }
             }
         } else if arg == "--churn" {
             fleet_opts.churn = true;

@@ -52,6 +52,7 @@
 //! which is how warm-start convergence is measured against cold starts.
 
 use crate::faults::{FaultInjector, FaultSpec};
+use crate::repo_client::RepositoryClient;
 use crate::report::{FleetReport, SharedRepoSnapshot, TenantOutcome};
 use crate::scenario::Scenario;
 use crate::shared_repo::{SharedRepoConfig, SharedSignatureRepository};
@@ -202,6 +203,16 @@ impl FleetEngine {
         self.run_on_with(shared, self.config.transport.backend().as_ref())
     }
 
+    /// Runs the fleet through any [`RepositoryClient`] — the entry point
+    /// `dejavu-serve`'s wire client uses to drive a fleet against a
+    /// repository living in another process. Works over every transport;
+    /// fault injection and checkpointing need the in-process repository's
+    /// snapshot/restore surface, so they stay inert here (crash recovery is
+    /// the serving process's business, not its clients').
+    pub fn run_on_client(&self, client: Arc<dyn RepositoryClient>) -> FleetReport {
+        self.run_on_inner(client, None, self.config.transport.backend().as_ref(), None)
+    }
+
     /// [`run_on`](Self::run_on) over an explicit transport — the extension
     /// point for consistency models beyond the built-in pair: implement
     /// [`CommitTransport`] and hand it in here.
@@ -210,7 +221,7 @@ impl FleetEngine {
         shared: Arc<SharedSignatureRepository>,
         transport: &dyn CommitTransport,
     ) -> FleetReport {
-        self.run_on_inner(shared, transport, None)
+        self.run_on_inner(Arc::clone(&shared) as _, Some(&shared), transport, None)
     }
 
     /// Test seam: runs the fleet but lets the caller tamper with the
@@ -224,12 +235,18 @@ impl FleetEngine {
         transport: &dyn CommitTransport,
         tamper: &TamperFn,
     ) -> FleetReport {
-        self.run_on_inner(shared, transport, Some(tamper))
+        self.run_on_inner(
+            Arc::clone(&shared) as _,
+            Some(&shared),
+            transport,
+            Some(tamper),
+        )
     }
 
     fn run_on_inner(
         &self,
-        shared: Arc<SharedSignatureRepository>,
+        shared: Arc<dyn RepositoryClient>,
+        concrete: Option<&Arc<SharedSignatureRepository>>,
         transport: &dyn CommitTransport,
         tamper: Option<&TamperFn>,
     ) -> FleetReport {
@@ -256,7 +273,8 @@ impl FleetEngine {
         // original build above — so replaying the same epochs reproduces the
         // pre-crash state bit for bit.
         let respawn_closure = |index: usize, repo: Arc<SharedSignatureRepository>| -> TenantRun {
-            self.build_run(index, Some(&repo), origin_secs)
+            let replay: Arc<dyn RepositoryClient> = repo;
+            self.build_run(index, Some(&replay), origin_secs)
         };
         let respawn: Option<&RespawnFn<'_>> = match self.config.sharing {
             SharingMode::Shared => Some(&respawn_closure),
@@ -268,6 +286,7 @@ impl FleetEngine {
             let mut harness = FleetHarness {
                 runs: &mut runs,
                 shared: &shared,
+                concrete,
                 epochs,
                 epoch_secs,
                 origin_secs,
@@ -316,7 +335,7 @@ impl FleetEngine {
     pub(crate) fn build_run(
         &self,
         index: usize,
-        shared: Option<&Arc<SharedSignatureRepository>>,
+        shared: Option<&Arc<dyn RepositoryClient>>,
         origin_secs: f64,
     ) -> TenantRun {
         let epoch_secs = self.scenario.epoch.as_secs();

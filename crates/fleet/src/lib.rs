@@ -49,6 +49,7 @@
 pub mod engine;
 pub mod faults;
 pub mod fleet_engine;
+pub mod repo_client;
 pub mod report;
 pub mod scenario;
 pub mod shared_repo;
@@ -59,6 +60,7 @@ pub mod transport;
 pub use engine::{RunConfig, RunResult, RunState, SimulationEngine};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultSpecError};
 pub use fleet_engine::{FleetConfig, FleetEngine, SharingMode};
+pub use repo_client::RepositoryClient;
 pub use report::{FleetReport, SharedRepoSnapshot, TenantOutcome};
 pub use scenario::{
     churn_fleet, standard_fleet, EpochWindow, Scenario, ScenarioBuilder, ServiceSpec, SpaceKind,
@@ -66,7 +68,7 @@ pub use scenario::{
 };
 pub use shared_repo::{
     namespace_for, shard_of_namespace, DeltaCursor, PendingOp, ResolveMemo, ShardStats,
-    SharedRepoConfig, SharedSignatureRepository, TenantId,
+    SharedEntry, SharedRepoConfig, SharedSignatureRepository, TenantId,
 };
 pub use snapshot::{
     CheckpointStore, DeltaSnapshot, RepoSnapshot, SnapshotError, DELTA_SNAPSHOT_VERSION,

@@ -249,11 +249,12 @@ impl FleetReport {
             push(
                 &mut out,
                 format!(
-                    "    committer restarts {}  shard losses {}  checkpoints {} ({} compactions)",
+                    "    committer restarts {}  shard losses {}  checkpoints {} ({} compactions, chain peak {})",
                     faults.committer_restarts,
                     faults.shard_losses,
                     faults.checkpoints,
                     faults.compactions,
+                    faults.chain_peak,
                 ),
             );
         }

@@ -26,12 +26,19 @@
 //!   as the partial sum exceeds the tolerance bound. Results — including the
 //!   lowest-id tie-break — are bit-identical to a brute-force linear scan
 //!   (property-tested in `tests/properties.rs`).
-//! * **Read-only read path.** Hit/miss/reuse counters are relaxed atomics
-//!   ([`ShardCounters`]), so [`SharedSignatureRepository::lookup`] and
-//!   [`SharedSignatureRepository::peek`] take only the shard **read** lock;
-//!   readers never serialize behind each other. Stale entries found by a
-//!   lookup are counted as misses but left in place — eviction is deferred to
-//!   the epoch TTL sweep ([`SharedSignatureRepository::evict_stale`]).
+//! * **Wait-free read path.** Every write path republishes the shard's
+//!   namespace map (copy-on-write `Arc`s per namespace) into a
+//!   pin-protected [`SnapCell`] before releasing the shard write lock, and
+//!   [`SharedSignatureRepository::lookup`] / `peek` resolve against that
+//!   published snapshot without taking the lock at all — readers never
+//!   block behind the committer's `apply_batch`/TTL-sweep write locks, or
+//!   each other. Hit/miss/reuse counters are relaxed atomics
+//!   ([`ShardCounters`], and per-entry counters shared across snapshot
+//!   generations), so read-side accounting lands in the same counters the
+//!   write path owns. Stale entries found by a lookup are counted as misses
+//!   but left in place — eviction is deferred to the epoch TTL sweep
+//!   ([`SharedSignatureRepository::evict_stale`]), which skips shards whose
+//!   earliest-expiry watermark proves nothing can be stale yet.
 //! * **Batched commits.** The commit path is **transport-driven**: whichever
 //!   [`crate::transport`] backend coordinates the fleet applies an epoch's
 //!   buffered operations through [`SharedSignatureRepository::apply_batch`],
@@ -58,8 +65,9 @@ use dejavu_core::FlatMap;
 use dejavu_obs::{Counter, Event, Recorder};
 use dejavu_simcore::{SimDuration, SimTime};
 use dejavu_traces::{RequestMix, ServiceKind};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::RwLock;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed, Ordering::SeqCst};
+use std::sync::{Arc, RwLock};
 
 /// Identifies a tenant within one fleet run.
 pub type TenantId = usize;
@@ -103,14 +111,31 @@ pub struct SharedEntry {
 }
 
 /// The stored form of an entry: reuse counters are relaxed atomics so the
-/// read path can account hits under the shard read lock.
+/// wait-free read path can account hits against a published snapshot. The
+/// counters sit behind `Arc`s that copy-on-write namespace clones **share**,
+/// so a hit recorded through an older published generation lands in the same
+/// counter the next capture reads — exactly as when there was one copy.
 #[derive(Debug)]
 struct StoredEntry {
     allocation: ResourceAllocation,
     tuned_at: SimTime,
     owner: TenantId,
-    hits: AtomicU64,
-    cross_tenant_hits: AtomicU64,
+    hits: Arc<AtomicU64>,
+    cross_tenant_hits: Arc<AtomicU64>,
+}
+
+impl Clone for StoredEntry {
+    fn clone(&self) -> Self {
+        StoredEntry {
+            allocation: self.allocation,
+            tuned_at: self.tuned_at,
+            owner: self.owner,
+            // Shared, not copied: all generations of an entry are one
+            // logical counter.
+            hits: Arc::clone(&self.hits),
+            cross_tenant_hits: Arc::clone(&self.cross_tenant_hits),
+        }
+    }
 }
 
 impl StoredEntry {
@@ -203,7 +228,7 @@ impl ShardCounters {
 /// A write buffered by a tenant view during an epoch, applied at the epoch
 /// barrier in tenant order so fleet runs are deterministic regardless of how
 /// worker threads interleave.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PendingOp {
     /// Publish a tuning decision to the fleet.
     Publish {
@@ -337,7 +362,7 @@ struct BallNode {
 /// linear scan, which the early-exit distance keeps cheap. Anchors added
 /// since the last (deterministic, growth-triggered) rebuild are scanned
 /// linearly as a tail.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct AnchorSet {
     /// Signature length of the indexed anchors (fixed by the first anchor).
     dims: usize,
@@ -987,7 +1012,7 @@ impl ResolveMemo {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct NamespaceState {
     anchors: AnchorSet,
     entries: FlatMap<EntryKey, StoredEntry>,
@@ -1010,7 +1035,12 @@ impl NamespaceState {
 
 #[derive(Debug, Default)]
 struct ShardState {
-    namespaces: FlatMap<u64, NamespaceState>,
+    /// Namespaces are held through `Arc`s so publishing a read snapshot is
+    /// one map-of-pointers clone; write paths mutate through
+    /// [`Arc::make_mut`], cloning a namespace only when the published
+    /// generation still references it (at most once per namespace per
+    /// publish interval).
+    namespaces: FlatMap<u64, Arc<NamespaceState>>,
     /// Monotone mutation stamp source for delta capture: bumped on every
     /// namespace mutation under the write lock and **never reset** — not
     /// even when a lost shard is wiped and re-seeded — so a namespace
@@ -1019,10 +1049,138 @@ struct ShardState {
     mutation_clock: u64,
 }
 
-#[derive(Debug, Default)]
+/// A wait-free single-writer snapshot cell: readers run against the most
+/// recently published value without ever blocking; writers (serialized
+/// externally, by the shard write lock) publish a new value and wait only
+/// for stragglers still pinning the slot being recycled.
+///
+/// Two slots alternate as the active value. A reader pins the active slot
+/// (increments its pin count), re-checks that the slot is still the active
+/// one (a publish may have raced the pin), reads through the pin, and
+/// unpins. A writer stages the new value into the *inactive* slot —
+/// spinning until readers still pinning it drain — then flips `active`.
+/// All the cell's atomics are sequentially consistent, which closes the
+/// classic recycling race: for a reader's re-check to pass, the flip that
+/// activated the slot must be ordered before it, so the staging write is
+/// visible in full; and once the reader's pin is visible, the writer will
+/// not restage that slot until the pin drops.
+///
+/// Readers retry only when a publish flips slots between their load and
+/// pin — publishes are commit-grained, so the read path is wait-free in
+/// practice and never takes a lock. The writer may briefly spin on a
+/// reader's pin, which is the right side of the bargain for a read-mostly
+/// store.
+struct SnapCell<T> {
+    active: AtomicUsize,
+    pins: [AtomicUsize; 2],
+    slots: [UnsafeCell<Arc<T>>; 2],
+}
+
+// Readers on any thread dereference a slot's Arc under a pin; the writer
+// only restages a slot that is inactive and unpinned.
+unsafe impl<T: Send + Sync> Send for SnapCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SnapCell<T> {}
+
+impl<T> SnapCell<T> {
+    fn new(initial: Arc<T>) -> Self {
+        SnapCell {
+            active: AtomicUsize::new(0),
+            pins: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            slots: [
+                UnsafeCell::new(Arc::clone(&initial)),
+                UnsafeCell::new(initial),
+            ],
+        }
+    }
+
+    /// Runs `f` against the current published value without blocking.
+    fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let mut f = Some(f);
+        loop {
+            let idx = self.active.load(SeqCst);
+            self.pins[idx].fetch_add(1, SeqCst);
+            if self.active.load(SeqCst) == idx {
+                // Pinned while active: the writer recycles a slot only
+                // after observing zero pins, so the value stays intact for
+                // the duration of `f`.
+                let value = unsafe { &*self.slots[idx].get() };
+                let out = (f.take().expect("at most one success"))(value);
+                self.pins[idx].fetch_sub(1, SeqCst);
+                return out;
+            }
+            // A publish flipped slots between the load and the pin; undo
+            // the pin and retry against the new active slot.
+            self.pins[idx].fetch_sub(1, SeqCst);
+        }
+    }
+
+    /// Publishes `value` as the new active snapshot. Callers must be
+    /// serialized (the shard write lock); waits for readers still pinning
+    /// the slot being recycled.
+    fn publish(&self, value: Arc<T>) {
+        let next = 1 - self.active.load(SeqCst);
+        while self.pins[next].load(SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        unsafe {
+            *self.slots[next].get() = value;
+        }
+        self.active.store(next, SeqCst);
+    }
+}
+
+impl<T> std::fmt::Debug for SnapCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapCell").finish_non_exhaustive()
+    }
+}
+
+/// The published, read-side image of one shard: its namespace map at the
+/// last write-path publish.
+type ReadSnapshot = FlatMap<u64, Arc<NamespaceState>>;
+
+#[derive(Debug)]
 struct Shard {
     state: RwLock<ShardState>,
     counters: ShardCounters,
+    /// The wait-free read image; republished under the write lock at the
+    /// end of every write path, so outside a writer's critical section it
+    /// is always identical to `state.namespaces`.
+    published: SnapCell<ReadSnapshot>,
+    /// Earliest `tuned_at` any live entry of this shard may have (IEEE bits
+    /// of a non-negative `f64`; `+inf` = provably empty). A conservative
+    /// lower bound maintained by `fetch_min` on writes and recomputed
+    /// exactly by sweeps: the TTL sweep skips the shard's write lock
+    /// entirely while `now - watermark ≤ ttl`, since no entry can be stale.
+    earliest_tuned: AtomicU64,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard {
+            state: RwLock::new(ShardState::default()),
+            counters: ShardCounters::default(),
+            published: SnapCell::new(Arc::new(FlatMap::new())),
+            earliest_tuned: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+}
+
+impl Shard {
+    /// Republishes the shard's namespace map to the wait-free read cell.
+    /// Must be called with the shard write lock held — writers are the
+    /// cell's only publishers and the lock serializes them.
+    fn publish(&self, state: &ShardState) {
+        self.published.publish(Arc::new(state.namespaces.clone()));
+    }
+
+    /// Lowers the earliest-expiry watermark to cover an entry tuned at
+    /// `tuned_at` (non-negative `f64` bits order like the floats, so
+    /// integer `fetch_min` is a numeric min).
+    fn note_tuned_at(&self, tuned_at: SimTime) {
+        self.earliest_tuned
+            .fetch_min(tuned_at.as_secs().max(0.0).to_bits(), Relaxed);
+    }
 }
 
 /// Relative per-dimension distance between two signatures, normalized so that
@@ -1231,7 +1389,7 @@ impl SharedSignatureRepository {
             .expect("shared repository shard poisoned");
         Self::insert_locked(
             &mut state,
-            &shard.counters,
+            shard,
             &self.config,
             tenant,
             namespace,
@@ -1240,13 +1398,14 @@ impl SharedSignatureRepository {
             allocation,
             tuned_at,
         );
+        shard.publish(&state);
         self.recorder.observe(started, |m| &m.publish_ns);
     }
 
     #[allow(clippy::too_many_arguments)]
     fn insert_locked(
         state: &mut ShardState,
-        counters: &ShardCounters,
+        shard: &Shard,
         config: &SharedRepoConfig,
         tenant: TenantId,
         namespace: u64,
@@ -1255,12 +1414,15 @@ impl SharedSignatureRepository {
         allocation: ResourceAllocation,
         tuned_at: SimTime,
     ) {
+        let counters = &shard.counters;
         let mut created = 0u64;
         state.mutation_clock += 1;
         let stamp = state.mutation_clock;
-        let ns = state
-            .namespaces
-            .get_mut_or_insert_with(namespace, NamespaceState::default);
+        let ns = Arc::make_mut(
+            state
+                .namespaces
+                .get_mut_or_insert_with(namespace, || Arc::new(NamespaceState::default())),
+        );
         ns.version = stamp;
         let anchor = ns.resolve_or_create(signature, config.match_tolerance, &mut created);
         let key = EntryKey {
@@ -1288,21 +1450,26 @@ impl SharedSignatureRepository {
                         allocation,
                         tuned_at,
                         owner: tenant,
-                        hits: AtomicU64::new(0),
-                        cross_tenant_hits: AtomicU64::new(0),
+                        hits: Arc::new(AtomicU64::new(0)),
+                        cross_tenant_hits: Arc::new(AtomicU64::new(0)),
                     },
                 );
             }
         }
+        // `tuned_at` lower-bounds the written entry's final tuning time, so
+        // the watermark stays a conservative earliest-expiry bound.
+        shard.note_tuned_at(tuned_at);
         counters.insertions.inc();
         counters.anchors_created.add(created);
     }
 
     /// Looks up the entry matching `signature` × `interference_bucket`,
-    /// counting hit/miss and reuse statistics. Thread-safe; takes only the
-    /// shard **read** lock — statistics move through relaxed atomics, and a
-    /// stale entry merely misses (the epoch TTL sweep evicts it later), so
-    /// concurrent lookups never serialize.
+    /// counting hit/miss and reuse statistics. Thread-safe and
+    /// **wait-free**: resolves against the shard's published snapshot
+    /// instead of its lock — statistics move through relaxed atomics shared
+    /// across snapshot generations, and a stale entry merely misses (the
+    /// epoch TTL sweep evicts it later), so concurrent lookups never block
+    /// on each other or on a committer mid-write.
     pub fn lookup(
         &self,
         tenant: TenantId,
@@ -1314,51 +1481,46 @@ impl SharedSignatureRepository {
         let started = self.recorder.start();
         let mut probes = 0u64;
         let shard = &self.shards[self.shard_index(namespace)];
-        let state = shard
-            .state
-            .read()
-            .expect("shared repository shard poisoned");
-        let entry = state
-            .namespaces
-            .get(&namespace)
-            .and_then(|ns| {
-                ns.anchors
-                    .resolve(signature, self.config.match_tolerance, &mut probes)
-                    .map(|anchor| (ns, anchor))
-            })
-            .and_then(|(ns, anchor)| {
-                ns.entries.get(&EntryKey {
-                    anchor,
-                    interference_bucket,
+        let snapshot = shard.published.with(|namespaces| {
+            let entry = namespaces
+                .get(&namespace)
+                .and_then(|ns| {
+                    ns.anchors
+                        .resolve(signature, self.config.match_tolerance, &mut probes)
+                        .map(|anchor| (ns, anchor))
                 })
-            });
+                .and_then(|(ns, anchor)| {
+                    ns.entries.get(&EntryKey {
+                        anchor,
+                        interference_bucket,
+                    })
+                })
+                // A stale entry misses; eviction is the TTL sweep's job.
+                .filter(|entry| !self.is_stale(entry.tuned_at, now))?;
+            let hits = entry.hits.fetch_add(1, Relaxed) + 1;
+            shard.counters.hits.inc();
+            let mut snapshot = entry.snapshot();
+            snapshot.hits = hits;
+            if entry.owner != tenant {
+                snapshot.cross_tenant_hits = entry.cross_tenant_hits.fetch_add(1, Relaxed) + 1;
+                shard.counters.cross_tenant_hits.inc();
+            }
+            Some(snapshot)
+        });
         self.recorder.observe(started, |m| &m.lookup_ns);
         self.recorder.with(|m| m.tree_visits.record(probes));
-        let Some(entry) = entry else {
+        if snapshot.is_none() {
             shard.counters.misses.inc();
-            return None;
-        };
-        if self.is_stale(entry.tuned_at, now) {
-            // Count the miss; eviction is the TTL sweep's job.
-            shard.counters.misses.inc();
-            return None;
         }
-        let hits = entry.hits.fetch_add(1, Relaxed) + 1;
-        shard.counters.hits.inc();
-        let mut snapshot = entry.snapshot();
-        snapshot.hits = hits;
-        if entry.owner != tenant {
-            snapshot.cross_tenant_hits = entry.cross_tenant_hits.fetch_add(1, Relaxed) + 1;
-            shard.counters.cross_tenant_hits.inc();
-        }
-        Some(snapshot)
+        snapshot
     }
 
     /// Read-only lookup for the epoch-buffered tenant views: no statistics
     /// move, entries owned by `exclude_owner` are invisible (a tenant's own
     /// entries live in its local overlay), stale entries are filtered but not
-    /// evicted. Takes only the shard read lock, so an epoch's worth of
-    /// concurrent tenant reads never serialize.
+    /// evicted. Wait-free: reads the shard's published snapshot, so an
+    /// epoch's worth of concurrent tenant reads never serialize — not even
+    /// against a committer holding the shard write lock.
     pub fn peek(
         &self,
         namespace: u64,
@@ -1391,18 +1553,20 @@ impl SharedSignatureRepository {
     ) -> Option<(SharedEntry, (u32, u32, f64))> {
         let started = self.recorder.start();
         let mut probes = 0u64;
-        let state = self.shards[self.shard_index(namespace)]
-            .state
-            .read()
-            .expect("shared repository shard poisoned");
-        let ns = state.namespaces.get(&namespace);
-        let resolution = ns.and_then(|ns| {
-            ns.anchors
-                .resolve_with_distance(signature, self.config.match_tolerance, &mut probes)
-        });
+        let result = self.shards[self.shard_index(namespace)]
+            .published
+            .with(|namespaces| {
+                let ns = namespaces.get(&namespace)?;
+                let resolution = ns.anchors.resolve_with_distance(
+                    signature,
+                    self.config.match_tolerance,
+                    &mut probes,
+                )?;
+                self.peek_entry(ns, resolution, interference_bucket, now, exclude_owner)
+            });
         self.recorder.observe(started, |m| &m.peek_ns);
         self.recorder.with(|m| m.tree_visits.record(probes));
-        self.peek_entry(ns?, resolution?, interference_bucket, now, exclude_owner)
+        result
     }
 
     /// Shared tail of both peek paths: entry lookup, staleness and
@@ -1456,18 +1620,21 @@ impl SharedSignatureRepository {
             }
         });
         let mut probes = 0u64;
-        let state = self.shards[self.shard_index(namespace)]
-            .state
-            .read()
-            .expect("shared repository shard poisoned");
-        let ns = state.namespaces.get(&namespace);
-        let resolution = ns.and_then(|ns| {
-            ns.anchors
-                .resolve_memoized(signature, self.config.match_tolerance, memo, &mut probes)
-        });
+        let result = self.shards[self.shard_index(namespace)]
+            .published
+            .with(|namespaces| {
+                let ns = namespaces.get(&namespace)?;
+                let resolution = ns.anchors.resolve_memoized(
+                    signature,
+                    self.config.match_tolerance,
+                    memo,
+                    &mut probes,
+                )?;
+                self.peek_entry(ns, resolution, interference_bucket, now, exclude_owner)
+            });
         self.recorder.observe(started, |m| &m.peek_ns);
         self.recorder.with(|m| m.tree_visits.record(probes));
-        self.peek_entry(ns?, resolution?, interference_bucket, now, exclude_owner)
+        result
     }
 
     /// Resolves `signature` to its anchor id within `namespace`, if any
@@ -1476,15 +1643,15 @@ impl SharedSignatureRepository {
     /// of a brute-force nearest-anchor scan with ties broken toward the
     /// lowest anchor id.
     pub fn resolve_anchor(&self, namespace: u64, signature: &[f64]) -> Option<u32> {
-        let state = self.shards[self.shard_index(namespace)]
-            .state
-            .read()
-            .expect("shared repository shard poisoned");
-        state.namespaces.get(&namespace)?.anchors.resolve(
-            signature,
-            self.config.match_tolerance,
-            &mut 0,
-        )
+        self.shards[self.shard_index(namespace)]
+            .published
+            .with(|namespaces| {
+                namespaces.get(&namespace)?.anchors.resolve(
+                    signature,
+                    self.config.match_tolerance,
+                    &mut 0,
+                )
+            })
     }
 
     /// Applies a buffered operation (epoch-barrier commit path). Returns true
@@ -1504,7 +1671,8 @@ impl SharedSignatureRepository {
             .state
             .write()
             .expect("shared repository shard poisoned");
-        let applied = Self::apply_locked(&mut state, &shard.counters, &self.config, op);
+        let applied = Self::apply_locked(&mut state, shard, &self.config, op);
+        shard.publish(&state);
         self.recorder.observe(started, |m| &m.publish_ns);
         applied
     }
@@ -1536,19 +1704,21 @@ impl SharedSignatureRepository {
                 let started = matches!(ops[i], PendingOp::Publish { .. })
                     .then(|| self.recorder.start())
                     .flatten();
-                applied[i] = Self::apply_locked(&mut state, &shard.counters, &self.config, &ops[i]);
+                applied[i] = Self::apply_locked(&mut state, shard, &self.config, &ops[i]);
                 self.recorder.observe(started, |m| &m.publish_ns);
             }
+            shard.publish(&state);
         }
         applied
     }
 
     fn apply_locked(
         state: &mut ShardState,
-        counters: &ShardCounters,
+        shard: &Shard,
         config: &SharedRepoConfig,
         op: &PendingOp,
     ) -> bool {
+        let counters = &shard.counters;
         match op {
             PendingOp::Publish {
                 tenant,
@@ -1560,7 +1730,7 @@ impl SharedSignatureRepository {
             } => {
                 Self::insert_locked(
                     state,
-                    counters,
+                    shard,
                     config,
                     *tenant,
                     *namespace,
@@ -1583,6 +1753,7 @@ impl SharedSignatureRepository {
                 let Some(ns) = state.namespaces.get_mut(namespace) else {
                     return false;
                 };
+                let ns = Arc::make_mut(ns);
                 // Reuse the peek-time resolution: anchors only accrete and
                 // distance ties go to older (lower) ids, so the witnessed
                 // anchor can only be displaced by a strictly closer anchor
@@ -1661,39 +1832,75 @@ impl SharedSignatureRepository {
     }
 
     fn sweep_shard(shard: &Shard, ttl: SimDuration, now: SimTime) -> u64 {
+        // Clean-shard fast path: the watermark lower-bounds every live
+        // entry's `tuned_at`, so while even the watermark is within TTL the
+        // sweep provably evicts nothing — skip the write lock entirely.
+        // (`+inf` marks a shard with no entries at all.) Bit-identical to
+        // always sweeping: a skipped sweep evicts 0 and mutates nothing,
+        // exactly what the full pass would have done.
+        let watermark = f64::from_bits(shard.earliest_tuned.load(Relaxed));
+        if !watermark.is_finite()
+            || now
+                .saturating_since(SimTime::from_secs(watermark))
+                .as_secs()
+                <= ttl.as_secs()
+        {
+            return 0;
+        }
         let mut state = shard
             .state
             .write()
             .expect("shared repository shard poisoned");
         let state = &mut *state;
         let mut evicted = 0u64;
+        let mut earliest = f64::INFINITY;
         for ns in state.namespaces.values_mut() {
-            let before = ns.entries.len();
-            ns.entries
-                .retain(|_, e| now.saturating_since(e.tuned_at).as_secs() <= ttl.as_secs());
-            let gone = (before - ns.entries.len()) as u64;
-            if gone > 0 {
-                state.mutation_clock += 1;
-                ns.version = state.mutation_clock;
+            // Copy-on-write discipline: only namespaces that actually lose
+            // an entry are cloned away from the published generation.
+            let stale = ns
+                .entries
+                .values()
+                .any(|e| now.saturating_since(e.tuned_at).as_secs() > ttl.as_secs());
+            if stale {
+                let ns = Arc::make_mut(ns);
+                let before = ns.entries.len();
+                ns.entries
+                    .retain(|_, e| now.saturating_since(e.tuned_at).as_secs() <= ttl.as_secs());
+                let gone = (before - ns.entries.len()) as u64;
+                if gone > 0 {
+                    state.mutation_clock += 1;
+                    ns.version = state.mutation_clock;
+                }
+                evicted += gone;
             }
-            evicted += gone;
+            for e in ns.entries.values() {
+                earliest = earliest.min(e.tuned_at.as_secs());
+            }
         }
+        // The sweep visited every entry anyway: reset the watermark to the
+        // exact minimum so monotone `fetch_min` drift can't accrete.
+        shard
+            .earliest_tuned
+            .store(earliest.max(0.0).to_bits(), Relaxed);
         shard.counters.evictions.add(evicted);
+        if evicted > 0 {
+            shard.publish(state);
+        }
         evicted
     }
 
-    /// Total number of entries across all shards.
+    /// Total number of entries across all shards (wait-free, from the
+    /// published snapshots).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
             .map(|s| {
-                s.state
-                    .read()
-                    .expect("shared repository shard poisoned")
-                    .namespaces
-                    .values()
-                    .map(|ns| ns.entries.len())
-                    .sum::<usize>()
+                s.published.with(|namespaces| {
+                    namespaces
+                        .values()
+                        .map(|ns| ns.entries.len())
+                        .sum::<usize>()
+                })
             })
             .sum()
     }
@@ -1703,18 +1910,18 @@ impl SharedSignatureRepository {
         self.len() == 0
     }
 
-    /// Total number of anchors (distinct workload classes) across all shards.
+    /// Total number of anchors (distinct workload classes) across all shards
+    /// (wait-free, from the published snapshots).
     pub fn anchor_count(&self) -> usize {
         self.shards
             .iter()
             .map(|s| {
-                s.state
-                    .read()
-                    .expect("shared repository shard poisoned")
-                    .namespaces
-                    .values()
-                    .map(|ns| ns.anchors.len())
-                    .sum::<usize>()
+                s.published.with(|namespaces| {
+                    namespaces
+                        .values()
+                        .map(|ns| ns.anchors.len())
+                        .sum::<usize>()
+                })
             })
             .sum()
     }
@@ -1798,8 +2005,8 @@ impl SharedSignatureRepository {
                 allocation: e.allocation,
                 tuned_at: SimTime::from_secs(e.tuned_at_secs),
                 owner: e.owner,
-                hits: AtomicU64::new(e.hits),
-                cross_tenant_hits: AtomicU64::new(e.cross_tenant_hits),
+                hits: Arc::new(AtomicU64::new(e.hits)),
+                cross_tenant_hits: Arc::new(AtomicU64::new(e.cross_tenant_hits)),
             };
             if entries.insert(key, stored).is_some() {
                 return Err(inconsistent(format!(
@@ -1848,17 +2055,25 @@ impl SharedSignatureRepository {
         for ns_snap in &snapshot.namespaces {
             let ns_state = Self::namespace_state_from_snapshot(ns_snap, snapshot.match_tolerance)?;
             let shard = &repo.shards[repo.shard_index(ns_snap.id)];
+            for e in ns_state.entries.values() {
+                shard.note_tuned_at(e.tuned_at);
+            }
             let mut state = shard
                 .state
                 .write()
                 .expect("shared repository shard poisoned");
-            let prior = state.namespaces.insert(ns_snap.id, ns_state);
+            let prior = state.namespaces.insert(ns_snap.id, Arc::new(ns_state));
             if prior.is_some() {
                 return Err(inconsistent(format!("duplicate namespace {}", ns_snap.id)));
             }
         }
         for (shard, stats) in repo.shards.iter().zip(&snapshot.shard_stats) {
             shard.counters.restore(stats);
+            let state = shard
+                .state
+                .read()
+                .expect("shared repository shard poisoned");
+            shard.publish(&state);
         }
         Ok(repo)
     }
@@ -1982,10 +2197,14 @@ impl SharedSignatureRepository {
                 Self::namespace_state_from_snapshot(ns_snap, self.config.match_tolerance)?;
             state.mutation_clock += 1;
             ns_state.version = state.mutation_clock;
-            state.namespaces.insert(ns_snap.id, ns_state);
+            for e in ns_state.entries.values() {
+                shard.note_tuned_at(e.tuned_at);
+            }
+            state.namespaces.insert(ns_snap.id, Arc::new(ns_state));
         }
         shard.counters.restore(&delta.shard_stats);
         self.advance_clock(SimTime::from_secs(delta.clock_secs));
+        shard.publish(state);
         Ok(())
     }
 
@@ -2026,6 +2245,7 @@ impl SharedSignatureRepository {
             .expect("shared repository shard poisoned");
         let state = &mut *state;
         state.namespaces = FlatMap::new();
+        let mut earliest = f64::INFINITY;
         for ns_snap in &snapshot.namespaces {
             if self.shard_index(ns_snap.id) != shard {
                 continue;
@@ -2034,11 +2254,31 @@ impl SharedSignatureRepository {
                 Self::namespace_state_from_snapshot(ns_snap, self.config.match_tolerance)?;
             state.mutation_clock += 1;
             ns_state.version = state.mutation_clock;
-            state.namespaces.insert(ns_snap.id, ns_state);
+            for e in ns_state.entries.values() {
+                earliest = earliest.min(e.tuned_at.as_secs());
+            }
+            state.namespaces.insert(ns_snap.id, Arc::new(ns_state));
         }
+        // The wipe replaced every entry: the watermark is known exactly.
+        shard_ref
+            .earliest_tuned
+            .store(earliest.max(0.0).to_bits(), Relaxed);
         shard_ref.counters.restore(&snapshot.shard_stats[shard]);
         self.advance_clock(SimTime::from_secs(snapshot.clock_secs));
+        shard_ref.publish(state);
         Ok(())
+    }
+
+    /// Holds `shard`'s **write** lock for the duration of `f` — a committer
+    /// stalled mid-commit, as far as readers are concerned. Test hook for
+    /// the wait-free read path: lookups and peeks against the published
+    /// snapshot must complete while `f` blocks the lock.
+    pub fn with_shard_exclusive<R>(&self, shard: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = self.shards[shard]
+            .state
+            .write()
+            .expect("shared repository shard poisoned");
+        f()
     }
 
     /// Aggregate statistics over every shard.
@@ -2507,6 +2747,103 @@ mod tests {
             r.evict_stale(SimTime::from_hours(100.0))
         );
         assert_eq!(loaded.stats(), r.stats());
+    }
+
+    #[test]
+    fn lookups_complete_while_a_committer_holds_the_write_lock() {
+        use std::sync::mpsc;
+        let r = Arc::new(SharedSignatureRepository::new(SharedRepoConfig {
+            ttl: Some(SimDuration::from_hours(24.0)),
+            ..Default::default()
+        }));
+        let sig = [100.0, 5.0, 0.3];
+        r.insert(0, 7, &sig, 0, ResourceAllocation::large(4), SimTime::ZERO);
+        let shard = r.shard_index(7);
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let stall = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                r.with_shard_exclusive(shard, || {
+                    entered_tx.send(()).expect("test channel");
+                    release_rx.recv().expect("test channel");
+                })
+            })
+        };
+        entered_rx
+            .recv()
+            .expect("staller entered the critical section");
+        // The shard write lock is held ("committer stalled mid-commit"):
+        // the whole read surface still completes — these calls would
+        // deadlock this test if any of them took the shard lock.
+        assert!(r.lookup(1, 7, &sig, 0, SimTime::ZERO).is_some());
+        assert!(r.peek(7, &sig, 0, SimTime::ZERO, None).is_some());
+        assert_eq!(r.resolve_anchor(7, &sig), Some(0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.anchor_count(), 1);
+        // The clean-shard TTL sweep skips on the watermark without ever
+        // touching the (held) write lock.
+        assert_eq!(r.evict_stale(SimTime::from_hours(1.0)), 0);
+        release_tx.send(()).expect("test channel");
+        stall.join().expect("staller thread");
+        assert_eq!(r.stats().hits, 1);
+    }
+
+    #[test]
+    fn snapcell_readers_stay_coherent_under_publish_churn() {
+        let cell = Arc::new(SnapCell::new(Arc::new(0usize)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0usize;
+                    while !stop.load(Relaxed) {
+                        let v = cell.with(|v| *v);
+                        assert!(v >= last, "publishes observed in order: {v} < {last}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        // One serialized publisher (the cell's contract), churning slots.
+        for i in 1..=20_000usize {
+            cell.publish(Arc::new(i));
+        }
+        stop.store(true, Relaxed);
+        for t in readers {
+            t.join().expect("reader thread");
+        }
+        assert_eq!(cell.with(|v| *v), 20_000);
+    }
+
+    #[test]
+    fn sweep_watermark_tracks_eviction_counts_bit_identically() {
+        // Two repositories driven identically; one's sweeps are forced past
+        // the watermark fast path by a deliberately early entry. Counts and
+        // state must match at every step.
+        let config = SharedRepoConfig {
+            ttl: Some(SimDuration::from_hours(10.0)),
+            ..Default::default()
+        };
+        let a = SharedSignatureRepository::new(config.clone());
+        let b = SharedSignatureRepository::new(config);
+        let sig = [10.0, 20.0];
+        for (hour, ns) in [(0.0, 1u64), (4.0, 2), (8.0, 3), (12.0, 4)] {
+            let t = SimTime::from_hours(hour);
+            a.insert(0, ns, &sig, 0, ResourceAllocation::large(2), t);
+            b.insert(0, ns, &sig, 0, ResourceAllocation::large(2), t);
+            let now = SimTime::from_hours(hour + 1.0);
+            assert_eq!(a.evict_stale(now), b.evict_stale(now));
+        }
+        for hour in [11.0, 15.0, 19.0, 23.0, 40.0] {
+            let now = SimTime::from_hours(hour);
+            assert_eq!(a.evict_stale(now), b.evict_stale(now), "at {hour}h");
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.stats().evictions, b.stats().evictions);
+        }
+        assert!(a.is_empty());
     }
 
     #[test]

@@ -872,6 +872,7 @@ pub struct CheckpointStore {
     checkpoint_every: usize,
     checkpoints: u64,
     compactions: u64,
+    chain_peak: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -906,6 +907,7 @@ impl CheckpointStore {
             checkpoint_every,
             checkpoints: 0,
             compactions: 0,
+            chain_peak: 0,
         }
     }
 
@@ -913,10 +915,27 @@ impl CheckpointStore {
     /// replayable (a pending tenant recovery may need them); compaction will
     /// not fold past it. Raising the floor re-enables compaction of the
     /// backlog at the next [`record`](CheckpointStore::record).
-    pub fn set_floor(&mut self, shard: usize, epoch: usize) {
-        if let Some(chain) = self.chains.get_mut(shard) {
-            chain.floor = epoch;
+    ///
+    /// A floor below the shard's already-folded chain head is unhonourable:
+    /// those epochs are gone, and a recovery that later trusted the stale
+    /// floor would ask [`materialize`](CheckpointStore::materialize) for an
+    /// image compaction folded away. The request is clamped to the chain
+    /// head instead, and the **effective** floor is returned so callers can
+    /// observe the adjustment.
+    pub fn set_floor(&mut self, shard: usize, epoch: usize) -> usize {
+        match self.chains.get_mut(shard) {
+            Some(chain) => {
+                let effective = epoch.max(chain.folded_epochs);
+                chain.floor = effective;
+                effective
+            }
+            None => epoch,
         }
+    }
+
+    /// The current compaction floor of `shard` (`usize::MAX` = unpinned).
+    pub fn floor(&self, shard: usize) -> usize {
+        self.chains.get(shard).map_or(usize::MAX, |c| c.floor)
     }
 
     /// Appends one captured delta to its shard's chain. Deltas must arrive
@@ -946,7 +965,9 @@ impl CheckpointStore {
         }
         self.chains[shard].deltas.push(delta);
         self.checkpoints += 1;
-        self.compact(shard)
+        let result = self.compact(shard);
+        self.chain_peak = self.chain_peak.max(self.chains[shard].deltas.len());
+        result
     }
 
     /// Folds the compactable prefix of `shard`'s chain into its folded image
@@ -1044,6 +1065,13 @@ impl CheckpointStore {
     /// Compaction passes run so far.
     pub fn compactions(&self) -> u64 {
         self.compactions
+    }
+
+    /// The longest un-compacted chain any shard reached after a record's
+    /// compaction pass — the store's peak memory pressure. Bounded on long
+    /// runs only if floors advance as tenancy windows close.
+    pub fn chain_peak(&self) -> usize {
+        self.chain_peak
     }
 
     /// Un-compacted chain length of `shard`.
@@ -1443,6 +1471,40 @@ mod tests {
         store.record(chain_delta(6)).expect("records");
         assert!(store.chain_len(shard) < 6);
         store.materialize(shard, 7).expect("tip still materializes");
+    }
+
+    #[test]
+    fn set_floor_clamps_below_the_folded_chain_head() {
+        let shard = chain_delta(0).shard;
+        let mut store = CheckpointStore::new(sample(), 2);
+        for epoch in 0..6 {
+            store.record(chain_delta(epoch)).expect("records");
+        }
+        assert!(store.compactions() > 0, "cadence 2 folds the prefix");
+        let head = store.chain_end(shard) - store.chain_len(shard);
+        assert!(head > 0, "some epochs folded away");
+        // Lowering the floor below the folded head cannot resurrect folded
+        // epochs: the request clamps to the head and reports the adjustment.
+        let effective = store.set_floor(shard, 0);
+        assert_eq!(effective, head, "floor clamped to the folded chain head");
+        assert_eq!(store.floor(shard), head);
+        // The lower-then-recover sequence: a recovery planned against the
+        // *effective* floor materializes; the folded epochs it can no longer
+        // reach stay a typed error rather than a stale-floor panic path.
+        store
+            .materialize(shard, effective)
+            .expect("head materializes");
+        for epoch in effective..6 {
+            assert_eq!(store.delta(shard, epoch).unwrap(), chain_delta(epoch));
+        }
+        match store.materialize(shard, effective - 1) {
+            Err(SnapshotError::Inconsistent { message }) => {
+                assert!(message.contains("compacted away"), "{message}");
+            }
+            other => panic!("expected an inconsistent error, got {other:?}"),
+        }
+        // Floors at or above the head pass through unadjusted.
+        assert_eq!(store.set_floor(shard, head + 1), head + 1);
     }
 
     #[test]

@@ -30,7 +30,8 @@
 //! [`clock offset`](TenantRepoView::new_with_offset) when publishing or
 //! consulting the shared store and keeps the local overlay in local time.
 
-use crate::shared_repo::{PendingOp, ResolveMemo, SharedSignatureRepository, TenantId};
+use crate::repo_client::RepositoryClient;
+use crate::shared_repo::{PendingOp, ResolveMemo, TenantId};
 use crate::transport::Outbox;
 use dejavu_cloud::ResourceAllocation;
 use dejavu_core::repository::{
@@ -43,7 +44,7 @@ use std::sync::{Arc, Mutex};
 /// A tenant's view of the fleet-shared signature repository.
 #[derive(Debug)]
 pub struct TenantRepoView {
-    shared: Arc<SharedSignatureRepository>,
+    shared: Arc<dyn RepositoryClient>,
     tenant: TenantId,
     namespace: u64,
     /// Global fleet time of this tenant's join barrier: added to local times
@@ -64,7 +65,7 @@ impl TenantRepoView {
     /// the outbox handle the fleet engine drains at epoch barriers. The
     /// tenant's clock is taken to coincide with the fleet's (offset zero).
     pub fn new(
-        shared: Arc<SharedSignatureRepository>,
+        shared: Arc<dyn RepositoryClient>,
         tenant: TenantId,
         namespace: u64,
     ) -> (Self, Outbox) {
@@ -74,7 +75,7 @@ impl TenantRepoView {
     /// [`new`](Self::new) for a tenant whose local clock starts
     /// `clock_offset` into the fleet run (an elastic late joiner).
     pub fn new_with_offset(
-        shared: Arc<SharedSignatureRepository>,
+        shared: Arc<dyn RepositoryClient>,
         tenant: TenantId,
         namespace: u64,
         clock_offset: SimDuration,
@@ -129,7 +130,7 @@ impl TenantRepoView {
     /// recovery guarantees the two repositories hold bit-identical anchor
     /// state for this namespace at the switch point (anchors only accrete, so
     /// memoized resolutions stay exact).
-    pub fn retarget(&mut self, shared: Arc<SharedSignatureRepository>) {
+    pub fn retarget(&mut self, shared: Arc<dyn RepositoryClient>) {
         self.shared = shared;
     }
 }
@@ -240,7 +241,7 @@ impl AllocationStore for TenantRepoView {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::shared_repo::SharedRepoConfig;
+    use crate::shared_repo::{SharedRepoConfig, SharedSignatureRepository};
     use dejavu_metrics::WorkloadSignature;
     use dejavu_simcore::SimDuration;
 
@@ -289,7 +290,7 @@ mod tests {
             SimTime::ZERO,
         );
 
-        let (mut view, outbox) = TenantRepoView::new(Arc::clone(&repo), 0, 1);
+        let (mut view, outbox) = TenantRepoView::new(Arc::clone(&repo) as _, 0, 1);
         let entry = view
             .get(StoreContext::with_signature(
                 RepositoryKey::unclassified(),
@@ -350,7 +351,7 @@ mod tests {
             ResourceAllocation::large(5),
             SimTime::ZERO,
         );
-        let (mut view, _outbox) = TenantRepoView::new(Arc::clone(&repo), 0, 1);
+        let (mut view, _outbox) = TenantRepoView::new(Arc::clone(&repo) as _, 0, 1);
         view.put(
             StoreContext::with_signature(RepositoryKey::baseline(0), &s),
             ResourceAllocation::large(2),

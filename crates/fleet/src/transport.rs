@@ -50,6 +50,7 @@
 
 use crate::engine::{RunState, SimulationEngine};
 use crate::faults::{FaultInjector, FaultKind, FaultSpec, FaultSpecError};
+use crate::repo_client::RepositoryClient;
 use crate::shared_repo::{DeltaCursor, PendingOp, SharedSignatureRepository};
 use crate::snapshot::{CheckpointStore, DeltaSnapshot};
 use crate::tenant_view::TenantRepoView;
@@ -274,7 +275,12 @@ pub(crate) type RespawnFn<'a> =
 /// The shared, thread-safe side of a fleet run a transport commits through.
 #[derive(Clone, Copy)]
 pub struct FleetContext<'a> {
-    shared: &'a Arc<SharedSignatureRepository>,
+    shared: &'a Arc<dyn RepositoryClient>,
+    /// The in-process repository behind `shared`, when there is one. The
+    /// crash-recovery machinery (checkpoint capture, shard restore) needs the
+    /// concrete snapshot/delta surface; a remote client doesn't export it, so
+    /// fault injection and checkpointing stay inert on remote runs.
+    concrete: Option<&'a Arc<SharedSignatureRepository>>,
     epochs: usize,
     epoch_secs: f64,
     origin_secs: f64,
@@ -355,7 +361,9 @@ impl FleetContext<'_> {
 /// shared-store context. Built by the fleet engine.
 pub struct FleetHarness<'a> {
     pub(crate) runs: &'a mut [TenantRun],
-    pub(crate) shared: &'a Arc<SharedSignatureRepository>,
+    pub(crate) shared: &'a Arc<dyn RepositoryClient>,
+    /// See [`FleetContext`]: the in-process repository when `shared` is one.
+    pub(crate) concrete: Option<&'a Arc<SharedSignatureRepository>>,
     pub(crate) epochs: usize,
     pub(crate) epoch_secs: f64,
     pub(crate) origin_secs: f64,
@@ -372,6 +380,7 @@ impl FleetHarness<'_> {
     pub fn split(&mut self) -> (FleetContext<'_>, Vec<TenantHandle<'_>>) {
         let ctx = FleetContext {
             shared: self.shared,
+            concrete: self.concrete,
             epochs: self.epochs,
             epoch_secs: self.epoch_secs,
             origin_secs: self.origin_secs,
@@ -458,6 +467,9 @@ pub struct FaultSummary {
     pub checkpoints: u64,
     /// Delta-chain compaction passes.
     pub compactions: u64,
+    /// Peak un-compacted delta-chain length any shard reached: the store's
+    /// memory high-water mark, bounded on long runs by the dynamic floor.
+    pub chain_peak: u64,
 }
 
 /// Everything a transport hands back to the engine after driving a fleet.
@@ -528,6 +540,27 @@ struct FaultDomain<'h> {
     respawn: &'h RespawnFn<'h>,
     shared_arc: &'h Arc<SharedSignatureRepository>,
     tallies: FaultTallies,
+    /// Per shard: the tenancy windows of its crash-scheduled tenants, the
+    /// input to the dynamic compaction floor ([`FaultDomain::crash_floor`]).
+    crash_windows: Vec<Vec<(usize, usize)>>,
+}
+
+impl FaultDomain<'_> {
+    /// The compaction floor `shard` needs once its commit frontier reached
+    /// `frontier`: the earliest window start among crash-scheduled tenants
+    /// whose windows are still open (`end > frontier`). A crash recovers
+    /// before its own epoch's report is admitted, so once the frontier
+    /// passes a window's end no recovery can ever again materialize from
+    /// that window's start — the floor advances and the chain behind it
+    /// becomes compactable.
+    fn crash_floor(&self, shard: usize, frontier: usize) -> usize {
+        self.crash_windows[shard]
+            .iter()
+            .filter(|&&(_, end)| end > frontier)
+            .map(|&(start, _)| start)
+            .min()
+            .unwrap_or(usize::MAX)
+    }
 }
 
 /// Builds the fault domain of one async drive, or `None` when neither fault
@@ -543,31 +576,40 @@ fn fault_domain<'h>(
         return None;
     }
     let respawn = ctx.respawn?;
+    // Checkpoint capture and shard restore go through the concrete
+    // repository's snapshot surface; a remote client has none.
+    let concrete = ctx.concrete?;
     // The base image and the capture cursors (primed by the committer) both
     // anchor at this quiescent point: nothing mutates the shared repository
     // before the committer applies the first batch.
-    let mut store = CheckpointStore::new(ctx.shared.to_snapshot(), ctx.checkpoint_every);
+    let store = CheckpointStore::new(concrete.to_snapshot(), ctx.checkpoint_every);
     // Compaction must never fold an epoch a planned crash still needs to
     // replay from: pin each shard's floor at the earliest join epoch among
-    // its crash-scheduled tenants. (Raising floors dynamically once a crash
-    // has recovered is a roadmap follow-on.)
-    let mut floors = vec![usize::MAX; ctx.shard_count()];
+    // its crash-scheduled tenants whose windows are still open. The
+    // committer re-evaluates the floor at every commit, so long churn runs
+    // compact past windows that have closed instead of pinning the whole
+    // run at the earliest one.
+    let mut crash_windows = vec![Vec::new(); ctx.shard_count()];
     for (tenant, &(start, end)) in windows.iter().enumerate() {
         if injector.crash_epoch(tenant, start, end).is_some() {
-            let shard = tenant_shard[tenant];
-            floors[shard] = floors[shard].min(start);
+            crash_windows[tenant_shard[tenant]].push((start, end));
         }
     }
-    for (shard, &floor) in floors.iter().enumerate() {
-        store.set_floor(shard, floor);
-    }
-    Some(FaultDomain {
+    let domain = FaultDomain {
         injector,
         store: Mutex::new(store),
         respawn,
-        shared_arc: ctx.shared,
+        shared_arc: concrete,
         tallies: FaultTallies::default(),
-    })
+        crash_windows,
+    };
+    {
+        let mut store = domain.store.lock().expect("checkpoint store poisoned");
+        for shard in 0..ctx.shard_count() {
+            store.set_floor(shard, domain.crash_floor(shard, 0));
+        }
+    }
+    Some(domain)
 }
 
 /// Folds a finished drive's fault domain into the outcome's summary.
@@ -591,6 +633,7 @@ fn summarize_faults(domain: FaultDomain<'_>) -> FaultSummary {
         replayed_epochs: tallies.replayed_epochs.into_inner(),
         checkpoints: store.checkpoints(),
         compactions: store.compactions(),
+        chain_peak: store.chain_peak() as u64,
     }
 }
 
@@ -1344,16 +1387,15 @@ impl<'a, 'h> Committer<'a, 'h> {
         // The cursors anchor at the same quiescent point as the store's base
         // image: nothing has committed yet, so the first captured delta
         // covers exactly the first commit.
-        let cursors = if domain.is_some() {
-            (0..shards)
+        let cursors = match domain {
+            Some(domain) => (0..shards)
                 .map(|shard| {
                     let mut cursor = DeltaCursor::default();
-                    ctx.shared.prime_delta_cursor(shard, &mut cursor);
+                    domain.shared_arc.prime_delta_cursor(shard, &mut cursor);
                     cursor
                 })
-                .collect()
-        } else {
-            Vec::new()
+                .collect(),
+            None => Vec::new(),
         };
         Committer {
             ctx,
@@ -1539,22 +1581,26 @@ impl<'a, 'h> Committer<'a, 'h> {
                     // exactly this commit (batch + sweep), because tenants
                     // never mutate the shared store and no other commit of
                     // this shard can run concurrently.
-                    let delta =
-                        self.ctx
-                            .shared
-                            .capture_shard_delta(shard, epoch, &mut self.cursors[shard]);
+                    let delta = domain.shared_arc.capture_shard_delta(
+                        shard,
+                        epoch,
+                        &mut self.cursors[shard],
+                    );
                     recorder.with(|m| m.checkpoints.inc());
                     recorder.event(|| Event::CheckpointSave {
                         shard: shard as u64,
                         epoch: epoch as u64,
                         namespaces: delta.namespaces.len() as u64,
                     });
-                    domain
-                        .store
-                        .lock()
-                        .expect("checkpoint store poisoned")
-                        .record(delta)
-                        .expect("commit order is chain order");
+                    {
+                        let mut store = domain.store.lock().expect("checkpoint store poisoned");
+                        // Advance the compaction floor past tenancy windows
+                        // this commit closed, *before* recording: the
+                        // record's compaction pass then folds the newly
+                        // released backlog immediately.
+                        store.set_floor(shard, domain.crash_floor(shard, epoch + 1));
+                        store.record(delta).expect("commit order is chain order");
+                    }
                     if domain.injector.shard_loss(shard, epoch) {
                         // Shard-level repository loss: wipe the shard and
                         // warm re-seed it from the delta chain — before the
@@ -1568,8 +1614,8 @@ impl<'a, 'h> Committer<'a, 'h> {
                             .expect("checkpoint store poisoned")
                             .materialize(shard, epoch + 1)
                             .expect("the delta chain always reaches its own head");
-                        self.ctx
-                            .shared
+                        domain
+                            .shared_arc
                             .restore_shard(shard, &image)
                             .expect("checkpoint images restore cleanly");
                         recorder.with(|m| m.recoveries.inc());
@@ -1740,7 +1786,7 @@ fn crash_and_recover(
         .as_any_mut()
         .and_then(|any| any.downcast_mut::<TenantRepoView>())
         .expect("shared-mode tenants read through a TenantRepoView")
-        .retarget(Arc::clone(domain.shared_arc));
+        .retarget(Arc::clone(domain.shared_arc) as _);
     handle.replace(run);
     recorder.with(|m| m.recoveries.inc());
     recorder.event(|| Event::TenantRecover {

@@ -1,0 +1,143 @@
+//! The dejavu-serve daemon binary: hosts one shared signature repository
+//! behind the wire protocol until interrupted.
+//!
+//! ```text
+//! dejavu-serve --listen 127.0.0.1:7117 --shards 16 --max-sessions 64
+//! dejavu-serve --unix /tmp/dejavu.sock --snapshot-in repo.json
+//! ```
+
+use dejavu_fleet::{SharedRepoConfig, SharedSignatureRepository};
+use dejavu_serve::{serve_tcp, ServeConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+dejavu-serve: host a shared signature repository as an online service
+
+USAGE:
+    dejavu-serve [OPTIONS]
+
+OPTIONS:
+    --listen ADDR        TCP listen address (default 127.0.0.1:7117)
+    --unix PATH          serve on a Unix domain socket instead of TCP
+    --shards N           shard count for a fresh repository (default 16)
+    --max-sessions N     admission cap on concurrent sessions (default 64)
+    --snapshot-in PATH   seed the repository from a snapshot file
+    --help               print this help
+";
+
+struct Options {
+    listen: String,
+    unix: Option<String>,
+    shards: usize,
+    max_sessions: usize,
+    snapshot_in: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        listen: "127.0.0.1:7117".to_string(),
+        unix: None,
+        shards: 16,
+        max_sessions: 64,
+        snapshot_in: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        if arg == "--listen" {
+            opts.listen = value("--listen")?;
+        } else if arg == "--unix" {
+            opts.unix = Some(value("--unix")?);
+        } else if arg == "--shards" {
+            opts.shards = value("--shards")?
+                .parse()
+                .map_err(|e| format!("--shards: {e}"))?;
+        } else if arg == "--max-sessions" {
+            opts.max_sessions = value("--max-sessions")?
+                .parse()
+                .map_err(|e| format!("--max-sessions: {e}"))?;
+        } else if arg == "--snapshot-in" {
+            opts.snapshot_in = Some(value("--snapshot-in")?);
+        } else if arg == "--help" || arg == "-h" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        } else {
+            return Err(format!("unknown argument {arg}"));
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let repo = match &opts.snapshot_in {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: reading {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match SharedSignatureRepository::load_snapshot(&text) {
+                Ok(repo) => {
+                    eprintln!(
+                        "dejavu-serve: seeded {} entries / {} anchors from {path}",
+                        repo.len(),
+                        repo.anchor_count()
+                    );
+                    repo
+                }
+                Err(e) => {
+                    eprintln!("error: loading snapshot {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => SharedSignatureRepository::new(SharedRepoConfig {
+            shards: opts.shards,
+            ..SharedRepoConfig::default()
+        }),
+    };
+    let config = ServeConfig {
+        max_sessions: opts.max_sessions,
+    };
+    let handle = if let Some(path) = &opts.unix {
+        #[cfg(unix)]
+        {
+            match dejavu_serve::serve_unix(Arc::new(repo), std::path::Path::new(path), config) {
+                Ok(handle) => handle,
+                Err(e) => {
+                    eprintln!("error: binding {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            eprintln!("error: --unix is unsupported on this platform");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        match serve_tcp(Arc::new(repo), &opts.listen, config) {
+            Ok(handle) => handle,
+            Err(e) => {
+                eprintln!("error: binding {}: {e}", opts.listen);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    eprintln!("dejavu-serve: listening on {}", handle.endpoint());
+    // Serve until the process is killed; the accept thread owns the
+    // listener, so parking the main thread is all that is left to do.
+    loop {
+        std::thread::park();
+    }
+}

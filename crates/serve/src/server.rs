@@ -1,0 +1,438 @@
+//! The dejavu-serve daemon: hosts one [`SharedSignatureRepository`] behind
+//! the wire protocol, over TCP or a Unix socket.
+//!
+//! One OS thread per connection — the repository's read path is wait-free,
+//! so concurrent sessions scale with cores rather than serializing on a
+//! shard lock, and a thread blocked in `read` costs nothing. Each
+//! connection must open with [`Request::Hello`]; admission control caps
+//! live sessions at [`ServeConfig::max_sessions`] and refuses the rest with
+//! a [`Response::Denied`] frame instead of a hang. Per-tenant usage
+//! (operations, bytes in, bytes out) is accounted on lock-free
+//! [`Counter`]s and readable at any time through
+//! [`ServerHandle::usage`].
+//!
+//! Protocol violations never panic the server: a malformed frame gets one
+//! [`Response::Error`] reply (when the stream still accepts writes) and the
+//! connection closes.
+
+use crate::protocol::{read_frame, write_frame, Request, Response, WireError};
+use dejavu_fleet::{SharedSignatureRepository, TenantId};
+use dejavu_obs::Counter;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum concurrently admitted sessions; further `Hello`s are denied.
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_sessions: 64 }
+    }
+}
+
+/// Lock-free per-tenant usage counters, shared between the accounting map
+/// and the connection thread that bumps them.
+#[derive(Debug, Default)]
+struct TenantUsage {
+    ops: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+}
+
+/// A point-in-time copy of one tenant's usage counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsageSnapshot {
+    /// Requests served for the tenant.
+    pub ops: u64,
+    /// Request bytes received (frame bodies).
+    pub bytes_in: u64,
+    /// Response bytes sent (frame bodies).
+    pub bytes_out: u64,
+}
+
+/// State shared by the accept loop, every connection thread, and the
+/// handle the caller keeps.
+#[derive(Debug)]
+struct Shared {
+    repo: Arc<SharedSignatureRepository>,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    active_sessions: AtomicUsize,
+    denied_sessions: Counter,
+    usage: Mutex<BTreeMap<TenantId, Arc<TenantUsage>>>,
+}
+
+impl Shared {
+    fn usage_for(&self, tenant: TenantId) -> Arc<TenantUsage> {
+        let mut map = self.usage.lock().expect("usage map poisoned");
+        Arc::clone(map.entry(tenant).or_default())
+    }
+}
+
+/// Where a running server listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A TCP socket address, e.g. `127.0.0.1:7117`.
+    Tcp(std::net::SocketAddr),
+    /// A Unix domain socket path.
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// A running dejavu-serve instance. Dropping the handle without calling
+/// [`stop`](Self::stop) leaves the accept thread running for the process
+/// lifetime; call `stop` for a clean join.
+#[derive(Debug)]
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound endpoint (with the OS-assigned port when bound to port 0).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The TCP address, if serving over TCP.
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        match self.endpoint {
+            Endpoint::Tcp(addr) => Some(addr),
+            #[cfg(unix)]
+            Endpoint::Unix(_) => None,
+        }
+    }
+
+    /// The served repository.
+    pub fn repository(&self) -> &Arc<SharedSignatureRepository> {
+        &self.shared.repo
+    }
+
+    /// Sessions currently admitted.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active_sessions.load(Ordering::Acquire)
+    }
+
+    /// Sessions refused by admission control since start.
+    pub fn denied_sessions(&self) -> u64 {
+        self.shared.denied_sessions.get()
+    }
+
+    /// Point-in-time per-tenant usage, ordered by tenant id.
+    pub fn usage(&self) -> Vec<(TenantId, UsageSnapshot)> {
+        let map = self.shared.usage.lock().expect("usage map poisoned");
+        map.iter()
+            .map(|(&tenant, u)| {
+                (
+                    tenant,
+                    UsageSnapshot {
+                        ops: u.ops.get(),
+                        bytes_in: u.bytes_in.get(),
+                        bytes_out: u.bytes_out.get(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Stops accepting connections and joins the accept thread. Admitted
+    /// sessions stay live until their clients disconnect.
+    pub fn stop(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake the accept loop with a throwaway connection; if the connect
+        // fails the listener is already gone, which is just as final.
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => drop(TcpStream::connect(addr)),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => drop(std::os::unix::net::UnixStream::connect(path)),
+        }
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        #[cfg(unix)]
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Serves `repo` on a TCP address. Bind to port 0 to let the OS pick; the
+/// chosen address is on the returned handle.
+pub fn serve_tcp(
+    repo: Arc<SharedSignatureRepository>,
+    addr: &str,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let endpoint = Endpoint::Tcp(listener.local_addr()?);
+    let shared = Arc::new(Shared {
+        repo,
+        config,
+        shutdown: AtomicBool::new(false),
+        active_sessions: AtomicUsize::new(0),
+        denied_sessions: Counter::default(),
+        usage: Mutex::new(BTreeMap::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("dejavu-serve-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let _ = stream.set_nodelay(true);
+                spawn_session(Arc::clone(&accept_shared), stream);
+            }
+        })?;
+    Ok(ServerHandle {
+        endpoint,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Serves `repo` on a Unix domain socket path; the path is removed on
+/// [`ServerHandle::stop`].
+#[cfg(unix)]
+pub fn serve_unix(
+    repo: Arc<SharedSignatureRepository>,
+    path: &std::path::Path,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    let endpoint = Endpoint::Unix(path.to_path_buf());
+    let shared = Arc::new(Shared {
+        repo,
+        config,
+        shutdown: AtomicBool::new(false),
+        active_sessions: AtomicUsize::new(0),
+        denied_sessions: Counter::default(),
+        usage: Mutex::new(BTreeMap::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("dejavu-serve-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                spawn_session(Arc::clone(&accept_shared), stream);
+            }
+        })?;
+    Ok(ServerHandle {
+        endpoint,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Decrements the active-session count when a session thread exits, however
+/// it exits.
+struct SessionGuard(Arc<Shared>);
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.0.active_sessions.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn spawn_session<S: Read + Write + Send + 'static>(shared: Arc<Shared>, stream: S) {
+    let _ = std::thread::Builder::new()
+        .name("dejavu-serve-session".into())
+        .spawn(move || run_session(shared, stream));
+}
+
+fn run_session<S: Read + Write>(shared: Arc<Shared>, mut stream: S) {
+    // Admission first: a Hello on a full server is denied before any work.
+    // The increment is optimistic so two racing Hellos cannot both sneak
+    // under the cap.
+    let admitted =
+        shared.active_sessions.fetch_add(1, Ordering::AcqRel) < shared.config.max_sessions;
+    let _guard = SessionGuard(Arc::clone(&shared));
+    let tenant = match read_hello(&mut stream) {
+        Ok(Some(tenant)) => tenant,
+        Ok(None) => return,
+        Err(err) => {
+            reply_error(&mut stream, &err);
+            return;
+        }
+    };
+    if !admitted {
+        shared.denied_sessions.inc();
+        let _ = write_frame(
+            &mut stream,
+            &Response::Denied {
+                reason: format!("at capacity ({} sessions)", shared.config.max_sessions),
+            }
+            .encode(),
+        );
+        return;
+    }
+    let usage = shared.usage_for(tenant);
+    let hello_ok = Response::HelloOk {
+        shard_count: shared.repo.shard_count() as u64,
+    }
+    .encode();
+    if write_frame(&mut stream, &hello_ok).is_err() {
+        return;
+    }
+    usage.bytes_out.add(hello_ok.len() as u64);
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            // Clean disconnect between frames.
+            Ok(None) => return,
+            Err(err) => {
+                reply_error(&mut stream, &err);
+                return;
+            }
+        };
+        usage.bytes_in.add(body.len() as u64);
+        let request = match Request::decode(&body) {
+            Ok(req) => req,
+            Err(err) => {
+                reply_error(&mut stream, &err);
+                return;
+            }
+        };
+        usage.ops.inc();
+        let response = handle(&shared.repo, request);
+        let encoded = response.encode();
+        match write_frame(&mut stream, &encoded) {
+            Ok(()) => usage.bytes_out.add(encoded.len() as u64),
+            // A response too large for one frame (a giant snapshot) gets an
+            // error reply instead of a half-written stream.
+            Err(WireError::Oversized { .. }) => {
+                reply_error(
+                    &mut stream,
+                    &WireError::Oversized {
+                        len: encoded.len() as u32,
+                    },
+                );
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Reads the opening frame and requires it to be `Hello`. `Ok(None)` means
+/// the peer connected and left without speaking (the stop() wake-up does
+/// exactly this).
+fn read_hello<S: Read + Write>(stream: &mut S) -> Result<Option<TenantId>, WireError> {
+    match read_frame(stream)? {
+        None => Ok(None),
+        Some(body) => match Request::decode(&body)? {
+            Request::Hello { tenant } => Ok(Some(tenant)),
+            _ => Err(WireError::Malformed {
+                context: "first frame must be Hello",
+            }),
+        },
+    }
+}
+
+fn reply_error<S: Write>(stream: &mut S, err: &WireError) {
+    let _ = write_frame(
+        stream,
+        &Response::Error {
+            message: err.to_string(),
+        }
+        .encode(),
+    );
+}
+
+/// Maps one decoded request onto the repository. Pure dispatch — every
+/// operation is a method the in-process engine already uses, which is what
+/// keeps remote runs bit-identical to local ones.
+fn handle(repo: &SharedSignatureRepository, request: Request) -> Response {
+    match request {
+        // A second Hello on an open session is a protocol violation.
+        Request::Hello { .. } => Response::Error {
+            message: "session already open".into(),
+        },
+        Request::Lookup {
+            tenant,
+            namespace,
+            signature,
+            interference_bucket,
+            now,
+        } => Response::Entry(repo.lookup(tenant, namespace, &signature, interference_bucket, now)),
+        Request::Peek {
+            namespace,
+            signature,
+            interference_bucket,
+            now,
+            exclude_owner,
+        } => Response::Peeked(repo.peek_resolved(
+            namespace,
+            &signature,
+            interference_bucket,
+            now,
+            exclude_owner,
+        )),
+        Request::Publish {
+            tenant,
+            namespace,
+            signature,
+            interference_bucket,
+            allocation,
+            tuned_at,
+        } => {
+            repo.insert(
+                tenant,
+                namespace,
+                &signature,
+                interference_bucket,
+                allocation,
+                tuned_at,
+            );
+            Response::Ok
+        }
+        Request::CommitBatch { ops } => Response::Applied(repo.apply_batch(&ops)),
+        Request::EvictStale { now } => Response::Evicted(repo.evict_stale(now)),
+        Request::EvictStaleShard { shard, now } => {
+            if (shard as usize) < repo.shard_count() {
+                Response::Evicted(repo.evict_stale_shard(shard as usize, now))
+            } else {
+                Response::Error {
+                    message: format!(
+                        "shard {shard} out of range (repository has {})",
+                        repo.shard_count()
+                    ),
+                }
+            }
+        }
+        Request::Meta => Response::Meta {
+            shard_count: repo.shard_count() as u64,
+            clock_secs: repo.clock().as_secs(),
+            len: repo.len() as u64,
+            anchors: repo.anchor_count() as u64,
+        },
+        Request::Stats => Response::Stats(repo.stats()),
+        Request::ShardStats => Response::ShardStatsList(repo.shard_stats()),
+        Request::Snapshot => Response::Snapshot(repo.save_snapshot_compact()),
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`obs`] — the fleet flight recorder: lock-free metrics registry +
 //!   bounded event trace behind a zero-overhead [`obs::Recorder`] handle.
 //! * [`proxy`] — the duplicating proxy and clone-VM profiler.
+//! * [`serve`] — the shared repository as an online service: wire
+//!   protocol, dejavu-serve daemon, and the remote repository client.
 //! * [`baselines`] — Autopilot, RightScale-style, fixed and tuning baselines.
 //! * [`experiments`] — the per-figure/per-table experiment harnesses.
 //! * [`fleet`] — the multi-tenant fleet simulator with its shared, sharded
@@ -46,6 +48,7 @@ pub use dejavu_metrics as metrics;
 pub use dejavu_ml as ml;
 pub use dejavu_obs as obs;
 pub use dejavu_proxy as proxy;
+pub use dejavu_serve as serve;
 pub use dejavu_services as services;
 pub use dejavu_simcore as simcore;
 pub use dejavu_traces as traces;

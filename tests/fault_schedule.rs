@@ -38,10 +38,11 @@
 //!   sees the recovery counters.
 
 use dejavu::fleet::{
-    FaultKind, FaultSpec, FleetConfig, FleetEngine, FleetReport, Scenario, SharedRepoConfig,
-    TransportConfig,
+    FaultKind, FaultSpec, FleetConfig, FleetEngine, FleetReport, Scenario, ScenarioBuilder,
+    SharedRepoConfig, TransportConfig,
 };
 use dejavu::obs::Recorder;
+use dejavu::simcore::SimDuration;
 
 mod common;
 use common::{assert_reports_bit_match, cases, fuzz_repo, fuzz_scenario, D_SEED};
@@ -215,6 +216,55 @@ fn checkpointing_without_faults_is_invisible_and_summarized() {
             assert!(f.compactions > 0, "{label}: nothing compacted");
         }
     });
+}
+
+/// The dynamic compaction floor: on a long run whose tenancy windows all
+/// *close*, the delta chain compacts past each crash-scheduled window as its
+/// window ends instead of pinning the whole run at the earliest one — the
+/// chain's peak length is bounded by the window span, not the horizon.
+#[test]
+fn long_churn_runs_keep_delta_chains_bounded() {
+    let days = 5;
+    let tenants = 12;
+    // Staggered 24-epoch tenancy windows across a 120-epoch horizon: every
+    // window closes long before the run does.
+    let mut builder = ScenarioBuilder::new("floor-churn", D_SEED, days).diurnal_fleet(tenants);
+    for t in 0..tenants {
+        builder = builder
+            .arrive_at(t, SimDuration::from_hours(6.0 * t as f64))
+            .depart_at(t, SimDuration::from_hours(6.0 * t as f64 + 24.0));
+    }
+    let scenario = builder.build();
+    let repo = SharedRepoConfig::default();
+    let bsp = FleetEngine::new(
+        scenario.clone(),
+        FleetConfig {
+            repo: repo.clone(),
+            ..Default::default()
+        },
+    )
+    .run();
+    let spec = FaultSpec::with_kinds(D_SEED ^ 0xC0FFEE, &[FaultKind::TenantCrash]);
+    for transport in async_transports() {
+        let label = format!("bounded chain {transport:?}");
+        let faulty = run_faulty(&scenario, &repo, transport, Some(spec), 2, None);
+        assert_reports_bit_match(&bsp, &faulty, &label);
+        let f = faulty.faults.as_ref().expect("fault summary");
+        assert!(
+            f.tenants_crashed > 0,
+            "{label}: no crash ever scheduled — the floor was never exercised"
+        );
+        let horizon = faulty.epochs;
+        assert!(horizon >= 90, "long run expected, got {horizon} epochs");
+        // A 24-epoch window plus compaction-cadence slack. A static floor
+        // pinned at the earliest crash window would grow the chain toward
+        // the full horizon instead.
+        assert!(
+            (f.chain_peak as usize) < horizon / 2,
+            "{label}: chain peak {} of a {horizon}-epoch run — the floor never advanced",
+            f.chain_peak
+        );
+    }
 }
 
 /// For `K > 0`, faulty runs still honor the staleness bound, still finish
