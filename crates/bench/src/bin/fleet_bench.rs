@@ -9,7 +9,10 @@
 //! overhead comparison (the same work-stealing fleet with the obs recorder
 //! off and on), the serving measurement (the wait-free read path under
 //! mixed read/publish load, plus wire round trips through a live
-//! `dejavu-serve` daemon), and a shared-repository lookup microbenchmark,
+//! `dejavu-serve` daemon), the single-epoch scale scenario (100k tenants in
+//! one 24 h commit window on a pool with one worker per host core, fixed
+//! and adaptive caps, plus the chunked-vs-exact distance-kernel
+//! microbenchmark), and a shared-repository lookup microbenchmark,
 //! then emits `BENCH_fleet.json` so every perf PR leaves comparable
 //! numbers behind.
 //! Each recorded run is labelled with the git revision and the host's core
@@ -24,6 +27,8 @@
 //!
 //! * `--quick` — small fleet (40 tenants, 1 day) and fewer microbench samples.
 //! * `--fleet TENANTS:DAYS` — override the fleet configurations (repeatable).
+//! * `--scale-tenants N` — tenant count for the single-epoch scale scenario
+//!   (default 10k under `--quick`, 100k otherwise).
 //! * `--out PATH` — where to write the JSON (default `BENCH_fleet.json`).
 //! * `--label NAME` — label recorded with this run (default `current`).
 //! * `--append` — append this run to an existing trajectory file instead of
@@ -39,7 +44,7 @@ use dejavu_fleet::{
     SharedSignatureRepository, SharingMode, TransportConfig,
 };
 use dejavu_obs::Recorder;
-use dejavu_simcore::SimTime;
+use dejavu_simcore::{SimDuration, SimTime};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,6 +57,7 @@ struct Args {
     baseline: Option<String>,
     max_regress: f64,
     fleets: Vec<(usize, usize)>,
+    scale_tenants: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +69,7 @@ fn parse_args() -> Args {
         baseline: None,
         max_regress: 0.30,
         fleets: Vec::new(),
+        scale_tenants: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -79,6 +86,13 @@ fn parse_args() -> Args {
                     t.parse().expect("tenant count"),
                     d.parse().expect("day count"),
                 ));
+            }
+            "--scale-tenants" => {
+                args.scale_tenants = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale-tenants needs a tenant count"),
+                )
             }
             "--max-regress" => {
                 args.max_regress = it
@@ -290,12 +304,17 @@ fn work_stealing_sweep(
     let (_, async_secs) = run(TransportConfig::BoundedStaleness { staleness });
     let mut cap_rates = Vec::new();
     for &threads in caps {
-        let (report, secs) = run(TransportConfig::WorkStealing { threads, staleness });
+        let (report, secs) = run(TransportConfig::WorkStealing {
+            threads,
+            staleness,
+            adaptive: false,
+        });
         cap_rates.push((threads, report.epochs as f64 / secs.max(1e-12)));
     }
     let (steal0_report, _) = run(TransportConfig::WorkStealing {
         threads: *caps.last().unwrap_or(&2),
         staleness: 0,
+        adaptive: false,
     });
     let steal0_bit_match = steal0_report.hit_rate_curve == bsp_report.hit_rate_curve
         && bsp_report
@@ -354,6 +373,7 @@ fn obs_compare(tenants: usize, days: usize) -> ObsMeasurement {
                 transport: TransportConfig::WorkStealing {
                     threads: 4,
                     staleness: 1,
+                    adaptive: false,
                 },
                 recorder: recorder.clone(),
                 ..Default::default()
@@ -652,6 +672,146 @@ fn serving_bench(
     }
 }
 
+/// The scale measurement: the full mixed fleet at 100k tenants (10k under
+/// `--quick`) squeezed into a single 24 h epoch. The whole simulated day is
+/// one commit window and every tenant observes hourly, so the run stresses
+/// tenant *count* — per-tenant signature prep, work-stealing scheduling, and
+/// commit batching — rather than epoch count. Runs once on a fixed pool with
+/// one worker per host core (the multi-core recording mode) and once under
+/// the adaptive cap governor, surfacing the governor and scratch-reuse
+/// counters from the flight recorder.
+struct ScaleMeasurement {
+    tenants: usize,
+    epochs: usize,
+    threads: usize,
+    secs: f64,
+    epochs_per_sec: f64,
+    /// `tenants * epochs / secs`: the throughput axis that actually grows
+    /// with fleet size when the epoch count is pinned at one.
+    tenant_epochs_per_sec: f64,
+    hit_rate: f64,
+    adaptive_secs: f64,
+    adaptive_tenant_epochs_per_sec: f64,
+    pool_grows: u64,
+    pool_shrinks: u64,
+    parks: u64,
+    steals: u64,
+    scratch_bytes_saved: u64,
+}
+
+fn scale_bench(tenants: usize) -> ScaleMeasurement {
+    let scenario = || {
+        let mut s = standard_fleet(tenants, 1, 17);
+        s.name = format!("scale-{tenants}");
+        // One fleet-wide epoch covering the whole day; hourly observation
+        // keeps per-tenant work proportional to the standard fleets.
+        s.epoch = SimDuration::from_hours(24.0);
+        s.tick = SimDuration::from_hours(1.0);
+        s
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let run = |adaptive: bool| {
+        let recorder = Recorder::enabled();
+        let engine = FleetEngine::new(
+            scenario(),
+            FleetConfig {
+                transport: TransportConfig::WorkStealing {
+                    threads,
+                    staleness: 1,
+                    adaptive,
+                },
+                recorder: recorder.clone(),
+                ..Default::default()
+            },
+        );
+        let start = Instant::now();
+        let report = engine.run();
+        (report, start.elapsed().as_secs_f64(), recorder)
+    };
+    let (report, secs, recorder) = run(false);
+    let fixed = recorder.metrics().expect("enabled recorder has metrics");
+    let (report_a, adaptive_secs, recorder_a) = run(true);
+    let adaptive = recorder_a.metrics().expect("enabled recorder has metrics");
+    let epochs = report.epochs;
+    assert_eq!(epochs, report_a.epochs, "adaptive run drifted in epochs");
+    ScaleMeasurement {
+        tenants,
+        epochs,
+        threads,
+        secs,
+        epochs_per_sec: epochs as f64 / secs.max(1e-12),
+        tenant_epochs_per_sec: (tenants * epochs) as f64 / secs.max(1e-12),
+        hit_rate: report.fleet_hit_rate(),
+        adaptive_secs,
+        adaptive_tenant_epochs_per_sec: (tenants * epochs) as f64 / adaptive_secs.max(1e-12),
+        pool_grows: adaptive.pool_grows.get(),
+        pool_shrinks: adaptive.pool_shrinks.get(),
+        parks: fixed.parks.get(),
+        steals: fixed.steals.get(),
+        scratch_bytes_saved: fixed.scratch_bytes_saved.get(),
+    }
+}
+
+/// Chunked-vs-exact distance-kernel microbenchmark: nanoseconds per
+/// dimension for the squared-distance kernel at signature-sized (8),
+/// feature-sized (32) and centroid-slab-sized (128) inputs. Both paths are
+/// called directly (bypassing the env-latched dispatcher) so the comparison
+/// is order-of-summation only.
+struct KernelMeasurement {
+    dims: usize,
+    chunked_ns_per_dim: f64,
+    exact_ns_per_dim: f64,
+    /// `exact / chunked`: above 1.0 when the lane-blocked kernel wins.
+    speedup: f64,
+}
+
+fn kernel_microbench(samples: usize) -> Vec<KernelMeasurement> {
+    use dejavu_ml::kernels::{squared_distance_chunked, squared_distance_exact};
+    use std::hint::black_box;
+    // SplitMix64 over the index: deterministic operands with sign and
+    // magnitude spread, no RNG dependency.
+    let gen = |salt: u64, dims: usize| -> Vec<f64> {
+        (0..dims as u64)
+            .map(|i| {
+                let mut z = (salt ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) as f64 / u64::MAX as f64 - 0.5) * 8.0
+            })
+            .collect()
+    };
+    [8usize, 32, 128]
+        .iter()
+        .map(|&dims| {
+            let a = gen(0x243F_6A88_85A3_08D3, dims);
+            let b = gen(0x1319_8A2E_0370_7344, dims);
+            let time = |f: fn(&[f64], &[f64]) -> f64| {
+                let mut acc = 0.0;
+                for _ in 0..samples / 10 {
+                    acc += f(black_box(&a), black_box(&b));
+                }
+                let start = Instant::now();
+                for _ in 0..samples {
+                    acc += f(black_box(&a), black_box(&b));
+                }
+                let ns = start.elapsed().as_nanos() as f64;
+                black_box(acc);
+                ns / (samples as f64 * dims as f64)
+            };
+            let chunked_ns_per_dim = time(squared_distance_chunked);
+            let exact_ns_per_dim = time(squared_distance_exact);
+            KernelMeasurement {
+                dims,
+                chunked_ns_per_dim,
+                exact_ns_per_dim,
+                speedup: exact_ns_per_dim / chunked_ns_per_dim.max(1e-12),
+            }
+        })
+        .collect()
+}
+
 /// A 30-metric signature for anchor `a`, shaped like the profiler's output:
 /// magnitudes spread over decades, distinct anchors well beyond the match
 /// tolerance.
@@ -931,6 +1091,35 @@ fn main() {
         serving.wire_p99_ns,
     );
 
+    let scale_tenants = args
+        .scale_tenants
+        .unwrap_or(if args.quick { 10_000 } else { 100_000 });
+    let scale = scale_bench(scale_tenants);
+    eprintln!(
+        "scale {:>6} tenants x {} epoch ({} threads): {:>9.0} tenant-epochs/s in {:.3}s (hit rate {:.1}%); adaptive {:>9.0} in {:.3}s ({} grows, {} shrinks); {} parks, {} steals, {} scratch bytes saved",
+        scale.tenants,
+        scale.epochs,
+        scale.threads,
+        scale.tenant_epochs_per_sec,
+        scale.secs,
+        scale.hit_rate * 100.0,
+        scale.adaptive_tenant_epochs_per_sec,
+        scale.adaptive_secs,
+        scale.pool_grows,
+        scale.pool_shrinks,
+        scale.parks,
+        scale.steals,
+        scale.scratch_bytes_saved,
+    );
+
+    let kernels = kernel_microbench(if args.quick { 200_000 } else { 2_000_000 });
+    for k in &kernels {
+        eprintln!(
+            "kernel dims {:>3}: chunked {:.3} ns/dim vs exact {:.3} ns/dim ({:.2}x)",
+            k.dims, k.chunked_ns_per_dim, k.exact_ns_per_dim, k.speedup
+        );
+    }
+
     let lookups = lookup_microbench(anchors, samples);
     for (name, m) in &lookups {
         eprintln!(
@@ -1081,6 +1270,34 @@ fn main() {
         serving.wire_lookups_per_sec,
         serving.wire_p50_ns,
         serving.wire_p99_ns,
+    );
+    let kernels_json: Vec<String> = kernels
+        .iter()
+        .map(|k| {
+            format!(
+                "{{\"dims\": {}, \"chunked_ns_per_dim\": {:.4}, \"exact_ns_per_dim\": {:.4}, \"speedup\": {:.3}}}",
+                k.dims, k.chunked_ns_per_dim, k.exact_ns_per_dim, k.speedup
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        run,
+        "      \"scale\": {{\"tenants\": {}, \"epochs\": {}, \"threads\": {}, \"secs\": {:.4}, \"epochs_per_sec\": {:.2}, \"tenant_epochs_per_sec\": {:.0}, \"hit_rate\": {:.4}, \"adaptive_secs\": {:.4}, \"adaptive_tenant_epochs_per_sec\": {:.0}, \"pool_grows\": {}, \"pool_shrinks\": {}, \"parks\": {}, \"steals\": {}, \"scratch_bytes_saved\": {}, \"kernels\": [{}]}},",
+        scale.tenants,
+        scale.epochs,
+        scale.threads,
+        scale.secs,
+        scale.epochs_per_sec,
+        scale.tenant_epochs_per_sec,
+        scale.hit_rate,
+        scale.adaptive_secs,
+        scale.adaptive_tenant_epochs_per_sec,
+        scale.pool_grows,
+        scale.pool_shrinks,
+        scale.parks,
+        scale.steals,
+        scale.scratch_bytes_saved,
+        kernels_json.join(", "),
     );
     run.push_str("      \"lookups\": [\n");
     for (i, (name, m)) in lookups.iter().enumerate() {

@@ -6,6 +6,11 @@ use dejavu_metrics::WorkloadSignature;
 use dejavu_ml::{Dataset, KMeans, KMeansConfig};
 use serde::{Deserialize, Serialize};
 
+/// Widest signature [`ClusteringOutcome::assign`] normalizes on the stack.
+/// Signatures carry one value per selected metric — a dozen or so in
+/// practice — so 64 covers everything without a per-call allocation.
+const ASSIGN_STACK_DIMS: usize = 64;
+
 /// The result of clustering the learning-phase signatures.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusteringOutcome {
@@ -55,9 +60,22 @@ impl ClusteringOutcome {
 
     /// Assigns a signature to its nearest class and reports the distance to
     /// that class's centroid (in normalized space).
+    ///
+    /// This runs once per observation tick fleet-wide, so it avoids the heap:
+    /// signatures up to [`ASSIGN_STACK_DIMS`] attributes (every signature the
+    /// metric layer produces) normalize into a stack buffer, and the nearest
+    /// centroid is found in a single scan.
     pub fn assign(&self, signature: &WorkloadSignature) -> (usize, f64) {
-        let v = self.normalize(signature.values());
-        (self.kmeans.assign(&v), self.kmeans.distance_to_nearest(&v))
+        let values = signature.values();
+        if values.len() <= ASSIGN_STACK_DIMS {
+            let mut buf = [0.0f64; ASSIGN_STACK_DIMS];
+            let v = &mut buf[..values.len()];
+            Dataset::normalize_with_into(values, &self.moments, v);
+            self.kmeans.assign_with_distance(v)
+        } else {
+            let v = self.normalize(values);
+            self.kmeans.assign_with_distance(&v)
+        }
     }
 }
 

@@ -451,6 +451,7 @@ mod tests {
             transport: TransportConfig::WorkStealing {
                 threads: 2,
                 staleness: 1,
+                adaptive: false,
             },
             ..Default::default()
         })

@@ -1,0 +1,179 @@
+//! Bump-arena slabs for signature payloads.
+//!
+//! The shared repository's hot structures hold many small `f64` vectors of
+//! identical length (workload signatures: one value per selected metric).
+//! Storing each as its own `Vec<f64>` costs one heap allocation per payload
+//! and scatters them across the heap; the resolve and memo paths that scan
+//! them then chase a pointer per signature. A [`SignatureArena`] packs the
+//! payloads into **one contiguous dim-major slab** and hands out plain
+//! `(offset, len)` handles ([`SigRef`]) instead:
+//!
+//! * allocation is a bump of the slab's tail — no allocator round-trip once
+//!   the slab has grown to its steady-state size;
+//! * [`clear`](SignatureArena::clear) retains capacity, so a structure that
+//!   refills every epoch (a commit batch, a rebound memo) stops touching the
+//!   allocator entirely after its first fill;
+//! * fixed-size payloads can be **overwritten in place**
+//!   ([`overwrite`](SignatureArena::overwrite)), which is what keeps the
+//!   bounded resolve memo allocation-free in steady state.
+//!
+//! The arena counts every byte it serves from retained capacity
+//! ([`take_bytes_saved`](SignatureArena::take_bytes_saved)); the fleet's
+//! flight recorder surfaces the tally as the `scratch_bytes_saved` counter.
+
+/// Handle to one payload inside a [`SignatureArena`]: a `(start, len)` pair
+/// into the arena's slab. Plain `Copy` data — cloning a structure that holds
+/// refs clones only the handles; the owning arena must be cloned alongside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigRef {
+    start: u32,
+    len: u32,
+}
+
+impl SigRef {
+    /// Number of `f64` values the handle covers.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the handle covers an empty payload.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A bump arena of `f64` payloads: one contiguous slab, `(offset, len)`
+/// handles, capacity-retaining reset. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct SignatureArena {
+    data: Vec<f64>,
+    /// Slab capacity at the last [`clear`](Self::clear): bump allocations
+    /// below this high-water mark are served from retained memory and count
+    /// toward [`take_bytes_saved`](Self::take_bytes_saved).
+    retained: usize,
+    /// Bytes served without a fresh heap allocation since the last take.
+    bytes_saved: u64,
+}
+
+impl SignatureArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies `values` into the slab and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab would exceed `u32::MAX` values (signatures are a
+    /// few dozen dimensions; a slab that large is a logic error).
+    pub fn alloc(&mut self, values: &[f64]) -> SigRef {
+        let start = self.data.len();
+        let end = start + values.len();
+        assert!(end <= u32::MAX as usize, "signature arena overflow");
+        if end <= self.retained {
+            self.bytes_saved += std::mem::size_of_val(values) as u64;
+        }
+        self.data.extend_from_slice(values);
+        SigRef {
+            start: start as u32,
+            len: values.len() as u32,
+        }
+    }
+
+    /// Replaces the payload at `r` with `values` **in place** when the
+    /// lengths match (the steady state of fixed-dimension signatures —
+    /// no allocation, no slab growth); falls back to a fresh
+    /// [`alloc`](Self::alloc) otherwise, abandoning the old slot until the
+    /// next [`clear`](Self::clear). Returns the handle to use from now on.
+    pub fn overwrite(&mut self, r: SigRef, values: &[f64]) -> SigRef {
+        if r.len as usize == values.len() {
+            let start = r.start as usize;
+            self.data[start..start + values.len()].copy_from_slice(values);
+            self.bytes_saved += std::mem::size_of_val(values) as u64;
+            r
+        } else {
+            self.alloc(values)
+        }
+    }
+
+    /// The payload behind `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not come from this arena (out of bounds).
+    pub fn get(&self, r: SigRef) -> &[f64] {
+        &self.data[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Drops every payload but keeps the slab's capacity, so the next fill
+    /// cycle allocates nothing until it outgrows this one.
+    pub fn clear(&mut self) {
+        self.retained = self.data.capacity();
+        self.data.clear();
+    }
+
+    /// Total `f64` values currently stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the arena holds no payloads.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drains the bytes-served-from-retained-memory tally (for the
+    /// `scratch_bytes_saved` flight-recorder counter).
+    pub fn take_bytes_saved(&mut self) -> u64 {
+        std::mem::take(&mut self.bytes_saved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_get_round_trip() {
+        let mut arena = SignatureArena::new();
+        let a = arena.alloc(&[1.0, 2.0, 3.0]);
+        let b = arena.alloc(&[4.0]);
+        let empty = arena.alloc(&[]);
+        assert_eq!(arena.get(a), &[1.0, 2.0, 3.0]);
+        assert_eq!(arena.get(b), &[4.0]);
+        assert!(arena.get(empty).is_empty());
+        assert!(empty.is_empty());
+        assert_eq!(a.len(), 3);
+        assert_eq!(arena.len(), 4);
+    }
+
+    #[test]
+    fn overwrite_in_place_keeps_the_handle_and_counts_saved_bytes() {
+        let mut arena = SignatureArena::new();
+        let a = arena.alloc(&[1.0, 2.0]);
+        assert_eq!(arena.take_bytes_saved(), 0, "first fill is fresh memory");
+        let same = arena.overwrite(a, &[7.0, 8.0]);
+        assert_eq!(same, a);
+        assert_eq!(arena.get(a), &[7.0, 8.0]);
+        assert_eq!(arena.take_bytes_saved(), 16);
+        // A length change falls back to a fresh slot.
+        let grown = arena.overwrite(a, &[1.0, 2.0, 3.0]);
+        assert_ne!(grown, a);
+        assert_eq!(arena.get(grown), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_refills_count_as_saved() {
+        let mut arena = SignatureArena::new();
+        for i in 0..8 {
+            arena.alloc(&[i as f64; 16]);
+        }
+        assert_eq!(arena.take_bytes_saved(), 0);
+        arena.clear();
+        assert!(arena.is_empty());
+        let r = arena.alloc(&[9.0; 16]);
+        assert_eq!(arena.get(r), &[9.0; 16]);
+        assert_eq!(arena.take_bytes_saved(), 128, "served from retained slab");
+    }
+}

@@ -628,6 +628,7 @@ mod tests {
             TransportConfig::WorkStealing {
                 threads: 2,
                 staleness: 0,
+                adaptive: false,
             },
         ] {
             let engine = FleetEngine::new(tiny_scenario(3), FleetConfig::default());
@@ -818,6 +819,7 @@ mod tests {
                     transport: TransportConfig::WorkStealing {
                         threads,
                         staleness: 0,
+                        adaptive: false,
                     },
                     ..Default::default()
                 },
@@ -855,6 +857,7 @@ mod tests {
                 transport: TransportConfig::WorkStealing {
                     threads: 2,
                     staleness: k,
+                    adaptive: false,
                 },
                 ..Default::default()
             },

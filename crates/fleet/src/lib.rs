@@ -7,6 +7,9 @@
 //! [`SharedSignatureRepository`], so one tenant's tuning pays off for every
 //! recurring workload in the fleet.
 //!
+//! * [`arena`] — bump-arena slabs for signature payloads: contiguous
+//!   dim-major storage with `(offset, len)` handles and capacity-retaining
+//!   reset, backing the resolve memo and the anchor-set misfit store.
 //! * [`engine`] — the single-tenant simulation engine (moved here from
 //!   `dejavu-experiments`), now steppable one observation tick at a time.
 //! * [`shared_repo`] — the lock-striped, sharded store. Entries are keyed by
@@ -46,6 +49,7 @@
 //! assert_eq!(report.tenants.len(), 3);
 //! ```
 
+pub mod arena;
 pub mod engine;
 pub mod faults;
 pub mod fleet_engine;
@@ -57,6 +61,7 @@ pub mod snapshot;
 pub mod tenant_view;
 pub mod transport;
 
+pub use arena::{SigRef, SignatureArena};
 pub use engine::{RunConfig, RunResult, RunState, SimulationEngine};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultSpecError};
 pub use fleet_engine::{FleetConfig, FleetEngine, SharingMode};

@@ -60,6 +60,7 @@
 //! lock. Entries carry their tuning time; a TTL turns tuning decisions stale
 //! so a fleet never reuses week-old allocations forever.
 
+use crate::arena::{SigRef, SignatureArena};
 use dejavu_cloud::{AllocationSpace, ResourceAllocation};
 use dejavu_core::FlatMap;
 use dejavu_obs::{Counter, Event, Recorder};
@@ -385,24 +386,21 @@ struct AnchorSet {
     built: usize,
     /// Anchors whose signature length differs from `dims` (degenerate; kept
     /// for exactness — they can only match queries of their own length).
-    misfits: Vec<(u32, Vec<f64>)>,
+    /// Handles into `misfit_slab`, not per-anchor heap vectors.
+    misfits: Vec<(u32, SigRef)>,
+    /// Arena slab holding the misfit signatures contiguously.
+    misfit_slab: SignatureArena,
     /// Total number of anchors ever created in this namespace.
     count: u32,
 }
 
 impl AnchorSet {
     /// Squared Euclidean distance between `a` and `b`, bailing out with
-    /// `None` once it provably exceeds `bound_sq`.
+    /// `None` once it provably exceeds `bound_sq`. Runs on the
+    /// mode-dispatched kernels of [`dejavu_ml::kernels`] (chunked by
+    /// default, exact serial order under `DEJAVU_EXACT_KERNELS`).
     fn sq_dist_within(a: &[f64], b: &[f64], bound_sq: f64) -> Option<f64> {
-        let mut sum = 0.0;
-        for (&x, &y) in a.iter().zip(b) {
-            let d = x - y;
-            sum += d * d;
-            if sum > bound_sq {
-                return None;
-            }
-        }
-        Some(sum)
+        dejavu_ml::kernels::squared_distance_within(a, b, bound_sq)
     }
 
     /// Builds the ball tree over `slots` (recursive; appends to `nodes`).
@@ -591,15 +589,16 @@ impl AnchorSet {
         best: &mut Option<(f64, u32)>,
         probes: &mut u64,
     ) {
-        for (id, values) in &self.misfits {
-            if *id < from_id {
+        for &(id, r) in &self.misfits {
+            if id < from_id {
                 continue;
             }
             *probes += 1;
+            let values = self.misfit_slab.get(r);
             let limit = best.map_or(tolerance, |(d, _)| d.min(tolerance));
             if let Some(d) = normalized_distance_within(values, signature, limit) {
-                if best.is_none_or(|(bd, bid)| d < bd || (d == bd && *id < bid)) {
-                    *best = Some((d, *id));
+                if best.is_none_or(|(bd, bid)| d < bd || (d == bd && id < bid)) {
+                    *best = Some((d, id));
                 }
             }
         }
@@ -849,7 +848,8 @@ impl AnchorSet {
                 self.rebuild();
             }
         } else {
-            self.misfits.push((id, signature.to_vec()));
+            let r = self.misfit_slab.alloc(signature);
+            self.misfits.push((id, r));
         }
         id
     }
@@ -879,10 +879,10 @@ impl AnchorSet {
                 });
                 slab += 1;
             } else {
-                let (id, values) = &self.misfits[misfit];
+                let (id, r) = self.misfits[misfit];
                 out.push(crate::snapshot::AnchorSnapshot {
-                    id: *id,
-                    values: values.clone(),
+                    id,
+                    values: self.misfit_slab.get(r).to_vec(),
                 });
                 misfit += 1;
             }
@@ -923,7 +923,8 @@ impl AnchorSet {
                 set.phi.extend(a.values.iter().map(|&v| log_mag(v)));
                 set.slab_ids.push(a.id);
             } else {
-                set.misfits.push((a.id, a.values.clone()));
+                let r = set.misfit_slab.alloc(&a.values);
+                set.misfits.push((a.id, r));
             }
         }
         set.rebuild();
@@ -952,13 +953,17 @@ pub struct ResolveMemo {
     /// The namespace the memo is bound to; rebinding clears it.
     namespace: Option<u64>,
     entries: Vec<MemoEntry>,
+    /// Memoized signatures, packed in one arena slab instead of one heap
+    /// vector per entry: fixed-dimension signatures are overwritten in
+    /// place on replacement, so a full memo stops allocating entirely.
+    slab: SignatureArena,
     /// Deterministic round-robin replacement cursor.
     cursor: usize,
 }
 
 #[derive(Debug)]
 struct MemoEntry {
-    signature: Vec<f64>,
+    signature: SigRef,
     /// Anchor count of the namespace when `resolved` was last validated.
     seen_anchors: u32,
     /// The witnessed resolution: `(distance, anchor id)`; `None` is a
@@ -971,6 +976,7 @@ impl ResolveMemo {
     fn bind(&mut self, namespace: u64) {
         if self.namespace != Some(namespace) {
             self.entries.clear();
+            self.slab.clear();
             self.cursor = 0;
             self.namespace = Some(namespace);
         }
@@ -979,8 +985,9 @@ impl ResolveMemo {
     /// Finds the entry whose signature is bit-identical to `signature`.
     fn find(&self, signature: &[f64]) -> Option<usize> {
         self.entries.iter().position(|e| {
-            e.signature.len() == signature.len()
-                && e.signature
+            let stored = self.slab.get(e.signature);
+            stored.len() == signature.len()
+                && stored
                     .iter()
                     .zip(signature)
                     .all(|(a, b)| a.to_bits() == b.to_bits())
@@ -988,17 +995,25 @@ impl ResolveMemo {
     }
 
     fn insert(&mut self, signature: &[f64], seen_anchors: u32, resolved: Option<(f64, u32)>) {
-        let entry = MemoEntry {
-            signature: signature.to_vec(),
-            seen_anchors,
-            resolved,
-        };
         if self.entries.len() < MEMO_CAPACITY {
-            self.entries.push(entry);
+            self.entries.push(MemoEntry {
+                signature: self.slab.alloc(signature),
+                seen_anchors,
+                resolved,
+            });
         } else {
-            self.entries[self.cursor] = entry;
+            let slot = &mut self.entries[self.cursor];
+            slot.signature = self.slab.overwrite(slot.signature, signature);
+            slot.seen_anchors = seen_anchors;
+            slot.resolved = resolved;
             self.cursor = (self.cursor + 1) % MEMO_CAPACITY;
         }
+    }
+
+    /// Drains the bytes the memo's slab served from retained memory (the
+    /// `scratch_bytes_saved` flight-recorder counter).
+    pub fn take_bytes_saved(&mut self) -> u64 {
+        self.slab.take_bytes_saved()
     }
 
     /// Memoized signatures currently held (diagnostic surface).
@@ -1190,13 +1205,19 @@ pub fn normalized_distance(a: &[f64], b: &[f64]) -> f64 {
     normalized_distance_within(a, b, f64::INFINITY).unwrap_or(f64::INFINITY)
 }
 
-/// Early-exit form of [`normalized_distance`]: returns the exact distance if
-/// it is at most `limit`, or `None` if it exceeds `limit` — bailing out of
-/// the accumulation as soon as the partial sum proves the outcome.
-/// Accumulation order matches the full computation and acceptance is decided
-/// on the final `sqrt(sum/n)` value itself, so both the returned distance and
-/// the accept/reject outcome are bit-identical to computing
-/// `normalized_distance(a, b)` and comparing it with `limit`.
+/// Early-exit form of [`normalized_distance`]: returns the distance if it is
+/// at most `limit`, or `None` if it exceeds `limit` — bailing out of the
+/// accumulation as soon as the partial sum proves the outcome. Acceptance is
+/// decided on the final `sqrt(sum/n)` value itself, so the returned distance
+/// and the accept/reject outcome always agree with computing
+/// `normalized_distance(a, b)` under the same kernel mode and comparing it
+/// with `limit`.
+///
+/// The per-dimension accumulation runs on the mode-dispatched kernels of
+/// [`dejavu_ml::kernels`]: lane-parallel chunked by default (the independent
+/// per-dimension divides are what the vector units want), or the historical
+/// exact serial order process-wide under `DEJAVU_EXACT_KERNELS` — the
+/// fallback the bit-exact golden tests run under.
 pub fn normalized_distance_within(a: &[f64], b: &[f64], limit: f64) -> Option<f64> {
     if a.len() != b.len() || a.is_empty() {
         return None;
@@ -1206,15 +1227,7 @@ pub fn normalized_distance_within(a: &[f64], b: &[f64], limit: f64) -> Option<f6
     // exact `d ≤ limit` test below is the authoritative decision, and the
     // inflation only means a borderline candidate completes its accumulation.
     let bound = limit * limit * a.len() as f64 * (1.0 + 1e-12);
-    let mut sum = 0.0;
-    for (&x, &y) in a.iter().zip(b) {
-        let scale = x.abs().max(y.abs()).max(1e-9);
-        let d = (x - y) / scale;
-        sum += d * d;
-        if sum > bound {
-            return None;
-        }
-    }
+    let sum = dejavu_ml::kernels::normalized_sq_sum(a, b, MAG_FLOOR, bound)?;
     let d = (sum / a.len() as f64).sqrt();
     if d <= limit {
         Some(d)
@@ -1633,7 +1646,10 @@ impl SharedSignatureRepository {
                 self.peek_entry(ns, resolution, interference_bucket, now, exclude_owner)
             });
         self.recorder.observe(started, |m| &m.peek_ns);
-        self.recorder.with(|m| m.tree_visits.record(probes));
+        self.recorder.with(|m| {
+            m.tree_visits.record(probes);
+            m.scratch_bytes_saved.add(memo.take_bytes_saved());
+        });
         result
     }
 

@@ -681,6 +681,10 @@ pub enum TransportConfig {
         /// Maximum number of epochs a tenant's view may trail its shard's
         /// commit frontier.
         staleness: usize,
+        /// Let the pool's governor adapt the active-worker cap between `1`
+        /// and `threads` at epoch folds. Affects wall time only: results
+        /// are invariant to the cap, so adaptive runs bit-match fixed ones.
+        adaptive: bool,
     },
 }
 
@@ -692,9 +696,15 @@ impl TransportConfig {
             TransportConfig::BoundedStaleness { staleness } => {
                 Box::new(BoundedStaleness { staleness })
             }
-            TransportConfig::WorkStealing { threads, staleness } => {
-                Box::new(WorkStealing { threads, staleness })
-            }
+            TransportConfig::WorkStealing {
+                threads,
+                staleness,
+                adaptive,
+            } => Box::new(WorkStealing {
+                threads,
+                staleness,
+                adaptive,
+            }),
         }
     }
 
@@ -709,11 +719,21 @@ impl TransportConfig {
         match backend {
             "bsp" => Ok(TransportConfig::Bsp),
             "async" => Ok(TransportConfig::BoundedStaleness { staleness }),
-            "steal" => Ok(TransportConfig::WorkStealing { threads, staleness }),
+            "steal" => Ok(TransportConfig::WorkStealing {
+                threads,
+                staleness,
+                adaptive: false,
+            }),
+            "steal-adaptive" => Ok(TransportConfig::WorkStealing {
+                threads,
+                staleness,
+                adaptive: true,
+            }),
             other => Err(format!(
                 "unknown transport '{other}': valid backends are 'bsp' (lock-step epoch \
-                 barrier), 'async' (bounded staleness, one thread per tenant; --staleness K) \
-                 and 'steal' (work-stealing pool; --threads N --staleness K)"
+                 barrier), 'async' (bounded staleness, one thread per tenant; --staleness K), \
+                 'steal' (work-stealing pool; --threads N --staleness K) and 'steal-adaptive' \
+                 (the same pool with the active-worker cap governed adaptively)"
             )),
         }
     }
@@ -798,6 +818,12 @@ impl CommitTransport for BspBarrier {
         let mut out = TransportOutcome::new(self.name(), handles.len());
         let chunk_size = handles.len().div_ceil(ctx.workers.max(1)).max(1);
         let recorder = ctx.recorder();
+        // Per-epoch commit scratch, hoisted out of the epoch loop so capacity
+        // carries over: after the first epoch the barrier commit allocates
+        // nothing.
+        let mut ops: Vec<PendingOp> = Vec::new();
+        let mut op_tenants: Vec<usize> = Vec::new();
+        let mut op_staleness: Vec<usize> = Vec::new();
         for epoch in 0..ctx.epochs {
             recorder.event(|| Event::EpochBegin {
                 epoch: epoch as u64,
@@ -835,8 +861,11 @@ impl CommitTransport for BspBarrier {
             // Epoch barrier: publish buffered writes in tenant order, then
             // age out stale entries. This is the only place the shared store
             // changes under this transport.
-            let mut ops: Vec<PendingOp> = Vec::new();
-            let mut op_tenants: Vec<usize> = Vec::new();
+            let ops_retained = ops.capacity();
+            let cols_retained = op_tenants.capacity().min(op_staleness.capacity());
+            ops.clear();
+            op_tenants.clear();
+            op_staleness.clear();
             for handle in &mut handles {
                 if out.failed[handle.index()].is_some() {
                     continue;
@@ -845,7 +874,11 @@ impl CommitTransport for BspBarrier {
                 op_tenants.resize(op_tenants.len() + drained.len(), handle.index());
                 ops.extend(drained);
             }
-            let op_staleness = vec![0usize; ops.len()];
+            op_staleness.resize(ops.len(), 0);
+            let saved = (ops.len().min(ops_retained) * std::mem::size_of::<PendingOp>()
+                + op_tenants.len().min(cols_retained) * 2 * std::mem::size_of::<usize>())
+                as u64;
+            recorder.with(|m| m.scratch_bytes_saved.add(saved));
             commit_epoch(&ctx, &ops, &op_tenants, &op_staleness, &mut out);
             let reclaimed = ctx.sweep(epoch);
             recorder.with(|m| m.sweep_reclaimed.add(reclaimed));
@@ -1033,6 +1066,84 @@ impl Doorbell {
         while *generation == seen {
             generation = self.bell.wait(generation).expect("doorbell poisoned");
         }
+    }
+}
+
+/// What one adaptive-cap decision did, so the drive can count it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CapChange {
+    Grew,
+    Shrank,
+}
+
+/// The adaptive thread-cap governor of [`WorkStealing`] pools.
+///
+/// Workers beyond [`cap`](Self::cap) gate themselves at the top of their
+/// scheduling loop (worker 0 never gates, so the pool always makes
+/// progress). Between decisions the active workers feed the governor two
+/// hunger signals — tenant **parks** (work arriving faster than the
+/// committer's frontiers advance: more workers only deepen the parked
+/// backlog) and empty-handed idle **wakes** (workers outnumber runnable
+/// tenants) — and the committer calls
+/// [`on_epoch_fold`](Self::on_epoch_fold) exactly once per fleet-wide epoch
+/// fold, the async transports' analogue of the barrier. Deciding only at
+/// folds keeps adaptation off the hot path; and because the pool's results
+/// are invariant to the thread cap (see [`WorkStealing`]), a cap that moves
+/// between folds changes wall time only, never a byte of the outcome —
+/// `tests/differential.rs` pins adaptive runs bit-to-bit against fixed ones.
+struct PoolGovernor {
+    /// Workers currently allowed to schedule (`1..=max`).
+    cap: AtomicUsize,
+    /// The configured pool size the cap can grow back to.
+    max: usize,
+    /// Tenant parks observed since the last decision.
+    parks: AtomicU64,
+    /// Empty-handed idle wakes observed since the last decision.
+    idle_wakes: AtomicU64,
+}
+
+impl PoolGovernor {
+    fn new(threads: usize) -> Self {
+        PoolGovernor {
+            cap: AtomicUsize::new(threads),
+            max: threads,
+            parks: AtomicU64::new(0),
+            idle_wakes: AtomicU64::new(0),
+        }
+    }
+
+    fn cap(&self) -> usize {
+        self.cap.load(Ordering::Acquire)
+    }
+
+    fn note_park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_idle_wake(&self) {
+        self.idle_wakes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One cap decision at a fleet-wide epoch fold. `stepped` is how many
+    /// tenant reports the folded epoch carried — the work the window's park
+    /// count is judged against. Shrinks by one worker when parks outnumber
+    /// the epoch's reports (the pool is racing ahead of the committer);
+    /// grows by one when a whole window passed with no worker going hungry.
+    /// Moving one worker per fold keeps the cap within the pool's real
+    /// hunger band instead of oscillating across it.
+    fn on_epoch_fold(&self, stepped: usize) -> Option<CapChange> {
+        let parks = self.parks.swap(0, Ordering::Relaxed);
+        let idle_wakes = self.idle_wakes.swap(0, Ordering::Relaxed);
+        let cap = self.cap.load(Ordering::Acquire);
+        if parks > stepped.max(1) as u64 && cap > 1 {
+            self.cap.store(cap - 1, Ordering::Release);
+            return Some(CapChange::Shrank);
+        }
+        if idle_wakes == 0 && cap < self.max {
+            self.cap.store(cap + 1, Ordering::Release);
+            return Some(CapChange::Grew);
+        }
+        None
     }
 }
 
@@ -1366,6 +1477,12 @@ struct Committer<'a, 'h> {
     /// TTL sweeps still run on schedule, exactly as the whole-fleet
     /// barrier's sweep would have covered them.
     work: Vec<usize>,
+    /// Commit-batch scratch reused across `(shard, epoch)` commits: the flat
+    /// op list and its parallel tenant/staleness columns. Capacity is
+    /// retained between commits, so steady-state commits allocate nothing.
+    scratch_ops: Vec<PendingOp>,
+    scratch_tenants: Vec<usize>,
+    scratch_staleness: Vec<usize>,
 }
 
 impl<'a, 'h> Committer<'a, 'h> {
@@ -1420,6 +1537,9 @@ impl<'a, 'h> Committer<'a, 'h> {
             retained: Vec::new(),
             cursors,
             work: (0..shards).collect(),
+            scratch_ops: Vec::new(),
+            scratch_tenants: Vec::new(),
+            scratch_staleness: Vec::new(),
         }
     }
 
@@ -1437,6 +1557,7 @@ impl<'a, 'h> Committer<'a, 'h> {
         mut inbox: Inbox<'_>,
         out: &mut TransportOutcome,
         on_release: &mut dyn FnMut(Vec<usize>),
+        on_fold: &mut dyn FnMut(usize),
     ) {
         let recorder = self.ctx.recorder();
         // Fold-to-fold wall time per fleet-wide epoch (the async analogue of
@@ -1450,6 +1571,7 @@ impl<'a, 'h> Committer<'a, 'h> {
                 && self.shard_next.iter().all(|&next| next > self.completed)
             {
                 let folded = self.completed;
+                let stepped = self.epoch_stats[folded].len();
                 for (tenant, hits, misses) in std::mem::take(&mut self.epoch_stats[folded]) {
                     self.cached[tenant] = (hits, misses);
                 }
@@ -1461,6 +1583,10 @@ impl<'a, 'h> Committer<'a, 'h> {
                 recorder.event(|| Event::EpochCommit {
                     epoch: folded as u64,
                 });
+                // The epoch-fold hook — where the work-stealing drive lets
+                // its cap governor decide. Called after the fold's bookwork
+                // so a decision never delays the commit itself.
+                on_fold(stepped);
                 self.completed += 1;
                 if let Some(domain) = self.domain {
                     if domain.injector.committer_restart(folded) {
@@ -1542,20 +1668,41 @@ impl<'a, 'h> Committer<'a, 'h> {
                 let epoch = self.shard_next[shard];
                 let mut batch = std::mem::take(&mut self.pending[epoch][shard]);
                 batch.sort_by_key(|r| r.tenant);
-                let mut ops: Vec<PendingOp> = Vec::new();
-                let mut op_tenants: Vec<usize> = Vec::new();
-                let mut op_staleness: Vec<usize> = Vec::new();
+                let ops_retained = self.scratch_ops.capacity();
+                let cols_retained = self
+                    .scratch_tenants
+                    .capacity()
+                    .min(self.scratch_staleness.capacity());
+                self.scratch_ops.clear();
+                self.scratch_tenants.clear();
+                self.scratch_staleness.clear();
                 for report in &mut batch {
                     let drained = std::mem::take(&mut report.ops);
-                    op_tenants.resize(op_tenants.len() + drained.len(), report.tenant);
-                    op_staleness.resize(op_staleness.len() + drained.len(), report.staleness);
-                    ops.extend(drained);
+                    self.scratch_tenants
+                        .resize(self.scratch_tenants.len() + drained.len(), report.tenant);
+                    self.scratch_staleness.resize(
+                        self.scratch_staleness.len() + drained.len(),
+                        report.staleness,
+                    );
+                    self.scratch_ops.extend(drained);
                 }
-                commit_epoch(self.ctx, &ops, &op_tenants, &op_staleness, out);
+                let saved = (self.scratch_ops.len().min(ops_retained)
+                    * std::mem::size_of::<PendingOp>()
+                    + self.scratch_tenants.len().min(cols_retained)
+                        * 2
+                        * std::mem::size_of::<usize>()) as u64;
+                recorder.with(|m| m.scratch_bytes_saved.add(saved));
+                commit_epoch(
+                    self.ctx,
+                    &self.scratch_ops,
+                    &self.scratch_tenants,
+                    &self.scratch_staleness,
+                    out,
+                );
                 recorder.event(|| Event::ShardCommit {
                     shard: shard as u64,
                     epoch: epoch as u64,
-                    ops: ops.len() as u64,
+                    ops: self.scratch_ops.len() as u64,
                 });
                 let reclaimed = self.ctx.sweep_shard(shard, epoch);
                 recorder.with(|m| m.sweep_reclaimed.add(reclaimed));
@@ -1935,6 +2082,7 @@ impl CommitTransport for BoundedStaleness {
                 inbox,
                 &mut out,
                 &mut |_released| {},
+                &mut |_stepped| {},
             );
             poison_guard.armed = false;
         });
@@ -1972,6 +2120,8 @@ struct StealPool<'a, 'h> {
     remaining: &'a AtomicUsize,
     /// The drive's fault/recovery domain, when configured.
     domain: Option<&'a FaultDomain<'h>>,
+    /// The adaptive thread-cap governor, when the pool runs adaptive.
+    governor: Option<&'a PoolGovernor>,
 }
 
 impl<'h> StealPool<'_, 'h> {
@@ -1995,6 +2145,34 @@ impl<'h> StealPool<'_, 'h> {
                 !self.frontiers.poisoned(),
                 "transport committer unwound; worker aborting"
             );
+            // Adaptive cap gate: a worker above the cap contributes nothing
+            // until the governor grows it back. Worker 0 never gates, so the
+            // pool always makes progress; anything left in a gated worker's
+            // deque stays stealable from its cold end. Gated sleeps are not
+            // hunger signals, so they bypass the idle-wake tally.
+            if let Some(governor) = self.governor {
+                if worker > 0 && worker >= governor.cap() {
+                    if self.remaining.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    // Hand queued continuations back to the injector before
+                    // sleeping: a peer that scanned before this worker's last
+                    // push would never learn about work stranded in a gated
+                    // deque, and with the committer also drained that is a
+                    // fleet-wide lost wakeup.
+                    let mut flushed = false;
+                    while let Some(task) = local.pop() {
+                        self.injector.push(task);
+                        flushed = true;
+                    }
+                    if flushed {
+                        self.doorbell.ring();
+                        continue;
+                    }
+                    self.doorbell.wait_beyond(heard);
+                    continue;
+                }
+            }
             // A task that did not come off the local deque was stolen — from
             // the shared injector or a peer's cold end.
             let mut stolen = false;
@@ -2018,6 +2196,9 @@ impl<'h> StealPool<'_, 'h> {
                 None => {
                     if self.remaining.load(Ordering::Acquire) == 0 {
                         return;
+                    }
+                    if let Some(governor) = self.governor {
+                        governor.note_idle_wake();
                     }
                     self.doorbell.wait_beyond(heard);
                     recorder.with(|m| m.wakes.inc());
@@ -2051,6 +2232,9 @@ impl<'h> StealPool<'_, 'h> {
         *self.slots[tenant].lock().expect("tenant slot poisoned") = Some(task);
         let Some(staleness) = self.frontiers.enter_or_park(shard, epoch, tenant) else {
             // Parked; the committer re-injects it on advance.
+            if let Some(governor) = self.governor {
+                governor.note_park();
+            }
             let recorder = self.ctx.recorder();
             recorder.with(|m| m.parks.inc());
             recorder.event(|| Event::WorkerPark {
@@ -2165,13 +2349,21 @@ pub struct WorkStealing {
     /// Maximum number of epochs a tenant's view may trail its shard's commit
     /// frontier.
     pub staleness: usize,
+    /// Adaptively cap the active workers between `1` and `threads`: a
+    /// [`PoolGovernor`] shrinks the cap when tenants park faster than the
+    /// committer folds epochs and grows it back when no worker goes hungry,
+    /// deciding only at epoch folds. Cap-invariance makes this a pure
+    /// wall-time knob — the results stay bit-identical to the fixed pool.
+    pub adaptive: bool,
 }
 
 impl CommitTransport for WorkStealing {
     fn name(&self) -> String {
         format!(
-            "steal(threads={},staleness={})",
-            self.threads, self.staleness
+            "steal{}(threads={},staleness={})",
+            if self.adaptive { "-adaptive" } else { "" },
+            self.threads,
+            self.staleness
         )
     }
 
@@ -2196,6 +2388,8 @@ impl CommitTransport for WorkStealing {
         let domain_ref = domain.as_ref();
         let injector = Injector::new();
         let doorbell = Doorbell::default();
+        let governor = self.adaptive.then(|| PoolGovernor::new(threads));
+        let governor_ref = governor.as_ref();
         let mut active = 0usize;
         let slots: Vec<Mutex<Option<TenantTask<'_>>>> = handles
             .into_iter()
@@ -2234,6 +2428,7 @@ impl CommitTransport for WorkStealing {
                     tenant_shard: &tenant_shard,
                     remaining: &remaining,
                     domain: domain_ref,
+                    governor: governor_ref,
                 };
                 scope.spawn(move || pool.run_worker(worker, &local, &tx));
             }
@@ -2270,6 +2465,21 @@ impl CommitTransport for WorkStealing {
                         injector.push(tenant);
                     }
                     doorbell.ring();
+                },
+                &mut |stepped| {
+                    let Some(governor) = governor_ref else { return };
+                    match governor.on_epoch_fold(stepped) {
+                        Some(CapChange::Grew) => {
+                            ctx.recorder().with(|m| m.pool_grows.inc());
+                            // Gated workers sleep on the doorbell; the ring
+                            // lets them re-read the grown cap.
+                            doorbell.ring();
+                        }
+                        Some(CapChange::Shrank) => {
+                            ctx.recorder().with(|m| m.pool_shrinks.inc());
+                        }
+                        None => {}
+                    }
                 },
             );
             poison_guard.armed = false;
@@ -2313,11 +2523,22 @@ mod tests {
         assert_eq!(
             TransportConfig::WorkStealing {
                 threads: 4,
-                staleness: 1
+                staleness: 1,
+                adaptive: false
             }
             .backend()
             .name(),
             "steal(threads=4,staleness=1)"
+        );
+        assert_eq!(
+            TransportConfig::WorkStealing {
+                threads: 4,
+                staleness: 1,
+                adaptive: true
+            }
+            .backend()
+            .name(),
+            "steal-adaptive(threads=4,staleness=1)"
         );
     }
 
@@ -2335,12 +2556,21 @@ mod tests {
             TransportConfig::parse("steal", 4, 2),
             Ok(TransportConfig::WorkStealing {
                 threads: 4,
-                staleness: 2
+                staleness: 2,
+                adaptive: false
+            })
+        );
+        assert_eq!(
+            TransportConfig::parse("steal-adaptive", 4, 2),
+            Ok(TransportConfig::WorkStealing {
+                threads: 4,
+                staleness: 2,
+                adaptive: true
             })
         );
         let err = TransportConfig::parse("quorum", 4, 2).expect_err("unknown backend");
         assert!(err.contains("'quorum'"), "{err}");
-        for valid in ["'bsp'", "'async'", "'steal'"] {
+        for valid in ["'bsp'", "'async'", "'steal'", "'steal-adaptive'"] {
             assert!(err.contains(valid), "{err} should list {valid}");
         }
     }
@@ -2361,7 +2591,8 @@ mod tests {
         assert_eq!(
             TransportConfig::WorkStealing {
                 threads: 2,
-                staleness: 1
+                staleness: 1,
+                adaptive: true
             }
             .check_faults(&spec),
             Ok(())

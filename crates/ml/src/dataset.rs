@@ -251,6 +251,21 @@ impl Dataset {
             .map(|(x, (m, s))| (x - m) / s)
             .collect()
     }
+
+    /// Allocation-free [`normalize_with`](Self::normalize_with): writes the
+    /// normalized vector into `out` (callers keep a reusable or stack
+    /// buffer for their hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three lengths differ.
+    pub fn normalize_with_into(features: &[f64], moments: &[(f64, f64)], out: &mut [f64]) {
+        assert_eq!(features.len(), moments.len(), "moment length mismatch");
+        assert_eq!(features.len(), out.len(), "output length mismatch");
+        for ((o, x), (m, s)) in out.iter_mut().zip(features).zip(moments) {
+            *o = (x - m) / s;
+        }
+    }
 }
 
 impl FromIterator<Instance> for Dataset {

@@ -2,8 +2,9 @@
 //! number of clusters (silhouette score), mirroring the role of WEKA's
 //! `SimpleKMeans` in the paper's workload-class identification step.
 
-use crate::dataset::{distance, squared_distance, squared_distance_within, Dataset};
+use crate::dataset::{distance, squared_distance, Dataset};
 use crate::error::MlError;
+use crate::kernels;
 use dejavu_simcore::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -47,10 +48,61 @@ impl Default for KMeansConfig {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KMeans {
-    centroids: Vec<Vec<f64>>,
+    centroids: CentroidSlab,
     inertia: f64,
     assignments: Vec<usize>,
     iterations_run: usize,
+}
+
+/// Fitted centroids stored as one contiguous centroid-major slab (`k×dims`)
+/// instead of `k` separate heap vectors: the nearest-centroid scan walks one
+/// cache-friendly allocation with no per-centroid pointer chase, and the
+/// chunked distance kernels stride through it directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CentroidSlab {
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl CentroidSlab {
+    /// Number of centroids in the slab.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dims).unwrap_or(0)
+    }
+
+    /// Dimensionality of each centroid.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The centroid at `c`, or `None` when out of range.
+    pub fn get(&self, c: usize) -> Option<&[f64]> {
+        let start = c.checked_mul(self.dims)?;
+        self.data.get(start..start + self.dims)
+    }
+
+    /// Iterates the centroids in index order.
+    pub fn iter(&self) -> std::slice::ChunksExact<'_, f64> {
+        self.data.chunks_exact(self.dims)
+    }
+}
+
+impl std::ops::Index<usize> for CentroidSlab {
+    type Output = [f64];
+
+    fn index(&self, c: usize) -> &[f64] {
+        &self.data[c * self.dims..(c + 1) * self.dims]
+    }
+}
+
+impl<'a> IntoIterator for &'a CentroidSlab {
+    type Item = &'a [f64];
+    type IntoIter = std::slice::ChunksExact<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
 }
 
 /// Reusable buffers for one [`KMeans::fit`] call: every restart runs over
@@ -158,7 +210,10 @@ impl KMeans {
             best.expect("at least one restart ran");
         let dims = points[0].len();
         KMeans {
-            centroids: centroids.chunks(dims).map(|c| c.to_vec()).collect(),
+            centroids: CentroidSlab {
+                dims,
+                data: centroids,
+            },
             inertia,
             assignments,
             iterations_run,
@@ -355,14 +410,14 @@ impl KMeans {
         }
     }
 
-    fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    fn nearest(centroids: &CentroidSlab, p: &[f64]) -> (usize, f64) {
         let mut best = (0usize, f64::INFINITY);
         for (i, c) in centroids.iter().enumerate() {
             // Early exit: stop accumulating a centroid's distance once it
             // provably exceeds the best so far. The bail-out is strict, so a
             // centroid tying the best completes and loses to the earlier
             // index exactly as the full computation would.
-            if let Some(d) = squared_distance_within(c, p, best.1) {
+            if let Some(d) = kernels::squared_distance_within(c, p, best.1) {
                 if d < best.1 {
                     best = (i, d);
                 }
@@ -371,8 +426,8 @@ impl KMeans {
         best
     }
 
-    /// The fitted cluster centroids.
-    pub fn centroids(&self) -> &[Vec<f64>] {
+    /// The fitted cluster centroids (a contiguous centroid-major slab).
+    pub fn centroids(&self) -> &CentroidSlab {
         &self.centroids
     }
 

@@ -16,6 +16,9 @@
 //!   greedy forward (stepwise) search.
 //! * [`eval`] — train/test splitting, k-fold cross-validation, accuracy and
 //!   confusion matrices.
+//! * [`kernels`] — chunked, autovectorizable distance-accumulation kernels
+//!   shared by k-means and the fleet's signature-resolution hot path, with a
+//!   process-wide exact-order fallback (`DEJAVU_EXACT_KERNELS`).
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@ pub mod dtree;
 pub mod error;
 pub mod eval;
 pub mod feature;
+pub mod kernels;
 pub mod kmeans;
 
 pub use bayes::NaiveBayes;

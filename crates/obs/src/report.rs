@@ -71,7 +71,16 @@ pub struct ObsReport {
 }
 
 /// Counters whose values depend on thread scheduling, not the simulation.
-const SCHEDULING_COUNTERS: [&str; 3] = ["parks", "steals", "wakes"];
+/// `scratch_bytes_saved` is here because capacity reuse depends on the order
+/// buffers fill, which the async transports leave to arrival order.
+const SCHEDULING_COUNTERS: [&str; 6] = [
+    "parks",
+    "pool_grows",
+    "pool_shrinks",
+    "scratch_bytes_saved",
+    "steals",
+    "wakes",
+];
 
 /// Event kinds whose counts are simulation-determined under BSP. Fault and
 /// recovery kinds are excluded: they only occur on the async transports,
@@ -97,9 +106,15 @@ impl ObsReport {
             ("memo_hits".to_string(), metrics.memo_hits.get()),
             ("memo_misses".to_string(), metrics.memo_misses.get()),
             ("parks".to_string(), metrics.parks.get()),
+            ("pool_grows".to_string(), metrics.pool_grows.get()),
+            ("pool_shrinks".to_string(), metrics.pool_shrinks.get()),
             ("recoveries".to_string(), metrics.recoveries.get()),
             ("replayed_epochs".to_string(), metrics.replayed_epochs.get()),
             ("retransmits".to_string(), metrics.retransmits.get()),
+            (
+                "scratch_bytes_saved".to_string(),
+                metrics.scratch_bytes_saved.get(),
+            ),
             ("steals".to_string(), metrics.steals.get()),
             ("sweep_reclaimed".to_string(), metrics.sweep_reclaimed.get()),
             ("wakes".to_string(), metrics.wakes.get()),

@@ -24,6 +24,10 @@
 //! * **Thread-cap invariance.** The work-stealing caps are compared to each
 //!   other, not just to BSP, so a cap-dependent divergence cannot hide
 //!   behind a loose reference.
+//! * **Adaptive-cap invariance.** The adaptive pool — whose governor moves
+//!   the active-worker cap between epoch folds — bit-matches the fixed pool
+//!   on every fuzzed scenario, and obeys the same staleness bound for
+//!   `K > 0`: adaptation is a wall-time knob, never a results knob.
 //! * **Staleness bound for K > 0.** View- and reuse-staleness histograms
 //!   never exceed the bound, one view observation is recorded per
 //!   tenant-epoch actually stepped, and the schedule-determined fields
@@ -100,6 +104,7 @@ fn assert_zero_staleness_family_matches(
         let steal = runner(TransportConfig::WorkStealing {
             threads,
             staleness: 0,
+            adaptive: false,
         });
         assert_reports_bit_match(bsp, &steal, &format!("{label} steal{threads}T"));
         assert_eq!(
@@ -121,6 +126,22 @@ fn assert_zero_staleness_family_matches(
         let (tb, b) = &window[1];
         assert_reports_bit_match(a, b, &format!("{label} steal {ta}T vs {tb}T"));
     }
+    // Adaptive-cap invariance: the governor moves the active-worker cap
+    // between epoch folds, but cap-invariance promises that is a pure
+    // wall-time knob — the adaptive pool must stay bit-identical to the
+    // fixed pool (and hence the barrier) at the same configured size.
+    let max_threads = *THREAD_CAPS.last().expect("thread caps");
+    let adaptive = runner(TransportConfig::WorkStealing {
+        threads: max_threads,
+        staleness: 0,
+        adaptive: true,
+    });
+    assert_reports_bit_match(bsp, &adaptive, &format!("{label} steal-adaptive"));
+    assert_eq!(
+        adaptive.transport.view_staleness.max(),
+        0,
+        "{label} steal-adaptive"
+    );
 }
 
 #[test]
@@ -202,9 +223,21 @@ fn staleness_bound_holds_and_schedule_fields_stay_deterministic_for_positive_k()
                 TransportConfig::WorkStealing {
                     threads,
                     staleness: k,
+                    adaptive: false,
                 },
             ));
         }
+        // The adaptive pool obeys the same staleness bound and the same
+        // schedule-determined fields — the cap governor cannot loosen K.
+        runs.push(run(
+            &scenario,
+            &repo,
+            TransportConfig::WorkStealing {
+                threads: 3,
+                staleness: k,
+                adaptive: true,
+            },
+        ));
         for report in &runs {
             let label = format!("case {case} k={k} {}", report.transport.name);
             assert!(

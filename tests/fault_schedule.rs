@@ -97,6 +97,7 @@ fn async_transports() -> [TransportConfig; 2] {
         TransportConfig::WorkStealing {
             threads: 2,
             staleness: 0,
+            adaptive: false,
         },
     ]
 }
@@ -291,6 +292,7 @@ fn k_positive_fault_runs_hold_staleness_and_liveness_bounds() {
             TransportConfig::WorkStealing {
                 threads: 3,
                 staleness: k,
+                adaptive: false,
             },
         ] {
             let label = format!("case {case} k={k} {transport:?}");

@@ -1,0 +1,113 @@
+//! The one-flag fallback pin: `DEJAVU_EXACT_KERNELS=1` switches every
+//! distance kernel to the exact-order serial formulation, and under it the
+//! golden fleet of `tests/properties.rs` must reproduce the **same** pinned
+//! values. Two things are being proven at once:
+//!
+//! * the escape hatch works — the flag really selects the historical
+//!   floating-point summation order, so a platform where the chunked
+//!   kernels' reassociated sums ever flipped a match decision can fall back
+//!   to bit-exact behaviour with one environment variable;
+//! * the chunked kernels (the default, pinned by the same constants in
+//!   `tests/properties.rs`) and the exact kernels agree on this fleet not
+//!   just within tolerance but in every decision the simulation made.
+//!
+//! This lives in its own integration-test binary because the kernel mode is
+//! latched from the environment **once per process** (an internal
+//! `OnceLock`): the flag must be set before the first distance is computed,
+//! which only a fresh process guarantees.
+
+use dejavu::fleet::{FleetConfig, FleetEngine, ScenarioBuilder};
+use dejavu::simcore::SimDuration;
+
+#[test]
+fn golden_fleet_reproduces_pinned_values_under_exact_kernels() {
+    // Latch exact-order kernels before anything touches the dispatcher.
+    // This binary runs exactly one test, so no parallel test can observe a
+    // half-set environment.
+    std::env::set_var("DEJAVU_EXACT_KERNELS", "1");
+    assert!(
+        dejavu::ml::kernels::exact_kernels(),
+        "the exact-kernel flag did not latch"
+    );
+
+    let report = FleetEngine::new(
+        ScenarioBuilder::new("golden", 13, 2)
+            .tick(SimDuration::from_secs(600.0))
+            .diurnal_fleet(4)
+            .sine_sweep(2)
+            .stagger_arrivals(
+                4,
+                SimDuration::from_hours(6.0),
+                SimDuration::from_hours(4.0),
+            )
+            .depart_at(1, SimDuration::from_hours(20.0))
+            .build(),
+        FleetConfig::default(),
+    )
+    .run();
+    assert_eq!(report.epochs, 58);
+
+    // The same pins as `bsp_fleet_output_is_byte_identical_to_the_pre_-
+    // transport_engine` in `tests/properties.rs` (which runs chunked):
+    // integer bookkeeping everywhere, f64 bit patterns only on the platform
+    // that recorded them.
+    struct GoldenTenant {
+        cost_bits: u64,
+        slo_bits: u64,
+        tunings: usize,
+        reuses: u64,
+        hits: u64,
+        misses: u64,
+        cross: u64,
+        first_reuse: Option<usize>,
+        joined: usize,
+        active: usize,
+    }
+    #[rustfmt::skip]
+    let golden = [
+        GoldenTenant { cost_bits: 0x4054bd32beb109c9, slo_bits: 0x3fa8e38e38e38e39, tunings: 16, reuses: 8, hits: 31, misses: 16, cross: 8, first_reuse: Some(3), joined: 0, active: 48 },
+        GoldenTenant { cost_bits: 0x405fb7d5acb6f467, slo_bits: 0x3fbc71c71c71c71c, tunings: 13, reuses: 7, hits: 7, misses: 13, cross: 7, first_reuse: Some(6), joined: 0, active: 20 },
+        GoldenTenant { cost_bits: 0x4054a54adda39cca, slo_bits: 0x3fa71c71c71c71c7, tunings: 20, reuses: 4, hits: 27, misses: 20, cross: 4, first_reuse: Some(3), joined: 0, active: 48 },
+        GoldenTenant { cost_bits: 0x40587597530eca87, slo_bits: 0x3fb471c71c71c71c, tunings: 14, reuses: 10, hits: 34, misses: 14, cross: 10, first_reuse: Some(8), joined: 0, active: 48 },
+        GoldenTenant { cost_bits: 0x405a8119b6ba23f6, slo_bits: 0x3fa0000000000000, tunings: 23, reuses: 1, hits: 7, misses: 23, cross: 1, first_reuse: Some(14), joined: 6, active: 48 },
+        GoldenTenant { cost_bits: 0x405cbf0cf87d9c56, slo_bits: 0x3fb0e38e38e38e39, tunings: 28, reuses: 2, hits: 16, misses: 22, cross: 2, first_reuse: Some(10), joined: 10, active: 48 },
+    ];
+    let pin_bits = cfg!(all(target_arch = "x86_64", target_os = "linux"));
+    for (t, g) in report.tenants.iter().zip(&golden) {
+        if pin_bits {
+            assert_eq!(
+                t.dejavu.total_cost.to_bits(),
+                g.cost_bits,
+                "{} cost",
+                t.name
+            );
+            assert_eq!(
+                t.dejavu.slo_violation_fraction.to_bits(),
+                g.slo_bits,
+                "{} slo",
+                t.name
+            );
+        }
+        assert_eq!(t.stats.tunings, g.tunings, "{} tunings", t.name);
+        assert_eq!(t.stats.fleet_reuses, g.reuses, "{} reuses", t.name);
+        assert_eq!(t.stats.repository.hits, g.hits, "{} hits", t.name);
+        assert_eq!(t.stats.repository.misses, g.misses, "{} misses", t.name);
+        assert_eq!(t.cross_tenant_hits, g.cross, "{} cross", t.name);
+        assert_eq!(t.first_fleet_reuse_epoch, g.first_reuse, "{} first", t.name);
+        assert_eq!(t.joined_epoch, g.joined, "{} joined", t.name);
+        assert_eq!(t.active_epochs, g.active, "{} active", t.name);
+    }
+    if pin_bits {
+        let curve_xor = report
+            .hit_rate_curve
+            .iter()
+            .fold(0u64, |acc, v| acc ^ v.to_bits().rotate_left(17));
+        assert_eq!(curve_xor, 0x6e803bd257300001, "hit-rate curve drifted");
+    }
+    let repo = report.shared_repo.as_ref().expect("shared snapshot");
+    assert_eq!((repo.entries, repo.anchors), (55, 55));
+    assert_eq!(repo.stats.hits, 32);
+    assert_eq!(repo.stats.misses, 108);
+    assert_eq!(repo.stats.insertions, 132);
+    assert_eq!(repo.stats.cross_tenant_hits, 32);
+}

@@ -1236,3 +1236,67 @@ fn trace_rescaling_stays_in_range() {
         assert!((rescaled.peak() - new_peak).abs() < 1e-9, "case {case}");
     });
 }
+
+/// The chunked (lane-parallel) distance kernels agree with the exact-order
+/// serial kernels to 1e-9 relative error on every length — including the
+/// remainder shapes `len % LANES ∈ {0, 1, LANES - 1}` that exercise the
+/// scalar tail — and the early-exit variants agree on *whether* a bound is
+/// exceeded whenever the margin is clear.
+#[test]
+fn chunked_kernels_agree_with_exact_order_within_1e9_relative() {
+    use dejavu::ml::kernels;
+
+    let rel_close = |a: f64, b: f64| {
+        let scale = a.abs().max(b.abs()).max(1e-300);
+        (a - b).abs() / scale <= 1e-9
+    };
+    cases(24, |rng, case| {
+        // Lengths straddling the block/lane boundaries: multiples of LANES,
+        // one past, and one short (len % LANES ∈ {0, 1, LANES - 1}).
+        for base in [0usize, kernels::LANES, kernels::BLOCK, 3 * kernels::BLOCK] {
+            for len in [base, base + 1, (base + kernels::LANES) - 1] {
+                let mut a = Vec::with_capacity(len);
+                let mut b = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let mag = 10f64.powi(rng.uniform_usize(7) as i32 - 3);
+                    let x = rng.uniform(-1.0, 1.0) * mag;
+                    a.push(x);
+                    b.push(x + rng.uniform(-0.5, 0.5) * mag);
+                }
+                let label = format!("case {case} len {len}");
+
+                let exact = kernels::squared_distance_exact(&a, &b);
+                let chunked = kernels::squared_distance_chunked(&a, &b);
+                assert!(rel_close(exact, chunked), "{label}: {exact} vs {chunked}");
+
+                // Early-exit variants: with a bound clearly above the true
+                // sum both must return it; clearly below (and a nonempty
+                // vector, so the bound check actually runs), both must bail.
+                let mut bounds = vec![(exact * 2.0 + 1.0, true)];
+                if exact > 2.0 {
+                    bounds.push((exact * 0.5 - 1.0, false));
+                }
+                for (bound, expect_some) in bounds {
+                    let we = kernels::squared_distance_within_exact(&a, &b, bound);
+                    let wc = kernels::squared_distance_within_chunked(&a, &b, bound);
+                    assert_eq!(we.is_some(), expect_some, "{label} bound {bound}");
+                    assert_eq!(wc.is_some(), expect_some, "{label} bound {bound}");
+                    if let (Some(ve), Some(vc)) = (we, wc) {
+                        assert!(rel_close(ve, vc), "{label}: {ve} vs {vc}");
+                    }
+                }
+
+                let floor = 1e-9;
+                let ne = kernels::normalized_sq_sum_exact(&a, &b, floor, f64::INFINITY)
+                    .expect("infinite bound");
+                let nc = kernels::normalized_sq_sum_chunked(&a, &b, floor, f64::INFINITY)
+                    .expect("infinite bound");
+                assert!(rel_close(ne, nc), "{label}: {ne} vs {nc}");
+                let below = kernels::normalized_sq_sum_chunked(&a, &b, floor, ne * 0.5 - 1.0);
+                if len > 0 && ne > 2.0 {
+                    assert!(below.is_none(), "{label}: chunked ignored the bound");
+                }
+            }
+        }
+    });
+}
