@@ -82,6 +82,12 @@ pub struct FleetOptions {
     /// (`--checkpoint-every N`; 0 keeps every delta). Only meaningful with
     /// an async transport; recording itself is always on during fault runs.
     pub checkpoint_every: usize,
+    /// Spill the shared fleet's delta-chain checkpoints to a durable
+    /// on-disk store at this directory (`--checkpoint-dir PATH`): every
+    /// commit is crash-safe before it acknowledges, and the directory
+    /// replays to the final repository state. Requires an async transport
+    /// and an in-process repository.
+    pub checkpoint_dir: Option<String>,
     /// Drive the shared fleet against a `dejavu-serve` daemon at this TCP
     /// address instead of an in-process repository (`--repo
     /// remote[:ADDR]`). At staleness 0 the report is bit-identical to the
@@ -229,6 +235,15 @@ pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::
     if let Some(spec) = &opts.faults {
         opts.transport.check_faults(spec)?;
     }
+    // Durable checkpointing rides the same commit-boundary capture path as
+    // fault recovery, which the barrier transport doesn't have.
+    if opts.checkpoint_dir.is_some() && opts.transport == TransportConfig::Bsp {
+        return Err(
+            "--checkpoint-dir needs an async transport (bounded-staleness or \
+             work-stealing): the bsp barrier has no commit-boundary capture path"
+                .into(),
+        );
+    }
     let scenario = if opts.churn {
         churn_fleet(opts.tenants, opts.days, opts.seed, 24)
     } else {
@@ -256,6 +271,7 @@ pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::
     // against.
     shared_config.faults = opts.faults;
     shared_config.checkpoint_every = opts.checkpoint_every;
+    shared_config.checkpoint_dir = opts.checkpoint_dir.clone();
     let engine = FleetEngine::new(scenario.clone(), shared_config);
     let (shared, shard_stats): (FleetReport, Vec<ShardStats>) = match &opts.repo_remote {
         Some(addr) => {
@@ -271,6 +287,13 @@ pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::
                 return Err("--repo remote cannot inject faults: crash recovery is the \
                      serving process's business, not its clients'"
                     .into());
+            }
+            if opts.checkpoint_dir.is_some() {
+                return Err(
+                    "--repo remote cannot write durable checkpoints; checkpoint \
+                     on the serving side (dejavu-serve --checkpoint-dir)"
+                        .into(),
+                );
             }
             let client: Arc<dyn RepositoryClient> =
                 Arc::new(RemoteRepository::connect_tcp(addr, 0)?);
@@ -298,7 +321,9 @@ pub fn run_opts(opts: &FleetOptions) -> Result<FleetFigure, Box<dyn std::error::
                 } else {
                     repo.save_snapshot()
                 };
-                std::fs::write(path, text)?;
+                // Temp + fsync + rename: a crash mid-write must never leave
+                // a torn snapshot a later --snapshot-in would reject.
+                dejavu_fleet::write_atomic(std::path::Path::new(path), text.as_bytes())?;
             }
             let shard_stats = repo.shard_stats();
             (shared, shard_stats)
@@ -651,6 +676,108 @@ mod tests {
         })
         .expect_err("faults over the wire");
         assert!(err.to_string().contains("serving process"), "{err}");
+        handle.stop();
+    }
+
+    #[test]
+    fn snapshot_out_writes_atomically() {
+        let dir = std::env::temp_dir().join("dejavu-fleet-exp-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir
+            .join(format!("fleet-atomic-{}.snap", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        // Pre-plant garbage at the target: the atomic write must replace it
+        // whole (a direct `fs::write` truncates first, so a crash mid-write
+        // leaves a torn file a later --snapshot-in rejects).
+        std::fs::write(&path, "not a snapshot").expect("plant garbage");
+        run_opts(&FleetOptions {
+            seed: 3,
+            tenants: 4,
+            days: 1,
+            snapshot_out: Some(path.clone()),
+            ..Default::default()
+        })
+        .expect("snapshot run");
+        // The replaced file parses, and the temp sibling is gone.
+        let text = std::fs::read_to_string(&path).expect("snapshot file");
+        SharedSignatureRepository::load_snapshot(&text).expect("snapshot loads");
+        assert!(
+            !std::path::Path::new(&format!("{path}.tmp")).exists(),
+            "temp file leaked"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_dir_replays_to_the_final_repository_state() {
+        use dejavu_fleet::DurableCheckpointStore;
+        let ckpt =
+            std::env::temp_dir().join(format!("dejavu-fleet-exp-ckpt-{}", std::process::id()));
+        let snap = std::env::temp_dir()
+            .join(format!("dejavu-fleet-exp-ckpt-{}.snap", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let fig = run_opts(&FleetOptions {
+            seed: 3,
+            tenants: 6,
+            days: 1,
+            transport: TransportConfig::BoundedStaleness { staleness: 0 },
+            checkpoint_every: 4,
+            checkpoint_dir: Some(ckpt.to_string_lossy().into_owned()),
+            snapshot_out: Some(snap.clone()),
+            ..Default::default()
+        })
+        .expect("checkpointed run");
+        let summary = fig.shared.faults.as_ref().expect("checkpoint telemetry");
+        assert!(summary.checkpoints > 0, "no checkpoints were recorded");
+        // The directory replays, unaided, to the run's final repository.
+        let (_, report) = DurableCheckpointStore::open(&ckpt, 4).expect("directory replays");
+        assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
+        let final_snapshot = std::fs::read_to_string(&snap).expect("snapshot file");
+        let final_repo =
+            SharedSignatureRepository::load_snapshot(&final_snapshot).expect("snapshot loads");
+        assert_eq!(
+            dejavu_fleet::snapshot::encode(&report.resumed),
+            final_repo.save_snapshot(),
+            "replayed checkpoint directory diverged from the final repository"
+        );
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_dir_all(&ckpt).ok();
+    }
+
+    #[test]
+    fn checkpoint_dir_on_the_bsp_barrier_is_rejected() {
+        let err = run_opts(&FleetOptions {
+            seed: 3,
+            tenants: 2,
+            days: 1,
+            checkpoint_dir: Some("unused-dir".into()),
+            ..Default::default()
+        })
+        .expect_err("bsp cannot checkpoint durably");
+        assert!(err.to_string().contains("async transport"), "{err}");
+
+        let handle = dejavu_serve::serve_tcp(
+            Arc::new(SharedSignatureRepository::new(
+                dejavu_fleet::SharedRepoConfig::default(),
+            )),
+            "127.0.0.1:0",
+            dejavu_serve::ServeConfig::default(),
+        )
+        .expect("server binds");
+        let addr = handle.tcp_addr().expect("tcp server").to_string();
+        let err = run_opts(&FleetOptions {
+            seed: 3,
+            tenants: 2,
+            days: 1,
+            transport: TransportConfig::BoundedStaleness { staleness: 0 },
+            checkpoint_dir: Some("unused-dir".into()),
+            repo_remote: Some(addr),
+            ..Default::default()
+        })
+        .expect_err("durable checkpoints over the wire");
+        assert!(err.to_string().contains("serving side"), "{err}");
         handle.stop();
     }
 

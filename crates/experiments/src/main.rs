@@ -9,6 +9,7 @@
 //! cargo run -p dejavu-experiments --release -- fleet --transport steal --threads 4 --staleness 1
 //! cargo run -p dejavu-experiments --release -- fleet --obs --obs-out fleet-obs.json
 //! cargo run -p dejavu-experiments --release -- fleet --transport async --faults 42 --checkpoint-every 8
+//! cargo run -p dejavu-experiments --release -- fleet --transport async --checkpoint-dir fleet-ckpt/
 //! cargo run -p dejavu-experiments --release -- fleet --repo remote:127.0.0.1:7117
 //! ```
 
@@ -92,6 +93,14 @@ fn main() {
                 Some(n) => fleet_opts.checkpoint_every = n,
                 None => {
                     eprintln!("--checkpoint-every needs a commit count (0 keeps every delta)");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--checkpoint-dir" {
+            match it.next() {
+                Some(v) if !v.starts_with("--") => fleet_opts.checkpoint_dir = Some(v.clone()),
+                _ => {
+                    eprintln!("--checkpoint-dir needs a directory path");
                     std::process::exit(2);
                 }
             }

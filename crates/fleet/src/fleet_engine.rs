@@ -111,6 +111,13 @@ pub struct FleetConfig {
     /// checkpoint-profiled) runs: fold the chain every N checkpoints per
     /// shard. 0 (the default) retains the full chain.
     pub checkpoint_every: usize,
+    /// Spill the delta chain to a durable on-disk checkpoint store at this
+    /// directory (see `dejavu_fleet::durable`): every committer checkpoint
+    /// is crash-safe on disk before the commit acknowledges, and the
+    /// directory replays to the final repository state. `None` (the
+    /// default) keeps checkpoints in memory. Requires a shared-mode fleet
+    /// on an async transport with an in-process repository.
+    pub checkpoint_dir: Option<String>,
 }
 
 impl Default for FleetConfig {
@@ -125,6 +132,7 @@ impl Default for FleetConfig {
             recorder: Recorder::disabled(),
             faults: None,
             checkpoint_every: 0,
+            checkpoint_dir: None,
         }
     }
 }
@@ -294,6 +302,7 @@ impl FleetEngine {
                 recorder: &self.config.recorder,
                 faults: FaultInjector::from_spec(self.config.faults),
                 checkpoint_every: self.config.checkpoint_every,
+                checkpoint_dir: self.config.checkpoint_dir.as_deref(),
                 respawn,
             };
             transport.drive(&mut harness)

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod arena;
+pub mod durable;
 pub mod engine;
 pub mod faults;
 pub mod fleet_engine;
@@ -62,6 +63,10 @@ pub mod tenant_view;
 pub mod transport;
 
 pub use arena::{SigRef, SignatureArena};
+pub use durable::{
+    write_atomic, CrashHook, CrashSite, DurableCheckpointStore, DurableError, RecordReceipt,
+    RecoveryReport, BASE_FILE, DURABLE_MANIFEST_VERSION, MANIFEST_FILE,
+};
 pub use engine::{RunConfig, RunResult, RunState, SimulationEngine};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultSpecError};
 pub use fleet_engine::{FleetConfig, FleetEngine, SharingMode};

@@ -1287,6 +1287,20 @@ pub struct DeltaCursor {
     seen: std::collections::HashMap<u64, u64>,
 }
 
+impl DeltaCursor {
+    /// Forgets one namespace's checkpointed stamp, forcing the next
+    /// [`SharedSignatureRepository::capture_shard_delta`] through this
+    /// cursor to carry the namespace's full current image even though its
+    /// mutation clock has not moved. The serving layer needs this for
+    /// read-path hit accounting: a wire `Lookup` bumps entry hit counters
+    /// through relaxed atomics without touching the namespace's mutation
+    /// clock (the read path is wait-free), so a durable capture that should
+    /// persist those counters must be told about the namespace explicitly.
+    pub fn invalidate(&mut self, namespace: u64) {
+        self.seen.remove(&namespace);
+    }
+}
+
 /// The fleet-shared, sharded signature repository.
 pub struct SharedSignatureRepository {
     shards: Vec<Shard>,

@@ -911,6 +911,50 @@ impl CheckpointStore {
         }
     }
 
+    /// Rebuilds a store from a *recovered* image whose shards already hold
+    /// history: `base` is the merged replay result and `chain_starts[shard]`
+    /// is the epoch count it already folds in for that shard, so the next
+    /// [`record`](CheckpointStore::record) for the shard must carry exactly
+    /// that epoch. The durable layer boots through this after replaying its
+    /// manifest.
+    ///
+    /// Each chain starts empty with its folded head at `chain_starts[shard]`
+    /// reading through to the shared `base` — correct because the recovered
+    /// image *is* every shard's merged prefix, and
+    /// [`materialize`](CheckpointStore::materialize) only ever reads the
+    /// caller's own shard from it.
+    pub fn resume(
+        base: RepoSnapshot,
+        chain_starts: &[usize],
+        checkpoint_every: usize,
+    ) -> Result<Self, SnapshotError> {
+        if chain_starts.len() != base.shards {
+            return Err(SnapshotError::BaseMismatch {
+                message: format!(
+                    "resume carries {} chain starts, base has {} shards",
+                    chain_starts.len(),
+                    base.shards
+                ),
+            });
+        }
+        Ok(CheckpointStore {
+            chains: chain_starts
+                .iter()
+                .map(|&start| ShardChain {
+                    folded: None,
+                    folded_epochs: start,
+                    deltas: Vec::new(),
+                    floor: usize::MAX,
+                })
+                .collect(),
+            base,
+            checkpoint_every,
+            checkpoints: 0,
+            compactions: 0,
+            chain_peak: 0,
+        })
+    }
+
     /// Declares that epochs `>= epoch` of `shard` must stay individually
     /// replayable (a pending tenant recovery may need them); compaction will
     /// not fold past it. Raising the floor re-enables compaction of the
@@ -1086,6 +1130,25 @@ impl CheckpointStore {
         self.chains
             .get(shard)
             .map_or(0, |c| c.folded_epochs + c.deltas.len())
+    }
+
+    /// How many of `shard`'s epochs compaction has folded into its head
+    /// image — the oldest epoch count [`materialize`](CheckpointStore::materialize)
+    /// can still produce.
+    pub fn folded_epochs(&self, shard: usize) -> usize {
+        self.chains.get(shard).map_or(0, |c| c.folded_epochs)
+    }
+
+    /// The folded head image of `shard`: the base with its first
+    /// [`folded_epochs`](CheckpointStore::folded_epochs) epochs applied
+    /// (the shared base itself until the first compaction). Only the
+    /// caller's shard is meaningful in it — other shards may carry folds
+    /// from their own chains.
+    pub fn folded_image(&self, shard: usize) -> &RepoSnapshot {
+        self.chains
+            .get(shard)
+            .and_then(|c| c.folded.as_ref())
+            .unwrap_or(&self.base)
     }
 }
 

@@ -48,6 +48,7 @@
 //! commits) are one [`CommitTransport`] impl away — the engine only prepares
 //! tenants and consumes the [`TransportOutcome`].
 
+use crate::durable::DurableCheckpointStore;
 use crate::engine::{RunState, SimulationEngine};
 use crate::faults::{FaultInjector, FaultKind, FaultSpec, FaultSpecError};
 use crate::repo_client::RepositoryClient;
@@ -290,6 +291,9 @@ pub struct FleetContext<'a> {
     faults: FaultInjector,
     /// Delta-chain compaction cadence (0 = retain the full chain).
     checkpoint_every: usize,
+    /// Spill the delta chain to a durable on-disk store at this directory
+    /// (committer writes become crash-safe; `None` = in-memory only).
+    checkpoint_dir: Option<&'a str>,
     /// Crash-recovery respawn hook; `None` when tenants are isolated.
     respawn: Option<&'a RespawnFn<'a>>,
 }
@@ -371,6 +375,7 @@ pub struct FleetHarness<'a> {
     pub(crate) recorder: &'a Recorder,
     pub(crate) faults: FaultInjector,
     pub(crate) checkpoint_every: usize,
+    pub(crate) checkpoint_dir: Option<&'a str>,
     pub(crate) respawn: Option<&'a RespawnFn<'a>>,
 }
 
@@ -388,6 +393,7 @@ impl FleetHarness<'_> {
             recorder: self.recorder,
             faults: self.faults,
             checkpoint_every: self.checkpoint_every,
+            checkpoint_dir: self.checkpoint_dir,
             respawn: self.respawn,
         };
         let handles = self
@@ -529,14 +535,65 @@ impl FaultTallies {
     }
 }
 
+/// Where a drive's checkpoints live: in memory (the PR 7 recovery layer) or
+/// written through to disk first (`--checkpoint-dir`). Either way the
+/// in-memory [`CheckpointStore`] is the read surface — the durable wrapper
+/// only adds the write-ahead spill.
+enum CheckpointSink {
+    Memory(CheckpointStore),
+    Durable(DurableCheckpointStore),
+}
+
+impl CheckpointSink {
+    /// The in-memory store, for reads (materialize, telemetry).
+    fn store(&self) -> &CheckpointStore {
+        match self {
+            CheckpointSink::Memory(store) => store,
+            CheckpointSink::Durable(durable) => durable.store(),
+        }
+    }
+
+    fn into_store(self) -> CheckpointStore {
+        match self {
+            CheckpointSink::Memory(store) => store,
+            CheckpointSink::Durable(durable) => durable.into_store(),
+        }
+    }
+
+    fn set_floor(&mut self, shard: usize, epoch: usize) -> usize {
+        match self {
+            CheckpointSink::Memory(store) => store.set_floor(shard, epoch),
+            CheckpointSink::Durable(durable) => durable.set_floor(shard, epoch),
+        }
+    }
+
+    /// Records one commit's delta; the durable receipt (zeroed for the
+    /// in-memory sink) feeds the flight recorder's durability counters.
+    /// Fail-stop on durable errors, like every other committer invariant:
+    /// a committer that cannot persist what it acknowledged must not keep
+    /// acknowledging.
+    fn record(&mut self, delta: DeltaSnapshot) -> crate::durable::RecordReceipt {
+        match self {
+            CheckpointSink::Memory(store) => {
+                store.record(delta).expect("commit order is chain order");
+                crate::durable::RecordReceipt::default()
+            }
+            CheckpointSink::Durable(durable) => durable
+                .record(delta)
+                .expect("durable checkpoint write failed; checkpoint directory is fail-stop"),
+        }
+    }
+}
+
 /// The fault/recovery domain of one asynchronous drive: the seeded injector,
 /// the checkpoint store (run-start base snapshot plus per-shard delta
-/// chains), the respawn hook recovery rebuilds crashed tenants through, and
-/// the shared tallies. Built once per drive when fault injection or
-/// checkpointing is configured; absent (and costing nothing) otherwise.
+/// chains, optionally written through to disk), the respawn hook recovery
+/// rebuilds crashed tenants through, and the shared tallies. Built once per
+/// drive when fault injection, checkpointing or a checkpoint directory is
+/// configured; absent (and costing nothing) otherwise.
 struct FaultDomain<'h> {
     injector: FaultInjector,
-    store: Mutex<CheckpointStore>,
+    store: Mutex<CheckpointSink>,
     respawn: &'h RespawnFn<'h>,
     shared_arc: &'h Arc<SharedSignatureRepository>,
     tallies: FaultTallies,
@@ -572,7 +629,7 @@ fn fault_domain<'h>(
     tenant_shard: &[usize],
 ) -> Option<FaultDomain<'h>> {
     let injector = ctx.faults;
-    if !injector.enabled() && ctx.checkpoint_every == 0 {
+    if !injector.enabled() && ctx.checkpoint_every == 0 && ctx.checkpoint_dir.is_none() {
         return None;
     }
     let respawn = ctx.respawn?;
@@ -582,7 +639,20 @@ fn fault_domain<'h>(
     // The base image and the capture cursors (primed by the committer) both
     // anchor at this quiescent point: nothing mutates the shared repository
     // before the committer applies the first batch.
-    let store = CheckpointStore::new(concrete.to_snapshot(), ctx.checkpoint_every);
+    let store = match ctx.checkpoint_dir {
+        Some(dir) => CheckpointSink::Durable(
+            DurableCheckpointStore::create(
+                std::path::Path::new(dir),
+                concrete.to_snapshot(),
+                ctx.checkpoint_every,
+            )
+            .unwrap_or_else(|e| panic!("cannot initialize checkpoint directory {dir}: {e}")),
+        ),
+        None => CheckpointSink::Memory(CheckpointStore::new(
+            concrete.to_snapshot(),
+            ctx.checkpoint_every,
+        )),
+    };
     // Compaction must never fold an epoch a planned crash still needs to
     // replay from: pin each shard's floor at the earliest join epoch among
     // its crash-scheduled tenants whose windows are still open. The
@@ -620,7 +690,10 @@ fn summarize_faults(domain: FaultDomain<'_>) -> FaultSummary {
         tallies,
         ..
     } = domain;
-    let store = store.into_inner().expect("checkpoint store poisoned");
+    let store = store
+        .into_inner()
+        .expect("checkpoint store poisoned")
+        .into_store();
     FaultSummary {
         spec: injector.spec().map(FaultSpec::render).unwrap_or_default(),
         injected: tallies.injected.into_inner(),
@@ -1746,7 +1819,16 @@ impl<'a, 'h> Committer<'a, 'h> {
                         // record's compaction pass then folds the newly
                         // released backlog immediately.
                         store.set_floor(shard, domain.crash_floor(shard, epoch + 1));
-                        store.record(delta).expect("commit order is chain order");
+                        let receipt = store.record(delta);
+                        if receipt.bytes() > 0 {
+                            recorder.with(|m| {
+                                m.durable_segments.inc();
+                                m.durable_bytes.add(receipt.bytes());
+                                if receipt.folded {
+                                    m.durable_folds.inc();
+                                }
+                            });
+                        }
                     }
                     if domain.injector.shard_loss(shard, epoch) {
                         // Shard-level repository loss: wipe the shard and
@@ -1759,6 +1841,7 @@ impl<'a, 'h> Committer<'a, 'h> {
                             .store
                             .lock()
                             .expect("checkpoint store poisoned")
+                            .store()
                             .materialize(shard, epoch + 1)
                             .expect("the delta chain always reaches its own head");
                         domain
@@ -1881,6 +1964,7 @@ fn crash_and_recover(
     let shard = ctx.shard_of(handle.namespace());
     let (base, deltas) = {
         let store = domain.store.lock().expect("checkpoint store poisoned");
+        let store = store.store();
         // With `staleness > 0` a free-running tenant can crash before the
         // committer has committed (hence checkpointed) epochs up to its own
         // window start; replay then begins from the newest image the chain

@@ -392,6 +392,15 @@ pub struct Metrics {
     pub committer_restarts: Counter,
     /// Incremental delta checkpoints captured at commit boundaries.
     pub checkpoints: Counter,
+
+    // --- durable checkpoints ---
+    /// Delta segments spilled to the durable on-disk checkpoint store.
+    pub durable_segments: Counter,
+    /// On-disk compaction folds written by the durable checkpoint store.
+    pub durable_folds: Counter,
+    /// Payload bytes (segments + folds, manifest excluded) the durable
+    /// checkpoint store put on disk.
+    pub durable_bytes: Counter,
 }
 
 const DEFAULT_EVENT_CAPACITY: usize = 4096;

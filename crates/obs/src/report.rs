@@ -72,8 +72,13 @@ pub struct ObsReport {
 
 /// Counters whose values depend on thread scheduling, not the simulation.
 /// `scratch_bytes_saved` is here because capacity reuse depends on the order
-/// buffers fill, which the async transports leave to arrival order.
-const SCHEDULING_COUNTERS: [&str; 6] = [
+/// buffers fill, which the async transports leave to arrival order. The
+/// `durable_*` trio is here because fold sizes and byte counts track the
+/// commit interleaving, which K > 0 runs leave to scheduling.
+const SCHEDULING_COUNTERS: [&str; 9] = [
+    "durable_bytes",
+    "durable_folds",
+    "durable_segments",
     "parks",
     "pool_grows",
     "pool_shrinks",
@@ -101,6 +106,12 @@ impl ObsReport {
             (
                 "committer_restarts".to_string(),
                 metrics.committer_restarts.get(),
+            ),
+            ("durable_bytes".to_string(), metrics.durable_bytes.get()),
+            ("durable_folds".to_string(), metrics.durable_folds.get()),
+            (
+                "durable_segments".to_string(),
+                metrics.durable_segments.get(),
             ),
             ("faults_injected".to_string(), metrics.faults_injected.get()),
             ("memo_hits".to_string(), metrics.memo_hits.get()),

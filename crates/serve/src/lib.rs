@@ -32,7 +32,10 @@ pub mod server;
 
 pub use client::RemoteRepository;
 pub use protocol::{Request, Response, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use server::{serve_tcp, Endpoint, ServeConfig, ServerHandle, UsageSnapshot};
+pub use server::{
+    serve_tcp, serve_tcp_persistent, Endpoint, ServeConfig, ServePersistence, ServerHandle,
+    UsageSnapshot,
+};
 
 #[cfg(unix)]
-pub use server::serve_unix;
+pub use server::{serve_unix, serve_unix_persistent};

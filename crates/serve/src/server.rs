@@ -16,11 +16,15 @@
 //! connection closes.
 
 use crate::protocol::{read_frame, write_frame, Request, Response, WireError};
-use dejavu_fleet::{SharedSignatureRepository, TenantId};
+use dejavu_fleet::{
+    DeltaCursor, DurableCheckpointStore, DurableError, RecoveryReport, ShardStats,
+    SharedSignatureRepository, TenantId,
+};
 use dejavu_obs::Counter;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -58,6 +62,140 @@ pub struct UsageSnapshot {
     pub bytes_out: u64,
 }
 
+/// The daemon's durable side: a [`DurableCheckpointStore`] over the served
+/// repository plus the capture cursors that turn each acknowledged mutation
+/// into an on-disk delta. Build one with [`ServePersistence::create`] (fresh
+/// directory) or [`ServePersistence::resume`] (boot replay after a restart)
+/// and hand it to [`serve_tcp_persistent`]/[`serve_unix_persistent`].
+///
+/// # Durability contract
+///
+/// A mutating request (`Publish`, `CommitBatch`, `EvictStale`,
+/// `EvictStaleShard`) is captured to disk **before its response frame is
+/// written**: an acknowledged write survives `SIGKILL`. `Lookup` bumps
+/// read-path hit counters without a capture of its own — it only marks the
+/// namespace dirty on its shard's capture cursor (hit counters move through
+/// relaxed atomics, invisible to the namespace mutation clock) — so those
+/// counters become durable at the touched shard's next mutating capture,
+/// the same boundary at which the in-process committer would checkpoint
+/// them. On a durable write error the daemon fail-stops its write path: the
+/// failed request and every later mutating request get a
+/// [`Response::Error`], while reads keep serving.
+#[derive(Debug)]
+pub struct ServePersistence {
+    durable: DurableCheckpointStore,
+    cursors: Vec<DeltaCursor>,
+    /// Last recorded per-shard counter totals — a capture whose namespaces,
+    /// stats and clock are all unchanged is skipped instead of recorded.
+    last_stats: Vec<ShardStats>,
+    /// Highest repository clock recorded so far. Load-bearing in the skip
+    /// rule: a no-evict TTL sweep still advances the clock, and a bit-exact
+    /// warm resume must replay that advance exactly once.
+    clock_hw: f64,
+    failed: Option<String>,
+}
+
+impl ServePersistence {
+    /// Initializes `dir` as a fresh checkpoint directory anchored at
+    /// `repo`'s current contents (which may already be warm from
+    /// `--snapshot-in`). Call before serving — the base snapshot must be
+    /// quiescent.
+    pub fn create(
+        dir: &Path,
+        repo: &SharedSignatureRepository,
+        checkpoint_every: usize,
+    ) -> Result<Self, DurableError> {
+        let durable = DurableCheckpointStore::create(dir, repo.to_snapshot(), checkpoint_every)?;
+        Ok(Self::attach(durable, repo))
+    }
+
+    /// Replays the manifest in `dir` and rebuilds the repository it
+    /// describes — the boot path of a restarted daemon. Returns the resumed
+    /// repository (bit-exact at the last consistent prefix of acknowledged
+    /// mutations), the persistence handle that continues its chains, and
+    /// the [`RecoveryReport`] for logging.
+    pub fn resume(
+        dir: &Path,
+        checkpoint_every: usize,
+    ) -> Result<(Arc<SharedSignatureRepository>, Self, RecoveryReport), DurableError> {
+        let (durable, report) = DurableCheckpointStore::open(dir, checkpoint_every)?;
+        let repo = SharedSignatureRepository::from_snapshot(&report.resumed).map_err(|source| {
+            DurableError::Snapshot {
+                file: String::new(),
+                source,
+            }
+        })?;
+        let repo = Arc::new(repo);
+        let persistence = Self::attach(durable, &repo);
+        Ok((repo, persistence, report))
+    }
+
+    /// Whether `dir` holds a manifest [`resume`](Self::resume) can replay.
+    pub fn exists(dir: &Path) -> bool {
+        DurableCheckpointStore::exists(dir)
+    }
+
+    fn attach(durable: DurableCheckpointStore, repo: &SharedSignatureRepository) -> Self {
+        let shards = repo.shard_count();
+        let mut cursors = vec![DeltaCursor::default(); shards];
+        for (shard, cursor) in cursors.iter_mut().enumerate() {
+            repo.prime_delta_cursor(shard, cursor);
+        }
+        ServePersistence {
+            durable,
+            cursors,
+            last_stats: repo.shard_stats(),
+            clock_hw: repo.clock().as_secs(),
+            failed: None,
+        }
+    }
+
+    /// Captures and durably records the given shards' deltas (ascending,
+    /// deduplicated). Unchanged shards are skipped without consuming an
+    /// epoch. An `Err` is the message already stored in `failed`.
+    fn capture(
+        &mut self,
+        repo: &SharedSignatureRepository,
+        shards: &[usize],
+    ) -> Result<(), String> {
+        if let Some(message) = &self.failed {
+            return Err(message.clone());
+        }
+        for &shard in shards {
+            let epoch = self.durable.store().chain_end(shard);
+            let delta = repo.capture_shard_delta(shard, epoch, &mut self.cursors[shard]);
+            let unchanged = delta.namespaces.is_empty()
+                && delta.shard_stats == self.last_stats[shard]
+                && delta.clock_secs <= self.clock_hw;
+            if unchanged {
+                continue;
+            }
+            self.last_stats[shard] = delta.shard_stats;
+            self.clock_hw = self.clock_hw.max(delta.clock_secs);
+            if let Err(e) = self.durable.record(delta) {
+                let message = format!(
+                    "durable checkpoint write failed (mutations are now refused; \
+                     restart the daemon to resume from the last consistent prefix): {e}"
+                );
+                self.failed = Some(message.clone());
+                return Err(message);
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a namespace whose read-path hit counters just moved (a wire
+    /// `Lookup`), so the shard's next mutating capture re-images it. The
+    /// counters themselves live in the repository; this only invalidates
+    /// the capture cursor's "unchanged" memo for the namespace.
+    fn note_lookup(&mut self, repo: &SharedSignatureRepository, namespace: u64) {
+        if self.failed.is_some() {
+            return;
+        }
+        self.cursors[repo.shard_index(namespace)].invalidate(namespace);
+    }
+}
+
 /// State shared by the accept loop, every connection thread, and the
 /// handle the caller keeps.
 #[derive(Debug)]
@@ -68,6 +206,8 @@ struct Shared {
     active_sessions: AtomicUsize,
     denied_sessions: Counter,
     usage: Mutex<BTreeMap<TenantId, Arc<TenantUsage>>>,
+    /// The durable write-through layer; `None` serves from memory only.
+    persist: Option<Mutex<ServePersistence>>,
 }
 
 impl Shared {
@@ -175,6 +315,22 @@ impl ServerHandle {
     }
 }
 
+fn shared_state(
+    repo: Arc<SharedSignatureRepository>,
+    config: ServeConfig,
+    persist: Option<ServePersistence>,
+) -> Arc<Shared> {
+    Arc::new(Shared {
+        repo,
+        config,
+        shutdown: AtomicBool::new(false),
+        active_sessions: AtomicUsize::new(0),
+        denied_sessions: Counter::default(),
+        usage: Mutex::new(BTreeMap::new()),
+        persist: persist.map(Mutex::new),
+    })
+}
+
 /// Serves `repo` on a TCP address. Bind to port 0 to let the OS pick; the
 /// chosen address is on the returned handle.
 pub fn serve_tcp(
@@ -182,16 +338,30 @@ pub fn serve_tcp(
     addr: &str,
     config: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_tcp_with(repo, addr, config, None)
+}
+
+/// [`serve_tcp`] with a durable write-through layer: acknowledged mutations
+/// are on disk before their responses, so a killed-and-restarted daemon
+/// resumes via [`ServePersistence::resume`] instead of resetting.
+pub fn serve_tcp_persistent(
+    repo: Arc<SharedSignatureRepository>,
+    addr: &str,
+    config: ServeConfig,
+    persistence: ServePersistence,
+) -> std::io::Result<ServerHandle> {
+    serve_tcp_with(repo, addr, config, Some(persistence))
+}
+
+fn serve_tcp_with(
+    repo: Arc<SharedSignatureRepository>,
+    addr: &str,
+    config: ServeConfig,
+    persist: Option<ServePersistence>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let endpoint = Endpoint::Tcp(listener.local_addr()?);
-    let shared = Arc::new(Shared {
-        repo,
-        config,
-        shutdown: AtomicBool::new(false),
-        active_sessions: AtomicUsize::new(0),
-        denied_sessions: Counter::default(),
-        usage: Mutex::new(BTreeMap::new()),
-    });
+    let shared = shared_state(repo, config, persist);
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
         .name("dejavu-serve-accept".into())
@@ -214,22 +384,57 @@ pub fn serve_tcp(
 
 /// Serves `repo` on a Unix domain socket path; the path is removed on
 /// [`ServerHandle::stop`].
+///
+/// A socket file left behind by an uncleanly killed daemon (nothing removes
+/// it on `SIGKILL`) is detected and reclaimed: if connecting to it is
+/// refused, the stale file is removed and the path rebound. A path another
+/// *live* server answers on is a real conflict and stays an `AddrInUse`
+/// error.
 #[cfg(unix)]
 pub fn serve_unix(
     repo: Arc<SharedSignatureRepository>,
     path: &std::path::Path,
     config: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
-    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    serve_unix_with(repo, path, config, None)
+}
+
+/// [`serve_unix`] with a durable write-through layer; see
+/// [`serve_tcp_persistent`].
+#[cfg(unix)]
+pub fn serve_unix_persistent(
+    repo: Arc<SharedSignatureRepository>,
+    path: &std::path::Path,
+    config: ServeConfig,
+    persistence: ServePersistence,
+) -> std::io::Result<ServerHandle> {
+    serve_unix_with(repo, path, config, Some(persistence))
+}
+
+#[cfg(unix)]
+fn serve_unix_with(
+    repo: Arc<SharedSignatureRepository>,
+    path: &std::path::Path,
+    config: ServeConfig,
+    persist: Option<ServePersistence>,
+) -> std::io::Result<ServerHandle> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    let listener = match UnixListener::bind(path) {
+        Ok(listener) => listener,
+        Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+            // A socket file already exists. If a live server answers on it,
+            // the conflict is real; if nobody does, it is the corpse of an
+            // unclean death — reclaim it.
+            if UnixStream::connect(path).is_ok() {
+                return Err(e);
+            }
+            std::fs::remove_file(path)?;
+            UnixListener::bind(path)?
+        }
+        Err(e) => return Err(e),
+    };
     let endpoint = Endpoint::Unix(path.to_path_buf());
-    let shared = Arc::new(Shared {
-        repo,
-        config,
-        shutdown: AtomicBool::new(false),
-        active_sessions: AtomicUsize::new(0),
-        denied_sessions: Counter::default(),
-        usage: Mutex::new(BTreeMap::new()),
-    });
+    let shared = shared_state(repo, config, persist);
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
         .name("dejavu-serve-accept".into())
@@ -319,7 +524,43 @@ fn run_session<S: Read + Write>(shared: Arc<Shared>, mut stream: S) {
             }
         };
         usage.ops.inc();
-        let response = handle(&shared.repo, request);
+        // Capture-before-ack: a mutating request's shard deltas hit the
+        // durable store (under the persistence lock, so the mutation and
+        // its capture are one atomic step) before the response frame is
+        // written. A durable failure fail-stops the write path: the
+        // mutation is refused and the session reports the error instead.
+        // A `Lookup` is not captured — it marks its namespace dirty so the
+        // hit counters it bumped ride the shard's next mutating capture.
+        let lookup_ns = match (&shared.persist, &request) {
+            (Some(_), Request::Lookup { namespace, .. }) => Some(*namespace),
+            _ => None,
+        };
+        let response = match (&shared.persist, touched_shards(&shared.repo, &request)) {
+            (Some(persist), Some(shards)) => {
+                let mut state = persist.lock().expect("persistence state poisoned");
+                if let Some(message) = state.failed.clone() {
+                    Response::Error { message }
+                } else {
+                    let response = handle(&shared.repo, request);
+                    match state.capture(&shared.repo, &shards) {
+                        Ok(()) => response,
+                        Err(message) => Response::Error { message },
+                    }
+                }
+            }
+            _ => {
+                let response = handle(&shared.repo, request);
+                if let (Some(persist), Some(namespace)) = (&shared.persist, lookup_ns) {
+                    // After the handler: the hit is already bumped, so the
+                    // next capture's re-image is guaranteed to carry it.
+                    persist
+                        .lock()
+                        .expect("persistence state poisoned")
+                        .note_lookup(&shared.repo, namespace);
+                }
+                response
+            }
+        };
         let encoded = response.encode();
         match write_frame(&mut stream, &encoded) {
             Ok(()) => usage.bytes_out.add(encoded.len() as u64),
@@ -362,6 +603,31 @@ fn reply_error<S: Write>(stream: &mut S, err: &WireError) {
         }
         .encode(),
     );
+}
+
+/// The shards a request mutates (ascending, deduplicated), or `None` for
+/// requests the durable layer need not capture. `Lookup` is deliberately
+/// `None`: its read-path hit counters ride the touched shard's next
+/// mutating capture (see [`ServePersistence`]).
+fn touched_shards(repo: &SharedSignatureRepository, request: &Request) -> Option<Vec<usize>> {
+    match request {
+        Request::Publish { namespace, .. } => Some(vec![repo.shard_index(*namespace)]),
+        Request::CommitBatch { ops } => {
+            let shards: std::collections::BTreeSet<usize> = ops
+                .iter()
+                .map(|op| repo.shard_index(op.namespace()))
+                .collect();
+            Some(shards.into_iter().collect())
+        }
+        Request::EvictStale { .. } => Some((0..repo.shard_count()).collect()),
+        Request::EvictStaleShard { shard, .. } => {
+            let shard = *shard as usize;
+            // An out-of-range shard is a protocol error `handle` reports;
+            // nothing was mutated, so nothing needs capturing.
+            (shard < repo.shard_count()).then(|| vec![shard])
+        }
+        _ => None,
+    }
 }
 
 /// Maps one decoded request onto the repository. Pure dispatch — every
@@ -434,5 +700,158 @@ fn handle(repo: &SharedSignatureRepository, request: Request) -> Response {
         Request::Stats => Response::Stats(repo.stats()),
         Request::ShardStats => Response::ShardStatsList(repo.shard_stats()),
         Request::Snapshot => Response::Snapshot(repo.save_snapshot_compact()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::read_frame;
+    use std::collections::VecDeque;
+    use std::sync::mpsc;
+
+    enum Script {
+        Bytes(Vec<u8>),
+        Panic,
+    }
+
+    /// A scriptable session stream: reads arrive over a channel (so a test
+    /// can hold a session open, then drive or kill it), writes accumulate
+    /// in a shared buffer. Dropping the sender is a clean EOF.
+    struct ChanStream {
+        rx: mpsc::Receiver<Script>,
+        pending: VecDeque<u8>,
+        out: Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl Read for ChanStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            while self.pending.is_empty() {
+                match self.rx.recv() {
+                    Ok(Script::Bytes(bytes)) => self.pending.extend(bytes),
+                    Ok(Script::Panic) => panic!("injected session panic"),
+                    Err(_) => return Ok(0),
+                }
+            }
+            let n = buf.len().min(self.pending.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = self.pending.pop_front().expect("pending byte");
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for ChanStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.out
+                .lock()
+                .expect("out buffer poisoned")
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    type Session = (
+        mpsc::Sender<Script>,
+        Arc<Mutex<Vec<u8>>>,
+        std::thread::JoinHandle<()>,
+    );
+
+    fn session(shared: &Arc<Shared>) -> Session {
+        let (tx, rx) = mpsc::channel();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let stream = ChanStream {
+            rx,
+            pending: VecDeque::new(),
+            out: Arc::clone(&out),
+        };
+        let shared = Arc::clone(shared);
+        let thread = std::thread::spawn(move || run_session(shared, stream));
+        (tx, out, thread)
+    }
+
+    fn hello_frame(tenant: TenantId) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        crate::protocol::write_frame(&mut bytes, &Request::Hello { tenant }.encode())
+            .expect("hello frame");
+        bytes
+    }
+
+    fn first_response(out: &Arc<Mutex<Vec<u8>>>) -> Response {
+        let data = out.lock().expect("out buffer poisoned").clone();
+        let mut cursor: &[u8] = &data;
+        let body = read_frame(&mut cursor)
+            .expect("response frame")
+            .expect("one response written");
+        Response::decode(&body).expect("response decodes")
+    }
+
+    fn wait_for(what: &str, cond: impl Fn() -> bool) {
+        for _ in 0..400 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    /// Admission-counter regression: a session that dies by *panic* — not a
+    /// clean disconnect — must still release its admission slot, because the
+    /// decrement lives in `SessionGuard::drop` and unwinding runs it. Fill
+    /// the cap, panic one session, and a new session must be admitted.
+    #[test]
+    fn a_panicking_session_releases_its_admission_slot() {
+        let repo = Arc::new(SharedSignatureRepository::new(Default::default()));
+        let shared = shared_state(repo, ServeConfig { max_sessions: 2 }, None);
+
+        // Fill the cap with two live sessions.
+        let (tx_a, out_a, thread_a) = session(&shared);
+        tx_a.send(Script::Bytes(hello_frame(0))).expect("hello a");
+        let (tx_b, out_b, thread_b) = session(&shared);
+        tx_b.send(Script::Bytes(hello_frame(1))).expect("hello b");
+        wait_for("both sessions admitted", || {
+            !out_a.lock().expect("out a").is_empty() && !out_b.lock().expect("out b").is_empty()
+        });
+        assert!(matches!(first_response(&out_a), Response::HelloOk { .. }));
+        assert!(matches!(first_response(&out_b), Response::HelloOk { .. }));
+        assert_eq!(shared.active_sessions.load(Ordering::Acquire), 2);
+
+        // A third session is over the cap: a typed denial, and its own
+        // transient increment is released when the thread exits.
+        let (tx_c, out_c, thread_c) = session(&shared);
+        tx_c.send(Script::Bytes(hello_frame(2))).expect("hello c");
+        drop(tx_c);
+        thread_c.join().expect("denied session exits cleanly");
+        assert!(matches!(first_response(&out_c), Response::Denied { .. }));
+        assert_eq!(shared.denied_sessions.get(), 1);
+        assert_eq!(shared.active_sessions.load(Ordering::Acquire), 2);
+
+        // Session A dies by panic mid-session.
+        tx_a.send(Script::Panic).expect("panic a");
+        assert!(thread_a.join().is_err(), "session A should have panicked");
+        assert_eq!(
+            shared.active_sessions.load(Ordering::Acquire),
+            1,
+            "a panicked session leaked its admission slot"
+        );
+
+        // The freed slot admits a replacement.
+        let (tx_d, out_d, thread_d) = session(&shared);
+        tx_d.send(Script::Bytes(hello_frame(3))).expect("hello d");
+        wait_for("replacement session admitted", || {
+            !out_d.lock().expect("out d").is_empty()
+        });
+        assert!(matches!(first_response(&out_d), Response::HelloOk { .. }));
+
+        drop(tx_b);
+        drop(tx_d);
+        thread_b.join().expect("session b exits");
+        thread_d.join().expect("session d exits");
+        assert_eq!(shared.active_sessions.load(Ordering::Acquire), 0);
     }
 }

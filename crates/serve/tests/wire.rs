@@ -314,6 +314,47 @@ fn protocol_violations_get_typed_errors_and_never_kill_the_server() {
     handle.stop();
 }
 
+/// Stale-socket regression: a socket file left behind by an uncleanly
+/// killed daemon (`SIGKILL` removes nothing) is detected — nobody answers
+/// on it — and reclaimed, while a path a *live* server answers on stays a
+/// real `AddrInUse` conflict.
+#[cfg(unix)]
+#[test]
+fn stale_socket_files_are_reclaimed_but_live_servers_are_not() {
+    use std::os::unix::net::UnixListener;
+    let dir = std::env::temp_dir().join(format!("dejavu-stale-sock-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let path = dir.join("stale.sock");
+
+    // Simulate the unclean death: bind, then drop the listener without
+    // removing the file.
+    drop(UnixListener::bind(&path).expect("first bind"));
+    assert!(path.exists(), "precondition: the corpse file is on disk");
+
+    let handle = dejavu_serve::serve_unix(
+        Arc::new(SharedSignatureRepository::new(SharedRepoConfig::default())),
+        &path,
+        ServeConfig::default(),
+    )
+    .expect("a dead socket file must be reclaimed");
+    let client = RemoteRepository::connect_unix(&path, 0).expect("reclaimed socket serves");
+    assert_eq!(client.shard_count(), 16);
+
+    // Binding over the now-live server is a real conflict: refused, and
+    // the running server keeps serving undisturbed.
+    let err = dejavu_serve::serve_unix(
+        Arc::new(SharedSignatureRepository::new(SharedRepoConfig::default())),
+        &path,
+        ServeConfig::default(),
+    )
+    .expect_err("binding over a live server must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    assert_eq!(client.len(), 0, "original server no longer answers");
+    drop(client);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The Unix-socket transport speaks the same protocol end to end.
 #[cfg(unix)]
 #[test]
